@@ -1,0 +1,81 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(see DESIGN.md, "Experiment index") and asserts the *shape* of the
+result -- who wins, by what rough factor, where the crossovers are --
+rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+
+
+def make_descriptor_xml(name, *, task_type="periodic", enabled=True,
+                        cpuusage=0.05, frequency=1000, priority=2, cpu=0,
+                        outports=(), inports=(), properties=(),
+                        deadline_ns=None, bincode=None):
+    """Compose DRCom descriptor XML (same shape as the test helper)."""
+    lines = ['<?xml version="1.0" encoding="UTF-8"?>']
+    lines.append(
+        '<drt:component name="%s" desc="bench component" type="%s" '
+        'enabled="%s" cpuusage="%s">'
+        % (name, task_type, "true" if enabled else "false", cpuusage))
+    lines.append('  <implementation bincode="%s"/>'
+                 % (bincode or "bench.%s.Impl" % name))
+    if task_type == "periodic":
+        deadline = (' deadline_ns="%d"' % deadline_ns) if deadline_ns \
+            else ""
+        lines.append('  <periodictask frequence="%s" runoncpu="%d" '
+                     'priority="%d"%s/>'
+                     % (frequency, cpu, priority, deadline))
+    else:
+        lines.append('  <aperiodictask runoncpu="%d" priority="%d"/>'
+                     % (cpu, priority))
+    for pname, iface, dtype, size in outports:
+        lines.append('  <outport name="%s" interface="%s" type="%s" '
+                     'size="%d"/>' % (pname, iface, dtype, size))
+    for pname, iface, dtype, size in inports:
+        lines.append('  <inport name="%s" interface="%s" type="%s" '
+                     'size="%d"/>' % (pname, iface, dtype, size))
+    for pname, ptype, value in properties:
+        lines.append('  <property name="%s" type="%s" value="%s"/>'
+                     % (pname, ptype, value))
+    lines.append("</drt:component>")
+    return "\n".join(lines)
+
+
+def deploy(platform, xml, bundle_name):
+    """Install + start a one-descriptor bundle."""
+    return platform.install_and_start(
+        {"Bundle-SymbolicName": bundle_name,
+         "RT-Component": "OSGI-INF/c.xml"},
+        resources={"OSGI-INF/c.xml": xml})
+
+
+def quiet_platform(seed=0, **kwargs):
+    """Platform with the zero-jitter latency model (exact scheduling)."""
+    kwargs.setdefault("kernel_config",
+                      KernelConfig(latency_model=NullLatencyModel()))
+    platform = build_platform(seed=seed, **kwargs)
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+def noisy_platform(seed=0, **kwargs):
+    """Platform with the calibrated Table-1 latency model."""
+    platform = build_platform(seed=seed, **kwargs)
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic, so statistical repetition adds
+    nothing but wall-clock time; one round measures the cost honestly.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+"""Experiment A5 -- ablation: automatic placement on a duo-core box.
+
+The paper's testbed CPU was a duo-core T5500, but its descriptors pin
+components to a CPU at design time (``runoncup``).  This ablation
+quantifies what a placement service buys on two CPUs: admitted
+capacity, balance, and contract-cleanliness, for a stream of components
+all pinned (by their developers) to CPU 0.
+"""
+
+import pytest
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.placement import BestFitPlacement, FirstFitPlacement
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml, run_once
+
+N_COMPONENTS = 10
+USAGE = 0.19
+
+
+def run_configuration(placement):
+    platform = build_platform(
+        seed=23,
+        kernel_config=KernelConfig(num_cpus=2,
+                                   latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=0.95))
+    platform.drcr.placement_service = placement
+    platform.start_timer(1 * MSEC)
+    for index in range(N_COMPONENTS):
+        xml = make_descriptor_xml(
+            "PLC%03d" % index, cpuusage=USAGE, frequency=1000,
+            priority=1 + index, cpu=0)
+        deploy(platform, xml, "a5.plc%03d" % index)
+    platform.run_for(1 * SEC)
+    active = platform.drcr.registry.in_state(ComponentState.ACTIVE)
+    misses = sum(
+        platform.kernel.lookup(c.descriptor.task_name)
+        .stats.deadline_misses for c in active)
+    return {
+        "admitted": len(active),
+        "cpu0": platform.drcr.registry.declared_utilization(0),
+        "cpu1": platform.drcr.registry.declared_utilization(1),
+        "misses": misses,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-placement")
+def test_placement_ablation(benchmark):
+    def experiment():
+        return {
+            "pinned (paper default)": run_configuration(None),
+            "first-fit": run_configuration(FirstFitPlacement(cap=0.95)),
+            "best-fit": run_configuration(BestFitPlacement(cap=0.95)),
+        }
+
+    results = run_once(benchmark, experiment)
+    print("\nA5 -- placement ablation (%d components x %.0f%%, "
+          "2 CPUs, all descriptor-pinned to CPU 0):"
+          % (N_COMPONENTS, USAGE * 100))
+    print("%-24s %9s %8s %8s %8s"
+          % ("placement", "admitted", "cpu0", "cpu1", "misses"))
+    for label, r in results.items():
+        print("%-24s %9d %7.0f%% %7.0f%% %8d"
+              % (label, r["admitted"], r["cpu0"] * 100,
+                 r["cpu1"] * 100, r["misses"]))
+    benchmark.extra_info["results"] = results
+
+    pinned = results["pinned (paper default)"]
+    first_fit = results["first-fit"]
+    best_fit = results["best-fit"]
+
+    # Pinned: only CPU 0's budget usable -> 5 of 10 admitted.
+    assert pinned["admitted"] == 5
+    assert pinned["cpu1"] == 0.0
+
+    # Both placement policies double the admitted capacity.
+    for r in (first_fit, best_fit):
+        assert r["admitted"] == 10
+        assert r["misses"] == 0
+        assert r["cpu1"] > 0
+
+    # Best-fit balances; first-fit fills CPU 0 first.
+    assert abs(best_fit["cpu0"] - best_fit["cpu1"]) < 0.2
+    assert first_fit["cpu0"] >= first_fit["cpu1"]

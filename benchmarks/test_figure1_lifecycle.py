@@ -1,0 +1,116 @@
+"""Experiment F1 -- Figure 1, the declarative real-time component
+lifecycle.
+
+Figure 1 is a state diagram, not a data plot; the regenerated artifact
+is its transition table, checked for the structural properties the
+paper narrates (section 2.2):
+
+* external events (deployment, destruction) and management calls drive
+  some transitions; Unsatisfied/Satisfied/Active are managed by DRCR;
+* DISABLED components cannot reach ACTIVE without being enabled first;
+* DISPOSED is terminal and reachable from everywhere;
+* every state that owns an RT task can release it (reaches a
+  non-instantiated state).
+
+The benchmark also *exercises* every edge through the real DRCR and
+measures the cost of a full lifecycle lap.
+"""
+
+import pytest
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.lifecycle import (
+    INSTANTIATED_STATES,
+    TRANSITIONS,
+    reachable_states,
+)
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml, quiet_platform, run_once
+
+
+def _print_figure():
+    print("\nFigure 1 -- lifecycle transition table:")
+    for state in ComponentState:
+        successors = sorted(s.value for s in TRANSITIONS[state])
+        print("  %-13s -> %s" % (state.value,
+                                 ", ".join(successors) or "(terminal)"))
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_structure(benchmark):
+    def audit():
+        edges = sum(len(v) for v in TRANSITIONS.values())
+        return edges
+
+    edges = run_once(benchmark, audit)
+    _print_figure()
+    benchmark.extra_info["edges"] = edges
+
+    # Structural claims of section 2.2.
+    assert TRANSITIONS[ComponentState.DISPOSED] == set()
+    for state in ComponentState:
+        assert ComponentState.DISPOSED in reachable_states(state)
+    assert ComponentState.ACTIVE \
+        not in reachable_states(ComponentState.DISPOSED)
+    # DISABLED must pass through UNSATISFIED (enable) to ever activate.
+    direct = TRANSITIONS[ComponentState.DISABLED]
+    assert direct == {ComponentState.UNSATISFIED,
+                      ComponentState.DISPOSED}
+    # Instantiated states can all release the task.
+    for state in INSTANTIATED_STATES:
+        assert reachable_states(state) - INSTANTIATED_STATES
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_full_lap_through_drcr(benchmark):
+    """Drive one component through every lifecycle station via the real
+    runtime and verify the visited sequence."""
+    xml = make_descriptor_xml(
+        "LAP000", cpuusage=0.05, frequency=1000, priority=2,
+        enabled=False)
+
+    def lap():
+        platform = quiet_platform(
+            seed=5, internal_policy=UtilizationBoundPolicy(cap=1.0))
+        visited = []
+
+        def watch(event):
+            component = platform.drcr.registry.maybe_get("LAP000")
+            if component is not None:
+                visited.append(component.state)
+
+        platform.drcr.events.listeners.add(watch)
+        bundle = deploy(platform, xml, "figure1.lap")     # DISABLED
+        platform.drcr.enable_component("LAP000")          # -> ACTIVE
+        platform.run_for(5 * MSEC)
+        platform.drcr.suspend_component("LAP000")         # SUSPENDED
+        platform.run_for(5 * MSEC)
+        platform.drcr.resume_component("LAP000")          # ACTIVE
+        platform.drcr.disable_component("LAP000")         # DISABLED
+        platform.drcr.enable_component("LAP000")          # ACTIVE
+        bundle.stop()                                     # DISPOSED
+        return visited
+
+    visited = run_once(benchmark, lap)
+    # Deduplicate consecutive repeats into the station sequence.
+    stations = [visited[0]]
+    for state in visited[1:]:
+        if state is not stations[-1]:
+            stations.append(state)
+    assert stations == [
+        ComponentState.INSTALLED,
+        ComponentState.DISABLED,
+        ComponentState.UNSATISFIED,
+        ComponentState.SATISFIED,   # transient, observed via event
+        ComponentState.ACTIVE,
+        ComponentState.SUSPENDED,
+        ComponentState.ACTIVE,
+        ComponentState.DISABLED,
+        ComponentState.UNSATISFIED,
+        ComponentState.SATISFIED,
+        ComponentState.ACTIVE,
+        ComponentState.DISPOSED,
+    ]
+    print("\nlifecycle stations visited:",
+          " -> ".join(s.value for s in stations))

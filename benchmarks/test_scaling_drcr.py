@@ -1,0 +1,122 @@
+"""Experiment A3 -- scaling: DRCR resolve cost and registry throughput.
+
+Continuous deployment (section 1) means resolution runs *during
+operation*; its cost must stay civil as the component population grows.
+This benchmark measures, for fleets of 10..200 components:
+
+* the wall-clock cost of deploying one more component (one reconfigure
+  pass over the global view),
+* the wall-clock cost of the departure cascade,
+* OSGi service-registry query throughput with one LDAP filter per
+  lookup (how adaptation managers find management services).
+
+Shape asserted: per-component resolve cost grows sub-quadratically
+(doubling the fleet must not quadruple the marginal cost by more than
+the fixed tolerance), and a registry lookup stays under a millisecond.
+"""
+
+import time
+
+import pytest
+
+from repro.core import MANAGEMENT_SERVICE_INTERFACE, ComponentState
+from conftest import deploy, make_descriptor_xml, quiet_platform, run_once
+
+FLEET_SIZES = (10, 50, 100, 200)
+
+
+def build_fleet(platform, size):
+    """Deploy ``size`` chained components (each depends on the
+    previous one's outport -- the worst case for cascades)."""
+    for index in range(size):
+        inports = []
+        if index > 0:
+            inports = [("P%05d" % (index - 1), "RTAI.SHM", "Integer",
+                        2)]
+        xml = make_descriptor_xml(
+            "C%05d" % index, cpuusage=0.002, frequency=100,
+            priority=min(200, index + 1),
+            outports=[("P%05d" % index, "RTAI.SHM", "Integer", 2)],
+            inports=inports)
+        deploy(platform, xml, "fleet.c%05d" % index)
+
+
+def measure_fleet(size):
+    platform = quiet_platform(seed=size)
+    start = time.perf_counter()
+    build_fleet(platform, size)
+    deploy_s = time.perf_counter() - start
+    active = len(platform.drcr.registry.in_state(ComponentState.ACTIVE))
+
+    # Marginal deploy: one more component into the existing fleet.
+    xml = make_descriptor_xml(
+        "X%05d" % size, cpuusage=0.002, frequency=100, priority=201,
+        inports=[("P%05d" % (size - 1), "RTAI.SHM", "Integer", 2)])
+    start = time.perf_counter()
+    extra = deploy(platform, xml, "fleet.extra")
+    marginal_s = time.perf_counter() - start
+
+    # Departure cascade: kill the root -> everything deactivates.
+    root = platform.framework.get_bundle("fleet.c%05d" % 0)
+    start = time.perf_counter()
+    root.stop()
+    cascade_s = time.perf_counter() - start
+    unsatisfied = len(platform.drcr.registry.in_state(
+        ComponentState.UNSATISFIED))
+
+    # Registry lookups with filters.
+    root.start()
+    lookups = 200
+    start = time.perf_counter()
+    for index in range(lookups):
+        name = "C%05d" % (index % size)
+        platform.framework.registry.get_reference(
+            MANAGEMENT_SERVICE_INTERFACE, "(drcom.name=%s)" % name)
+    lookup_s = (time.perf_counter() - start) / lookups
+
+    return {
+        "size": size,
+        "active": active,
+        "deploy_total_ms": deploy_s * 1e3,
+        "deploy_per_component_ms": deploy_s * 1e3 / size,
+        "marginal_deploy_ms": marginal_s * 1e3,
+        "cascade_ms": cascade_s * 1e3,
+        "cascade_unsatisfied": unsatisfied,
+        "lookup_us": lookup_s * 1e6,
+    }
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_drcr_scaling(benchmark):
+    def experiment():
+        return [measure_fleet(size) for size in FLEET_SIZES]
+
+    rows = run_once(benchmark, experiment)
+    print("\nA3 -- DRCR scaling (dependency-chained fleets):")
+    print("%6s %7s %12s %14s %12s %12s %10s"
+          % ("size", "active", "deploy[ms]", "per-comp[ms]",
+             "marginal[ms]", "cascade[ms]", "lookup[us]"))
+    for row in rows:
+        print("%6d %7d %12.1f %14.3f %12.2f %12.2f %10.1f"
+              % (row["size"], row["active"], row["deploy_total_ms"],
+                 row["deploy_per_component_ms"],
+                 row["marginal_deploy_ms"], row["cascade_ms"],
+                 row["lookup_us"]))
+    benchmark.extra_info["rows"] = rows
+
+    # Everything deployed resolved and activated.
+    for row in rows:
+        assert row["active"] == row["size"]
+        # The departure cascade reached the whole chain.
+        assert row["cascade_unsatisfied"] == row["size"] - 1 + 1
+
+    # Marginal deploy cost growth stays tame: 20x the fleet must not
+    # cost more than ~80x per marginal deploy (sub-quadratic).
+    small, large = rows[0], rows[-1]
+    growth = large["marginal_deploy_ms"] / max(
+        small["marginal_deploy_ms"], 1e-6)
+    assert growth < (large["size"] / small["size"]) ** 2
+
+    # Filtered registry lookups stay under a millisecond even at 200
+    # components.
+    assert large["lookup_us"] < 1000

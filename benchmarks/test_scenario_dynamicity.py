@@ -1,0 +1,137 @@
+"""Experiment S1 -- the section 4.3 dynamicity scenario.
+
+"Component Display needs component Calcuation's output to satisfy its
+functional constraints. ... When both services return positive results,
+the DRCR will create and activate the component Display's instance.
+While if component Calcuation is stopped, the DRCR gets notified about
+this event and consults its internal resolving service and the external
+customized service again ... the DRCR will find component Display's
+instance is unsatisfied and should be disabled."
+
+This benchmark replays the scenario, asserts the exact DRCR decision
+sequence, verifies that the customized resolving service was consulted
+at each step, and times the full replay.
+"""
+
+import pytest
+
+from repro.core import (
+    RESOLVING_SERVICE_INTERFACE,
+    ComponentEventType,
+    ComponentState,
+    Decision,
+    ResolvingService,
+)
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml, quiet_platform, run_once
+
+CALC_XML = make_descriptor_xml(
+    "CALC00", cpuusage=0.03, frequency=1000, priority=2,
+    outports=[("LATDAT", "RTAI.SHM", "Integer", 4)])
+DISP_XML = make_descriptor_xml(
+    "DISP00", cpuusage=0.01, frequency=250, priority=3,
+    inports=[("LATDAT", "RTAI.SHM", "Integer", 4)])
+
+
+class CountingResolvingService(ResolvingService):
+    """The 'external customized service' of the scenario; accepts
+    everything but records every consultation."""
+
+    name = "external-customized"
+
+    def __init__(self):
+        self.admit_calls = []
+        self.revalidate_calls = []
+
+    def admit(self, candidate, view):
+        self.admit_calls.append(candidate.name)
+        return Decision.yes("external ok")
+
+    def revalidate(self, component, view):
+        self.revalidate_calls.append(component.name)
+        return Decision.yes("still ok")
+
+
+def run_scenario():
+    platform = quiet_platform(seed=43)
+    external = CountingResolvingService()
+    platform.framework.registry.register(
+        RESOLVING_SERVICE_INTERFACE, external)
+
+    trace = {}
+    # Display first: functional constraint unmet.
+    deploy(platform, DISP_XML, "scenario.display")
+    trace["display_alone"] = platform.drcr.component_state("DISP00")
+    # Calculation arrives: both activate.
+    calc_bundle = deploy(platform, CALC_XML, "scenario.calc")
+    trace["after_calc"] = (platform.drcr.component_state("CALC00"),
+                           platform.drcr.component_state("DISP00"))
+    platform.run_for(100 * MSEC)
+    # Calculation stops: DRCR notified, display unsatisfied.
+    calc_bundle.stop()
+    trace["after_stop"] = platform.drcr.component_state("DISP00")
+    # Calculation returns: display reactivates.
+    calc_bundle.start()
+    trace["after_restart"] = platform.drcr.component_state("DISP00")
+    platform.run_for(100 * MSEC)
+    return platform, external, trace
+
+
+@pytest.mark.benchmark(group="scenario")
+def test_section_4_3_dynamicity(benchmark):
+    platform, external, trace = run_once(benchmark, run_scenario)
+
+    # -- the narrated state sequence ------------------------------------
+    assert trace["display_alone"] is ComponentState.UNSATISFIED
+    assert trace["after_calc"] == (ComponentState.ACTIVE,
+                                   ComponentState.ACTIVE)
+    assert trace["after_stop"] is ComponentState.UNSATISFIED
+    assert trace["after_restart"] is ComponentState.ACTIVE
+
+    # -- exact DRCR event sequence for the Display component ------------
+    sequence = [e.event_type for e in
+                platform.drcr.events.for_component("DISP00")]
+    assert sequence == [
+        ComponentEventType.REGISTERED,
+        ComponentEventType.SATISFIED,     # calc arrived, both said yes
+        ComponentEventType.ACTIVATED,
+        ComponentEventType.DEACTIVATED,   # calc stopped
+        ComponentEventType.UNSATISFIED,
+        ComponentEventType.SATISFIED,     # calc restarted
+        ComponentEventType.ACTIVATED,
+    ]
+
+    # -- the customized service was consulted for every admission -------
+    assert external.admit_calls.count("DISP00") == 2
+    assert external.admit_calls.count("CALC00") == 2
+    # ...and revalidated on context changes.
+    assert external.revalidate_calls
+
+    print("\nSection 4.3 scenario replay:")
+    for event in platform.drcr.events:
+        print("  t=%-12d %-20s %-8s %s"
+              % (event.time, event.event_type.value, event.component,
+                 event.reason))
+    benchmark.extra_info["events"] = len(list(platform.drcr.events))
+
+
+@pytest.mark.benchmark(group="scenario")
+def test_dynamicity_reconfiguration_latency(benchmark):
+    """How long (wall clock) one stop->cascade->restart cycle costs the
+    runtime -- the price of DRCR-managed dynamicity."""
+    platform = quiet_platform(seed=44)
+    deploy(platform, DISP_XML, "scenario.display")
+    calc_bundle = deploy(platform, CALC_XML, "scenario.calc")
+
+    def cycle():
+        calc_bundle.stop()
+        calc_bundle.start()
+
+    benchmark.pedantic(cycle, rounds=20, iterations=1)
+    assert platform.drcr.component_state("DISP00") \
+        is ComponentState.ACTIVE
+    activations = platform.drcr.events.of_type(
+        ComponentEventType.ACTIVATED)
+    assert len([e for e in activations if e.component == "DISP00"]) \
+        == 21

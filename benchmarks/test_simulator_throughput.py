@@ -1,0 +1,74 @@
+"""Simulator performance: how fast the substrate itself runs.
+
+Not a paper artifact, but table stakes for anyone adopting the library:
+how much simulated time one wall-clock second buys, as the task
+population grows.  Also guards against accidental complexity
+regressions in the kernel's hot path (the event loop, dispatch,
+release chain).
+"""
+
+import time
+
+import pytest
+
+from repro.rtos.kernel import KernelConfig, RTKernel
+from repro.rtos.latency import NullLatencyModel
+from repro.rtos.requests import Compute, WaitPeriod
+from repro.rtos.task import TaskType
+from repro.sim.engine import MSEC, SEC, Simulator
+
+TASK_COUNTS = (1, 10, 50)
+WINDOW = 2 * SEC
+
+
+def run_population(count):
+    sim = Simulator(seed=1)
+    kernel = RTKernel(sim, KernelConfig(
+        latency_model=NullLatencyModel(), trace_kernel=False))
+    kernel.start_timer(1 * MSEC)
+    for index in range(count):
+        period = (1 + index % 10) * MSEC
+        wcet = period // (2 * count)
+
+        def body(task, wcet=wcet):
+            while True:
+                yield WaitPeriod()
+                yield Compute(wcet)
+
+        task = kernel.create_task("T%05d" % index, body,
+                                  priority=index,
+                                  task_type=TaskType.PERIODIC,
+                                  period_ns=period)
+        kernel.start_task(task)
+    start = time.perf_counter()
+    sim.run_for(WINDOW)
+    elapsed = time.perf_counter() - start
+    return {
+        "tasks": count,
+        "events": sim.processed_events,
+        "wall_s": elapsed,
+        "events_per_s": sim.processed_events / elapsed,
+        "sim_per_wall": WINDOW / 1e9 / elapsed,
+    }
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_kernel_event_throughput(benchmark):
+    def experiment():
+        return [run_population(count) for count in TASK_COUNTS]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nsimulator throughput (2 s simulated window):")
+    print("%6s %10s %9s %14s %14s"
+          % ("tasks", "events", "wall[s]", "events/s", "sim-s/wall-s"))
+    for row in rows:
+        print("%6d %10d %9.2f %14.0f %14.1f"
+              % (row["tasks"], row["events"], row["wall_s"],
+                 row["events_per_s"], row["sim_per_wall"]))
+    benchmark.extra_info["rows"] = rows
+
+    # Sanity floors (very conservative; CI machines vary).
+    for row in rows:
+        assert row["events_per_s"] > 20_000
+    # Event count scales with the task population, not worse.
+    assert rows[-1]["events"] < rows[0]["events"] * TASK_COUNTS[-1] * 3

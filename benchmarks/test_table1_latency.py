@@ -1,0 +1,198 @@
+"""Experiment T1 -- the paper's Table 1.
+
+Scheduling latency (AVERAGE / AVEDEV / MIN / MAX, nanoseconds) of the
+1000 Hz calculation task, measured for four cells:
+
+* HRC (the hybrid declarative component) vs Pure RTAI (LXRT tasks
+  created directly, no management poll), and
+* light mode vs stress mode (the paper's three load commands driving
+  Linux CPU usage to ~100%).
+
+Paper values (Table 1)::
+
+                     AVERAGE     AVEDEV      MIN       MAX
+    HRC (light)      -1334.9     3760.03    -24125     21489
+    Pure RTAI(light)  -633.8     3682.82    -25436     23798
+    HRC (stress)    -21083.74     338.89    -23314    -17956
+    Pure RTAI(str.) -21184.52     385.41    -25233    -18834
+
+Shape asserted here:
+
+* every average is negative (periodic-mode timer fires early);
+* stress shifts the average to about -21 us and *tightens* the
+  distribution by an order of magnitude;
+* HRC is statistically indistinguishable from pure RTAI in both modes
+  (mean gap well inside one AVEDEV) -- the paper's headline "the
+  latency result in the declarative component mode actually has no much
+  difference with the application in pure RTAI environments";
+* the 30 us bound the paper quotes holds.
+"""
+
+import pytest
+
+from repro.rtos.load import apply_stress
+from repro.rtos.lxrt import LXRT
+from repro.rtos.requests import Compute, WaitPeriod
+from repro.sim.engine import MSEC, SEC, USEC
+
+from conftest import deploy, make_descriptor_xml, noisy_platform, run_once
+
+#: Simulated measurement window per cell (the paper samples thousands
+#: of periods; 4 s at 1000 Hz gives 4000).
+WINDOW = 4 * SEC
+SETTLE = 50 * MSEC
+
+CALC_XML = make_descriptor_xml(
+    "CALC00", cpuusage=0.03, frequency=1000, priority=2,
+    outports=[("LATDAT", "RTAI.SHM", "Integer", 4)])
+DISP_XML = make_descriptor_xml(
+    "DISP00", cpuusage=0.01, frequency=250, priority=3,
+    inports=[("LATDAT", "RTAI.SHM", "Integer", 4)])
+
+
+def _measure(task, platform):
+    platform.run_for(SETTLE)
+    task.stats.latency.clear()
+    platform.run_for(WINDOW)
+    return task.stats.latency.summary()
+
+
+def run_hrc_cell(stress, seed=2008):
+    """The declarative-component implementation of the test app."""
+    platform = noisy_platform(seed=seed)
+    deploy(platform, CALC_XML, "bench.calc")
+    deploy(platform, DISP_XML, "bench.disp")
+    if stress:
+        apply_stress(platform.kernel)
+    task = platform.kernel.lookup("CALC00")
+    summary = _measure(task, platform)
+    summary["misses"] = task.stats.deadline_misses
+    return summary
+
+
+def run_pure_rtai_cell(stress, seed=2008):
+    """The same application written directly against LXRT."""
+    platform = noisy_platform(seed=seed)
+    lxrt = LXRT(platform.kernel)
+    shm = lxrt.rt_shm_alloc("LATDAT", "Integer", 4, owner="pure")
+
+    def calc_body(task):
+        counter = 0
+        while True:
+            yield WaitPeriod()
+            yield Compute(30 * USEC)
+            counter += 1
+            shm.write_at(0, counter, writer=task.name)
+
+    def disp_body(task):
+        while True:
+            yield WaitPeriod()
+            yield Compute(10 * USEC)
+            shm.read_at(0)
+
+    calc = lxrt.rt_task_init("CALC00", calc_body, priority=2)
+    disp = lxrt.rt_task_init("DISP00", disp_body, priority=3)
+    lxrt.rt_task_make_periodic(calc, 1 * MSEC, collect_latency=True)
+    lxrt.rt_task_make_periodic(disp, 4 * MSEC, collect_latency=True)
+    if stress:
+        apply_stress(platform.kernel)
+    summary = _measure(calc, platform)
+    summary["misses"] = calc.stats.deadline_misses
+    return summary
+
+
+def _print_table(cells):
+    print()
+    print("Table 1 -- Latency Test (light & stress) mode  [ns]")
+    print("%-18s %12s %10s %10s %10s" % ("", "AVERAGE", "AVEDEV",
+                                         "MIN", "MAX"))
+    for label, s in cells.items():
+        print("%-18s %12.2f %10.2f %10d %10d"
+              % (label, s["average"], s["avedev"], s["min"], s["max"]))
+    print("(paper)            HRC light -1334.9/3760; pure light "
+          "-633.8/3683; HRC stress -21083.7/338.9; pure stress "
+          "-21184.5/385.4")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_latency(benchmark):
+    def experiment():
+        return {
+            "HRC (light)": run_hrc_cell(stress=False),
+            "Pure RTAI (light)": run_pure_rtai_cell(stress=False),
+            "HRC (stress)": run_hrc_cell(stress=True),
+            "Pure RTAI (stress)": run_pure_rtai_cell(stress=True),
+        }
+
+    cells = run_once(benchmark, experiment)
+    _print_table(cells)
+    benchmark.extra_info["cells"] = {
+        label: {k: round(float(v), 2) for k, v in s.items()}
+        for label, s in cells.items()}
+
+    hrc_light = cells["HRC (light)"]
+    pure_light = cells["Pure RTAI (light)"]
+    hrc_stress = cells["HRC (stress)"]
+    pure_stress = cells["Pure RTAI (stress)"]
+
+    # -- every cell has thousands of samples and zero misses ----------
+    for cell in cells.values():
+        assert cell["count"] >= 3900
+        assert cell["misses"] == 0
+
+    # -- averages negative: the periodic timer fires early ------------
+    for cell in cells.values():
+        assert cell["average"] < 0
+
+    # -- light mode: small mean, wide heavy-tailed jitter --------------
+    for cell in (hrc_light, pure_light):
+        assert -4000 < cell["average"] < 0
+        assert 2500 < cell["avedev"] < 5000
+        assert cell["min"] < -15_000
+        assert cell["max"] > 10_000
+
+    # -- stress mode: ~-21 us shift, an order of magnitude tighter ----
+    for cell in (hrc_stress, pure_stress):
+        assert -23_000 < cell["average"] < -19_000
+        assert cell["avedev"] < 1000
+        assert cell["max"] < 0
+    assert hrc_stress["avedev"] < hrc_light["avedev"] / 5
+
+    # -- HRC vs pure RTAI: "no much difference" ------------------------
+    assert abs(hrc_light["average"] - pure_light["average"]) \
+        < pure_light["avedev"]
+    assert abs(hrc_stress["average"] - pure_stress["average"]) \
+        < 3 * pure_stress["avedev"]
+
+    # -- the paper's 30 us guarantee -----------------------------------
+    for cell in cells.values():
+        assert abs(cell["min"]) < 30_000
+        assert abs(cell["max"]) < 30_000
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_stress_isolation_is_structural(benchmark):
+    """Sanity companion: with the mechanical (zero-jitter) model the
+    latency under stress is *bit-identical* to light mode -- Linux load
+    has no scheduling influence at all; Table 1's shift is purely a
+    hardware wakeup-path effect."""
+    from repro.rtos.kernel import KernelConfig
+    from repro.rtos.latency import NullLatencyModel
+
+    def run(stress):
+        platform = noisy_platform(
+            seed=3,
+            kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()))
+        deploy(platform, CALC_XML, "bench.calc")
+        if stress:
+            apply_stress(platform.kernel)
+        task = platform.kernel.lookup("CALC00")
+        platform.run_for(1 * SEC)
+        return task.stats.latency.values
+
+    def experiment():
+        return run(False), run(True)
+
+    light, stress = run_once(benchmark, experiment)
+    assert light == stress

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Exporting real-time data to user space through an RTAI FIFO.
+
+The paper's Display task "will display the scheduling latency ... by
+reading the shared memory" -- but an actual on-screen display lives in
+Linux user space, and the classic RTAI route there is a FIFO
+(``/dev/rtfN``).  This example adds the missing last hop and measures
+the asymmetry the dual-kernel design implies:
+
+* the RT producer (`rtf_put`) never blocks and never misses a beat,
+  loaded or not;
+* the *user-space consumer's* wakeup goes through the ordinary Linux
+  scheduler, so its delivery latency balloons under the stress
+  workload -- stress can't hurt the RT side, but it absolutely hurts
+  how fast Linux gets to see the data.
+
+Run:  python examples/fifo_export.py
+"""
+
+from repro import build_platform
+from repro.core import AlwaysAcceptPolicy
+from repro.hybrid import RTImplementation, make_container_factory
+from repro.hybrid.implementation import ImplementationRegistry
+from repro.rtos.load import apply_stress, remove_loads
+from repro.sim.engine import MSEC, SEC
+
+MONITOR_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<drt:component name="LATMON" desc="latency monitor, exports via FIFO"
+               type="periodic" enabled="true" cpuusage="0.02">
+  <implementation bincode="demo.LatencyMonitor"/>
+  <periodictask frequence="1000" runoncpu="0" priority="2"/>
+  <outport name="LATFIF" interface="RTAI.FIFO" type="Integer"
+           size="4096"/>
+</drt:component>
+"""
+
+
+class LatencyMonitor(RTImplementation):
+    """Publishes each job's scheduling latency into the FIFO."""
+
+    def execute(self, ctx):
+        ctx.write_outport("LATFIF", ctx.last_latency)
+
+
+def measure(platform, fifo, label, window_ns):
+    fifo.delivery_latencies_ns.clear()
+    platform.run_for(window_ns)
+    latencies = fifo.delivery_latencies_ns
+    mean = sum(latencies) / len(latencies)
+    print("  %-18s user-space delivery: mean=%8.3f ms  max=%8.3f ms  "
+          "(%d samples)" % (label, mean / 1e6, max(latencies) / 1e6,
+                            len(latencies)))
+    return mean
+
+
+def main():
+    registry = ImplementationRegistry()
+    registry.register("demo.LatencyMonitor", LatencyMonitor)
+    platform = build_platform(
+        seed=99,
+        internal_policy=AlwaysAcceptPolicy(),
+        container_factory=make_container_factory(registry))
+    platform.start_timer(1 * MSEC)
+    platform.install_and_start(
+        {"Bundle-SymbolicName": "demo.latmon",
+         "RT-Component": "OSGI-INF/mon.xml"},
+        resources={"OSGI-INF/mon.xml": MONITOR_XML})
+
+    # The user-space side: a handler the simulated Linux scheduler
+    # wakes up whenever data is pending.
+    fifo = platform.kernel.lookup("LATFIF")
+    received = []
+    fifo.set_user_handler(received.extend)
+
+    task = platform.kernel.lookup("LATMON")
+
+    print("RT -> user-space export through RTAI FIFO 'LATFIF':")
+    quiet = measure(platform, fifo, "quiet Linux", 2 * SEC)
+    loads = apply_stress(platform.kernel)
+    stressed = measure(platform, fifo, "stress (100% CPU)", 2 * SEC)
+    remove_loads(platform.kernel, loads)
+
+    print("\nthe asymmetry, quantified:")
+    print("  user-space delivery degraded %.0fx under stress"
+          % (stressed / quiet))
+    print("  RT producer deadline misses under stress: %d"
+          % task.stats.deadline_misses)
+    print("  FIFO drops (rtf_put never blocks): %d"
+          % fifo.dropped_count)
+    print("  samples delivered to user space: %d" % len(received))
+    platform.shutdown()
+
+
+if __name__ == "__main__":
+    main()

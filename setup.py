@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and an older setuptools
+without editable-wheel support, so ``pip install -e .`` needs the
+``--no-use-pep517`` path, which requires this file.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Schedulability analysis.
+
+Admission policies in :mod:`repro.core.policies` delegate here.  The
+central abstraction is :class:`TaskSpec`, a pure description of one
+periodic task (period, WCET, deadline, priority) derived from a DRCom
+real-time contract.
+"""
+
+from repro.analysis.edf import (
+    edf_processor_demand_test,
+    edf_utilization_test,
+)
+from repro.analysis.hyperperiod import hyperperiod, lcm_all
+from repro.analysis.rma import (
+    response_time,
+    rta_schedulable,
+    rate_monotonic_priorities,
+)
+from repro.analysis.taskspec import TaskSpec
+from repro.analysis.utilization import (
+    hyperbolic_bound_test,
+    liu_layland_bound,
+    liu_layland_test,
+    total_utilization,
+)
+
+__all__ = [
+    "TaskSpec",
+    "edf_processor_demand_test",
+    "edf_utilization_test",
+    "hyperbolic_bound_test",
+    "hyperperiod",
+    "lcm_all",
+    "liu_layland_bound",
+    "liu_layland_test",
+    "rate_monotonic_priorities",
+    "response_time",
+    "rta_schedulable",
+    "total_utilization",
+]

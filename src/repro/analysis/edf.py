@@ -1,0 +1,61 @@
+"""EDF schedulability tests."""
+
+from repro.analysis.hyperperiod import hyperperiod
+from repro.analysis.utilization import total_utilization
+
+
+def edf_utilization_test(specs):
+    """Exact EDF test for implicit deadlines: U <= 1."""
+    return total_utilization(specs) <= 1.0 + 1e-12
+
+
+def _demand(specs, t):
+    """Processor demand h(t) = sum max(0, floor((t-D)/T)+1) * C."""
+    demand = 0
+    for spec in specs:
+        jobs = (t - spec.deadline_ns) // spec.period_ns + 1
+        if jobs > 0:
+            demand += jobs * spec.wcet_ns
+    return demand
+
+
+def edf_processor_demand_test(specs, max_points=200_000):
+    """Baruah's processor-demand criterion for constrained deadlines.
+
+    Checks ``h(t) <= t`` at every absolute deadline up to the testing
+    bound (min of the hyperperiod and the busy-period-style La bound).
+    ``max_points`` caps the number of checked deadlines: analyses beyond
+    it raise rather than silently pass.
+
+    Returns ``(ok, first_violation_t_or_None)``.
+    """
+    specs = list(specs)
+    if not specs:
+        return True, None
+    utilization = total_utilization(specs)
+    if utilization > 1.0 + 1e-12:
+        return False, 0
+    # Testing bound: hyperperiod is always sufficient; when U < 1 the
+    # La bound can be much smaller.
+    bound = hyperperiod(spec.period_ns for spec in specs)
+    if utilization < 1.0:
+        la = sum(
+            max(0, spec.period_ns - spec.deadline_ns) * spec.utilization
+            for spec in specs
+        ) / (1.0 - utilization)
+        bound = min(bound, int(la) + 1)
+        bound = max(bound, max(spec.deadline_ns for spec in specs))
+    checkpoints = set()
+    for spec in specs:
+        deadline = spec.deadline_ns
+        while deadline <= bound:
+            checkpoints.add(deadline)
+            if len(checkpoints) > max_points:
+                raise ValueError(
+                    "EDF demand test needs more than %d checkpoints; "
+                    "periods too co-prime for exact analysis" % max_points)
+            deadline += spec.period_ns
+    for t in sorted(checkpoints):
+        if _demand(specs, t) > t:
+            return False, t
+    return True, None

@@ -1,0 +1,20 @@
+"""Hyperperiod utilities."""
+
+import math
+from functools import reduce
+
+
+def lcm_all(values):
+    """Least common multiple of an iterable of positive ints."""
+    values = list(values)
+    if not values:
+        return 1
+    for value in values:
+        if value <= 0:
+            raise ValueError("lcm needs positive values, got %r" % (value,))
+    return reduce(lambda a, b: a * b // math.gcd(a, b), values, 1)
+
+
+def hyperperiod(periods):
+    """The task set's hyperperiod (lcm of periods)."""
+    return lcm_all(periods)

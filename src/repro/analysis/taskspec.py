@@ -1,0 +1,62 @@
+"""The task description analysis functions operate on."""
+
+
+class TaskSpec:
+    """One periodic task for schedulability analysis.
+
+    All times in nanoseconds; ``priority`` follows the RTAI convention
+    (smaller = higher).  ``deadline_ns`` defaults to the period
+    (implicit deadlines).
+    """
+
+    __slots__ = ("name", "period_ns", "wcet_ns", "deadline_ns", "priority")
+
+    def __init__(self, name, period_ns, wcet_ns, deadline_ns=None,
+                 priority=0):
+        if period_ns <= 0:
+            raise ValueError("period must be positive: %r" % (period_ns,))
+        if wcet_ns < 0:
+            raise ValueError("wcet must be >= 0: %r" % (wcet_ns,))
+        deadline = deadline_ns if deadline_ns is not None else period_ns
+        if deadline <= 0:
+            raise ValueError("deadline must be positive: %r" % (deadline,))
+        self.name = name
+        self.period_ns = int(period_ns)
+        self.wcet_ns = int(wcet_ns)
+        self.deadline_ns = int(deadline)
+        self.priority = priority
+
+    @property
+    def utilization(self):
+        """WCET / period."""
+        return self.wcet_ns / self.period_ns
+
+    @classmethod
+    def from_contract(cls, contract):
+        """Build a spec from a DRCom real-time contract.
+
+        The descriptor declares CPU usage as a fraction (``cpuusage``)
+        and a frequency; WCET is derived as ``cpuusage * period``.
+        """
+        period = contract.period_ns
+        wcet = int(contract.cpu_usage * period)
+        return cls(contract.name, period, wcet,
+                   deadline_ns=contract.deadline_ns,
+                   priority=contract.priority)
+
+    def __eq__(self, other):
+        if not isinstance(other, TaskSpec):
+            return NotImplemented
+        return (self.name, self.period_ns, self.wcet_ns, self.deadline_ns,
+                self.priority) == (other.name, other.period_ns,
+                                   other.wcet_ns, other.deadline_ns,
+                                   other.priority)
+
+    def __hash__(self):
+        return hash((self.name, self.period_ns, self.wcet_ns,
+                     self.deadline_ns, self.priority))
+
+    def __repr__(self):
+        return "TaskSpec(%s, T=%d, C=%d, D=%d, P=%s)" % (
+            self.name, self.period_ns, self.wcet_ns, self.deadline_ns,
+            self.priority)

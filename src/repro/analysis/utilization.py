@@ -1,0 +1,37 @@
+"""Utilization-based schedulability tests."""
+
+
+def total_utilization(specs):
+    """Sum of WCET/period over the task set."""
+    return sum(spec.utilization for spec in specs)
+
+
+def liu_layland_bound(n):
+    """The Liu & Layland RM bound ``n (2^(1/n) - 1)``.
+
+    Approaches ln 2 (~0.693) as n grows; 1.0 for n=1.
+    """
+    if n <= 0:
+        return 0.0
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def liu_layland_test(specs):
+    """Sufficient RM test: U <= n(2^(1/n)-1).
+
+    Conservative: returning False does *not* mean unschedulable (use
+    :func:`repro.analysis.rma.rta_schedulable` for the exact test).
+    """
+    specs = list(specs)
+    return total_utilization(specs) <= liu_layland_bound(len(specs)) + 1e-12
+
+
+def hyperbolic_bound_test(specs):
+    """Bini-Buttazzo hyperbolic bound: prod(U_i + 1) <= 2.
+
+    Tighter than Liu-Layland, still only sufficient.
+    """
+    product = 1.0
+    for spec in specs:
+        product *= spec.utilization + 1.0
+    return product <= 2.0 + 1e-12

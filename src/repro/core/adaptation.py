@@ -1,0 +1,254 @@
+"""Adaptation managers (paper sections 2.4, 5).
+
+"General or application specific adaptation managers can monitor the
+tasks status and adjust the parameter or even change the application
+structure according to current available resources and system
+requirements."  An adaptation manager is a *client* of the management
+services DRCR registers: it discovers them through the OSGi registry,
+polls their status, and acts through the same narrow interface
+(suspend / resume / set_property) -- it holds no private channel into
+the kernel, which is the whole point of the design.
+"""
+
+from repro.core.management import MANAGEMENT_SERVICE_INTERFACE
+from repro.osgi.tracker import ServiceTracker
+
+
+class AdaptationRule:
+    """One monitor-and-react rule.
+
+    Subclasses implement :meth:`apply`, returning a short action string
+    when they acted and ``None`` otherwise.
+    """
+
+    #: Rule name for the adaptation log.
+    name = "rule"
+
+    def apply(self, status, management, manager):
+        """Inspect ``status`` (the management service's get_status
+        snapshot) and optionally act through ``management``."""
+        raise NotImplementedError
+
+
+class SuspendOnDeadlineMisses(AdaptationRule):
+    """Suspend a component once its task misses too many deadlines.
+
+    The blunt but safe reaction: a component violating its own contract
+    is frozen (its admission is retained) until an operator or another
+    rule resumes it.
+    """
+
+    name = "suspend-on-misses"
+
+    def __init__(self, max_misses=10):
+        self.max_misses = max_misses
+
+    def apply(self, status, management, manager):
+        task = status.get("task")
+        if task is None or status.get("state") != "active":
+            return None
+        misses = task.get("stats", {}).get("deadline_misses", 0)
+        if misses > self.max_misses:
+            management.suspend()
+            return "suspended %s (%d deadline misses)" % (
+                status["name"], misses)
+        return None
+
+
+class PropertyTuningRule(AdaptationRule):
+    """Set a property when a predicate on the status holds.
+
+    The "adjust the parameter" form of adaptation: e.g. lower a camera's
+    resolution property when its task overruns.
+    """
+
+    name = "property-tuning"
+
+    def __init__(self, predicate, property_name, new_value, once=True):
+        self.predicate = predicate
+        self.property_name = property_name
+        self.new_value = new_value
+        self.once = once
+        self._applied = set()
+
+    def apply(self, status, management, manager):
+        name = status["name"]
+        if self.once and name in self._applied:
+            return None
+        if status.get("state") != "active":
+            return None
+        if not self.predicate(status):
+            return None
+        management.set_property(self.property_name, self.new_value)
+        self._applied.add(name)
+        return "set %s.%s = %r" % (name, self.property_name,
+                                   self.new_value)
+
+
+class BudgetOveruseRule(AdaptationRule):
+    """Suspend components that exceed their *declared* CPU budget.
+
+    Admission trusts the descriptor's ``cpuusage`` claim; this rule
+    closes the loop at run time -- "the resource budget should be
+    'enforced' by a central scheme rather than by each single bundle"
+    (section 2.1).  A component whose measured utilisation exceeds its
+    declared claim by more than ``tolerance`` (relative) for at least
+    ``min_cpu_time_ns`` of accumulated run time is suspended.
+    """
+
+    name = "budget-enforcement"
+
+    def __init__(self, tolerance=0.25, min_cpu_time_ns=10_000_000):
+        self.tolerance = tolerance
+        self.min_cpu_time_ns = min_cpu_time_ns
+
+    def apply(self, status, management, manager):
+        if status.get("state") != "active":
+            return None
+        task = status.get("task")
+        if task is None:
+            return None
+        cpu_time = task.get("stats", {}).get("cpu_time_ns", 0)
+        if cpu_time < self.min_cpu_time_ns:
+            return None
+        declared = status.get("contract", {}).get("cpuusage", 1.0)
+        measured = task.get("measured_utilization")
+        if measured is None:
+            return None
+        if measured > declared * (1.0 + self.tolerance) + 1e-9:
+            management.suspend()
+            return ("suspended %s (measured %.1f%% > declared %.1f%%)"
+                    % (status["name"], measured * 100, declared * 100))
+        return None
+
+
+class ImportanceShedding(AdaptationRule):
+    """Suspend the least-important active component under pressure.
+
+    Components declare an ``importance`` property (higher = more
+    important).  When the predicate reports system pressure (for
+    example, any deadline miss in the set), the active component with
+    the lowest importance is suspended -- "change the application
+    structure according to current available resources".
+    """
+
+    name = "importance-shedding"
+
+    def __init__(self, pressure_predicate):
+        self.pressure_predicate = pressure_predicate
+
+    def apply(self, status, management, manager):
+        # Evaluated once per poll via the manager (not per component).
+        return None
+
+    def shed(self, manager):
+        """Called by the manager once per poll."""
+        statuses = manager.statuses()
+        if not self.pressure_predicate(statuses):
+            return None
+        victims = sorted(
+            (s for s in statuses if s.get("state") == "active"),
+            key=lambda s: (manager.importance_of(s), s["name"]))
+        for victim in victims:
+            manager.management_for(victim["name"]).suspend()
+            return "shed %s (importance %s)" % (
+                victim["name"], manager.importance_of(victim))
+        return None
+
+
+class AdaptationManager:
+    """Polls every registered management service and applies rules."""
+
+    def __init__(self, framework, rules=()):
+        self.framework = framework
+        self.rules = list(rules)
+        self.log = []
+        self._tracker = ServiceTracker(
+            framework, clazz=MANAGEMENT_SERVICE_INTERFACE)
+        self._tracker.open()
+        self._poll_event = None
+        self._poll_sim = None
+        self._poll_period_ns = None
+
+    def close(self):
+        """Stop tracking management services and any periodic polling."""
+        self.stop_periodic_polling()
+        self._tracker.close()
+
+    # ------------------------------------------------------------------
+    # simulated-time polling (the manager as a Linux-side activity)
+    # ------------------------------------------------------------------
+    def start_periodic_polling(self, sim, period_ns):
+        """Run :meth:`poll` every ``period_ns`` of *simulated* time.
+
+        This is how the paper's adaptation managers actually live: as
+        ordinary (non-RT) activities inside the running system, not as
+        test code between simulation windows.
+        """
+        if period_ns <= 0:
+            raise ValueError("poll period must be positive")
+        self.stop_periodic_polling()
+        self._poll_sim = sim
+        self._poll_period_ns = int(period_ns)
+        self._arm_poll()
+
+    def stop_periodic_polling(self):
+        """Cancel periodic polling (no-op when not armed)."""
+        if self._poll_event is not None:
+            self._poll_event.cancel_if_pending()
+            self._poll_event = None
+        self._poll_sim = None
+        self._poll_period_ns = None
+
+    def _arm_poll(self):
+        self._poll_event = self._poll_sim.schedule(
+            self._poll_period_ns, self._on_poll_tick,
+            label="adaptation-poll")
+
+    def _on_poll_tick(self):
+        self._poll_event = None
+        sim = self._poll_sim
+        self.poll()
+        # poll() may have triggered stop_periodic_polling via a rule.
+        if self._poll_sim is sim and self._poll_event is None:
+            self._arm_poll()
+
+    # ------------------------------------------------------------------
+    def services(self):
+        """Currently discovered management services."""
+        return self._tracker.get_services()
+
+    def statuses(self):
+        """Fresh status snapshots from every management service."""
+        return [service.get_status() for service in self.services()]
+
+    def management_for(self, component_name):
+        """The management service of one component (None on miss)."""
+        for service in self.services():
+            if service.component_name == component_name:
+                return service
+        return None
+
+    @staticmethod
+    def importance_of(status):
+        """A component's declared ``importance`` property (default 0)."""
+        return status.get("properties", {}).get("importance", 0)
+
+    # ------------------------------------------------------------------
+    def poll(self):
+        """One adaptation cycle; returns the actions taken."""
+        actions = []
+        for service in self.services():
+            status = service.get_status()
+            for rule in self.rules:
+                action = rule.apply(status, service, self)
+                if action:
+                    actions.append((rule.name, action))
+        for rule in self.rules:
+            shed = getattr(rule, "shed", None)
+            if shed is not None:
+                action = shed(self)
+                if action:
+                    actions.append((rule.name, action))
+        self.log.extend(actions)
+        return actions

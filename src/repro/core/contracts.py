@@ -1,0 +1,119 @@
+"""Real-time contracts.
+
+A contract is the machine-checkable core of a DRCom descriptor: the
+task's type, priority, CPU claim, rate and placement.  DRCR's global
+view (paper section 2.2) is a view over these contracts, and admission
+policies decide whether a new contract fits next to the already-admitted
+ones.
+"""
+
+from repro.core.errors import ContractError
+from repro.rtos.task import TaskType
+
+_NS_PER_SEC = 1_000_000_000
+
+
+class RealTimeContract:
+    """The real-time promises/requirements of one component."""
+
+    __slots__ = ("name", "task_type", "priority", "cpu_usage",
+                 "frequency_hz", "period_ns", "deadline_ns", "cpu")
+
+    def __init__(self, name, task_type, priority=0, cpu_usage=0.0,
+                 frequency_hz=None, deadline_ns=None, cpu=0,
+                 min_interarrival_ns=None):
+        self.name = name
+        if not isinstance(task_type, TaskType):
+            raise ContractError("task_type must be a TaskType, got %r"
+                                % (task_type,))
+        self.task_type = task_type
+        if priority < 0:
+            raise ContractError("priority must be >= 0, got %r"
+                                % (priority,))
+        self.priority = int(priority)
+        if not 0.0 <= cpu_usage <= 1.0:
+            raise ContractError(
+                "cpuusage must be a fraction in [0, 1], got %r"
+                % (cpu_usage,))
+        self.cpu_usage = float(cpu_usage)
+        if task_type is TaskType.PERIODIC:
+            if not frequency_hz or frequency_hz <= 0:
+                raise ContractError(
+                    "periodic contract %s needs a positive frequency"
+                    % name)
+            self.frequency_hz = float(frequency_hz)
+            self.period_ns = int(round(_NS_PER_SEC / self.frequency_hz))
+        elif task_type is TaskType.SPORADIC:
+            if not min_interarrival_ns or min_interarrival_ns <= 0:
+                raise ContractError(
+                    "sporadic contract %s needs a positive minimum "
+                    "inter-arrival time" % name)
+            # The MIA plays the period's role: it bounds the demand and
+            # feeds the same schedulability analyses.
+            self.period_ns = int(min_interarrival_ns)
+            self.frequency_hz = _NS_PER_SEC / self.period_ns
+        else:
+            self.frequency_hz = None
+            self.period_ns = None
+        if deadline_ns is not None and deadline_ns <= 0:
+            raise ContractError("deadline must be positive, got %r"
+                                % (deadline_ns,))
+        self.deadline_ns = deadline_ns if deadline_ns is not None \
+            else self.period_ns
+        if cpu < 0:
+            raise ContractError("cpu must be >= 0, got %r" % (cpu,))
+        self.cpu = int(cpu)
+
+    @property
+    def is_periodic(self):
+        """Whether the contract describes a periodic task."""
+        return self.task_type is TaskType.PERIODIC
+
+    @property
+    def is_rate_bound(self):
+        """Whether the contract bounds its demand rate (periodic period
+        or sporadic minimum inter-arrival) -- i.e. whether it is
+        analysable by the periodic schedulability tests."""
+        return self.period_ns is not None
+
+    @property
+    def wcet_ns(self):
+        """Derived worst-case execution time: cpuusage * period.
+
+        ``None`` for aperiodic contracts (no period to scale by).
+        """
+        if self.period_ns is None:
+            return None
+        return int(self.cpu_usage * self.period_ns)
+
+    def as_dict(self):
+        """Plain-data view (management interface, traces, tests)."""
+        return {
+            "name": self.name,
+            "type": self.task_type.value,
+            "priority": self.priority,
+            "cpuusage": self.cpu_usage,
+            "frequency_hz": self.frequency_hz,
+            "period_ns": self.period_ns,
+            "deadline_ns": self.deadline_ns,
+            "cpu": self.cpu,
+        }
+
+    def __eq__(self, other):
+        if not isinstance(other, RealTimeContract):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __hash__(self):
+        return hash((self.name, self.task_type, self.priority,
+                     self.cpu_usage, self.frequency_hz, self.deadline_ns,
+                     self.cpu))
+
+    def __repr__(self):
+        if self.is_periodic:
+            return ("RealTimeContract(%s, periodic %.6gHz, prio=%d, "
+                    "cpu=%d, usage=%.3f)" % (
+                        self.name, self.frequency_hz, self.priority,
+                        self.cpu, self.cpu_usage))
+        return "RealTimeContract(%s, aperiodic, prio=%d, cpu=%d)" % (
+            self.name, self.priority, self.cpu)

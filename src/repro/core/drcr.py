@@ -1,0 +1,580 @@
+"""The Declarative Real-time Component Runtime (DRCR).
+
+The paper's central contribution (sections 1, 2.2): a runtime service
+that
+
+* parses DRCom descriptors when bundles arrive ("the DRCR service will
+  automatically parse its real-time component configuration and store
+  these data into its internal registry"),
+* owns every component lifecycle transition ("component configurations
+  are activated and deactivated under the full control of DRCR which
+  holds the global view of all real-time components"),
+* resolves **functional constraints** (inports must have an active,
+  port-compatible provider) and **non-functional constraints** (the
+  internal resolving service *and* every customized resolving service
+  registered in OSGi must accept -- "when both services return positive
+  results ... the DRCR will create and activate the component
+  instance", section 4.3),
+* reacts to run-time departure ("if component Calcuation is stopped, the
+  DRCR gets notified about this event and consults its ... resolving
+  service[s] again to check for possible unsatisfied component
+  instances"), cascading deactivation to dependents without touching the
+  contracts of unaffected components,
+* registers a management service per component (section 2.4).
+"""
+
+from repro.core.component import DRComComponent, LifecycleToken
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.errors import DescriptorError, LifecycleError
+from repro.core.events import ComponentEventLog, ComponentEventType
+from repro.core.lifecycle import ComponentState
+from repro.core.management import (
+    MANAGEMENT_SERVICE_INTERFACE,
+    ComponentManagementService,
+    management_service_properties,
+)
+from repro.core.policies import UtilizationBoundPolicy
+from repro.core.ports import PortBinding
+from repro.core.registry import ComponentRegistry
+from repro.core.resolving import (
+    RESOLVING_SERVICE_INTERFACE,
+    Decision,
+    GlobalView,
+)
+from repro.osgi.events import BundleEventType
+from repro.osgi.tracker import ServiceTracker
+
+#: OSGi service interface the DRCR registers itself under.
+DRCR_SERVICE_INTERFACE = "drcom.drcr.DeclarativeRTComponentRuntime"
+
+#: Safety cap on reconfiguration fixpoint iterations.
+_MAX_RECONFIGURE_PASSES = 100
+
+
+class DRCR:
+    """The runtime.  One instance per (framework, kernel) pair.
+
+    Parameters
+    ----------
+    framework:
+        The :class:`repro.osgi.Framework` to attach to.
+    kernel:
+        The :class:`repro.rtos.RTKernel` real-time substrate.
+    internal_policy:
+        The internal resolving service (default:
+        :class:`~repro.core.policies.UtilizationBoundPolicy` with cap
+        1.0 -- the declared-cpuusage budget of section 2.3).
+    container_factory:
+        ``factory(component, drcr) -> container``; defaults to the
+        hybrid split container of :mod:`repro.hybrid`.
+    """
+
+    def __init__(self, framework, kernel, internal_policy=None,
+                 container_factory=None, placement_service=None):
+        self.framework = framework
+        self.kernel = kernel
+        self.registry = ComponentRegistry()
+        self.events = ComponentEventLog()
+        self.internal_policy = internal_policy or UtilizationBoundPolicy()
+        #: Optional :class:`~repro.core.placement.PlacementService`
+        #: consulted before admission to re-pin candidates to a CPU.
+        self.placement_service = placement_service
+        if container_factory is None:
+            from repro.hybrid.container import default_container_factory
+            container_factory = default_container_factory
+        self._container_factory = container_factory
+        self._token = LifecycleToken(self)
+        self._reconfiguring = False
+        self._dirty = False
+        self._attached = False
+        self._registration = None
+        self._applications = {}
+        self._resolving_tracker = ServiceTracker(
+            framework, clazz=RESOLVING_SERVICE_INTERFACE,
+            on_added=self._on_resolving_service_change,
+            on_removed=self._on_resolving_service_change)
+
+    # ------------------------------------------------------------------
+    # attachment to the OSGi framework
+    # ------------------------------------------------------------------
+    def attach(self):
+        """Start operating: subscribe to bundle events, publish the DRCR
+        service, and deploy components from already-active bundles."""
+        if self._attached:
+            return
+        self._attached = True
+        self.framework.bundle_listeners.add(self._on_bundle_event)
+        self.kernel.on_task_fault = self._on_task_fault
+        self._resolving_tracker.open()
+        self._registration = self.framework.registry.register(
+            DRCR_SERVICE_INTERFACE, self)
+        for bundle in self.framework.get_bundles():
+            if bundle.is_active:
+                self._deploy_bundle(bundle)
+
+    def detach(self):
+        """Stop operating: dispose every component, unsubscribe."""
+        if not self._attached:
+            return
+        for component in list(self.registry.all()):
+            self._dispose(component, "DRCR detaching")
+        self.framework.bundle_listeners.remove(self._on_bundle_event)
+        if self.kernel.on_task_fault is self._on_task_fault:
+            self.kernel.on_task_fault = None
+        self._resolving_tracker.close()
+        if self._registration is not None \
+                and not self._registration.unregistered:
+            self._registration.unregister()
+        self._registration = None
+        self._attached = False
+
+    def _on_bundle_event(self, event):
+        if event.event_type is BundleEventType.STARTED:
+            self._deploy_bundle(event.bundle)
+        elif event.event_type is BundleEventType.STOPPING:
+            self._undeploy_bundle(event.bundle)
+
+    def _on_task_fault(self, task, error):
+        """A component implementation raised inside its RT task.
+
+        The component is quarantined to DISABLED (it will not be
+        re-admitted until an operator calls ``enableRTComponent``);
+        its dependents cascade to UNSATISFIED and the freed budget is
+        redistributed -- the rest of the system keeps its contracts.
+        """
+        for component in self.registry.all():
+            if component.descriptor.task_name == task.name \
+                    and component.is_instantiated:
+                reason = "implementation fault: %r" % (error,)
+                self._deactivate(component, ComponentState.DISABLED,
+                                 reason)
+                self._emit(ComponentEventType.DISABLED, component,
+                           reason)
+                self._reconfigure()
+                return
+
+    def _on_resolving_service_change(self, reference, service):
+        # A customized resolving service arrived or departed: both the
+        # pending and the admitted sets may be affected.
+        self._reconfigure()
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+    def _deploy_bundle(self, bundle):
+        for path in bundle.manifest.rt_components:
+            xml_text = self._require_resource(bundle, path,
+                                              "RT-Component")
+            descriptor = ComponentDescriptor.from_xml(xml_text)
+            self.register_component(descriptor, bundle)
+        for path in bundle.manifest.rt_applications:
+            from repro.core.application import ApplicationDescriptor
+            xml_text = self._require_resource(bundle, path,
+                                              "RT-Application")
+            application = ApplicationDescriptor.from_xml(xml_text)
+            self.register_application(application, bundle)
+
+    @staticmethod
+    def _require_resource(bundle, path, header):
+        xml_text = bundle.get_resource(path)
+        if xml_text is None:
+            raise DescriptorError(
+                "bundle %s declares %s %r but the resource is missing"
+                % (bundle.symbolic_name, header, path))
+        return xml_text
+
+    def _undeploy_bundle(self, bundle):
+        for component in self.registry.of_bundle(bundle):
+            self._dispose(component,
+                          "bundle %s stopping" % bundle.symbolic_name)
+        # Applications whose members are all gone are forgotten.
+        for name, members in list(self._applications.items()):
+            if not any(member in self.registry for member in members):
+                del self._applications[name]
+        self._reconfigure()
+
+    def register_component(self, descriptor, bundle=None):
+        """Deploy one component from a parsed descriptor.
+
+        This is the programmatic path; bundle deployment funnels here.
+        Returns the managed :class:`DRComComponent`.
+        """
+        component = DRComComponent(descriptor, bundle, self._token)
+        self.registry.add(component)
+        self._emit(ComponentEventType.REGISTERED, component)
+        if descriptor.enabled:
+            component._transition(self._token, ComponentState.UNSATISFIED,
+                                  "awaiting resolution")
+        else:
+            component._transition(self._token, ComponentState.DISABLED,
+                                  'descriptor enabled="false"')
+            self._emit(ComponentEventType.DISABLED, component,
+                       "disabled by descriptor")
+        self._reconfigure()
+        return component
+
+    def unregister_component(self, name):
+        """Undeploy one component by name (programmatic path)."""
+        component = self.registry.get(name)
+        self._dispose(component, "unregistered")
+        self._reconfigure()
+
+    # ------------------------------------------------------------------
+    # applications (grouped, atomic deployment)
+    # ------------------------------------------------------------------
+    def register_application(self, application, bundle=None):
+        """Deploy an application atomically: all components activate or
+        none stay deployed.
+
+        Returns the list of managed components on success; raises
+        :class:`~repro.core.errors.AdmissionError` (after rolling every
+        member back out) when any member fails to activate.
+        """
+        from repro.core.errors import AdmissionError
+        deployed = []
+        try:
+            for descriptor in application.components:
+                deployed.append(
+                    self.register_component(descriptor, bundle))
+        except Exception:
+            for component in deployed:
+                self._dispose(component, "application rollback")
+            self._reconfigure()
+            raise
+        failures = {
+            component.name: component.status_reason
+            for component in deployed
+            if component.state is not ComponentState.ACTIVE
+        }
+        if failures:
+            for component in deployed:
+                self._dispose(
+                    component,
+                    "application %s rolled back" % application.name)
+            self._reconfigure()
+            raise AdmissionError(
+                "application %s not admitted: %s"
+                % (application.name,
+                   "; ".join("%s (%s)" % item
+                             for item in sorted(failures.items()))))
+        self._applications[application.name] = \
+            application.component_names()
+        return deployed
+
+    def unregister_application(self, name):
+        """Undeploy every member of a previously registered
+        application."""
+        members = self._applications.pop(name, None)
+        if members is None:
+            raise LifecycleError("no application named %r" % (name,))
+        for member in members:
+            component = self.registry.maybe_get(member)
+            if component is not None:
+                self._dispose(component,
+                              "application %s undeployed" % name)
+        self._reconfigure()
+
+    def applications(self):
+        """Deployed applications: name -> member component names."""
+        return {name: list(members)
+                for name, members in self._applications.items()}
+
+    # ------------------------------------------------------------------
+    # management operations (section 2.4, routed via the DRCR)
+    # ------------------------------------------------------------------
+    def enable_component(self, name):
+        """``enableRTComponent``: allow a disabled component to resolve."""
+        component = self.registry.get(name)
+        if component.state is not ComponentState.DISABLED:
+            raise LifecycleError("component %s is not disabled" % name)
+        component._transition(self._token, ComponentState.UNSATISFIED,
+                              "enabled")
+        self._emit(ComponentEventType.ENABLED, component)
+        self._reconfigure()
+
+    def disable_component(self, name):
+        """``disableRTComponent``: deactivate (if needed) and hold."""
+        component = self.registry.get(name)
+        if component.state is ComponentState.DISABLED:
+            return
+        if component.is_instantiated:
+            self._deactivate(component, ComponentState.DISABLED,
+                             "disabled by management")
+        else:
+            component._transition(self._token, ComponentState.DISABLED,
+                                  "disabled by management")
+        self._emit(ComponentEventType.DISABLED, component)
+        self._reconfigure()
+
+    def suspend_component(self, name):
+        """Suspend an active component's RT task (admission retained)."""
+        component = self.registry.get(name)
+        if component.state is not ComponentState.ACTIVE:
+            raise LifecycleError(
+                "component %s is %s; only ACTIVE components can be "
+                "suspended" % (name, component.state.value))
+        component.container.suspend()
+        component._transition(self._token, ComponentState.SUSPENDED,
+                              "suspended by management")
+        self._emit(ComponentEventType.SUSPENDED, component)
+
+    def resume_component(self, name):
+        """Resume a suspended component's RT task."""
+        component = self.registry.get(name)
+        if component.state is not ComponentState.SUSPENDED:
+            raise LifecycleError(
+                "component %s is %s; only SUSPENDED components can be "
+                "resumed" % (name, component.state.value))
+        component.container.resume()
+        component._transition(self._token, ComponentState.ACTIVE,
+                              "resumed by management")
+        self._emit(ComponentEventType.RESUMED, component)
+
+    def set_internal_policy(self, policy):
+        """Swap the internal resolving service and reconfigure."""
+        self.internal_policy = policy
+        self._reconfigure()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def component(self, name):
+        """The managed component named ``name``."""
+        return self.registry.get(name)
+
+    def component_state(self, name):
+        """Shorthand: the lifecycle state of ``name``."""
+        return self.registry.get(name).state
+
+    def global_view(self, candidate=None):
+        """A :class:`GlobalView` snapshot (used by policies/tests)."""
+        return GlobalView(self.registry, self.kernel, candidate)
+
+    def customized_resolving_services(self):
+        """Currently registered customized resolving services."""
+        return self._resolving_tracker.get_services() \
+            if self._attached else []
+
+    # ==================================================================
+    # the constraint-resolution engine
+    # ==================================================================
+    def _reconfigure(self):
+        """Drive the configuration to a fixpoint.
+
+        Each pass (1) revalidates admitted components against the
+        resolving services, deactivating any that lost their admission,
+        then (2) tries to activate unsatisfied components.  Re-entrant
+        triggers (events raised during the pass) fold into the loop.
+        """
+        if self._reconfiguring:
+            self._dirty = True
+            return
+        self._reconfiguring = True
+        try:
+            for _ in range(_MAX_RECONFIGURE_PASSES):
+                self._dirty = False
+                changed = self._revalidate_pass()
+                changed = self._activation_pass() or changed
+                if not changed and not self._dirty:
+                    return
+            raise LifecycleError(
+                "reconfiguration did not converge in %d passes; a "
+                "resolving service is oscillating"
+                % _MAX_RECONFIGURE_PASSES)
+        finally:
+            self._reconfiguring = False
+
+    def _revalidate_pass(self):
+        changed = False
+        for component in list(self.registry.active()):
+            view = GlobalView(self.registry, self.kernel, component)
+            decision = self._consult_revalidate(component, view)
+            if not decision:
+                self._deactivate(component, ComponentState.UNSATISFIED,
+                                 "admission revoked: %s" % decision.reason)
+                self._emit(ComponentEventType.UNSATISFIED, component,
+                           decision.reason)
+                changed = True
+        return changed
+
+    def _activation_pass(self):
+        changed = False
+        for component in list(self.registry.unsatisfied()):
+            if self._try_activate(component):
+                changed = True
+        return changed
+
+    def _try_activate(self, component):
+        """One admission + activation attempt.  Returns True on
+        activation."""
+        # -- functional constraints (port wiring) ----------------------
+        bindings = self._resolve_ports(component)
+        if bindings is None:
+            return False
+        # -- placement (optional re-pin before admission) ----------------
+        view = GlobalView(self.registry, self.kernel, component)
+        self._apply_placement(component, view)
+        # -- non-functional constraints (resolving services) ------------
+        decision = self._consult_admit(component, view)
+        if not decision:
+            # Emit only when the rejection reason changes, so a
+            # permanently rejected component does not flood the event
+            # log on every reconfiguration pass.
+            if component.status_reason != decision.reason:
+                component.status_reason = decision.reason
+                self._emit(ComponentEventType.ADMISSION_REJECTED,
+                           component, decision.reason)
+            return False
+        # -- activation --------------------------------------------------
+        component._transition(self._token, ComponentState.SATISFIED,
+                              decision.reason)
+        self._emit(ComponentEventType.SATISFIED, component,
+                   decision.reason)
+        component._transition(self._token, ComponentState.ACTIVATING)
+        try:
+            container = self._container_factory(component, self)
+            container.activate(bindings)
+        except Exception as error:
+            component.container = None
+            component.bindings = []
+            component._transition(self._token, ComponentState.UNSATISFIED,
+                                  "activation failed: %s" % error)
+            self._emit(ComponentEventType.UNSATISFIED, component,
+                       "activation failed: %s" % error)
+            return False
+        component.container = container
+        component.bindings = bindings
+        component._transition(self._token, ComponentState.ACTIVE)
+        self._register_management(component)
+        self._emit(ComponentEventType.ACTIVATED, component)
+        return True
+
+    def _resolve_ports(self, component):
+        """Find an admitted provider for every inport.
+
+        Returns the bindings, or ``None`` (with status_reason set) when
+        a dependency is missing.  Deterministic choice: the earliest-
+        registered active provider.
+        """
+        bindings = []
+        for inport in component.descriptor.inports:
+            providers = self.registry.providers_of(inport)
+            if not providers:
+                component.status_reason = (
+                    "no active provider for inport %s" % inport.name)
+                return None
+            provider, outport = providers[0]
+            bindings.append(PortBinding(
+                component.name, inport, provider.name, outport,
+                kernel_object=outport.name))
+        return bindings
+
+    def _apply_placement(self, component, view):
+        """Let the placement service re-pin the candidate's CPU."""
+        from repro.core.placement import component_is_pinned
+        if self.placement_service is None:
+            return
+        if component_is_pinned(component):
+            return
+        cpu = self.placement_service.place(component, view)
+        if cpu is None or cpu == component.contract.cpu:
+            return
+        if cpu < 0 or cpu >= self.kernel.config.num_cpus:
+            raise LifecycleError(
+                "placement service chose invalid CPU %r for %s"
+                % (cpu, component.name))
+        self._trace_placement(component, cpu)
+        component.contract.cpu = cpu
+
+    def _trace_placement(self, component, cpu):
+        self.kernel.sim.trace.record(
+            self.kernel.now, "placement", component=component.name,
+            cpu=cpu, policy=self.placement_service.name)
+
+    def set_placement_service(self, service):
+        """Swap the placement service and reconfigure."""
+        self.placement_service = service
+        self._reconfigure()
+
+    def _consult_admit(self, component, view):
+        decision = self.internal_policy.admit(component, view)
+        if not decision:
+            return Decision.no("internal %s: %s"
+                               % (self.internal_policy.name,
+                                  decision.reason))
+        for service in self.customized_resolving_services():
+            decision = service.admit(component, view)
+            if not decision:
+                return Decision.no("customized %s: %s"
+                                   % (service.name, decision.reason))
+        return Decision.yes("admitted")
+
+    def _consult_revalidate(self, component, view):
+        decision = self.internal_policy.revalidate(component, view)
+        if not decision:
+            return decision
+        for service in self.customized_resolving_services():
+            decision = service.revalidate(component, view)
+            if not decision:
+                return decision
+        return Decision.yes("still admitted")
+
+    # ------------------------------------------------------------------
+    # deactivation / disposal
+    # ------------------------------------------------------------------
+    def _deactivate(self, component, target_state, reason):
+        """Tear an instantiated component down to ``target_state``,
+        cascading to dependents first (they become UNSATISFIED)."""
+        if not component.is_instantiated:
+            raise LifecycleError(
+                "component %s is not instantiated" % component.name)
+        for dependent in self.registry.dependents_of(component):
+            self._deactivate(dependent, ComponentState.UNSATISFIED,
+                             "provider %s departed" % component.name)
+            self._emit(ComponentEventType.UNSATISFIED, dependent,
+                       "provider %s departed" % component.name)
+        component._transition(self._token, ComponentState.DEACTIVATING,
+                              reason)
+        self._unregister_management(component)
+        if component.container is not None:
+            component.container.deactivate()
+        component.container = None
+        component.bindings = []
+        component._transition(self._token, target_state, reason)
+        self._emit(ComponentEventType.DEACTIVATED, component, reason)
+
+    def _dispose(self, component, reason):
+        if component.state is ComponentState.DISPOSED:
+            return
+        if component.is_instantiated:
+            self._deactivate(component, ComponentState.DISPOSED, reason)
+        else:
+            component._transition(self._token, ComponentState.DISPOSED,
+                                  reason)
+        self.registry.remove(component)
+        self._emit(ComponentEventType.DISPOSED, component, reason)
+
+    # ------------------------------------------------------------------
+    # management service plumbing
+    # ------------------------------------------------------------------
+    def _register_management(self, component):
+        service = ComponentManagementService(self, component)
+        component.management_registration = \
+            self.framework.registry.register(
+                MANAGEMENT_SERVICE_INTERFACE, service,
+                management_service_properties(component),
+                bundle=component.bundle)
+
+    def _unregister_management(self, component):
+        registration = component.management_registration
+        if registration is not None and not registration.unregistered:
+            registration.unregister()
+        component.management_registration = None
+
+    def _emit(self, event_type, component, reason=""):
+        self.events.emit(self.kernel.now, event_type, component.name,
+                         reason)
+
+    def __repr__(self):
+        return "DRCR(%d components, policy=%s)" % (
+            len(self.registry), self.internal_policy.name)

@@ -1,0 +1,43 @@
+"""Exceptions raised by the DRCom/DRCR core."""
+
+
+class DRComError(Exception):
+    """Base class for all core-layer errors."""
+
+
+class DescriptorError(DRComError):
+    """A DRCom XML descriptor is malformed or inconsistent."""
+
+
+class PortError(DRComError):
+    """A port specification or binding is invalid."""
+
+
+class ContractError(DRComError):
+    """A real-time contract is invalid (bad cpuusage, frequency...)."""
+
+
+class LifecycleError(DRComError):
+    """An illegal component lifecycle transition was attempted."""
+
+
+class NotManagedByDRCRError(LifecycleError):
+    """Code other than the DRCR tried to drive a component's lifecycle.
+
+    The paper is explicit that bypassing the runtime loses the global
+    view: "allowing each component to be created or destroyed by its own
+    proprietary interfaces/methods, the system would lose track of the
+    deployed components' state" (section 2.2).
+    """
+
+
+class DuplicateComponentError(DRComError):
+    """A component with that (globally unique) name already exists."""
+
+
+class UnknownComponentError(DRComError):
+    """Lookup of a component by name failed."""
+
+
+class AdmissionError(DRComError):
+    """Admission control rejected an activation."""

@@ -1,0 +1,82 @@
+"""DRCR component events.
+
+The DRCR emits one event per lifecycle decision; benchmarks and the
+section-4.3 dynamicity scenario assert on exact event sequences.
+"""
+
+import enum
+
+from repro.osgi.events import ListenerList
+
+
+class ComponentEventType(enum.Enum):
+    """Kinds of DRCR component events."""
+
+    REGISTERED = "registered"
+    ENABLED = "enabled"
+    DISABLED = "disabled"
+    SATISFIED = "satisfied"
+    UNSATISFIED = "unsatisfied"
+    ACTIVATED = "activated"
+    DEACTIVATED = "deactivated"
+    SUSPENDED = "suspended"
+    RESUMED = "resumed"
+    ADMISSION_REJECTED = "admission_rejected"
+    DISPOSED = "disposed"
+
+
+class ComponentEvent:
+    """One DRCR decision about one component."""
+
+    __slots__ = ("time", "event_type", "component", "reason")
+
+    def __init__(self, time, event_type, component, reason=""):
+        self.time = time
+        self.event_type = event_type
+        self.component = component
+        self.reason = reason
+
+    def __repr__(self):
+        extra = " (%s)" % self.reason if self.reason else ""
+        return "ComponentEvent(t=%d, %s, %s%s)" % (
+            self.time, self.event_type.value, self.component, extra)
+
+
+class ComponentEventLog:
+    """Append-only event log plus listener fan-out."""
+
+    def __init__(self):
+        self._events = []
+        self.listeners = ListenerList()
+
+    def emit(self, time, event_type, component, reason=""):
+        """Record and deliver one event."""
+        event = ComponentEvent(time, event_type, component, reason)
+        self._events.append(event)
+        self.listeners.deliver(event)
+        return event
+
+    def __len__(self):
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def of_type(self, event_type):
+        """All events of one type, in order."""
+        return [e for e in self._events if e.event_type is event_type]
+
+    def for_component(self, name):
+        """All events about one component, in order."""
+        return [e for e in self._events if e.component == name]
+
+    def sequence(self, component=None):
+        """The (event_type, component) sequence -- what scenario tests
+        assert on; optionally filtered to one component."""
+        events = self._events if component is None \
+            else self.for_component(component)
+        return [(e.event_type, e.component) for e in events]
+
+    def clear(self):
+        """Drop recorded events (listeners stay subscribed)."""
+        self._events.clear()

@@ -1,0 +1,88 @@
+"""System inspection: human-readable views of the DRCR's global view.
+
+The OSGi world lives on console introspection (Equinox's ``ss``, SCR's
+``scr list``); this module provides the DRCom equivalents.  Everything
+here is read-only and builds purely on public APIs, so it is also a
+usage example of the management surface.
+"""
+
+from repro.core.lifecycle import ComponentState
+
+
+def format_component_table(drcr):
+    """An ``scr list``-style table of every deployed component."""
+    rows = [("NAME", "STATE", "TYPE", "PRIO", "CPU", "USAGE",
+             "PROVIDERS", "REASON")]
+    for component in drcr.registry.all():
+        contract = component.contract
+        rows.append((
+            component.name,
+            component.state.value,
+            contract.task_type.value,
+            str(contract.priority),
+            str(contract.cpu),
+            "%.3f" % contract.cpu_usage,
+            ",".join(component.bound_providers()) or "-",
+            component.status_reason or "-",
+        ))
+    widths = [max(len(row[column]) for row in rows)
+              for column in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_utilization(drcr):
+    """Declared vs measured utilization per CPU."""
+    lines = ["CPU  DECLARED  MEASURED"]
+    for cpu in range(drcr.kernel.config.num_cpus):
+        declared = drcr.registry.declared_utilization(cpu)
+        measured = drcr.kernel.rt_utilization(cpu)
+        lines.append("%3d  %7.1f%%  %7.1f%%"
+                     % (cpu, declared * 100, measured * 100))
+    return "\n".join(lines)
+
+
+def format_kernel_objects(kernel):
+    """Every named kernel object (tasks, SHM, mailboxes, ...)."""
+    lines = []
+    for name in sorted(kernel._registry):
+        lines.append("%-8s %r" % (name, kernel._registry[name]))
+    return "\n".join(lines) if lines else "(none)"
+
+
+def format_event_tail(drcr, count=10):
+    """The last ``count`` DRCR events."""
+    events = list(drcr.events)[-count:]
+    if not events:
+        return "(no events)"
+    return "\n".join(
+        "t=%-12d %-20s %-10s %s"
+        % (e.time, e.event_type.value, e.component, e.reason)
+        for e in events)
+
+
+def system_report(drcr, event_count=10):
+    """The full operator report: components, budgets, events."""
+    active = len(drcr.registry.in_state(ComponentState.ACTIVE))
+    sections = [
+        "=== DRCR system report (t=%d ns) ===" % drcr.kernel.now,
+        "components: %d deployed, %d active, policy=%s"
+        % (len(drcr.registry), active, drcr.internal_policy.name),
+        "",
+        format_component_table(drcr),
+        "",
+        format_utilization(drcr),
+        "",
+        "recent events:",
+        format_event_tail(drcr, event_count),
+    ]
+    if drcr.applications():
+        sections.insert(2, "applications: " + ", ".join(
+            "%s[%s]" % (name, ",".join(members))
+            for name, members in sorted(drcr.applications().items())))
+    return "\n".join(sections)

@@ -1,0 +1,112 @@
+"""The declarative real-time component lifecycle (paper Figure 1).
+
+"As the Declarative Real-time Component model is based on the OSGi
+bundle, its lifecycle is a sub life-cycle of [the] OSGi bundle.  ...
+parts of lifecycle control are driven by external events such as
+component deployment and destruction (which still need to go through
+DRCR).  Some state changes are automatically managed by DRCR, such as
+Unsatisfied and Active." (section 2.2)
+
+The transition table below is the machine the DRCR drives.  Components
+themselves expose no mutating lifecycle API: every transition goes
+through :meth:`repro.core.component.DRComComponent._transition`, which
+requires the DRCR's capability token -- the enforcement of the paper's
+"component's real-time contracts are now guaranteed by the execution
+environments rather than by each component itself".
+"""
+
+import enum
+
+
+class ComponentState(enum.Enum):
+    """DRCom lifecycle states."""
+
+    #: Descriptor parsed and registered; not yet classified.
+    INSTALLED = "installed"
+    #: Explicitly disabled (``enabled="false"`` or disableRTComponent).
+    DISABLED = "disabled"
+    #: Enabled but functional or real-time constraints unmet.
+    UNSATISFIED = "unsatisfied"
+    #: Constraints met and admission granted; about to activate.
+    SATISFIED = "satisfied"
+    #: Instance creation / port binding / task start in progress.
+    ACTIVATING = "activating"
+    #: Real-time task running under contract.
+    ACTIVE = "active"
+    #: Management-suspended (task frozen, contract retained).
+    SUSPENDED = "suspended"
+    #: Teardown in progress.
+    DEACTIVATING = "deactivating"
+    #: Removed (bundle stopped/uninstalled); terminal.
+    DISPOSED = "disposed"
+
+
+#: Allowed transitions: state -> set of successor states.
+TRANSITIONS = {
+    ComponentState.INSTALLED: {
+        ComponentState.UNSATISFIED,   # enabled at registration
+        ComponentState.DISABLED,      # enabled="false"
+        ComponentState.DISPOSED,      # bundle vanished before classify
+    },
+    ComponentState.DISABLED: {
+        ComponentState.UNSATISFIED,   # enableRTComponent
+        ComponentState.DISPOSED,
+    },
+    ComponentState.UNSATISFIED: {
+        ComponentState.SATISFIED,     # resolver + admission accepted
+        ComponentState.DISABLED,      # disableRTComponent
+        ComponentState.DISPOSED,
+    },
+    ComponentState.SATISFIED: {
+        ComponentState.ACTIVATING,    # DRCR proceeds to activation
+        ComponentState.UNSATISFIED,   # context changed before activation
+        ComponentState.DISABLED,
+        ComponentState.DISPOSED,
+    },
+    ComponentState.ACTIVATING: {
+        ComponentState.ACTIVE,        # instance up, task started
+        ComponentState.UNSATISFIED,   # activation failed
+        ComponentState.DISPOSED,
+    },
+    ComponentState.ACTIVE: {
+        ComponentState.SUSPENDED,     # management suspend
+        ComponentState.DEACTIVATING,  # dependency lost / disable / stop
+    },
+    ComponentState.SUSPENDED: {
+        ComponentState.ACTIVE,        # management resume
+        ComponentState.DEACTIVATING,
+    },
+    ComponentState.DEACTIVATING: {
+        ComponentState.UNSATISFIED,   # still deployed, constraints unmet
+        ComponentState.DISABLED,      # deactivated because disabled
+        ComponentState.DISPOSED,      # deactivated because undeployed
+    },
+    ComponentState.DISPOSED: set(),   # terminal
+}
+
+#: States in which the component's RT task exists in the kernel.
+INSTANTIATED_STATES = frozenset({
+    ComponentState.ACTIVATING, ComponentState.ACTIVE,
+    ComponentState.SUSPENDED, ComponentState.DEACTIVATING,
+})
+
+#: States from which the DRCR's resolve pass may try to activate.
+RESOLVABLE_STATES = frozenset({ComponentState.UNSATISFIED})
+
+
+def can_transition(current, target):
+    """Whether ``current -> target`` is a legal lifecycle edge."""
+    return target in TRANSITIONS[current]
+
+
+def reachable_states(origin):
+    """All states reachable from ``origin`` (including itself)."""
+    seen = {origin}
+    frontier = [origin]
+    while frontier:
+        state = frontier.pop()
+        for successor in TRANSITIONS[state]:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen

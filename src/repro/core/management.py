@@ -1,0 +1,114 @@
+"""The DRCom management interface (paper section 2.4).
+
+"Each compatible real-time component is required to implement the
+real-time component management interface.  This interface will be
+registered as management service by DRCR together with the component's
+properties in the service registry of OSGi. ... The current management
+interface defines the methods to suspend, resume, get/set properties and
+get status of a real-time task."
+
+Note the deliberate omission: "although the component implement the init
+and uninit methods, they are not exposed in the component's interface"
+-- creation and destruction stay with the DRCR so the global view stays
+accurate.  Accordingly, suspend/resume here route *through* the DRCR
+(which updates the component's lifecycle state), never straight to the
+kernel task.
+"""
+
+from repro.core.errors import LifecycleError
+
+#: OSGi service interface the management services register under.
+MANAGEMENT_SERVICE_INTERFACE = "drcom.management.RTComponentManagement"
+
+
+class RTComponentManagement:
+    """The abstract management interface (section 2.4).
+
+    Exactly: suspend, resume, get/set property, get status.  No init,
+    no uninit.
+    """
+
+    def suspend(self):
+        """Freeze the component's real-time task (keeps admission)."""
+        raise NotImplementedError
+
+    def resume(self):
+        """Unfreeze a suspended task."""
+        raise NotImplementedError
+
+    def get_property(self, name):
+        """Read one component property."""
+        raise NotImplementedError
+
+    def set_property(self, name, value):
+        """Write one component property (reconfiguration hook)."""
+        raise NotImplementedError
+
+    def get_status(self):
+        """Status snapshot: lifecycle state, contract, task counters."""
+        raise NotImplementedError
+
+
+class ComponentManagementService(RTComponentManagement):
+    """The concrete management service DRCR registers per component."""
+
+    def __init__(self, drcr, component):
+        self._drcr = drcr
+        self._component = component
+
+    @property
+    def component_name(self):
+        """The managed component's name."""
+        return self._component.name
+
+    def suspend(self):
+        """Suspend via the DRCR (lifecycle ACTIVE -> SUSPENDED)."""
+        self._drcr.suspend_component(self._component.name)
+
+    def resume(self):
+        """Resume via the DRCR (lifecycle SUSPENDED -> ACTIVE)."""
+        self._drcr.resume_component(self._component.name)
+
+    def get_property(self, name):
+        """Read a property from the live container (falls back to the
+        descriptor default when not instantiated)."""
+        container = self._component.container
+        if container is not None:
+            return container.get_property(name)
+        return self._component.descriptor.property_value(name)
+
+    def set_property(self, name, value):
+        """Write a property on the live container."""
+        container = self._component.container
+        if container is None:
+            raise LifecycleError(
+                "component %s is not instantiated; cannot set property"
+                % self._component.name)
+        container.set_property(name, value)
+
+    def get_status(self):
+        """Component snapshot merged with live task statistics."""
+        status = self._component.snapshot()
+        container = self._component.container
+        if container is not None:
+            status["task"] = container.get_status()
+        return status
+
+    def __repr__(self):
+        return "ComponentManagementService(%s)" % self._component.name
+
+
+def management_service_properties(component):
+    """The properties DRCR registers alongside the management service:
+    the component's own properties (so "general component's user[s] can
+    locate the individual component" by filtering on them) plus
+    identity/contract attributes."""
+    properties = dict(component.descriptor.property_dict())
+    properties.update({
+        "drcom.name": component.name,
+        "drcom.task": component.descriptor.task_name,
+        "drcom.type": component.contract.task_type.value,
+        "drcom.cpuusage": component.contract.cpu_usage,
+        "drcom.priority": component.contract.priority,
+    })
+    return properties

@@ -1,0 +1,78 @@
+"""Placement services: automatic CPU assignment for components.
+
+The descriptor's ``runoncup``/``runoncpu`` attribute pins a component to
+a processor chosen by the developer at design time.  On a multi-core
+box (the paper's testbed was a duo-core T5500) a static pin wastes
+capacity: two 60% components pinned to CPU 0 cannot both be admitted
+even though CPU 1 idles.  A *placement service* closes that gap: the
+DRCR consults it before admission and re-pins the candidate's contract
+to the CPU the policy selects.
+
+A descriptor can opt out per component with the property
+``drcom.placement = "pinned"`` (the design-time pin is then honoured).
+"""
+
+class PlacementService:
+    """Interface: choose a CPU for a candidate before admission."""
+
+    #: Policy name for traces and benchmarks.
+    name = "placement"
+
+    def place(self, candidate, view):
+        """Return the CPU number for ``candidate``, or ``None`` to
+        keep its descriptor pin."""
+        raise NotImplementedError
+
+
+class PinnedPlacement(PlacementService):
+    """Honour the descriptor pin (the paper's behaviour)."""
+
+    name = "pinned"
+
+    def place(self, candidate, view):
+        return None
+
+
+class FirstFitPlacement(PlacementService):
+    """The first CPU whose declared budget still fits the candidate."""
+
+    name = "first-fit"
+
+    def __init__(self, cap=1.0):
+        self.cap = cap
+
+    def place(self, candidate, view):
+        usage = candidate.contract.cpu_usage
+        for cpu in range(view.num_cpus()):
+            current = view.registry.declared_utilization(cpu)
+            if current + usage <= self.cap + 1e-12:
+                return cpu
+        return None  # nowhere fits: leave the pin, admission decides
+
+
+class BestFitPlacement(PlacementService):
+    """The least-loaded CPU that fits (balances declared budgets)."""
+
+    name = "best-fit"
+
+    def __init__(self, cap=1.0):
+        self.cap = cap
+
+    def place(self, candidate, view):
+        usage = candidate.contract.cpu_usage
+        best_cpu = None
+        best_load = None
+        for cpu in range(view.num_cpus()):
+            current = view.registry.declared_utilization(cpu)
+            if current + usage > self.cap + 1e-12:
+                continue
+            if best_load is None or current < best_load:
+                best_cpu = cpu
+                best_load = current
+        return best_cpu
+
+
+def component_is_pinned(component):
+    """Whether the descriptor opts out of automatic placement."""
+    return component.descriptor.property_value(
+        "drcom.placement") == "pinned"

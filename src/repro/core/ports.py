@@ -1,0 +1,156 @@
+"""DRCom ports: typed communication endpoints of real-time components.
+
+The descriptor's ``inport``/``outport`` elements (paper section 2.3)
+each carry:
+
+* ``name`` -- also the communication reference; limited to six
+  characters "because the underlying real time OS use the six character
+  name to refer to the real time tasks";
+* ``interface`` -- the transport: ``RTAI.SHM`` or ``RTAI.Mailbox``;
+* ``type`` -- the element type (``Integer`` or ``Byte``; we additionally
+  accept ``Float``);
+* ``size`` -- the element count ("the multiple size of the data type's
+  size").
+
+"Together with the name attribute, these attributes are used to
+determine the port compatibility between the provided and required
+interfaces" -- i.e. an inport binds to an outport iff all four agree.
+"""
+
+import enum
+
+from repro.core.errors import PortError
+from repro.rtos import names as rtai_names
+from repro.rtos.errors import InvalidTaskNameError
+
+
+class PortDirection(enum.Enum):
+    """Data flow direction, from the component's point of view."""
+
+    IN = "inport"
+    OUT = "outport"
+
+
+class PortInterface(enum.Enum):
+    """Supported transports.
+
+    SHM and mailbox are the paper's prototype set (section 2.3); FIFO
+    is the RT->user-space channel added from the future-work list
+    (section 6, "limited communication support between real-time
+    tasks").
+    """
+
+    RTAI_SHM = "RTAI.SHM"
+    RTAI_MAILBOX = "RTAI.Mailbox"
+    RTAI_FIFO = "RTAI.FIFO"
+
+    @classmethod
+    def parse(cls, text):
+        """Parse the descriptor's ``interface`` attribute."""
+        for member in cls:
+            if member.value == text:
+                return member
+        raise PortError(
+            "unsupported port interface %r (supported: %s)"
+            % (text, ", ".join(m.value for m in cls)))
+
+
+#: Element types a port may declare.
+PORT_DATA_TYPES = ("Integer", "Byte", "Float")
+
+
+class PortSpec:
+    """One declared port of a component."""
+
+    __slots__ = ("name", "direction", "interface", "data_type", "size")
+
+    def __init__(self, name, direction, interface, data_type, size):
+        try:
+            self.name = rtai_names.validate_name(name)
+        except InvalidTaskNameError as error:
+            raise PortError("bad port name: %s" % error) from None
+        if "$" in self.name:
+            # The '$' namespace is reserved for kernel plumbing (the
+            # hybrid bridge's anonymous mailboxes).
+            raise PortError("port names may not contain '$': %r"
+                            % (name,))
+        self.direction = direction
+        self.interface = (interface if isinstance(interface, PortInterface)
+                          else PortInterface.parse(interface))
+        if data_type not in PORT_DATA_TYPES:
+            raise PortError(
+                "unsupported port data type %r (supported: %s)"
+                % (data_type, ", ".join(PORT_DATA_TYPES)))
+        self.data_type = data_type
+        size = int(size)
+        if size <= 0:
+            raise PortError("port size must be positive, got %r" % (size,))
+        self.size = size
+
+    def compatible_with(self, other):
+        """Port-compatibility predicate (paper section 2.3).
+
+        Direction must be complementary; name, interface, type and size
+        must all agree.
+        """
+        if not isinstance(other, PortSpec):
+            return False
+        if self.direction is other.direction:
+            return False
+        return (self.name == other.name
+                and self.interface is other.interface
+                and self.data_type == other.data_type
+                and self.size == other.size)
+
+    def signature(self):
+        """The (name, interface, type, size) compatibility signature."""
+        return (self.name, self.interface.value, self.data_type, self.size)
+
+    def __eq__(self, other):
+        if not isinstance(other, PortSpec):
+            return NotImplemented
+        return (self.direction is other.direction
+                and self.signature() == other.signature())
+
+    def __hash__(self):
+        return hash((self.direction,) + self.signature())
+
+    def __repr__(self):
+        return "PortSpec(%s %s %s %s[%d])" % (
+            self.direction.value, self.name, self.interface.value,
+            self.data_type, self.size)
+
+
+class PortBinding:
+    """A resolved connection: requirer's inport <- provider's outport.
+
+    ``kernel_object`` is the name of the backing RTOS object (an SHM
+    segment or a mailbox); inter-component data flows through it
+    directly in the RT domain, never through the OSGi side (paper
+    section 3.3).
+    """
+
+    __slots__ = ("inport", "outport", "requirer", "provider",
+                 "kernel_object")
+
+    def __init__(self, requirer, inport, provider, outport,
+                 kernel_object=None):
+        if inport.direction is not PortDirection.IN:
+            raise PortError("binding requires an inport, got %r"
+                            % (inport,))
+        if outport.direction is not PortDirection.OUT:
+            raise PortError("binding requires an outport, got %r"
+                            % (outport,))
+        if not inport.compatible_with(outport):
+            raise PortError(
+                "incompatible ports: %r cannot bind %r" % (inport, outport))
+        self.requirer = requirer
+        self.provider = provider
+        self.inport = inport
+        self.outport = outport
+        self.kernel_object = kernel_object
+
+    def __repr__(self):
+        return "PortBinding(%s.%s <- %s.%s via %s)" % (
+            self.requirer, self.inport.name, self.provider,
+            self.outport.name, self.kernel_object)

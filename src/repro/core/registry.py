@@ -1,0 +1,148 @@
+"""DRCR's internal component registry -- the *global view*.
+
+"A general component real-time management interface is designed[;
+descriptors] are used to maintain an accurate view of existing real-time
+components' promised contracts" (abstract).  The registry indexes every
+deployed component by name, by provided/required port signature, and
+keeps the per-CPU utilization ledger admission policies read.
+"""
+
+from repro.core.errors import (
+    DuplicateComponentError,
+    UnknownComponentError,
+)
+from repro.core.lifecycle import ComponentState
+
+
+class ComponentRegistry:
+    """Name-unique registry of :class:`DRComComponent` with port
+    indexes and a contract-utilization ledger."""
+
+    def __init__(self):
+        self._components = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, component):
+        """Register a component; names are globally unique (paper
+        section 2.3).
+
+        The derived six-character RTAI *task* name must be unique too:
+        two long component names that truncate to the same task name
+        would collide in the kernel at activation, so the collision is
+        rejected here, at deployment, with an actionable message.
+        """
+        if component.name in self._components:
+            raise DuplicateComponentError(
+                "component name %r already deployed (names are globally "
+                "unique)" % component.name)
+        task_name = component.descriptor.task_name
+        for existing in self._components.values():
+            if existing.descriptor.task_name == task_name:
+                raise DuplicateComponentError(
+                    "component %r derives RTAI task name %r, which "
+                    "collides with deployed component %r; choose a "
+                    "name that is distinct in its first characters"
+                    % (component.name, task_name, existing.name))
+        self._components[component.name] = component
+
+    def remove(self, component):
+        """Forget a component."""
+        self._components.pop(component.name, None)
+
+    def get(self, name):
+        """Find a component by name (raises on miss)."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise UnknownComponentError("no component named %r"
+                                        % (name,)) from None
+
+    def maybe_get(self, name):
+        """Find a component by name (None on miss)."""
+        return self._components.get(name)
+
+    def __contains__(self, name):
+        return name in self._components
+
+    def __len__(self):
+        return len(self._components)
+
+    def all(self):
+        """All deployed components, in registration order."""
+        return list(self._components.values())
+
+    # ------------------------------------------------------------------
+    # state-filtered views
+    # ------------------------------------------------------------------
+    def in_state(self, *states):
+        """Components currently in any of ``states``."""
+        return [c for c in self._components.values() if c.state in states]
+
+    def active(self):
+        """Components whose RT task runs under contract (ACTIVE or
+        SUSPENDED -- a suspended task retains its admission)."""
+        return self.in_state(ComponentState.ACTIVE,
+                             ComponentState.SUSPENDED)
+
+    def unsatisfied(self):
+        """Components waiting on constraints."""
+        return self.in_state(ComponentState.UNSATISFIED)
+
+    def of_bundle(self, bundle):
+        """Components deployed from one bundle."""
+        return [c for c in self._components.values()
+                if c.bundle is bundle]
+
+    # ------------------------------------------------------------------
+    # port indexes
+    # ------------------------------------------------------------------
+    def providers_of(self, inport, states=None):
+        """Components offering an outport compatible with ``inport``.
+
+        ``states`` restricts the provider's lifecycle state (default:
+        the instantiated/admitted set -- ACTIVE and SUSPENDED).
+        """
+        if states is None:
+            states = (ComponentState.ACTIVE, ComponentState.SUSPENDED)
+        matches = []
+        for component in self._components.values():
+            if component.state not in states:
+                continue
+            for outport in component.descriptor.outports:
+                if inport.compatible_with(outport):
+                    matches.append((component, outport))
+        return matches
+
+    def dependents_of(self, provider):
+        """Active/suspended components bound to ``provider``'s outports."""
+        return [
+            component for component in self.active()
+            if provider.name in component.bound_providers()
+        ]
+
+    # ------------------------------------------------------------------
+    # utilization ledger
+    # ------------------------------------------------------------------
+    def declared_utilization(self, cpu, extra=None):
+        """Sum of declared ``cpuusage`` of admitted components on a CPU.
+
+        ``extra`` (a contract) is added on top -- the admission check's
+        "what if we admit this one too" view.
+        """
+        total = sum(
+            component.contract.cpu_usage
+            for component in self.active()
+            if component.contract.cpu == cpu
+        )
+        if extra is not None and extra.cpu == cpu:
+            total += extra.cpu_usage
+        return total
+
+    def admitted_contracts(self, cpu=None):
+        """Contracts of admitted components (optionally one CPU)."""
+        return [
+            component.contract for component in self.active()
+            if cpu is None or component.contract.cpu == cpu
+        ]

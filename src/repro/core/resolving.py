@@ -1,0 +1,107 @@
+"""The resolving-service contract (paper sections 1, 2.2, 4.3).
+
+The DRCR consults *resolving services* for non-functional (real-time)
+constraint decisions:
+
+* its **internal resolving service** -- a configured admission policy
+  from :mod:`repro.core.policies` -- is always consulted;
+* **customized resolving services** registered in the OSGi service
+  registry under :data:`RESOLVING_SERVICE_INTERFACE` are consulted as
+  well ("a resolving service to provide customized real-time admission
+  and adaptation service, which can be plugged into the DRCR runtime by
+  using [the] OSGi service model").
+
+A candidate is admitted only when *every* consulted service accepts,
+mirroring section 4.3: "When both services return positive results ...
+the DRCR will create and activate the component".
+"""
+
+#: OSGi service interface name customized resolving services register
+#: under.
+RESOLVING_SERVICE_INTERFACE = "drcom.resolving.ResolvingService"
+
+
+class Decision:
+    """An admission decision with a human-readable reason."""
+
+    __slots__ = ("accept", "reason")
+
+    def __init__(self, accept, reason=""):
+        self.accept = bool(accept)
+        self.reason = reason
+
+    @classmethod
+    def yes(cls, reason="ok"):
+        """An accepting decision."""
+        return cls(True, reason)
+
+    @classmethod
+    def no(cls, reason):
+        """A rejecting decision (reason required)."""
+        return cls(False, reason)
+
+    def __bool__(self):
+        return self.accept
+
+    def __repr__(self):
+        return "Decision(%s, %r)" % ("accept" if self.accept else "reject",
+                                     self.reason)
+
+
+class GlobalView:
+    """Read-only snapshot of the system the DRCR hands to resolving
+    services: the admitted contracts, per-CPU utilization, and kernel
+    facts.  Policies must not mutate anything through it."""
+
+    __slots__ = ("registry", "kernel", "candidate")
+
+    def __init__(self, registry, kernel, candidate):
+        self.registry = registry
+        self.kernel = kernel
+        self.candidate = candidate
+
+    def admitted_contracts(self, cpu=None):
+        """Contracts currently under admission (optionally one CPU)."""
+        return self.registry.admitted_contracts(cpu)
+
+    def declared_utilization(self, cpu, include_candidate=True):
+        """Declared utilization on ``cpu``; optionally adding the
+        candidate's claim."""
+        extra = self.candidate.contract if include_candidate else None
+        return self.registry.declared_utilization(cpu, extra=extra)
+
+    def num_cpus(self):
+        """Number of CPUs in the kernel."""
+        return self.kernel.config.num_cpus
+
+
+class ResolvingService:
+    """Interface for admission/adaptation policies.
+
+    Subclass and implement :meth:`admit`; optionally override
+    :meth:`revalidate` to veto components after a context change (DRCR
+    calls it for every admitted component whenever the configuration
+    changes -- the "check for possible unsatisfied component instances"
+    pass of section 4.3).
+    """
+
+    #: Human-readable policy name (traces, benchmark tables).
+    name = "resolving-service"
+
+    def admit(self, candidate, view):
+        """Decide whether ``candidate`` may be activated.
+
+        Returns a :class:`Decision`.
+        """
+        raise NotImplementedError
+
+    def revalidate(self, component, view):
+        """Re-check an admitted component after a context change.
+
+        The default keeps everything admitted; override to build
+        load-shedding policies.
+        """
+        return Decision.yes("still admitted")
+
+    def __repr__(self):
+        return "%s(%s)" % (type(self).__name__, self.name)

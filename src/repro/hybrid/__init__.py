@@ -1,0 +1,44 @@
+"""The Hybrid Real-time Component (HRC) split container (section 3).
+
+One component = a small RT part (an RTAI-style task polling its command
+mailbox) + a large non-RT management part (OSGi side), bridged by the
+asynchronous command protocol of section 3.2.
+"""
+
+from repro.hybrid.bridge import CommandBridge
+from repro.hybrid.container import (
+    HybridContainer,
+    default_container_factory,
+    make_container_factory,
+)
+from repro.hybrid.context import RTContext, bind_ports, unbind_ports
+from repro.hybrid.implementation import (
+    ImplementationRegistry,
+    RTImplementation,
+    SyntheticImplementation,
+    default_registry,
+    register_implementation,
+)
+from repro.hybrid.nrt_part import NonRealTimePart
+from repro.hybrid.protocol import Command, CommandKind, Reply
+from repro.hybrid.rt_part import RealTimePart
+
+__all__ = [
+    "bind_ports",
+    "Command",
+    "CommandBridge",
+    "CommandKind",
+    "default_container_factory",
+    "default_registry",
+    "HybridContainer",
+    "ImplementationRegistry",
+    "make_container_factory",
+    "NonRealTimePart",
+    "RealTimePart",
+    "register_implementation",
+    "Reply",
+    "RTContext",
+    "RTImplementation",
+    "SyntheticImplementation",
+    "unbind_ports",
+]

@@ -1,0 +1,85 @@
+"""The command bridge: the JNI/RPC channel of the split architecture.
+
+In the authors' prototype the OSGi (Java) side reaches its RT task
+through JNI and RTAI's inter-process call; here both sides live in one
+process, but the *discipline* is identical and enforced:
+
+* the non-RT side **never blocks** -- sends are non-blocking mailbox
+  puts (a full mailbox counts a drop and returns False);
+* the RT side **never waits** -- it polls the command mailbox after its
+  functional routine (see :mod:`repro.hybrid.rt_part`).
+
+Benchmark A4 measures what this poll costs the RT task.
+"""
+
+from repro.hybrid.protocol import Command, CommandKind
+
+
+class CommandBridge:
+    """The mailbox pair plus bookkeeping for one hybrid component."""
+
+    def __init__(self, kernel, component_name, capacity=16):
+        self.kernel = kernel
+        self.component_name = component_name
+        self.command_mailbox = kernel.mailbox(
+            kernel.unique_name("C"), capacity=capacity)
+        self.status_mailbox = kernel.mailbox(
+            kernel.unique_name("S"), capacity=capacity)
+        self.commands_sent = 0
+        self.commands_dropped = 0
+        self.replies_received = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # non-RT side
+    # ------------------------------------------------------------------
+    def send_command(self, kind, name=None, value=None):
+        """Queue a command; returns the Command or None when dropped."""
+        command = Command(kind, name, value)
+        if self.command_mailbox.send_external(command):
+            self.commands_sent += 1
+            return command
+        self.commands_dropped += 1
+        return None
+
+    def drain_replies(self):
+        """Collect all pending replies (non-blocking)."""
+        replies = []
+        while True:
+            reply = self.status_mailbox.receive_external()
+            if reply is None:
+                break
+            replies.append(reply)
+        self.replies_received += len(replies)
+        return replies
+
+    def close(self):
+        """Free the mailboxes."""
+        if self._closed:
+            return
+        self._closed = True
+        self.kernel.free_object(self.command_mailbox.name)
+        self.kernel.free_object(self.status_mailbox.name)
+
+    def stats(self):
+        """Bridge counters (surfaced in get_status)."""
+        return {
+            "commands_sent": self.commands_sent,
+            "commands_dropped": self.commands_dropped,
+            "replies_received": self.replies_received,
+            "commands_pending": len(self.command_mailbox),
+            "replies_pending": len(self.status_mailbox),
+        }
+
+    # Convenience wrappers -------------------------------------------------
+    def ping(self):
+        """Queue a PING (reply arrives after the next RT job)."""
+        return self.send_command(CommandKind.PING)
+
+    def set_property(self, name, value):
+        """Queue a SET_PROPERTY."""
+        return self.send_command(CommandKind.SET_PROPERTY, name, value)
+
+    def get_property(self, name):
+        """Queue a GET_PROPERTY (value arrives in a reply)."""
+        return self.send_command(CommandKind.GET_PROPERTY, name)

@@ -1,0 +1,108 @@
+"""The non-real-time (management) half of the hybrid component.
+
+"In the non real-time part, we implemented a configuration specific
+interface containing methods for getting/setting component parameters or
+getting the component state" (section 3.1).  This half is what the
+DRCR-registered management service ultimately talks to.  It never blocks
+and never touches the inter-component data path.
+"""
+
+from repro.hybrid.protocol import CommandKind
+
+
+class NonRealTimePart:
+    """Management-side operations for one hybrid component."""
+
+    def __init__(self, ctx, bridge, kernel):
+        self.ctx = ctx
+        self.bridge = bridge
+        self.kernel = kernel
+        #: Replies collected from the status mailbox, newest last.
+        self.reply_log = []
+
+    @property
+    def task(self):
+        """The RT task (None before start)."""
+        return self.ctx.task
+
+    # ------------------------------------------------------------------
+    # suspend / resume
+    # ------------------------------------------------------------------
+    def suspend(self, graceful=False):
+        """Suspend the RT task.
+
+        ``graceful=False`` (default) suspends immediately through the
+        kernel, like LXRT's ``rt_task_suspend`` syscall.  ``graceful=
+        True`` queues a SUSPEND command instead: the task parks itself
+        at its next job boundary (bounded by one period).
+        """
+        if graceful:
+            self.bridge.send_command(CommandKind.SUSPEND)
+        else:
+            self.kernel.suspend_task(self.task)
+
+    def resume(self):
+        """Resume the RT task (immediate, like ``rt_task_resume``)."""
+        if self.task.suspended:
+            self.kernel.resume_task(self.task)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def set_property(self, name, value):
+        """Queue a property write; the RT side applies it at its next
+        command poll (asynchronous, section 3.2)."""
+        return self.bridge.set_property(name, value) is not None
+
+    def get_property(self, name):
+        """Read a property.
+
+        The property store is conceptually a shared segment owned by
+        the RT side; reading it directly is a plain shared-memory read
+        (no round trip), exactly as the prototype's JNI part reads its
+        RT task's parameter block.
+        """
+        return self.ctx.properties.get(name)
+
+    def request_ping(self):
+        """Queue a PING; the reply lands after the RT task's next job."""
+        return self.bridge.ping() is not None
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    def get_status(self):
+        """Status snapshot: task state + counters + bridge health."""
+        self._drain()
+        status = {
+            "component": self.ctx.name,
+            "job_index": self.ctx.job_index,
+            "last_latency_ns": self.ctx.last_latency,
+            "properties": dict(self.ctx.properties),
+            "bridge": self.bridge.stats(),
+        }
+        if self.task is not None:
+            status.update(self.task.status())
+            status["measured_utilization"] = \
+                self._measured_utilization()
+        return status
+
+    def _measured_utilization(self):
+        """CPU fraction consumed since activation (budget enforcement
+        compares this against the declared cpuusage)."""
+        activated_at = getattr(self.ctx, "activated_at", None) or 0
+        window = self.kernel.now - activated_at
+        if window <= 0:
+            return 0.0
+        return self.task.stats.cpu_time_ns / window
+
+    def last_reply(self, kind=None):
+        """Most recent reply (optionally of one command kind)."""
+        self._drain()
+        for reply in reversed(self.reply_log):
+            if kind is None or reply.kind is kind:
+                return reply
+        return None
+
+    def _drain(self):
+        self.reply_log.extend(self.bridge.drain_replies())

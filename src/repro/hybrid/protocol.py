@@ -1,0 +1,62 @@
+"""The intra-component command protocol (paper section 3.2).
+
+"Asynchronized communication mode was chosen as the basic communication
+methods between real-time and non-real-time part[s]. ...  When the task
+finishes its main functional routine, it tries to read command message
+sent asynchronously through the management interface."
+
+Commands flow non-RT -> RT through the command mailbox; replies flow
+RT -> non-RT through the status mailbox.  The RT side only ever polls
+(non-blocking receive) after completing its functional routine, so a
+slow or absent management side can never delay the real-time work.
+"""
+
+import enum
+import itertools
+
+
+class CommandKind(enum.Enum):
+    """Commands the management part may send to the RT task."""
+
+    SET_PROPERTY = "set_property"
+    GET_PROPERTY = "get_property"
+    PING = "ping"
+    SUSPEND = "suspend"
+    STOP = "stop"
+
+
+class Command:
+    """One command message (non-RT -> RT)."""
+
+    __slots__ = ("seq", "kind", "name", "value")
+
+    _seq = itertools.count(1)
+
+    def __init__(self, kind, name=None, value=None):
+        self.seq = next(Command._seq)
+        self.kind = kind
+        self.name = name
+        self.value = value
+
+    def __repr__(self):
+        return "Command(#%d %s %r=%r)" % (self.seq, self.kind.value,
+                                          self.name, self.value)
+
+
+class Reply:
+    """One reply message (RT -> non-RT)."""
+
+    __slots__ = ("seq", "kind", "name", "value", "job_index", "time_ns")
+
+    def __init__(self, command, value, job_index, time_ns):
+        self.seq = command.seq
+        self.kind = command.kind
+        self.name = command.name
+        self.value = value
+        self.job_index = job_index
+        self.time_ns = time_ns
+
+    def __repr__(self):
+        return "Reply(#%d %s %r=%r @job%d)" % (
+            self.seq, self.kind.value, self.name, self.value,
+            self.job_index)

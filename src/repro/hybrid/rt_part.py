@@ -1,0 +1,107 @@
+"""The real-time half of the hybrid component.
+
+"The real-time part of each HRC is an independent concurrent process,
+whose functionality is defined by the methods of a standard object"
+(section 3.1).  Here: the RT task body generator.  The body's shape is
+the paper's prescribed loop -- functional routine first, then a
+*non-blocking* poll of the command mailbox ("when the task finishes its
+main functional routine, it tries to read command message sent
+asynchronously", section 3.2).
+"""
+
+from repro.hybrid.protocol import CommandKind, Reply
+from repro.rtos.requests import Compute, Receive, SuspendSelf, WaitPeriod
+from repro.rtos.task import TaskType
+
+
+class RealTimePart:
+    """Builds and owns the RT task body for one component."""
+
+    def __init__(self, ctx, implementation, bridge):
+        self.ctx = ctx
+        self.implementation = implementation
+        self.bridge = bridge
+
+    def body(self, task):
+        """The task body generator handed to the kernel."""
+        if self.ctx.contract.task_type is TaskType.PERIODIC:
+            return self._periodic_body(task)
+        return self._aperiodic_body(task)
+
+    # ------------------------------------------------------------------
+    def _periodic_body(self, task):
+        ctx = self.ctx
+        while True:
+            latency = yield WaitPeriod()
+            ctx.last_latency = latency
+            compute = self.implementation.compute_ns(ctx)
+            if compute > 0:
+                yield Compute(compute)
+            self.implementation.execute(ctx)
+            ctx.job_index += 1
+            # Asynchronous management poll -- never blocks (section 3.2).
+            suspend = yield from self._poll_commands()
+            if suspend == "stop":
+                return
+            if suspend == "suspend":
+                yield SuspendSelf()
+
+    def _aperiodic_body(self, task):
+        ctx = self.ctx
+        compute = self.implementation.compute_ns(ctx)
+        if compute > 0:
+            yield Compute(compute)
+        self.implementation.execute(ctx)
+        ctx.job_index += 1
+        yield from self._poll_commands()
+
+    # ------------------------------------------------------------------
+    def _poll_commands(self):
+        """Drain the command mailbox without blocking.
+
+        Returns "suspend"/"stop" when such a command arrived, else None.
+        Implemented as a sub-generator: the Receive requests still flow
+        through the kernel.
+        """
+        outcome = None
+        while True:
+            command = yield Receive(self.bridge.command_mailbox,
+                                    blocking=False)
+            if command is None:
+                return outcome
+            result = self._handle(command)
+            if result == "stop":
+                return "stop"  # terminal: outranks anything queued
+            if result == "suspend":
+                outcome = result
+
+    def _handle(self, command):
+        ctx = self.ctx
+        custom = self.implementation.on_command(ctx, command)
+        if custom is not None:
+            self._reply(command, custom)
+            return None
+        if command.kind is CommandKind.SET_PROPERTY:
+            ctx.properties[command.name] = command.value
+            self._reply(command, True)
+            return None
+        if command.kind is CommandKind.GET_PROPERTY:
+            self._reply(command, ctx.properties.get(command.name))
+            return None
+        if command.kind is CommandKind.PING:
+            self._reply(command, ctx.status_snapshot())
+            return None
+        if command.kind is CommandKind.SUSPEND:
+            self._reply(command, True)
+            return "suspend"
+        if command.kind is CommandKind.STOP:
+            self._reply(command, True)
+            return "stop"
+        self._reply(command, None)
+        return None
+
+    def _reply(self, command, value):
+        reply = Reply(command, value, self.ctx.job_index, self.ctx.now())
+        # Non-blocking: a full status mailbox drops the reply rather
+        # than stalling the RT task.
+        self.bridge.status_mailbox.send_external(reply)

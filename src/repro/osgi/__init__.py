@@ -1,0 +1,112 @@
+"""The OSGi substrate (the reproduction's Equinox stand-in).
+
+Implements the OSGi-core subset the paper's framework depends on:
+bundles with manifests and resources, package wiring, the LDAP-filter
+service registry, synchronous bundle/service events, service trackers,
+and a Declarative Services subset for comparison.
+"""
+
+from repro.osgi.bundle import (
+    Bundle,
+    BundleActivator,
+    BundleContext,
+    BundleState,
+)
+from repro.osgi.declarative import (
+    ComponentDescription,
+    DSComponent,
+    DSRuntime,
+    ReferenceSpec,
+)
+from repro.osgi.errors import (
+    BundleError,
+    BundleStateError,
+    InvalidFilterError,
+    ManifestError,
+    OSGiError,
+    ResolutionError,
+    ServiceError,
+    ServiceUnregisteredError,
+    VersionError,
+)
+from repro.osgi.events import (
+    BundleEvent,
+    BundleEventType,
+    FrameworkEvent,
+    FrameworkEventType,
+    ListenerList,
+    ServiceEvent,
+    ServiceEventType,
+)
+from repro.osgi.framework import Framework
+from repro.osgi.ldap import LDAPFilter, escape, parse_filter
+from repro.osgi.manifest import (
+    RT_COMPONENT_HEADER,
+    BundleManifest,
+    HeaderClause,
+    parse_header,
+)
+from repro.osgi.registry import ServiceRegistry
+from repro.osgi.services import (
+    OBJECTCLASS,
+    SERVICE_ID,
+    SERVICE_RANKING,
+    ServiceReference,
+    ServiceRegistration,
+)
+from repro.osgi.tracker import ServiceTracker
+from repro.osgi.version import Version, VersionRange
+from repro.osgi.wiring import (
+    ExportedPackage,
+    ImportedPackage,
+    Wire,
+    WiringResolver,
+)
+
+__all__ = [
+    "Bundle",
+    "BundleActivator",
+    "BundleContext",
+    "BundleError",
+    "BundleEvent",
+    "BundleEventType",
+    "BundleManifest",
+    "BundleState",
+    "BundleStateError",
+    "ComponentDescription",
+    "DSComponent",
+    "DSRuntime",
+    "escape",
+    "ExportedPackage",
+    "Framework",
+    "FrameworkEvent",
+    "FrameworkEventType",
+    "HeaderClause",
+    "ImportedPackage",
+    "InvalidFilterError",
+    "LDAPFilter",
+    "ListenerList",
+    "ManifestError",
+    "OBJECTCLASS",
+    "OSGiError",
+    "parse_filter",
+    "parse_header",
+    "ReferenceSpec",
+    "ResolutionError",
+    "RT_COMPONENT_HEADER",
+    "ServiceError",
+    "ServiceEvent",
+    "ServiceEventType",
+    "ServiceReference",
+    "ServiceRegistration",
+    "ServiceRegistry",
+    "ServiceTracker",
+    "ServiceUnregisteredError",
+    "SERVICE_ID",
+    "SERVICE_RANKING",
+    "Version",
+    "VersionError",
+    "VersionRange",
+    "Wire",
+    "WiringResolver",
+]

@@ -1,0 +1,165 @@
+"""Bundles and bundle contexts (OSGi Core spec chapter 4).
+
+A bundle here is an in-process unit: a :class:`BundleManifest`, a set of
+named *resources* (the DRCom XML descriptors live here, like files in a
+jar), and an optional activator.  The state machine is the spec's:
+``INSTALLED -> RESOLVED -> STARTING -> ACTIVE -> STOPPING -> RESOLVED``
+and ``-> UNINSTALLED``, with the framework owning every transition --
+the continuous-deployment property ("install, update, and uninstall the
+bundles without restart[ing] the whole system", section 1) that the
+DRCR's dynamicity handling builds on.
+"""
+
+import enum
+
+from repro.osgi.errors import BundleStateError
+from repro.osgi.manifest import BundleManifest
+
+
+class BundleState(enum.Enum):
+    """The OSGi bundle states."""
+
+    INSTALLED = "installed"
+    RESOLVED = "resolved"
+    STARTING = "starting"
+    ACTIVE = "active"
+    STOPPING = "stopping"
+    UNINSTALLED = "uninstalled"
+
+
+class BundleActivator:
+    """Optional start/stop hook a bundle may provide."""
+
+    def start(self, context):
+        """Called on bundle start with the bundle's context."""
+
+    def stop(self, context):
+        """Called on bundle stop with the bundle's context."""
+
+
+class Bundle:
+    """An installed bundle.  Constructed by the framework only."""
+
+    def __init__(self, framework, bundle_id, headers, resources=None,
+                 activator=None):
+        self._framework = framework
+        self.bundle_id = bundle_id
+        self.manifest = BundleManifest(headers)
+        #: Named in-bundle resources (path -> text), e.g. DRCom XML.
+        self.resources = dict(resources or {})
+        self.activator = activator
+        self.state = BundleState.INSTALLED
+        self.context = None
+
+    # ------------------------------------------------------------------
+    # identity / introspection
+    # ------------------------------------------------------------------
+    @property
+    def symbolic_name(self):
+        """The bundle's symbolic name."""
+        return self.manifest.symbolic_name
+
+    @property
+    def version(self):
+        """The bundle's version."""
+        return self.manifest.version
+
+    @property
+    def is_resolved(self):
+        """Whether the bundle reached RESOLVED or beyond (not
+        uninstalled)."""
+        return self.state in (BundleState.RESOLVED, BundleState.STARTING,
+                              BundleState.ACTIVE, BundleState.STOPPING)
+
+    @property
+    def is_active(self):
+        """Whether the bundle is ACTIVE."""
+        return self.state is BundleState.ACTIVE
+
+    def get_resource(self, path):
+        """Read a named resource (None when absent)."""
+        return self.resources.get(path)
+
+    def _require_state(self, *states):
+        if self.state not in states:
+            raise BundleStateError(
+                "bundle %s is %s; expected %s"
+                % (self.symbolic_name, self.state.name,
+                   "/".join(s.name for s in states)))
+
+    # ------------------------------------------------------------------
+    # lifecycle (delegates to the framework, which owns transitions)
+    # ------------------------------------------------------------------
+    def start(self):
+        """Resolve (if needed) and start the bundle."""
+        self._framework.start_bundle(self)
+
+    def stop(self):
+        """Stop the bundle (back to RESOLVED)."""
+        self._framework.stop_bundle(self)
+
+    def uninstall(self):
+        """Remove the bundle from the framework."""
+        self._framework.uninstall_bundle(self)
+
+    def update(self, headers=None, resources=None, activator=None):
+        """Swap the bundle's content in place (continuous deployment)."""
+        self._framework.update_bundle(self, headers, resources, activator)
+
+    def __repr__(self):
+        return "Bundle(%d, %s %s, %s)" % (
+            self.bundle_id, self.symbolic_name, self.version,
+            self.state.value)
+
+
+class BundleContext:
+    """A bundle's window on the framework while STARTING..STOPPING."""
+
+    def __init__(self, framework, bundle):
+        self._framework = framework
+        self.bundle = bundle
+
+    # -- services -------------------------------------------------------
+    def register_service(self, classes, service, properties=None):
+        """Register a service on behalf of this bundle."""
+        return self._framework.registry.register(
+            classes, service, properties, bundle=self.bundle)
+
+    def get_service_references(self, clazz=None, filter_text=None):
+        """Query the registry (best-first)."""
+        return self._framework.registry.get_references(clazz, filter_text)
+
+    def get_service_reference(self, clazz=None, filter_text=None):
+        """Best matching reference or None."""
+        return self._framework.registry.get_reference(clazz, filter_text)
+
+    def get_service(self, reference):
+        """Dereference a service."""
+        return self._framework.registry.get_service(reference)
+
+    # -- bundles --------------------------------------------------------
+    def install_bundle(self, headers, resources=None, activator=None):
+        """Install a new bundle."""
+        return self._framework.install_bundle(headers, resources,
+                                              activator)
+
+    def get_bundles(self):
+        """All installed bundles."""
+        return self._framework.get_bundles()
+
+    # -- listeners ------------------------------------------------------
+    def add_bundle_listener(self, listener):
+        """Subscribe to BundleEvents."""
+        self._framework.bundle_listeners.add(listener)
+
+    def remove_bundle_listener(self, listener):
+        """Unsubscribe from BundleEvents."""
+        self._framework.bundle_listeners.remove(listener)
+
+    def add_service_listener(self, listener):
+        """Subscribe to ServiceEvents."""
+        self._framework.service_listeners.add(listener)
+
+    def remove_service_listener(self, listener):
+        """Unsubscribe from ServiceEvents."""
+        self._framework.service_listeners.remove(listener)

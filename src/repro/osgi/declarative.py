@@ -1,0 +1,223 @@
+"""A Declarative Services (SCR) subset (OSGi compendium chapter 112).
+
+The paper positions DRCom as the real-time analogue of OSGi 4.0's
+Declarative Services ("from OSGi 4.0, the declarative service was
+introduced to support the dynamic composition of service oriented
+components, [but] it still tightly coupled with Java language ...
+the policy for service matching is predefined and static", section 2.1).
+This subset exists (a) as substrate fidelity and (b) so the benchmarks
+can contrast DS's fixed service-matching policy with DRCR's pluggable
+resolving services.
+
+Supported: one provided service interface, N required references with
+cardinality ``1..1`` / ``0..1`` / ``0..n`` / ``1..n``, target LDAP
+filters, dynamic policy (rebind on departure), activate/deactivate
+callbacks.
+"""
+
+from repro.osgi.events import BundleEventType, ServiceEventType
+from repro.osgi.ldap import parse_filter
+from repro.osgi.services import OBJECTCLASS
+
+
+class ReferenceSpec:
+    """A required service reference of a DS component."""
+
+    def __init__(self, name, interface, cardinality="1..1", target=None):
+        if cardinality not in ("1..1", "0..1", "0..n", "1..n"):
+            raise ValueError("bad cardinality: %r" % (cardinality,))
+        self.name = name
+        self.interface = interface
+        self.cardinality = cardinality
+        self.target = parse_filter(target) if target else None
+
+    @property
+    def mandatory(self):
+        """Whether at least one bound service is required."""
+        return self.cardinality.startswith("1")
+
+    @property
+    def multiple(self):
+        """Whether more than one service may bind."""
+        return self.cardinality.endswith("n")
+
+    def matches(self, reference):
+        """Whether a service reference satisfies this spec."""
+        props = reference.get_properties()
+        if self.interface not in props[OBJECTCLASS]:
+            return False
+        if self.target is not None and not self.target.matches(props):
+            return False
+        return True
+
+
+class ComponentDescription:
+    """Static description of a DS component."""
+
+    def __init__(self, name, factory, provides=None, references=(),
+                 properties=None, immediate=True):
+        self.name = name
+        self.factory = factory
+        self.provides = provides
+        self.references = list(references)
+        self.properties = dict(properties or {})
+        self.immediate = immediate
+
+
+class DSComponent:
+    """A managed DS component instance."""
+
+    def __init__(self, runtime, description, bundle):
+        self.runtime = runtime
+        self.description = description
+        self.bundle = bundle
+        self.instance = None
+        self.registration = None
+        self.active = False
+        #: reference spec name -> list of bound ServiceReference
+        self.bound = {spec.name: [] for spec in description.references}
+
+    # ------------------------------------------------------------------
+    def satisfied(self):
+        """Whether every mandatory reference has a binding candidate."""
+        for spec in self.description.references:
+            if spec.mandatory and not self._candidates(spec):
+                return False
+        return True
+
+    def _candidates(self, spec):
+        return [
+            ref for ref in self.runtime.framework.registry.get_references(
+                spec.interface)
+            if spec.matches(ref)
+        ]
+
+    def _bind_all(self):
+        for spec in self.description.references:
+            candidates = self._candidates(spec)
+            chosen = candidates if spec.multiple else candidates[:1]
+            self.bound[spec.name] = chosen
+
+    def services(self, reference_name):
+        """The bound service objects for a reference, best-first."""
+        registry = self.runtime.framework.registry
+        return [registry.get_service(ref)
+                for ref in self.bound[reference_name]]
+
+    def service(self, reference_name):
+        """The single/best bound service object (None when unbound)."""
+        bound = self.services(reference_name)
+        return bound[0] if bound else None
+
+    # ------------------------------------------------------------------
+    def activate(self):
+        """Instantiate, bind, call activate, register provided service."""
+        if self.active:
+            return
+        self._bind_all()
+        self.instance = self.description.factory(self)
+        if hasattr(self.instance, "activate"):
+            self.instance.activate(self)
+        if self.description.provides:
+            self.registration = self.runtime.framework.registry.register(
+                self.description.provides, self.instance,
+                dict(self.description.properties,
+                     **{"component.name": self.description.name}),
+                bundle=self.bundle)
+        self.active = True
+
+    def deactivate(self):
+        """Unregister, call deactivate, drop the instance."""
+        if not self.active:
+            return
+        self.active = False
+        if self.registration is not None \
+                and not self.registration.unregistered:
+            self.registration.unregister()
+        self.registration = None
+        if self.instance is not None \
+                and hasattr(self.instance, "deactivate"):
+            self.instance.deactivate(self)
+        self.instance = None
+        for name in self.bound:
+            self.bound[name] = []
+
+
+class DSRuntime:
+    """The service-component runtime: watches the registry and drives
+    component activation/deactivation as references come and go."""
+
+    def __init__(self, framework):
+        self.framework = framework
+        self._components = []
+        self._reconciling = False
+        self._dirty = False
+        framework.service_listeners.add(self._on_service_event)
+        framework.bundle_listeners.add(self._on_bundle_event)
+
+    def add_component(self, description, bundle=None):
+        """Register a component description and reconcile at once."""
+        component = DSComponent(self, description, bundle)
+        self._components.append(component)
+        self._reconcile()
+        return component
+
+    def remove_component(self, component):
+        """Deactivate and forget a component.
+
+        Delisted before deactivation so the service events raised by
+        the teardown cannot re-activate it.
+        """
+        self._components.remove(component)
+        component.deactivate()
+        self._reconcile()
+
+    def components(self):
+        """All managed components."""
+        return list(self._components)
+
+    def _on_service_event(self, event):
+        if event.event_type in (ServiceEventType.REGISTERED,
+                                ServiceEventType.UNREGISTERING,
+                                ServiceEventType.MODIFIED):
+            self._reconcile()
+
+    def _on_bundle_event(self, event):
+        if event.event_type is BundleEventType.STOPPED:
+            for component in list(self._components):
+                if component.bundle is event.bundle:
+                    self.remove_component(component)
+
+    def _reconcile(self):
+        """Fixed-point pass: deactivate unsatisfiable components, then
+        activate newly satisfied ones (their registrations may satisfy
+        further components, hence the loop).
+
+        Service events raised *by* activation/deactivation re-enter this
+        method; the guard flag folds them into the running pass.
+        """
+        if self._reconciling:
+            self._dirty = True
+            return
+        self._reconciling = True
+        try:
+            changed = True
+            while changed or self._dirty:
+                changed = False
+                self._dirty = False
+                for component in list(self._components):
+                    if component.active and not component.satisfied():
+                        component.deactivate()
+                        changed = True
+                for component in list(self._components):
+                    if (not component.active and component.satisfied()
+                            and component.description.immediate):
+                        component.activate()
+                        changed = True
+                # Dynamic policy: refresh bindings of components that
+                # stay active (new providers bind, departed ones drop).
+                for component in self._components:
+                    if component.active:
+                        component._bind_all()
+        finally:
+            self._reconciling = False

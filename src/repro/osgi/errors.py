@@ -1,0 +1,42 @@
+"""Exceptions raised by the OSGi substrate."""
+
+
+class OSGiError(Exception):
+    """Base class for all OSGi-layer errors."""
+
+
+class BundleError(OSGiError):
+    """A bundle lifecycle operation failed."""
+
+
+class BundleStateError(BundleError):
+    """The operation is invalid in the bundle's current state."""
+
+
+class ManifestError(OSGiError):
+    """A bundle manifest is malformed."""
+
+
+class ResolutionError(OSGiError):
+    """The wiring resolver could not satisfy a bundle's imports."""
+
+    def __init__(self, message, unresolved=()):
+        super().__init__(message)
+        #: The import clauses that could not be satisfied.
+        self.unresolved = list(unresolved)
+
+
+class InvalidFilterError(OSGiError):
+    """An LDAP filter string failed to parse (RFC 1960 syntax)."""
+
+
+class ServiceError(OSGiError):
+    """A service registry operation failed."""
+
+
+class ServiceUnregisteredError(ServiceError):
+    """The service reference points at an unregistered service."""
+
+
+class VersionError(OSGiError):
+    """A version or version-range string is malformed."""

@@ -1,0 +1,117 @@
+"""Framework, bundle and service events (OSGi Core spec chapter 4/5).
+
+Events are delivered synchronously, in listener registration order --
+the behaviour DRCR depends on ("During execution, the DRCR receives
+notifications from the OSGi framework for component state changes",
+section 2.2).  A listener that raises does not prevent delivery to later
+listeners; the error is recorded as a FrameworkEvent.ERROR.
+"""
+
+import enum
+
+
+class BundleEventType(enum.Enum):
+    """Bundle lifecycle event kinds."""
+
+    INSTALLED = "installed"
+    RESOLVED = "resolved"
+    STARTING = "starting"
+    STARTED = "started"
+    STOPPING = "stopping"
+    STOPPED = "stopped"
+    UPDATED = "updated"
+    UNRESOLVED = "unresolved"
+    UNINSTALLED = "uninstalled"
+
+
+class ServiceEventType(enum.Enum):
+    """Service registry event kinds."""
+
+    REGISTERED = "registered"
+    MODIFIED = "modified"
+    UNREGISTERING = "unregistering"
+
+
+class FrameworkEventType(enum.Enum):
+    """Framework-level event kinds."""
+
+    STARTED = "started"
+    ERROR = "error"
+    STOPPED = "stopped"
+
+
+class BundleEvent:
+    """A change in a bundle's lifecycle state."""
+
+    __slots__ = ("event_type", "bundle")
+
+    def __init__(self, event_type, bundle):
+        self.event_type = event_type
+        self.bundle = bundle
+
+    def __repr__(self):
+        return "BundleEvent(%s, %s)" % (self.event_type.name,
+                                        self.bundle.symbolic_name)
+
+
+class ServiceEvent:
+    """A change in the service registry."""
+
+    __slots__ = ("event_type", "reference")
+
+    def __init__(self, event_type, reference):
+        self.event_type = event_type
+        self.reference = reference
+
+    def __repr__(self):
+        return "ServiceEvent(%s, %s)" % (self.event_type.name,
+                                         self.reference)
+
+
+class FrameworkEvent:
+    """A framework-level occurrence (start, stop, listener error)."""
+
+    __slots__ = ("event_type", "source", "error")
+
+    def __init__(self, event_type, source=None, error=None):
+        self.event_type = event_type
+        self.source = source
+        self.error = error
+
+    def __repr__(self):
+        return "FrameworkEvent(%s, %r)" % (self.event_type.name, self.error)
+
+
+class ListenerList:
+    """Ordered listener collection with error isolation."""
+
+    def __init__(self, on_error=None):
+        self._listeners = []
+        self._on_error = on_error
+
+    def add(self, listener):
+        """Register a listener (idempotent)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove(self, listener):
+        """Unregister a listener (ignores unknown listeners)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def __len__(self):
+        return len(self._listeners)
+
+    def __iter__(self):
+        return iter(list(self._listeners))
+
+    def deliver(self, event):
+        """Call every listener with ``event``; isolate failures."""
+        for listener in list(self._listeners):
+            try:
+                listener(event)
+            except Exception as error:  # noqa: BLE001 -- spec behaviour
+                if self._on_error is not None:
+                    self._on_error(listener, event, error)

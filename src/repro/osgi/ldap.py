@@ -1,0 +1,393 @@
+"""RFC 1960 LDAP search filters, as used by the OSGi service registry.
+
+The paper points out that OSGi composition "is still largely based on
+import and export of java packages resolved by the LDAP filter"
+(section 2.1); both the service registry queries and Declarative
+Services target filters go through this implementation.
+
+Grammar (RFC 1960)::
+
+    filter     = '(' filtercomp ')'
+    filtercomp = and | or | not | item
+    and        = '&' filterlist
+    or         = '|' filterlist
+    not        = '!' filter
+    filterlist = 1*filter
+    item       = simple | present | substring
+    simple     = attr filtertype value
+    filtertype = '=' | '~=' | '>=' | '<='
+    present    = attr '=*'
+    substring  = attr '=' [initial] any [final]
+
+Matching follows the OSGi framework rules: attribute names are
+case-insensitive; values coerce to the attribute's type (numbers compare
+numerically, :class:`~repro.osgi.version.Version` values compare as
+versions, lists match if any element matches).
+"""
+
+from repro.osgi.errors import InvalidFilterError
+from repro.osgi.version import Version
+
+
+def escape(value):
+    """Escape a literal value for embedding in a filter string."""
+    out = []
+    for ch in str(value):
+        if ch in "\\*()":
+            out.append("\\" + ch)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+class FilterNode:
+    """Base class for parsed filter nodes."""
+
+    def matches(self, props):
+        """Evaluate against a properties mapping."""
+        raise NotImplementedError
+
+
+class AndNode(FilterNode):
+    """Conjunction of sub-filters."""
+
+    def __init__(self, children):
+        self.children = children
+
+    def matches(self, props):
+        return all(child.matches(props) for child in self.children)
+
+    def __str__(self):
+        return "(&%s)" % "".join(str(c) for c in self.children)
+
+
+class OrNode(FilterNode):
+    """Disjunction of sub-filters."""
+
+    def __init__(self, children):
+        self.children = children
+
+    def matches(self, props):
+        return any(child.matches(props) for child in self.children)
+
+    def __str__(self):
+        return "(|%s)" % "".join(str(c) for c in self.children)
+
+
+class NotNode(FilterNode):
+    """Negation of one sub-filter."""
+
+    def __init__(self, child):
+        self.child = child
+
+    def matches(self, props):
+        return not self.child.matches(props)
+
+    def __str__(self):
+        return "(!%s)" % self.child
+
+
+class PresentNode(FilterNode):
+    """``(attr=*)`` -- attribute presence."""
+
+    def __init__(self, attr):
+        self.attr = attr
+
+    def matches(self, props):
+        return _lookup(props, self.attr) is not _MISSING
+
+    def __str__(self):
+        return "(%s=*)" % self.attr
+
+
+class SubstringNode(FilterNode):
+    """``(attr=ini*mid*fin)`` -- wildcard string match."""
+
+    def __init__(self, attr, parts):
+        self.attr = attr
+        self.parts = parts  # list of literal chunks; '' marks wildcards
+
+    def matches(self, props):
+        value = _lookup(props, self.attr)
+        if value is _MISSING:
+            return False
+        return _any_value(value, self._match_one)
+
+    def _match_one(self, value):
+        text = str(value)
+        chunks = self.parts
+        position = 0
+        # First chunk anchors at the start when non-empty.
+        first = chunks[0]
+        if first:
+            if not text.startswith(first):
+                return False
+            position = len(first)
+        last = chunks[-1]
+        middle = chunks[1:-1] if len(chunks) > 1 else []
+        for chunk in middle:
+            if not chunk:
+                continue
+            index = text.find(chunk, position)
+            if index < 0:
+                return False
+            position = index + len(chunk)
+        if len(chunks) > 1 and last:
+            if not text.endswith(last):
+                return False
+            if len(text) - len(last) < position:
+                return False
+        return True
+
+    def __str__(self):
+        return "(%s=%s)" % (self.attr,
+                            "*".join(escape(p) for p in self.parts))
+
+
+class CompareNode(FilterNode):
+    """``=``, ``~=``, ``>=`` and ``<=`` comparisons."""
+
+    def __init__(self, attr, op, value):
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def matches(self, props):
+        actual = _lookup(props, self.attr)
+        if actual is _MISSING:
+            return False
+        return _any_value(actual, self._match_one)
+
+    def _match_one(self, actual):
+        expected = _coerce(self.value, actual)
+        if expected is _MISSING:
+            return False
+        if self.op == "=":
+            return actual == expected
+        if self.op == "~=":
+            return _approx(actual) == _approx(expected)
+        try:
+            if self.op == ">=":
+                return actual >= expected
+            if self.op == "<=":
+                return actual <= expected
+        except TypeError:
+            return False
+        raise InvalidFilterError("unknown operator %r" % (self.op,))
+
+    def __str__(self):
+        return "(%s%s%s)" % (self.attr, self.op, escape(self.value))
+
+
+_MISSING = object()
+
+
+def _lookup(props, attr):
+    """Case-insensitive property lookup."""
+    if attr in props:
+        return props[attr]
+    lowered = attr.lower()
+    for key, value in props.items():
+        if isinstance(key, str) and key.lower() == lowered:
+            return value
+    return _MISSING
+
+
+def _any_value(value, predicate):
+    """Lists/tuples/sets match if any element matches (OSGi rule)."""
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return any(predicate(item) for item in value)
+    return predicate(value)
+
+
+def _coerce(text, actual):
+    """Coerce the filter's string value to the actual value's type."""
+    if isinstance(actual, bool):
+        lowered = text.strip().lower()
+        if lowered in ("true", "false"):
+            return lowered == "true"
+        return _MISSING
+    if isinstance(actual, int):
+        try:
+            return int(text)
+        except ValueError:
+            return _MISSING
+    if isinstance(actual, float):
+        try:
+            return float(text)
+        except ValueError:
+            return _MISSING
+    if isinstance(actual, Version):
+        try:
+            return Version.parse(text)
+        except Exception:
+            return _MISSING
+    return text
+
+
+def _approx(value):
+    """Approximate matching: case-fold and strip whitespace."""
+    return "".join(str(value).split()).lower()
+
+
+class _Parser:
+    """Recursive-descent RFC 1960 parser."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def parse(self):
+        node = self._parse_filter()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise InvalidFilterError(
+                "trailing characters after filter: %r"
+                % self.text[self.pos:])
+        return node
+
+    # -- plumbing -------------------------------------------------------
+    def _peek(self):
+        if self.pos >= len(self.text):
+            raise InvalidFilterError("unexpected end of filter %r"
+                                     % self.text)
+        return self.text[self.pos]
+
+    def _take(self, expected=None):
+        ch = self._peek()
+        if expected is not None and ch != expected:
+            raise InvalidFilterError(
+                "expected %r at position %d of %r"
+                % (expected, self.pos, self.text))
+        self.pos += 1
+        return ch
+
+    def _skip_ws(self):
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    # -- grammar --------------------------------------------------------
+    def _parse_filter(self):
+        self._skip_ws()
+        self._take("(")
+        self._skip_ws()
+        ch = self._peek()
+        if ch == "&":
+            self._take()
+            node = AndNode(self._parse_filter_list())
+        elif ch == "|":
+            self._take()
+            node = OrNode(self._parse_filter_list())
+        elif ch == "!":
+            self._take()
+            node = NotNode(self._parse_filter())
+        else:
+            node = self._parse_item()
+        self._skip_ws()
+        self._take(")")
+        return node
+
+    def _parse_filter_list(self):
+        children = []
+        while True:
+            self._skip_ws()
+            if self._peek() != "(":
+                break
+            children.append(self._parse_filter())
+        if not children:
+            raise InvalidFilterError(
+                "empty filter list at position %d of %r"
+                % (self.pos, self.text))
+        return children
+
+    def _parse_item(self):
+        attr = self._parse_attr()
+        ch = self._take()
+        if ch in "~><":
+            self._take("=")
+            op = ch + "="
+            value, wildcards = self._parse_value()
+            if wildcards:
+                raise InvalidFilterError(
+                    "wildcards not allowed with %r" % op)
+            return CompareNode(attr, op, value[0])
+        if ch != "=":
+            raise InvalidFilterError(
+                "expected an operator at position %d of %r"
+                % (self.pos - 1, self.text))
+        value, wildcards = self._parse_value()
+        if not wildcards:
+            return CompareNode(attr, "=", value[0])
+        if value == ["", ""]:
+            return PresentNode(attr)
+        return SubstringNode(attr, value)
+
+    def _parse_attr(self):
+        start = self.pos
+        while self._peek() not in "=~<>()":
+            self.pos += 1
+        attr = self.text[start:self.pos].strip()
+        if not attr:
+            raise InvalidFilterError(
+                "empty attribute at position %d of %r" % (start, self.text))
+        return attr
+
+    def _parse_value(self):
+        """Return (chunks, had_wildcards): chunks are literals between
+        ``*`` wildcards; a plain value is a single chunk."""
+        chunks = [""]
+        wildcards = False
+        while True:
+            ch = self._peek()
+            if ch == ")":
+                break
+            self._take()
+            if ch == "\\":
+                chunks[-1] += self._take()
+            elif ch == "*":
+                wildcards = True
+                chunks.append("")
+            elif ch == "(":
+                raise InvalidFilterError(
+                    "unescaped '(' in value of %r" % self.text)
+            else:
+                chunks[-1] += ch
+        return chunks, wildcards
+
+
+class LDAPFilter:
+    """A compiled LDAP filter.
+
+    ``LDAPFilter("(&(objectclass=camera)(cpuusage<=0.2))").matches(props)``
+    """
+
+    def __init__(self, text):
+        if isinstance(text, LDAPFilter):
+            self.text = text.text
+            self.root = text.root
+            return
+        self.text = text
+        self.root = _Parser(text).parse()
+
+    def matches(self, props):
+        """Evaluate the filter against a properties mapping."""
+        return self.root.matches(props)
+
+    def __eq__(self, other):
+        if not isinstance(other, LDAPFilter):
+            return NotImplemented
+        return str(self.root) == str(other.root)
+
+    def __hash__(self):
+        return hash(str(self.root))
+
+    def __str__(self):
+        return str(self.root)
+
+    def __repr__(self):
+        return "LDAPFilter(%r)" % self.text
+
+
+def parse_filter(text):
+    """Compile ``text`` into an :class:`LDAPFilter` (idempotent)."""
+    return LDAPFilter(text)

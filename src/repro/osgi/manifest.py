@@ -1,0 +1,167 @@
+"""Bundle manifest parsing (OSGi Core spec section 3.2.4 header syntax).
+
+A manifest is a mapping of headers; list-valued headers
+(``Import-Package``, ``Export-Package``, ...) hold comma-separated
+*clauses*, each with one or more paths plus ``attr=value`` attributes and
+``dir:=value`` directives::
+
+    Import-Package: ua.pats.control;version="[1.0,2.0)",ua.pats.io
+    Export-Package: ua.pats.camera;version=1.2
+    RT-Component: OSGI-INF/camera.xml
+
+The ``RT-Component`` header plays the role Declarative Services'
+``Service-Component`` header plays in the paper's prototype: it points at
+the DRCom XML descriptors inside the bundle that the DRCR runtime parses
+on arrival (section 2.2: "When the component is deployed into the
+system, the DRCR service will automatically parse its real-time
+component configuration").
+"""
+
+from repro.osgi.errors import ManifestError
+from repro.osgi.version import Version, VersionRange
+
+#: Manifest header naming the bundle's DRCom descriptor resources.
+RT_COMPONENT_HEADER = "RT-Component"
+
+#: Manifest header naming the bundle's application (grouped-component)
+#: descriptor resources.
+RT_APPLICATION_HEADER = "RT-Application"
+
+
+class HeaderClause:
+    """One clause of a list-valued manifest header."""
+
+    __slots__ = ("paths", "attributes", "directives")
+
+    def __init__(self, paths, attributes=None, directives=None):
+        self.paths = list(paths)
+        self.attributes = dict(attributes or {})
+        self.directives = dict(directives or {})
+
+    @property
+    def path(self):
+        """The first (usually only) path of the clause."""
+        return self.paths[0]
+
+    def version_range(self, default="0.0.0"):
+        """The clause's ``version`` attribute as a range (imports)."""
+        return VersionRange.parse(self.attributes.get("version", default))
+
+    def version(self, default="0.0.0"):
+        """The clause's ``version`` attribute as a version (exports)."""
+        return Version.parse(self.attributes.get("version", default))
+
+    def __repr__(self):
+        return "HeaderClause(%r, attrs=%r, dirs=%r)" % (
+            self.paths, self.attributes, self.directives)
+
+
+def _split_quoted(text, separator):
+    """Split on ``separator`` outside double quotes."""
+    parts = []
+    current = []
+    in_quote = False
+    for ch in text:
+        if ch == '"':
+            in_quote = not in_quote
+            current.append(ch)
+        elif ch == separator and not in_quote:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    if in_quote:
+        raise ManifestError("unterminated quote in header: %r" % (text,))
+    return parts
+
+
+def _unquote(value):
+    value = value.strip()
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        return value[1:-1]
+    return value
+
+
+def parse_header(text):
+    """Parse a list-valued header into :class:`HeaderClause` objects."""
+    if text is None:
+        return []
+    clauses = []
+    for raw_clause in _split_quoted(text, ","):
+        raw_clause = raw_clause.strip()
+        if not raw_clause:
+            continue
+        paths = []
+        attributes = {}
+        directives = {}
+        for part in _split_quoted(raw_clause, ";"):
+            part = part.strip()
+            if not part:
+                continue
+            if ":=" in part:
+                key, _, value = part.partition(":=")
+                directives[key.strip()] = _unquote(value)
+            elif "=" in part:
+                key, _, value = part.partition("=")
+                attributes[key.strip()] = _unquote(value)
+            else:
+                paths.append(part)
+        if not paths:
+            raise ManifestError(
+                "header clause without a path: %r" % (raw_clause,))
+        clauses.append(HeaderClause(paths, attributes, directives))
+    return clauses
+
+
+class BundleManifest:
+    """Parsed view of a bundle's headers."""
+
+    def __init__(self, headers):
+        self.headers = dict(headers)
+        symbolic = self.headers.get("Bundle-SymbolicName")
+        if not symbolic:
+            raise ManifestError("Bundle-SymbolicName header is required")
+        clauses = parse_header(symbolic)
+        self.symbolic_name = clauses[0].path
+        self.version = Version.parse(
+            self.headers.get("Bundle-Version", "0.0.0"))
+        self.name = self.headers.get("Bundle-Name", self.symbolic_name)
+        self.activator = self.headers.get("Bundle-Activator")
+        self.imports = parse_header(self.headers.get("Import-Package"))
+        self.exports = parse_header(self.headers.get("Export-Package"))
+        self.rt_components = [
+            clause.path for clause in
+            parse_header(self.headers.get(RT_COMPONENT_HEADER))
+        ]
+        self.rt_applications = [
+            clause.path for clause in
+            parse_header(self.headers.get(RT_APPLICATION_HEADER))
+        ]
+        self._check_duplicate_imports()
+
+    def _check_duplicate_imports(self):
+        seen = set()
+        for clause in self.imports:
+            for path in clause.paths:
+                if path in seen:
+                    raise ManifestError(
+                        "package %r imported twice" % (path,))
+                seen.add(path)
+
+    def exported_packages(self):
+        """Yield ``(package, version, attributes)`` for every export."""
+        for clause in self.exports:
+            for path in clause.paths:
+                yield path, clause.version(), dict(clause.attributes)
+
+    def imported_packages(self):
+        """Yield ``(package, version_range, attributes, optional)``."""
+        for clause in self.imports:
+            optional = clause.directives.get("resolution") == "optional"
+            for path in clause.paths:
+                yield (path, clause.version_range(), dict(clause.attributes),
+                       optional)
+
+    def __repr__(self):
+        return "BundleManifest(%s %s)" % (self.symbolic_name, self.version)

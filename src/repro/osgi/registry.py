@@ -1,0 +1,113 @@
+"""The OSGi service registry.
+
+This is the discovery backbone the paper's framework rides on: DRCR
+registers each component's real-time management interface here together
+with the component's properties, "so it can be discovered dynamically
+and allow other OSGi modules to participate in the dynamic
+reconfiguration activities" (section 2.4), and customized resolving
+services are plugged in through it (section 1).
+
+Queries combine an interface name with an optional RFC 1960 LDAP filter
+(:mod:`repro.osgi.ldap`).
+"""
+
+import itertools
+
+from repro.osgi.events import ServiceEvent, ServiceEventType
+from repro.osgi.ldap import parse_filter
+from repro.osgi.services import OBJECTCLASS, ServiceRegistration
+
+
+class ServiceRegistry:
+    """Registry of services with LDAP-filter queries and events."""
+
+    def __init__(self, listeners=None):
+        self._registrations = []
+        self._ids = itertools.count(1)
+        #: :class:`repro.osgi.events.ListenerList` for ServiceEvents;
+        #: injected by the framework (kept optional for standalone use).
+        self.listeners = listeners
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, classes, service, properties=None, bundle=None):
+        """Register ``service`` under one or more interface names.
+
+        ``classes`` may be a string or a list of strings.  Returns the
+        :class:`ServiceRegistration`.
+        """
+        if isinstance(classes, str):
+            classes = [classes]
+        if not classes:
+            raise ValueError("at least one interface name is required")
+        registration = ServiceRegistration(
+            self, bundle, classes, service, properties, next(self._ids))
+        self._registrations.append(registration)
+        self._emit(ServiceEventType.REGISTERED, registration)
+        return registration
+
+    def _unregister(self, registration):
+        # Remove before emitting: listeners reacting to UNREGISTERING
+        # (e.g. the DS runtime re-checking satisfaction, or DRCR
+        # re-resolving) must observe a registry without the departing
+        # service, otherwise departure handling never converges.
+        self._registrations.remove(registration)
+        self._emit(ServiceEventType.UNREGISTERING, registration)
+
+    def _service_modified(self, registration):
+        self._emit(ServiceEventType.MODIFIED, registration)
+
+    def _emit(self, event_type, registration):
+        if self.listeners is not None:
+            self.listeners.deliver(
+                ServiceEvent(event_type, registration._reference))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get_references(self, clazz=None, filter_text=None):
+        """Find references by interface and/or LDAP filter.
+
+        Results are sorted best-first (ranking desc, service.id asc).
+        """
+        compiled = parse_filter(filter_text) if filter_text else None
+        matches = []
+        for registration in self._registrations:
+            props = registration.properties
+            if clazz is not None and clazz not in props[OBJECTCLASS]:
+                continue
+            if compiled is not None and not compiled.matches(props):
+                continue
+            matches.append(registration._reference)
+        matches.sort(key=lambda ref: ref.sort_key())
+        return matches
+
+    def get_reference(self, clazz=None, filter_text=None):
+        """The best matching reference, or ``None``."""
+        refs = self.get_references(clazz, filter_text)
+        return refs[0] if refs else None
+
+    def get_service(self, reference):
+        """Obtain the service object behind a reference."""
+        registration = reference.registration
+        if registration.unregistered:
+            return None
+        return registration.service
+
+    def unregister_all_for_bundle(self, bundle):
+        """Withdraw every service a bundle registered (bundle stop)."""
+        for registration in [r for r in self._registrations
+                             if r.bundle is bundle]:
+            if not registration.unregistered:  # cascades may beat us
+                registration.unregister()
+
+    def __len__(self):
+        return len(self._registrations)
+
+    def snapshot(self):
+        """A list of (interfaces, properties) for debugging/inspection."""
+        return [
+            (list(r.properties[OBJECTCLASS]), dict(r.properties))
+            for r in self._registrations
+        ]

@@ -1,0 +1,135 @@
+"""Service registrations and references (OSGi Core spec chapter 5).
+
+A *registration* is the provider-side handle (modify properties,
+unregister); a *reference* is the consumer-side handle (inspect
+properties, obtain the service object).  Standard service properties:
+
+* ``objectClass`` -- list of interface names the service is registered
+  under,
+* ``service.id`` -- unique, monotonically increasing integer,
+* ``service.ranking`` -- integer, higher wins in "best reference"
+  selection (ties broken by lowest ``service.id``).
+"""
+
+from repro.osgi.errors import ServiceUnregisteredError
+
+OBJECTCLASS = "objectClass"
+SERVICE_ID = "service.id"
+SERVICE_RANKING = "service.ranking"
+
+
+class ServiceReference:
+    """Consumer-side handle to a registered service."""
+
+    def __init__(self, registration):
+        self._registration = registration
+
+    @property
+    def registration(self):
+        """The provider-side registration (internal use)."""
+        return self._registration
+
+    @property
+    def bundle(self):
+        """The bundle that registered the service (None if unregistered)."""
+        return self._registration.bundle
+
+    @property
+    def object_classes(self):
+        """Interface names the service is registered under."""
+        return list(self._registration.properties[OBJECTCLASS])
+
+    @property
+    def service_id(self):
+        """The unique service id."""
+        return self._registration.properties[SERVICE_ID]
+
+    @property
+    def ranking(self):
+        """The service ranking (default 0)."""
+        value = self._registration.properties.get(SERVICE_RANKING, 0)
+        return value if isinstance(value, int) else 0
+
+    def get_property(self, key):
+        """Read one service property (None when absent)."""
+        return self._registration.properties.get(key)
+
+    def get_properties(self):
+        """A copy of all service properties."""
+        return dict(self._registration.properties)
+
+    def sort_key(self):
+        """Ordering key: best reference first."""
+        return (-self.ranking, self.service_id)
+
+    def __eq__(self, other):
+        if not isinstance(other, ServiceReference):
+            return NotImplemented
+        return self._registration is other._registration
+
+    def __hash__(self):
+        return id(self._registration)
+
+    def __repr__(self):
+        classes = ",".join(self.object_classes)
+        return "ServiceReference(%s, id=%d)" % (classes, self.service_id)
+
+
+class ServiceRegistration:
+    """Provider-side handle to a registered service."""
+
+    def __init__(self, registry, bundle, classes, service, properties,
+                 service_id):
+        self._registry = registry
+        self.bundle = bundle
+        self.service = service
+        self.properties = dict(properties or {})
+        self.properties[OBJECTCLASS] = list(classes)
+        self.properties[SERVICE_ID] = service_id
+        self._reference = ServiceReference(self)
+        self._unregistered = False
+
+    @property
+    def reference(self):
+        """The consumer-side reference for this registration."""
+        if self._unregistered:
+            raise ServiceUnregisteredError(
+                "service %d already unregistered"
+                % self.properties[SERVICE_ID])
+        return self._reference
+
+    @property
+    def unregistered(self):
+        """Whether :meth:`unregister` has run."""
+        return self._unregistered
+
+    def set_properties(self, properties):
+        """Replace the user properties (objectClass/service.id kept);
+        emits a MODIFIED service event."""
+        if self._unregistered:
+            raise ServiceUnregisteredError("cannot modify unregistered "
+                                           "service")
+        preserved = {
+            OBJECTCLASS: self.properties[OBJECTCLASS],
+            SERVICE_ID: self.properties[SERVICE_ID],
+        }
+        self.properties = dict(properties or {})
+        self.properties.update(preserved)
+        self._registry._service_modified(self)
+
+    def unregister(self):
+        """Withdraw the service; emits UNREGISTERING after removal.
+
+        The flag flips *before* the event goes out so re-entrant
+        listeners (a component deactivating in response) see the
+        registration as already gone and don't unregister it twice.
+        """
+        if self._unregistered:
+            raise ServiceUnregisteredError("service already unregistered")
+        self._unregistered = True
+        self._registry._unregister(self)
+
+    def __repr__(self):
+        return "ServiceRegistration(%s, id=%s)" % (
+            ",".join(self.properties[OBJECTCLASS]),
+            self.properties[SERVICE_ID])

@@ -1,0 +1,118 @@
+"""ServiceTracker (OSGi compendium chapter 701).
+
+Tracks services matching an interface and/or LDAP filter, with add /
+modified / removed callbacks.  DRCR uses a tracker to discover
+*customized resolving services* as they come and go (the paper's
+"resolving service to provide customized real-time admission and
+adaptation service, which can be plugged into the DRCR runtime by using
+OSGi service model", section 1).
+"""
+
+from repro.osgi.events import ServiceEventType
+from repro.osgi.ldap import parse_filter
+from repro.osgi.services import OBJECTCLASS
+
+
+class ServiceTracker:
+    """Tracks matching services; call :meth:`open` to start."""
+
+    def __init__(self, framework, clazz=None, filter_text=None,
+                 on_added=None, on_modified=None, on_removed=None):
+        if clazz is None and filter_text is None:
+            raise ValueError("need an interface name or a filter")
+        self._framework = framework
+        self._clazz = clazz
+        self._filter = parse_filter(filter_text) if filter_text else None
+        self._on_added = on_added
+        self._on_modified = on_modified
+        self._on_removed = on_removed
+        self._tracked = {}
+        self._open = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self):
+        """Start tracking: existing matches are reported as added."""
+        if self._open:
+            return
+        self._open = True
+        self._framework.service_listeners.add(self._on_event)
+        for reference in self._framework.registry.get_references(
+                self._clazz, str(self._filter) if self._filter else None):
+            self._track(reference)
+
+    def close(self):
+        """Stop tracking: tracked services are reported as removed."""
+        if not self._open:
+            return
+        self._open = False
+        self._framework.service_listeners.remove(self._on_event)
+        for reference in list(self._tracked):
+            self._untrack(reference)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def tracking_count(self):
+        """Number of currently tracked services."""
+        return len(self._tracked)
+
+    def get_references(self):
+        """Tracked references, best-first."""
+        refs = list(self._tracked)
+        refs.sort(key=lambda ref: ref.sort_key())
+        return refs
+
+    def get_services(self):
+        """Tracked service objects, best-first."""
+        return [self._tracked[ref] for ref in self.get_references()]
+
+    def get_service(self):
+        """The best tracked service object, or None."""
+        refs = self.get_references()
+        return self._tracked[refs[0]] if refs else None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _matches(self, reference):
+        props = reference.get_properties()
+        if self._clazz is not None \
+                and self._clazz not in props[OBJECTCLASS]:
+            return False
+        if self._filter is not None and not self._filter.matches(props):
+            return False
+        return True
+
+    def _track(self, reference):
+        service = self._framework.registry.get_service(reference)
+        if service is None:
+            return
+        self._tracked[reference] = service
+        if self._on_added is not None:
+            self._on_added(reference, service)
+
+    def _untrack(self, reference):
+        service = self._tracked.pop(reference, None)
+        if service is not None and self._on_removed is not None:
+            self._on_removed(reference, service)
+
+    def _on_event(self, event):
+        reference = event.reference
+        if event.event_type is ServiceEventType.REGISTERED:
+            if self._matches(reference):
+                self._track(reference)
+        elif event.event_type is ServiceEventType.MODIFIED:
+            matches = self._matches(reference)
+            tracked = reference in self._tracked
+            if matches and not tracked:
+                self._track(reference)
+            elif not matches and tracked:
+                self._untrack(reference)
+            elif matches and tracked and self._on_modified is not None:
+                self._on_modified(reference, self._tracked[reference])
+        elif event.event_type is ServiceEventType.UNREGISTERING:
+            if reference in self._tracked:
+                self._untrack(reference)

@@ -1,0 +1,154 @@
+"""OSGi versions and version ranges (OSGi Core spec section 3.2).
+
+A version is ``major.minor.micro.qualifier``; a range is either a single
+version (meaning ``[v, infinity)``) or an interval like ``[1.0, 2.0)``
+with inclusive/exclusive brackets.  These drive Import-Package /
+Export-Package matching in :mod:`repro.osgi.wiring`.
+"""
+
+import functools
+import re
+
+from repro.osgi.errors import VersionError
+
+_QUALIFIER_RE = re.compile(r"^[A-Za-z0-9_-]*$")
+
+
+@functools.total_ordering
+class Version:
+    """An OSGi version: three numeric parts plus a string qualifier."""
+
+    __slots__ = ("major", "minor", "micro", "qualifier")
+
+    def __init__(self, major=0, minor=0, micro=0, qualifier=""):
+        for part in (major, minor, micro):
+            if not isinstance(part, int) or part < 0:
+                raise VersionError(
+                    "version parts must be non-negative ints, got %r"
+                    % (part,))
+        if not _QUALIFIER_RE.match(qualifier):
+            raise VersionError("invalid qualifier: %r" % (qualifier,))
+        self.major = major
+        self.minor = minor
+        self.micro = micro
+        self.qualifier = qualifier
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"1.2.3.beta"`` (missing parts default to zero)."""
+        if isinstance(text, Version):
+            return text
+        if text is None or text == "":
+            return cls()
+        parts = str(text).strip().split(".")
+        if len(parts) > 4:
+            raise VersionError("too many version segments in %r" % (text,))
+        numbers = []
+        for part in parts[:3]:
+            if not part.isdigit():
+                raise VersionError(
+                    "numeric version segment expected in %r" % (text,))
+            numbers.append(int(part))
+        while len(numbers) < 3:
+            numbers.append(0)
+        qualifier = parts[3] if len(parts) == 4 else ""
+        return cls(numbers[0], numbers[1], numbers[2], qualifier)
+
+    def _key(self):
+        return (self.major, self.minor, self.micro, self.qualifier)
+
+    def __eq__(self, other):
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other):
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __str__(self):
+        base = "%d.%d.%d" % (self.major, self.minor, self.micro)
+        if self.qualifier:
+            return base + "." + self.qualifier
+        return base
+
+    def __repr__(self):
+        return "Version(%s)" % self
+
+
+class VersionRange:
+    """An OSGi version range with inclusive/exclusive endpoints."""
+
+    __slots__ = ("floor", "ceiling", "floor_inclusive", "ceiling_inclusive")
+
+    def __init__(self, floor, ceiling=None, floor_inclusive=True,
+                 ceiling_inclusive=False):
+        self.floor = floor
+        self.ceiling = ceiling
+        self.floor_inclusive = floor_inclusive
+        self.ceiling_inclusive = ceiling_inclusive
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"1.0"`` (at-least) or ``"[1.0,2.0)"`` (interval)."""
+        if isinstance(text, VersionRange):
+            return text
+        text = str(text).strip()
+        if not text:
+            return cls(Version())
+        if text[0] in "[(":
+            if text[-1] not in "])":
+                raise VersionError("unterminated version range: %r"
+                                   % (text,))
+            body = text[1:-1]
+            if "," not in body:
+                raise VersionError("interval range needs two versions: %r"
+                                   % (text,))
+            low_text, high_text = body.split(",", 1)
+            return cls(
+                Version.parse(low_text),
+                Version.parse(high_text),
+                floor_inclusive=text[0] == "[",
+                ceiling_inclusive=text[-1] == "]",
+            )
+        return cls(Version.parse(text))
+
+    def includes(self, version):
+        """Whether ``version`` falls inside the range."""
+        version = Version.parse(version)
+        if self.floor_inclusive:
+            if version < self.floor:
+                return False
+        elif version <= self.floor:
+            return False
+        if self.ceiling is None:
+            return True
+        if self.ceiling_inclusive:
+            return version <= self.ceiling
+        return version < self.ceiling
+
+    def __eq__(self, other):
+        if not isinstance(other, VersionRange):
+            return NotImplemented
+        return (self.floor, self.ceiling, self.floor_inclusive,
+                self.ceiling_inclusive) == (
+                    other.floor, other.ceiling, other.floor_inclusive,
+                    other.ceiling_inclusive)
+
+    def __hash__(self):
+        return hash((self.floor, self.ceiling, self.floor_inclusive,
+                     self.ceiling_inclusive))
+
+    def __str__(self):
+        if self.ceiling is None:
+            return str(self.floor)
+        return "%s%s,%s%s" % ("[" if self.floor_inclusive else "(",
+                              self.floor, self.ceiling,
+                              "]" if self.ceiling_inclusive else ")")
+
+    def __repr__(self):
+        return "VersionRange(%s)" % self

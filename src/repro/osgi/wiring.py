@@ -1,0 +1,183 @@
+"""Package wiring: matching Import-Package against Export-Package.
+
+This is the module-layer resolution the paper contrasts DRCom with
+("composition of modules is still largely based on import and export of
+java packages", section 2.1).  The resolver implements the core OSGi
+selection rules: package name equality, version-range inclusion,
+arbitrary attribute matching, preference for already-resolved exporters,
+then highest export version, then lowest bundle id.
+"""
+
+from repro.osgi.errors import ResolutionError
+
+
+class ExportedPackage:
+    """One package a bundle offers."""
+
+    __slots__ = ("package", "version", "attributes", "bundle")
+
+    def __init__(self, package, version, attributes, bundle):
+        self.package = package
+        self.version = version
+        self.attributes = attributes
+        self.bundle = bundle
+
+    def satisfies(self, import_clause):
+        """Whether this export can satisfy an :class:`ImportedPackage`."""
+        if self.package != import_clause.package:
+            return False
+        if not import_clause.version_range.includes(self.version):
+            return False
+        for key, expected in import_clause.attributes.items():
+            if key == "version":
+                continue
+            if str(self.attributes.get(key)) != str(expected):
+                return False
+        return True
+
+    def __repr__(self):
+        return "ExportedPackage(%s %s by %s)" % (
+            self.package, self.version, self.bundle.symbolic_name)
+
+
+class ImportedPackage:
+    """One package a bundle requires."""
+
+    __slots__ = ("package", "version_range", "attributes", "optional",
+                 "bundle")
+
+    def __init__(self, package, version_range, attributes, optional,
+                 bundle):
+        self.package = package
+        self.version_range = version_range
+        self.attributes = attributes
+        self.optional = optional
+        self.bundle = bundle
+
+    def __repr__(self):
+        return "ImportedPackage(%s %s for %s)" % (
+            self.package, self.version_range, self.bundle.symbolic_name)
+
+
+class Wire:
+    """A resolved import: importer -> exporter for one package."""
+
+    __slots__ = ("importer", "exporter", "imported", "exported")
+
+    def __init__(self, imported, exported):
+        self.imported = imported
+        self.exported = exported
+        self.importer = imported.bundle
+        self.exporter = exported.bundle
+
+    def __repr__(self):
+        return "Wire(%s: %s -> %s)" % (
+            self.imported.package, self.importer.symbolic_name,
+            self.exporter.symbolic_name)
+
+
+class WiringResolver:
+    """Resolves bundles' imports against the framework's export space."""
+
+    def __init__(self):
+        #: package name -> list of ExportedPackage
+        self._exports = {}
+        #: bundle -> list of Wire
+        self._wires = {}
+
+    # ------------------------------------------------------------------
+    # export space maintenance
+    # ------------------------------------------------------------------
+    def offer_exports(self, bundle):
+        """Publish a bundle's exports (when it becomes resolvable)."""
+        for package, version, attributes in bundle.manifest \
+                .exported_packages():
+            export = ExportedPackage(package, version, attributes, bundle)
+            self._exports.setdefault(package, []).append(export)
+
+    def withdraw_exports(self, bundle):
+        """Remove a bundle's exports (uninstall/refresh)."""
+        for package in list(self._exports):
+            remaining = [e for e in self._exports[package]
+                         if e.bundle is not bundle]
+            if remaining:
+                self._exports[package] = remaining
+            else:
+                del self._exports[package]
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, bundle):
+        """Wire all of a bundle's imports; raises ResolutionError if a
+        mandatory import has no matching export.
+
+        Returns the list of :class:`Wire` created.  Optional imports
+        that cannot be satisfied are skipped.
+        """
+        imports = [
+            ImportedPackage(pkg, rng, attrs, optional, bundle)
+            for pkg, rng, attrs, optional
+            in bundle.manifest.imported_packages()
+        ]
+        wires = []
+        unresolved = []
+        for imported in imports:
+            export = self._select_export(imported)
+            if export is None:
+                if imported.optional:
+                    continue
+                unresolved.append(imported)
+                continue
+            wires.append(Wire(imported, export))
+        if unresolved:
+            raise ResolutionError(
+                "bundle %s has unsatisfied imports: %s" % (
+                    bundle.symbolic_name,
+                    ", ".join("%s %s" % (u.package, u.version_range)
+                              for u in unresolved)),
+                unresolved=unresolved)
+        self._wires[bundle] = wires
+        return wires
+
+    def _select_export(self, imported):
+        candidates = [
+            export for export in self._exports.get(imported.package, ())
+            if export.satisfies(imported)
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=self._preference_key)
+        return candidates[0]
+
+    def _preference_key(self, export):
+        resolved = 0 if export.bundle.is_resolved else 1
+        # Negative tuple trick is unreadable for versions; sort by
+        # (resolved-first, version desc, bundle id asc) explicitly.
+        return (resolved,
+                (-export.version.major, -export.version.minor,
+                 -export.version.micro),
+                export.bundle.bundle_id)
+
+    # ------------------------------------------------------------------
+    # introspection / teardown
+    # ------------------------------------------------------------------
+    def wires_of(self, bundle):
+        """Wires where ``bundle`` is the importer."""
+        return list(self._wires.get(bundle, ()))
+
+    def dependents_of(self, bundle):
+        """Bundles wired *to* ``bundle`` (they import from it)."""
+        dependents = []
+        for importer, wires in self._wires.items():
+            if any(wire.exporter is bundle for wire in wires):
+                dependents.append(importer)
+        return dependents
+
+    def unresolve(self, bundle):
+        """Drop a bundle's own wires (keeps its exports published)."""
+        self._wires.pop(bundle, None)
+
+    def exported_of(self, package):
+        """All current exports of ``package`` (inspection)."""
+        return list(self._exports.get(package, ()))

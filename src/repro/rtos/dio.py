@@ -1,0 +1,150 @@
+"""The digital I/O module (paper Figure 3).
+
+"The real-time task can also connect to sensors or actuators, via the
+digital I/O module.  The details of accessing the hardware are
+encapsulated within the real-time task."  (section 3.1)
+
+The module exposes numbered channels.  *Input* channels are driven by
+simulated signal sources (square wave, sine, random walk, or a
+user-supplied function of time); *output* channels record every write
+with its timestamp so tests and examples can assert on actuation
+timing.  Reads and writes are instantaneous, as memory-mapped I/O is.
+"""
+
+import math
+
+from repro.sim.engine import MSEC
+
+
+class SignalSource:
+    """Base class: a value as a function of simulated time."""
+
+    def sample(self, now_ns, rng):
+        """The channel's value at ``now_ns``."""
+        raise NotImplementedError
+
+
+class ConstantSignal(SignalSource):
+    """A fixed level."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def sample(self, now_ns, rng):
+        return self.value
+
+
+class SquareWave(SignalSource):
+    """A square wave: ``high`` for the first half of each period."""
+
+    def __init__(self, period_ns=10 * MSEC, low=0, high=1, phase_ns=0):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.period_ns = period_ns
+        self.low = low
+        self.high = high
+        self.phase_ns = phase_ns
+
+    def sample(self, now_ns, rng):
+        position = (now_ns + self.phase_ns) % self.period_ns
+        return self.high if position < self.period_ns // 2 else self.low
+
+
+class SineWave(SignalSource):
+    """A sine wave around ``offset`` with the given amplitude."""
+
+    def __init__(self, period_ns=10 * MSEC, amplitude=1.0, offset=0.0):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.period_ns = period_ns
+        self.amplitude = amplitude
+        self.offset = offset
+
+    def sample(self, now_ns, rng):
+        angle = 2.0 * math.pi * (now_ns % self.period_ns) \
+            / self.period_ns
+        return self.offset + self.amplitude * math.sin(angle)
+
+
+class RandomWalk(SignalSource):
+    """A bounded random walk (sensor noise / drifting plant)."""
+
+    def __init__(self, step=1.0, lo=-100.0, hi=100.0, stream="dio"):
+        self.step = step
+        self.lo = lo
+        self.hi = hi
+        self.stream = stream
+        self._value = (lo + hi) / 2.0
+
+    def sample(self, now_ns, rng):
+        self._value += rng.uniform(self.stream, -self.step, self.step)
+        self._value = min(self.hi, max(self.lo, self._value))
+        return self._value
+
+
+class DigitalIOModule:
+    """Numbered input/output channels for one kernel.
+
+    Created via :meth:`attach_dio` below or directly; RT code reaches
+    it through :meth:`repro.hybrid.context.RTContext.read_sensor` /
+    ``write_actuator``.
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._inputs = {}
+        #: channel -> list of (time_ns, value) writes, in order.
+        self.output_log = {}
+        self.read_count = 0
+        self.write_count = 0
+
+    # ------------------------------------------------------------------
+    # configuration (non-RT side)
+    # ------------------------------------------------------------------
+    def wire_input(self, channel, source):
+        """Connect a :class:`SignalSource` to an input channel."""
+        if not isinstance(source, SignalSource):
+            raise TypeError("source must be a SignalSource, got %r"
+                            % (source,))
+        self._inputs[int(channel)] = source
+
+    def input_channels(self):
+        """The wired input channel numbers."""
+        return sorted(self._inputs)
+
+    # ------------------------------------------------------------------
+    # RT-side access
+    # ------------------------------------------------------------------
+    def read(self, channel):
+        """Sample an input channel at the current instant."""
+        source = self._inputs.get(int(channel))
+        if source is None:
+            raise KeyError("no sensor wired to DIO channel %r"
+                           % (channel,))
+        self.read_count += 1
+        return source.sample(self.kernel.now, self.kernel.sim.rng)
+
+    def write(self, channel, value):
+        """Drive an output channel (the write is timestamped)."""
+        self.write_count += 1
+        self.output_log.setdefault(int(channel), []).append(
+            (self.kernel.now, value))
+
+    def last_output(self, channel):
+        """The most recent (time_ns, value) written to a channel."""
+        log = self.output_log.get(int(channel))
+        return log[-1] if log else None
+
+    def __repr__(self):
+        return "DigitalIOModule(%d inputs, %d writes)" % (
+            len(self._inputs), self.write_count)
+
+
+def attach_dio(kernel):
+    """Create a DIO module and attach it to the kernel as ``kernel.dio``
+    (idempotent)."""
+    existing = getattr(kernel, "dio", None)
+    if existing is None:
+        existing = DigitalIOModule(kernel)
+        kernel.dio = existing
+    return existing

@@ -1,0 +1,148 @@
+"""RTAI FIFOs: the real-time -> user-space channel (``/dev/rtfN``).
+
+The paper's prototype displays scheduling latency "by reading the
+shared memory"; classic RTAI applications instead export data to Linux
+user space through *FIFOs* -- lock-free ring buffers written from the
+RT domain (``rtf_put``, never blocking) and read by ordinary Linux
+processes.  The paper lists richer inter-task communication as future
+work (section 6); this module adds the missing transport.
+
+The asymmetry matters and is modelled: the RT-side *put* is always
+instantaneous and non-blocking, but the *Linux-side reader wakeup* goes
+through the ordinary Linux scheduler, so its delay depends on Linux
+load -- under the stress workload, user-space consumers see data late
+even though the RT producer never missed a beat.  This is the
+complementary half of the Table-1 story: the dual kernel protects the
+RT side, *not* the user-space side.
+"""
+
+from collections import deque
+
+from repro.rtos import names
+from repro.sim.engine import MSEC, USEC
+
+
+class LinuxWakeupModel:
+    """Delay between an rtf_put and the user-space reader running.
+
+    Calibrated to Linux scheduler behaviour: ~60 us baseline wakeup on
+    an idle system, growing to tens of milliseconds at full load
+    (default Linux is not preemptible in the paper's 2.6.20 era).
+    """
+
+    def __init__(self, base_ns=60 * USEC, loaded_ns=25 * MSEC):
+        self.base_ns = base_ns
+        self.loaded_ns = loaded_ns
+
+    def sample(self, rng, fifo_name, linux_demand):
+        """Draw one wakeup delay for the given Linux demand."""
+        stream = "fifo-wakeup/%s" % fifo_name
+        spread = self.base_ns * 0.25
+        delay = rng.gauss(stream, self.base_ns, spread)
+        if linux_demand > 0:
+            # Queueing behind the load: uniform share of a scheduling
+            # quantum, scaled by how busy Linux is.
+            delay += rng.uniform(stream, 0,
+                                 self.loaded_ns * linux_demand)
+        return max(0, int(delay))
+
+
+class RTFifo:
+    """A bounded record FIFO written by RT code, read by Linux code.
+
+    Created via :meth:`repro.rtos.kernel.RTKernel.fifo_create`.  The
+    RT side uses :meth:`put` (non-blocking, drops on overflow -- RTAI's
+    ``rtf_put`` returns a short count); the Linux side either polls
+    :meth:`read` or registers a *user handler* that the simulated Linux
+    scheduler invokes after a load-dependent wakeup delay.
+    """
+
+    def __init__(self, kernel, name, capacity, wakeup_model=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive, got %r"
+                             % (capacity,))
+        self._kernel = kernel
+        self.name = names.validate_name(name)
+        self.capacity = int(capacity)
+        self._records = deque()
+        self.put_count = 0
+        self.dropped_count = 0
+        self.read_count = 0
+        self.wakeup_model = wakeup_model or LinuxWakeupModel()
+        self._user_handler = None
+        self._wakeup_pending = False
+        #: Delivery latencies (put -> handler ran), for measurement.
+        self.delivery_latencies_ns = []
+        self._put_times = deque()
+
+    def __len__(self):
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # RT side
+    # ------------------------------------------------------------------
+    def put(self, record):
+        """``rtf_put``: append a record; never blocks.
+
+        Returns True on success, False when the FIFO was full (the
+        record is dropped and counted).
+        """
+        if len(self._records) >= self.capacity:
+            self.dropped_count += 1
+            return False
+        self._records.append(record)
+        self._put_times.append(self._kernel.now)
+        self.put_count += 1
+        self._schedule_wakeup()
+        return True
+
+    # ------------------------------------------------------------------
+    # Linux side
+    # ------------------------------------------------------------------
+    def read(self, max_records=None):
+        """Poll records (Linux side, no wakeup modelling)."""
+        taken = []
+        while self._records and (max_records is None
+                                 or len(taken) < max_records):
+            taken.append(self._records.popleft())
+            self._put_times.popleft()
+        self.read_count += len(taken)
+        return taken
+
+    def set_user_handler(self, handler):
+        """Install the user-space consumer: ``handler(records)`` runs
+        after a Linux-load-dependent wakeup delay whenever data is
+        pending."""
+        self._user_handler = handler
+        if self._records:
+            self._schedule_wakeup()
+
+    def _schedule_wakeup(self):
+        if self._user_handler is None or self._wakeup_pending:
+            return
+        self._wakeup_pending = True
+        delay = self.wakeup_model.sample(
+            self._kernel.sim.rng, self.name, self._kernel.linux_demand)
+        self._kernel.sim.schedule(delay, self._run_handler,
+                                  label="fifo-wakeup:%s" % self.name)
+
+    def _run_handler(self):
+        self._wakeup_pending = False
+        if self._user_handler is None or not self._records:
+            return
+        now = self._kernel.now
+        for put_time in self._put_times:
+            self.delivery_latencies_ns.append(now - put_time)
+        records = list(self._records)
+        self._records.clear()
+        self._put_times.clear()
+        self.read_count += len(records)
+        self._user_handler(records)
+        # More data may have raced in while the handler ran; re-arm.
+        if self._records:
+            self._schedule_wakeup()
+
+    def __repr__(self):
+        return "RTFifo(%s, %d/%d records)" % (self.name,
+                                              len(self._records),
+                                              self.capacity)

@@ -1,0 +1,941 @@
+"""The simulated dual-kernel RTOS (the repository's RTAI stand-in).
+
+One :class:`RTKernel` owns a set of CPUs, a hardware timer, the RT task
+set, the IPC objects, and the *Linux domain* -- everything RTAI provides
+underneath the paper's framework.  The defining dual-kernel property is
+built in structurally: **real-time tasks are the only things that occupy
+simulated CPU time**; the Linux domain (OSGi, JVM, load generators) only
+ever receives the time RT tasks leave idle, so no amount of Linux load
+can delay an RT dispatch.  Linux load *does* influence the hardware
+wakeup path (idle states, caches), which is what the latency model
+captures -- exactly the effect the paper measures in Table 1.
+
+Execution model
+---------------
+A task body is a generator; the kernel drives it (see
+:mod:`repro.rtos.requests`).  ``Compute`` segments occupy the CPU and are
+preemptible; every other request is processed in zero simulated time at
+the instant it is yielded.  All rescheduling is funnelled through a
+coalesced same-instant event (``_request_resched``) so that arbitrarily
+deep wake chains (a send waking a receiver waking a sender...) settle
+deterministically before time advances.
+"""
+
+from repro.rtos import requests as rq
+from repro.rtos.errors import (
+    DuplicateNameError,
+    TaskStateError,
+    TimerNotStartedError,
+    UnknownObjectError,
+)
+from repro.rtos.latency import LatencyModel
+from repro.rtos.mailbox import Mailbox
+from repro.rtos.scheduler import make_scheduler
+from repro.rtos.sem import Semaphore
+from repro.rtos.shm import SharedMemory
+from repro.rtos.task import (
+    SUSPENDABLE_STATES,
+    RTTask,
+    TaskState,
+    TaskType,
+)
+
+TIMER_PERIODIC = "periodic"
+TIMER_ONESHOT = "oneshot"
+
+
+class KernelConfig:
+    """Tunable constants of the simulated hardware/kernel.
+
+    All times in nanoseconds.  ``irq_entry_ns`` is charged between the
+    hardware timer firing and the release becoming visible to the
+    scheduler; ``scheduler_overhead_ns + context_switch_ns`` are charged
+    whenever a task is put on a CPU.  The calibrated latency profiles in
+    :mod:`repro.rtos.latency` assume the default total of 1000 ns.
+    """
+
+    def __init__(self, num_cpus=1, scheduler_policy="priority",
+                 rr_quantum_ns=None, irq_entry_ns=300,
+                 scheduler_overhead_ns=200, context_switch_ns=500,
+                 latency_model=None, trace_kernel=True):
+        if num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.num_cpus = num_cpus
+        self.scheduler_policy = scheduler_policy
+        self.rr_quantum_ns = rr_quantum_ns
+        self.irq_entry_ns = irq_entry_ns
+        self.scheduler_overhead_ns = scheduler_overhead_ns
+        self.context_switch_ns = context_switch_ns
+        self.latency_model = latency_model or LatencyModel()
+        self.trace_kernel = trace_kernel
+
+    @property
+    def dispatch_cost_ns(self):
+        """Total cost of putting a task on a CPU."""
+        return self.scheduler_overhead_ns + self.context_switch_ns
+
+
+class RTKernel:
+    """The simulated real-time kernel.  See the module docstring."""
+
+    def __init__(self, sim, config=None):
+        self.sim = sim
+        self.config = config or KernelConfig()
+        cpus = range(self.config.num_cpus)
+        self._schedulers = {
+            cpu: make_scheduler(self.config.scheduler_policy,
+                                self.config.rr_quantum_ns)
+            for cpu in cpus
+        }
+        self._running = {cpu: None for cpu in cpus}
+        self._segment_start = {cpu: None for cpu in cpus}
+        self._resched_pending = {cpu: False for cpu in cpus}
+        self._rt_busy_ns = {cpu: 0 for cpu in cpus}
+        # Linux-domain accounting.
+        self._loads = []
+        self._linux_work_ns = {cpu: 0.0 for cpu in cpus}
+        self._last_settle = {cpu: (0, 0) for cpu in cpus}  # (time, busy)
+        # Hardware timer.
+        self._timer_started = False
+        self._timer_mode = TIMER_PERIODIC
+        self._timer_period_ns = None
+        self._timer_epoch = 0
+        # Object registry (single RTAI-style namespace).
+        self._registry = {}
+        self.tasks = []
+        #: Optional callback ``(task, error)`` invoked (deferred to the
+        #: current instant's end) when a task body raises.  The DRCR
+        #: hooks this to quarantine the owning component.
+        self.on_task_fault = None
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulated time (ns)."""
+        return self.sim.now
+
+    def _trace(self, category, **fields):
+        if self.config.trace_kernel:
+            self.sim.trace.record(self.sim.now, category, **fields)
+
+    def _register(self, name, obj):
+        if name in self._registry:
+            raise DuplicateNameError("kernel object %r already exists"
+                                     % name)
+        self._registry[name] = obj
+
+    def lookup(self, name):
+        """Find a kernel object (task/SHM/mailbox/semaphore) by name."""
+        obj = self._registry.get(name.upper())
+        if obj is None:
+            raise UnknownObjectError("no kernel object named %r" % name)
+        return obj
+
+    def exists(self, name):
+        """Whether a kernel object with that name exists."""
+        return name.upper() in self._registry
+
+    def unique_name(self, prefix):
+        """Allocate an unused 6-character name like ``$C0042``.
+
+        Used for anonymous kernel objects (e.g. the hybrid container's
+        command/status mailboxes) whose names are plumbing, not shared
+        references.  Names live in the ``$`` namespace: ``$`` is legal
+        in RTAI names but rejected by descriptor port/task validation,
+        so plumbing can never collide with component-declared names.
+        """
+        prefix = ("$" + prefix.upper())[:2]
+        for index in range(10000):
+            candidate = "%s%04d" % (prefix, index)
+            if candidate not in self._registry:
+                return candidate
+        raise DuplicateNameError("name space %s exhausted" % prefix)
+
+    # ------------------------------------------------------------------
+    # hardware timer
+    # ------------------------------------------------------------------
+    @property
+    def timer_started(self):
+        """Whether ``start_timer`` has been called."""
+        return self._timer_started
+
+    @property
+    def timer_period_ns(self):
+        """The programmed timer tick (None before start)."""
+        return self._timer_period_ns
+
+    def set_timer_mode(self, mode):
+        """Select TIMER_PERIODIC or TIMER_ONESHOT (before start)."""
+        if mode not in (TIMER_PERIODIC, TIMER_ONESHOT):
+            raise ValueError("unknown timer mode: %r" % (mode,))
+        self._timer_mode = mode
+
+    def start_timer(self, period_ns):
+        """Start the hardware timer (RTAI ``start_rt_timer``)."""
+        if period_ns <= 0:
+            raise ValueError("timer period must be positive")
+        self._timer_started = True
+        self._timer_period_ns = int(period_ns)
+        self._timer_epoch = self.sim.now
+        self._trace("timer_start", period_ns=self._timer_period_ns,
+                    mode=self._timer_mode)
+
+    def stop_timer(self):
+        """Stop the hardware timer (periodic tasks stop releasing)."""
+        self._timer_started = False
+        self._trace("timer_stop")
+
+    def quantize(self, when):
+        """Snap an absolute time onto the timer grid (periodic mode)."""
+        if not self._timer_started:
+            raise TimerNotStartedError("timer not started")
+        if self._timer_mode == TIMER_ONESHOT:
+            return max(when, self.sim.now)
+        tick = self._timer_period_ns
+        offset = when - self._timer_epoch
+        ticks = -(-offset // tick)  # ceil division
+        return self._timer_epoch + ticks * tick
+
+    # ------------------------------------------------------------------
+    # Linux domain (load generators)
+    # ------------------------------------------------------------------
+    @property
+    def linux_demand(self):
+        """Aggregate Linux-side CPU demand in [0, 1] per CPU."""
+        return min(1.0, sum(load.demand for load in self._loads))
+
+    def register_load(self, load):
+        """Attach a Linux-domain load generator."""
+        self._settle_linux_accounting()
+        self._loads.append(load)
+        load.attached(self)
+        self._trace("load_register", load=load.describe(),
+                    demand=self.linux_demand)
+
+    def unregister_load(self, load):
+        """Detach a Linux-domain load generator."""
+        self._settle_linux_accounting()
+        self._loads.remove(load)
+        load.detached(self)
+        self._trace("load_unregister", load=load.describe(),
+                    demand=self.linux_demand)
+
+    def _busy_now(self, cpu):
+        busy = self._rt_busy_ns[cpu]
+        if self._segment_start[cpu] is not None:
+            busy += self.sim.now - self._segment_start[cpu]
+        return busy
+
+    def _settle_linux_accounting(self):
+        demand = self.linux_demand
+        for cpu in self._running:
+            last_time, last_busy = self._last_settle[cpu]
+            busy = self._busy_now(cpu)
+            idle = (self.sim.now - last_time) - (busy - last_busy)
+            if idle > 0:
+                self._linux_work_ns[cpu] += idle * demand
+            self._last_settle[cpu] = (self.sim.now, busy)
+
+    def linux_work_ns(self, cpu=None):
+        """Linux-domain CPU time executed so far (one CPU or total)."""
+        self._settle_linux_accounting()
+        if cpu is not None:
+            return self._linux_work_ns[cpu]
+        return sum(self._linux_work_ns.values())
+
+    def rt_busy_ns(self, cpu=None):
+        """Real-time-domain CPU time consumed so far."""
+        if cpu is not None:
+            return self._busy_now(cpu)
+        return sum(self._busy_now(c) for c in self._running)
+
+    def rt_utilization(self, cpu=0):
+        """Fraction of elapsed time the RT domain used on ``cpu``."""
+        if self.sim.now == 0:
+            return 0.0
+        return self._busy_now(cpu) / self.sim.now
+
+    # ------------------------------------------------------------------
+    # task API
+    # ------------------------------------------------------------------
+    def create_task(self, name, body, priority, cpu=0,
+                    task_type=TaskType.PERIODIC, period_ns=None,
+                    deadline_ns=None, collect_latency=False, hybrid=False):
+        """Create (but do not start) an RT task.
+
+        ``hybrid`` marks the task as carrying the HRC management poll,
+        which feeds the latency model's mode selection (see
+        :mod:`repro.rtos.latency`).
+        """
+        if cpu not in self._running:
+            raise ValueError("no such CPU: %r" % (cpu,))
+        task = RTTask(self, name, body, priority, cpu=cpu,
+                      task_type=task_type, period_ns=period_ns,
+                      deadline_ns=deadline_ns,
+                      collect_latency=collect_latency)
+        task.hybrid = hybrid
+        self._register(task.name, task)
+        self.tasks.append(task)
+        self._trace("task_create", task=task.name, priority=task.priority,
+                    cpu=task.cpu, type=task_type.value)
+        return task
+
+    def start_task(self, task, start_at=None):
+        """Start a task.
+
+        Periodic tasks get an initialization run immediately (the body
+        runs until its first ``WaitPeriod``) and are then released on the
+        timer grid, first release at ``quantize(start_at or now+period)``.
+        Aperiodic tasks simply become ready.
+        """
+        task._require_state(TaskState.DORMANT)
+        if task.is_periodic and not self._timer_started:
+            raise TimerNotStartedError(
+                "start the hardware timer before starting periodic task %s"
+                % task.name)
+        task._started = True
+        task._gen = task.body(task)
+        task._remaining_ns = 0
+        task._needs_advance = True
+        task._pending_value = None
+        task._pending_kind = None
+        if task.is_periodic:
+            nominal = start_at if start_at is not None \
+                else self.sim.now + task.period_ns
+            task._next_release = self.quantize(nominal)
+            self._arm_release(task)
+        else:
+            task.stats.activations += 1
+            task._release_nominal = self.sim.now
+            task._last_release_time = self.sim.now
+        self._trace("task_start", task=task.name)
+        self._make_ready(task)
+
+    def release_task(self, task):
+        """Explicitly release an aperiodic or sporadic task (one job).
+
+        If the task already ended its previous run it is restarted with
+        a fresh generator; if it is still busy the release is an
+        overrun.  Sporadic tasks enforce their minimum inter-arrival
+        time: an early release is *deferred* to the earliest legal
+        instant (at most one deferral queues; further early releases
+        are dropped and counted as throttled).
+        """
+        if task.is_periodic:
+            raise TaskStateError(
+                "release_task is for aperiodic tasks; %s is periodic"
+                % task.name)
+        if task.suspended:
+            raise TaskStateError(
+                "cannot release suspended task %s" % task.name)
+        if task.task_type is TaskType.SPORADIC:
+            earliest = ((task._last_release_time or 0)
+                        + task.period_ns)
+            if task._last_release_time is not None \
+                    and self.sim.now < earliest:
+                task.stats.throttled_releases += 1
+                if task._deferred_release_event is None:
+                    task._deferred_release_event = self.sim.schedule_at(
+                        earliest, self._on_deferred_release, task,
+                        label="sporadic:%s" % task.name)
+                self._trace("sporadic_throttle", task=task.name,
+                            earliest=earliest)
+                return
+        self._do_event_release(task)
+
+    def _on_deferred_release(self, task):
+        task._deferred_release_event = None
+        if task.state is TaskState.DELETED or task.suspended:
+            return
+        self._do_event_release(task)
+
+    def _do_event_release(self, task):
+        task._last_release_time = self.sim.now
+        if task.state is TaskState.DORMANT:
+            task._started = True
+            task._gen = task.body(task)
+            task._remaining_ns = 0
+            task._needs_advance = True
+            task._pending_value = None
+            task._release_nominal = self.sim.now
+            task.stats.activations += 1
+            self._trace("task_release", task=task.name)
+            self._make_ready(task)
+        else:
+            task.stats.overruns += 1
+            self._trace("task_release_overrun", task=task.name)
+
+    def suspend_task(self, task):
+        """Externally suspend a task (management interface; nests)."""
+        if task.state is TaskState.DELETED:
+            raise TaskStateError("cannot suspend deleted task %s"
+                                 % task.name)
+        task._suspend_depth += 1
+        task.stats.suspensions += 1
+        if task._suspend_depth > 1:
+            return
+        if task.state not in SUSPENDABLE_STATES:
+            task._resume_state = "dormant"
+            return
+        if task.state is TaskState.RUNNING:
+            self._take_off_cpu(task)
+            task._resume_state = "ready"
+        elif task.state is TaskState.READY:
+            self._schedulers[task.cpu].remove(task)
+            task._resume_state = "ready"
+        elif task.state is TaskState.WAITING_PERIOD:
+            task._resume_state = "waiting"
+        else:  # BLOCKED: stays parked in the IPC object
+            task._resume_state = "blocked"
+        task.state = TaskState.SUSPENDED
+        self._trace("task_suspend", task=task.name)
+        self._request_resched(task.cpu)
+
+    def resume_task(self, task):
+        """Undo one suspend level; restores the pre-suspend situation."""
+        if task._suspend_depth == 0:
+            raise TaskStateError("task %s is not suspended" % task.name)
+        task._suspend_depth -= 1
+        if task._suspend_depth > 0:
+            return
+        self._trace("task_resume", task=task.name)
+        resume_state = task._resume_state
+        task._resume_state = None
+        if task.state is not TaskState.SUSPENDED:
+            return  # suspend happened in a non-schedulable state
+        if resume_state == "blocked":
+            if task._deferred_wake is not None:
+                value = task._deferred_wake[0]
+                task._deferred_wake = None
+                task._needs_advance = True
+                task._pending_value = value
+                self._make_ready(task)
+            else:
+                task.state = TaskState.BLOCKED
+        elif resume_state == "waiting":
+            # Releases were skipped during suspension; rejoin the grid.
+            task.state = TaskState.WAITING_PERIOD
+        else:
+            task._needs_advance = task._remaining_ns == 0 \
+                and task._needs_advance
+            self._make_ready(task)
+
+    def set_task_priority(self, task, priority):
+        """Change a task's priority at run time.
+
+        Used by priority inheritance (:class:`~repro.rtos.sem
+        .ResourceSemaphore`) and by adaptation managers
+        (``rt_change_prio``).  Ready-queue membership is refreshed and
+        a rescheduling pass triggered.
+        """
+        if priority < 0:
+            raise ValueError("priority must be >= 0, got %r"
+                             % (priority,))
+        if priority == task.priority:
+            return
+        old = task.priority
+        if task.state is TaskState.READY:
+            self._schedulers[task.cpu].remove(task)
+            task.priority = priority
+            self._schedulers[task.cpu].add(task)
+        else:
+            task.priority = priority
+        self._trace("priority_change", task=task.name, old=old,
+                    new=priority)
+        self._request_resched(task.cpu)
+
+    def delete_task(self, task):
+        """Remove a task from the kernel entirely."""
+        if task.state is TaskState.DELETED:
+            return
+        if task.state is TaskState.RUNNING:
+            self._take_off_cpu(task)
+        elif task.state is TaskState.READY:
+            self._schedulers[task.cpu].remove(task)
+        elif task.state is TaskState.BLOCKED and task._blocked_on is not None:
+            task._blocked_on._forget_waiter(task)
+        self._cancel_task_events(task)
+        task.state = TaskState.DELETED
+        if task._gen is not None:
+            # Close the body so its finally blocks run at delete time
+            # rather than at garbage collection.
+            try:
+                task._gen.close()
+            except (RuntimeError, ValueError):
+                pass  # deleting from within the body itself
+        task._gen = None
+        task._blocked_on = None
+        self._registry.pop(task.name, None)
+        if task in self.tasks:
+            self.tasks.remove(task)
+        self._trace("task_delete", task=task.name)
+        self._request_resched(task.cpu)
+
+    # ------------------------------------------------------------------
+    # IPC factories
+    # ------------------------------------------------------------------
+    def shm_alloc(self, name, dtype, size, owner=None):
+        """Create or attach a shared-memory segment (rt_shm_alloc)."""
+        key = name.upper()
+        existing = self._registry.get(key)
+        if existing is not None:
+            if not isinstance(existing, SharedMemory):
+                raise DuplicateNameError(
+                    "%r names a non-SHM kernel object" % name)
+            if existing.dtype != dtype or existing.size != int(size):
+                raise DuplicateNameError(
+                    "SHM %r exists with different type/size" % name)
+            return existing.attach(owner)
+        segment = SharedMemory(lambda: self.sim.now, name, dtype, size)
+        self._register(segment.name, segment)
+        self._trace("shm_alloc", name=segment.name, dtype=dtype, size=size)
+        return segment.attach(owner)
+
+    def shm_free(self, name, owner=None):
+        """Detach from a segment; the last detach frees it."""
+        segment = self.lookup(name)
+        if segment.detach(owner):
+            self._registry.pop(segment.name, None)
+            self._trace("shm_free", name=segment.name)
+
+    def mailbox(self, name, capacity=16):
+        """Create a mailbox (rt_mbx_init)."""
+        box = Mailbox(self, name, capacity)
+        self._register(box.name, box)
+        self._trace("mbx_init", name=box.name, capacity=capacity)
+        return box
+
+    def semaphore(self, name, initial=1):
+        """Create a semaphore (rt_sem_init)."""
+        sem = Semaphore(self, name, initial)
+        self._register(sem.name, sem)
+        self._trace("sem_init", name=sem.name, initial=initial)
+        return sem
+
+    def resource_semaphore(self, name):
+        """Create a priority-inheritance resource semaphore (RES_SEM)."""
+        from repro.rtos.sem import ResourceSemaphore
+        sem = ResourceSemaphore(self, name)
+        self._register(sem.name, sem)
+        self._trace("res_sem_init", name=sem.name)
+        return sem
+
+    def fifo_create(self, name, capacity, wakeup_model=None):
+        """Create an RT->Linux FIFO (rtf_create)."""
+        from repro.rtos.fifo import RTFifo
+        fifo = RTFifo(self, name, capacity, wakeup_model=wakeup_model)
+        self._register(fifo.name, fifo)
+        self._trace("fifo_create", name=fifo.name, capacity=capacity)
+        return fifo
+
+    def free_object(self, name):
+        """Remove a mailbox/semaphore from the registry."""
+        obj = self.lookup(name)
+        if isinstance(obj, RTTask):
+            raise TaskStateError("use delete_task for tasks")
+        self._registry.pop(obj.name, None)
+        self._trace("obj_free", name=obj.name)
+
+    # ==================================================================
+    # internals
+    # ==================================================================
+    # -- periodic release machinery ------------------------------------
+    def _arm_release(self, task):
+        """Arm the hardware timer for the task's next nominal release."""
+        if not self._timer_started:
+            return
+        nominal = task._next_release
+        offset = self.config.latency_model.sample_release_offset(
+            self.sim.rng, task.name, self.linux_demand,
+            getattr(task, "hybrid", False))
+        fire = max(self.sim.now + 1,
+                   nominal + offset + self.config.irq_entry_ns)
+        task._release_event = self.sim.schedule_interrupt(
+            fire, self._on_release, task, nominal,
+            label="release:%s" % task.name)
+
+    def _on_release(self, task, nominal):
+        """A periodic release interrupt reached the scheduler."""
+        task._release_event = None
+        if task.state in (TaskState.DELETED, TaskState.FAULTED) \
+                or not self._timer_started:
+            return
+        # Chain the next release immediately: the hardware timer keeps
+        # ticking regardless of what the task is doing.
+        task._next_release = nominal + task.period_ns
+        self._arm_release(task)
+        task.stats.activations += 1
+        if task.state is TaskState.SUSPENDED:
+            # Releases are skipped (not queued) while suspended: on
+            # resume the task waits for the next fresh release instead
+            # of burning through stale catch-up jobs.
+            task.stats.skipped_releases += 1
+            self._trace("release_while_suspended", task=task.name)
+            return
+        if task.state is TaskState.WAITING_PERIOD:
+            task._pending_kind = "period"
+            task._pending_nominals.append(nominal)
+            task._needs_advance = True
+            self._trace("release", task=task.name, nominal=nominal)
+            self._make_ready(task)
+        else:
+            # Task has not finished its previous job yet: overrun.  The
+            # pending nominal makes the next WaitPeriod return at once.
+            task.stats.overruns += 1
+            task._pending_nominals.append(nominal)
+            self._trace("overrun", task=task.name, nominal=nominal)
+
+    # -- ready/dispatch/preemption --------------------------------------
+    def _make_ready(self, task):
+        task.state = TaskState.READY
+        self._schedulers[task.cpu].add(task)
+        running = self._running[task.cpu]
+        if running is not None and running.priority == task.priority:
+            self._arm_quantum(running)
+        self._request_resched(task.cpu)
+
+    def _request_resched(self, cpu):
+        if self._resched_pending[cpu]:
+            return
+        self._resched_pending[cpu] = True
+        self.sim.call_soon(self._do_resched, cpu, label="resched")
+
+    def _do_resched(self, cpu):
+        self._resched_pending[cpu] = False
+        scheduler = self._schedulers[cpu]
+        current = self._running[cpu]
+        best = scheduler.pick()
+        if current is None:
+            if best is not None:
+                self._dispatch(cpu, best)
+            return
+        if best is not None and scheduler.would_preempt(best, current):
+            self._preempt(cpu, current)
+            self._dispatch(cpu, best)
+
+    def _dispatch(self, cpu, task):
+        scheduler = self._schedulers[cpu]
+        scheduler.remove(task)
+        task.state = TaskState.RUNNING
+        self._running[cpu] = task
+        if self._segment_start[cpu] is None:
+            self._segment_start[cpu] = self.sim.now
+        self._trace("dispatch", task=task.name, cpu=cpu)
+        if task._needs_advance:
+            task._needs_advance = False
+            value = self._consume_pending_value(task)
+            outcome = self._advance(task, value)
+            if outcome != "compute":
+                return  # the task left the CPU again (blocked/ended)
+            self._begin_compute(cpu, task)
+        elif task._remaining_ns > 0:
+            self._begin_compute(cpu, task)
+        else:
+            # Preempted exactly at a compute boundary: the completion
+            # event was cancelled, so finish the segment now.
+            outcome = self._advance(task, None)
+            if outcome == "compute":
+                self._begin_compute(cpu, task)
+
+    def _consume_pending_value(self, task):
+        if task._pending_kind == "period":
+            # Consume exactly one release here; further queued releases
+            # are overrun catch-ups, consumed by the next WaitPeriod.
+            nominal = task._pending_nominals.popleft()
+            task._release_nominal = nominal
+            task._pending_kind = None
+            latency = (self.sim.now + self.config.dispatch_cost_ns
+                       - nominal)
+            if task.stats.latency is not None:
+                task.stats.latency.add(latency)
+            self._trace("period_resume", task=task.name, nominal=nominal,
+                        latency=latency)
+            return latency
+        value = task._pending_value
+        task._pending_value = None
+        return value
+
+    def _begin_compute(self, cpu, task):
+        start = self.sim.now + self.config.dispatch_cost_ns
+        task._compute_started = start
+        task._completion_event = self.sim.schedule_at(
+            start + task._remaining_ns, self._on_compute_complete, task,
+            label="complete:%s" % task.name)
+        self._arm_quantum(task)
+
+    def _arm_quantum(self, task):
+        """Arm round-robin rotation if equal-priority peers are ready."""
+        scheduler = self._schedulers[task.cpu]
+        quantum = getattr(scheduler, "rr_quantum_ns", None)
+        if not quantum or task._quantum_event is not None:
+            return
+        if not scheduler.peers_ready(task):
+            return
+        task._quantum_event = self.sim.schedule(
+            quantum + self.config.dispatch_cost_ns, self._on_quantum, task,
+            label="quantum:%s" % task.name)
+
+    def _on_quantum(self, task):
+        task._quantum_event = None
+        if task.state is not TaskState.RUNNING:
+            return
+        scheduler = self._schedulers[task.cpu]
+        if scheduler.peers_ready(task):
+            self._preempt(task.cpu, task)
+            self._request_resched(task.cpu)
+        elif task._remaining_ns > 0 or task._compute_started is not None:
+            self._arm_quantum(task)
+
+    def _preempt(self, cpu, task):
+        """Take a RUNNING task off the CPU back into the ready queue."""
+        self._take_off_cpu(task)
+        task.state = TaskState.READY
+        task.stats.preemptions += 1
+        self._schedulers[cpu].add(task)
+        self._trace("preempt", task=task.name, cpu=cpu)
+
+    def _take_off_cpu(self, task):
+        """Account the partial compute segment and free the CPU."""
+        cpu = task.cpu
+        if self._running[cpu] is not task:
+            raise TaskStateError("task %s not running on CPU %d"
+                                 % (task.name, cpu))
+        if task._completion_event is not None:
+            task._completion_event.cancel_if_pending()
+            task._completion_event = None
+        if task._quantum_event is not None:
+            task._quantum_event.cancel_if_pending()
+            task._quantum_event = None
+        if task._compute_started is not None:
+            consumed = max(0, self.sim.now - task._compute_started)
+            consumed = min(consumed, task._remaining_ns)
+            task._remaining_ns -= consumed
+            task.stats.cpu_time_ns += consumed
+            task._compute_started = None
+        self._running[cpu] = None
+        if self._segment_start[cpu] is not None:
+            self._rt_busy_ns[cpu] += self.sim.now - self._segment_start[cpu]
+            self._segment_start[cpu] = None
+
+    def _on_compute_complete(self, task):
+        """The current Compute segment finished; advance the body."""
+        task._completion_event = None
+        task.stats.cpu_time_ns += task._remaining_ns
+        task._remaining_ns = 0
+        task._compute_started = None
+        outcome = self._advance(task, None)
+        if outcome == "compute":
+            self._begin_compute(task.cpu, task)
+
+    # -- generator driving ------------------------------------------------
+    def _advance(self, task, value):
+        """Feed ``value`` into the task body and process zero-time
+        requests until the task computes, parks, or ends.
+
+        Returns ``"compute"`` (task stays on CPU with ``_remaining_ns``
+        set), ``"parked"`` or ``"ended"`` (CPU already released).
+        """
+        while True:
+            try:
+                request = task._gen.send(value)
+            except StopIteration:
+                self._end_task_run(task)
+                return "ended"
+            except Exception as error:  # noqa: BLE001 -- quarantine
+                self._fault_task(task, error)
+                return "ended"
+            value = None
+            if isinstance(request, rq.Compute):
+                if request.ns == 0:
+                    continue
+                task._remaining_ns = request.ns
+                return "compute"
+            if isinstance(request, rq.WaitPeriod):
+                if not task.is_periodic:
+                    self._fault_task(task, TaskStateError(
+                        "aperiodic task %s called WaitPeriod"
+                        % task.name))
+                    return "ended"
+                done = self._handle_wait_period(task)
+                if done is not None:
+                    value = done
+                    continue
+                return "parked"
+            if isinstance(request, rq.Sleep):
+                self._park(task, None)
+                self.sim.schedule(request.ns, self._on_sleep_done, task,
+                                  label="sleep:%s" % task.name)
+                return "parked"
+            if isinstance(request, rq.Receive):
+                completed, result = request.mailbox._task_receive(
+                    task, request.blocking)
+                if completed:
+                    value = result
+                    continue
+                self._park(task, request.mailbox, request.timeout_ns)
+                return "parked"
+            if isinstance(request, rq.Send):
+                completed, result = request.mailbox._task_send(
+                    task, request.message, request.blocking)
+                if completed:
+                    value = result
+                    continue
+                self._park(task, request.mailbox)
+                return "parked"
+            if isinstance(request, rq.SemWait):
+                completed, result = request.semaphore._task_wait(task)
+                if completed:
+                    value = result
+                    continue
+                self._park(task, request.semaphore, request.timeout_ns)
+                return "parked"
+            if isinstance(request, rq.SemSignal):
+                request.semaphore.signal()
+                continue
+            if isinstance(request, rq.SuspendSelf):
+                self._release_cpu_if_running(task)
+                task._suspend_depth += 1
+                task.stats.suspensions += 1
+                task._resume_state = "ready"
+                task._needs_advance = True
+                task._pending_value = None
+                task.state = TaskState.SUSPENDED
+                self._trace("task_self_suspend", task=task.name)
+                self._request_resched(task.cpu)
+                return "parked"
+            # An unknown request is a programming error in the body;
+            # quarantine the task rather than unwinding the simulator.
+            self._fault_task(task, TypeError(
+                "task %s yielded unknown request %r"
+                % (task.name, request)))
+            return "ended"
+
+    def _handle_wait_period(self, task):
+        """Process a WaitPeriod.  Returns the latency when the task can
+        continue immediately (overrun catch-up), else ``None`` after
+        parking it."""
+        # Job-completion bookkeeping for the job that just ended.
+        if task._release_nominal is not None:
+            task.stats.completions += 1
+            if task.deadline_ns is not None:
+                deadline = task._release_nominal + task.deadline_ns
+                if self.sim.now > deadline:
+                    task.stats.deadline_misses += 1
+                    self._trace("deadline_miss", task=task.name,
+                                nominal=task._release_nominal,
+                                lateness=self.sim.now - deadline)
+        if task._pending_nominals:
+            nominal = task._pending_nominals.popleft()
+            task._release_nominal = nominal
+            latency = self.sim.now - nominal
+            if task.stats.latency is not None:
+                task.stats.latency.add(latency)
+            return latency
+        self._release_cpu_if_running(task)
+        task.state = TaskState.WAITING_PERIOD
+        self._request_resched(task.cpu)
+        return None
+
+    def _release_cpu_if_running(self, task):
+        if task.state is TaskState.RUNNING:
+            self._take_off_cpu(task)
+
+    def _park(self, task, blocked_on, timeout_ns=None):
+        """Block a task on an IPC object (or pure sleep)."""
+        self._release_cpu_if_running(task)
+        task.state = TaskState.BLOCKED
+        task._blocked_on = blocked_on
+        if timeout_ns is not None:
+            task._timeout_event = self.sim.schedule(
+                timeout_ns, self._on_ipc_timeout, task,
+                label="timeout:%s" % task.name)
+        self._trace("block", task=task.name,
+                    on=getattr(blocked_on, "name", "sleep"))
+        self._request_resched(task.cpu)
+
+    def _on_sleep_done(self, task):
+        if task.state is TaskState.BLOCKED and task._blocked_on is None:
+            self._wake_task(task, None)
+        elif task.state is TaskState.SUSPENDED \
+                and task._resume_state == "blocked":
+            task._deferred_wake = (None,)
+
+    def _on_ipc_timeout(self, task):
+        task._timeout_event = None
+        if task.state is TaskState.BLOCKED and task._blocked_on is not None:
+            obj = task._blocked_on
+            obj._forget_waiter(task)
+            task._blocked_on = None
+            timeout_value = False if isinstance(obj, Semaphore) else None
+            self._wake_task(task, timeout_value)
+
+    def _wake_task(self, task, value):
+        """Wake a blocked task with ``value`` (IPC completion)."""
+        if task.state is TaskState.SUSPENDED:
+            # Deliver later: record the wake, drop the block.
+            task._deferred_wake = (value,)
+            task._blocked_on = None
+            task._resume_state = "blocked"
+            return
+        if task.state is not TaskState.BLOCKED:
+            raise TaskStateError("cannot wake task %s in state %s"
+                                 % (task.name, task.state.name))
+        task._blocked_on = None
+        if task._timeout_event is not None:
+            task._timeout_event.cancel_if_pending()
+            task._timeout_event = None
+        task._needs_advance = True
+        task._pending_value = value
+        self._trace("wake", task=task.name)
+        self._make_ready(task)
+
+    def _fault_task(self, task, error):
+        """A task body raised: quarantine the task.
+
+        The fault must not take the simulation down (one misbehaving
+        component must not halt the platform -- the whole point of
+        central management).  The task is parked in FAULTED, its events
+        cancelled, and the embedder's fault callback scheduled.
+        """
+        self._release_cpu_if_running(task)
+        self._cancel_task_events(task)
+        if task._blocked_on is not None:
+            task._blocked_on._forget_waiter(task)
+            task._blocked_on = None
+        task._gen = None
+        task.state = TaskState.FAULTED
+        task.fault = error
+        self._trace("task_fault", task=task.name, error=repr(error))
+        if self.on_task_fault is not None:
+            self.sim.call_soon(self.on_task_fault, task, error,
+                               label="fault:%s" % task.name)
+        self._request_resched(task.cpu)
+
+    def _end_task_run(self, task):
+        """The body generator returned: the run is over."""
+        self._release_cpu_if_running(task)
+        self._cancel_task_events(task)
+        task._gen = None
+        task.state = TaskState.DORMANT
+        if task._release_nominal is not None:
+            task.stats.completions += 1
+            if task.deadline_ns is not None:
+                deadline = task._release_nominal + task.deadline_ns
+                if self.sim.now > deadline:
+                    task.stats.deadline_misses += 1
+                    self._trace("deadline_miss", task=task.name,
+                                nominal=task._release_nominal,
+                                lateness=self.sim.now - deadline)
+        self._trace("task_end", task=task.name)
+        self._request_resched(task.cpu)
+
+    def _cancel_task_events(self, task):
+        for attr in ("_completion_event", "_quantum_event",
+                     "_timeout_event", "_release_event",
+                     "_deferred_release_event"):
+            event = getattr(task, attr, None)
+            if event is not None:
+                event.cancel_if_pending()
+                setattr(task, attr, None)

@@ -1,0 +1,155 @@
+"""Hardware scheduling-latency model.
+
+The paper measures, for a 1000 Hz periodic RTAI task, the difference
+between the nominal release time and the instant the task actually
+resumes ("there will be always a drift between time baseline and the one
+the task are really scheduled", section 4.4).  Table 1 reports the
+AVERAGE / AVEDEV / MIN / MAX of that difference in nanoseconds, in a
+*light* and a *stress* (about 100% Linux CPU load) mode, and its headline
+observations are:
+
+* latencies are small and mostly **negative** (the periodic timer is
+  programmed in hardware ticks, so it fires slightly early relative to
+  the nanosecond baseline);
+* under **stress** the distribution *shifts* strongly negative but gets
+  much *tighter* (AVEDEV drops from ~3.7 us to ~0.35 us): with the CPU
+  always busy it never enters deep idle states, so the wakeup path cost is
+  constant, whereas in light mode idle-state exit and cache refill add
+  heavy-tailed jitter;
+* the hybrid (HRC) implementation is statistically indistinguishable
+  from pure RTAI in both modes, because the RT side only *polls* its
+  management mailbox (asynchronous command protocol, section 3.2).
+
+This module reproduces those distributions mechanically: the kernel asks
+:class:`LatencyModel` for a *timer fire offset* every time it arms a
+periodic release, conditioned on the Linux-domain load and on whether the
+task carries the hybrid management poll.  Deterministic dispatch costs
+(IRQ entry, scheduler pass, context switch) are added by the kernel
+itself and are accounted for in the calibration constants below.
+"""
+
+#: Deterministic cost charged by the kernel on the uncontended dispatch
+#: path (see :class:`repro.rtos.kernel.KernelConfig`): IRQ entry +
+#: scheduler pass + context switch.  The calibrated offsets below subtract
+#: it so the *measured* latency lands on the paper's figures.
+DEFAULT_DISPATCH_COST_NS = 1000
+
+
+class LatencyProfile:
+    """Distribution parameters for one (mode, implementation) cell.
+
+    The sampled offset is ``base + jitter`` where jitter is a mixture of
+    a Gaussian bulk and a uniform heavy tail (SMI / DMA / idle-exit
+    spikes), clamped to ``[clamp_lo, clamp_hi]``.
+    """
+
+    __slots__ = ("base_ns", "sigma_ns", "tail_prob", "tail_lo_ns",
+                 "tail_hi_ns", "clamp_lo_ns", "clamp_hi_ns")
+
+    def __init__(self, base_ns, sigma_ns, tail_prob, tail_lo_ns,
+                 tail_hi_ns, clamp_lo_ns, clamp_hi_ns):
+        self.base_ns = base_ns
+        self.sigma_ns = sigma_ns
+        self.tail_prob = tail_prob
+        self.tail_lo_ns = tail_lo_ns
+        self.tail_hi_ns = tail_hi_ns
+        self.clamp_lo_ns = clamp_lo_ns
+        self.clamp_hi_ns = clamp_hi_ns
+
+    def sample(self, rng, stream):
+        """Draw one offset (ns, may be negative) from named stream."""
+        if rng.random(stream) < self.tail_prob:
+            jitter = rng.uniform(stream, self.tail_lo_ns, self.tail_hi_ns)
+        else:
+            jitter = rng.gauss(stream, 0.0, self.sigma_ns)
+        value = self.base_ns + jitter
+        if value < self.clamp_lo_ns:
+            value = self.clamp_lo_ns
+        elif value > self.clamp_hi_ns:
+            value = self.clamp_hi_ns
+        return int(value)
+
+
+def _light_profile(extra_shift_ns):
+    """Light mode: idle-exit jitter dominates -- wide, heavy-tailed."""
+    return LatencyProfile(
+        base_ns=-1600 + extra_shift_ns,
+        sigma_ns=4300.0,
+        tail_prob=0.03,
+        tail_lo_ns=-23500.0,
+        tail_hi_ns=23500.0,
+        clamp_lo_ns=-25500,
+        clamp_hi_ns=24000,
+    )
+
+
+def _stress_profile(extra_shift_ns):
+    """Stress mode: constant hot-path wakeup, strongly early, tight."""
+    return LatencyProfile(
+        base_ns=-22200 + extra_shift_ns,
+        sigma_ns=430.0,
+        tail_prob=0.01,
+        tail_lo_ns=-4000.0,
+        tail_hi_ns=3200.0,
+        clamp_lo_ns=-26000,
+        clamp_hi_ns=-17000,
+    )
+
+
+class LatencyModel:
+    """Samples timer fire offsets for periodic releases.
+
+    Parameters
+    ----------
+    hybrid_shift_light_ns / hybrid_shift_stress_ns:
+        Mean shift a hybrid (HRC) task's management-mailbox poll imposes
+        on the wakeup path, per mode.  Calibrated against Table 1
+        (light: HRC ~700 ns earlier on average; stress: ~100 ns later);
+        both are an order of magnitude below the mode's AVEDEV, i.e. the
+        "no much difference" the paper reports.
+    busy_threshold:
+        Linux-domain demand fraction above which the stress profile is
+        used.
+    """
+
+    def __init__(self, hybrid_shift_light_ns=-700,
+                 hybrid_shift_stress_ns=100, busy_threshold=0.75):
+        self.busy_threshold = busy_threshold
+        self._profiles = {
+            ("light", False): _light_profile(0),
+            ("light", True): _light_profile(hybrid_shift_light_ns),
+            ("stress", False): _stress_profile(0),
+            ("stress", True): _stress_profile(hybrid_shift_stress_ns),
+        }
+
+    def mode_for(self, linux_demand):
+        """Classify a Linux-domain demand fraction as light/stress."""
+        return "stress" if linux_demand >= self.busy_threshold else "light"
+
+    def profile(self, mode, hybrid):
+        """Return the :class:`LatencyProfile` for a (mode, hybrid) cell."""
+        return self._profiles[(mode, bool(hybrid))]
+
+    def sample_release_offset(self, rng, task_name, linux_demand, hybrid):
+        """Draw the timer fire offset for one periodic release.
+
+        A dedicated stream per task keeps task latencies statistically
+        independent and runs reproducible.
+        """
+        mode = self.mode_for(linux_demand)
+        profile = self.profile(mode, hybrid)
+        return profile.sample(rng, "latency/%s" % task_name)
+
+
+class NullLatencyModel(LatencyModel):
+    """A latency model that always returns zero offset.
+
+    Used by tests and by the analysis benchmarks, where scheduling
+    behaviour should be exact rather than jittered.
+    """
+
+    def __init__(self):
+        super().__init__()
+
+    def sample_release_offset(self, rng, task_name, linux_demand, hybrid):
+        return 0

@@ -1,0 +1,162 @@
+"""LXRT-style procedural facade over the simulated kernel.
+
+The authors' prototype "use[s] the RTAI LXRT module -- which allows the
+use of the RTAI system calls from within standard user space" (section
+4.1).  This module mirrors that API surface so the hybrid container (and
+any user porting RTAI code) can write against familiar names::
+
+    lxrt = LXRT(kernel)
+    lxrt.rt_set_periodic_mode()
+    lxrt.start_rt_timer(lxrt.nano2count(1_000_000))
+    task = lxrt.rt_task_init("CALC00", body, priority=2)
+    lxrt.rt_task_make_periodic(task, period_ns=1_000_000)
+
+Counts vs nanoseconds: RTAI converts between timer *counts* and
+nanoseconds with ``nano2count``/``count2nano``; the simulated timer runs
+at a configurable count frequency (default: the 8254 PIT's 1,193,180 Hz,
+the hardware on the paper's HP nc6400 testbed) so the conversions are
+lossy in exactly the way real RTAI's are.
+"""
+
+from repro.rtos import names
+from repro.rtos.kernel import TIMER_ONESHOT, TIMER_PERIODIC
+from repro.rtos.task import TaskType
+
+#: Intel 8254 PIT frequency (Hz): the classic RTAI timer base.
+PIT_FREQUENCY_HZ = 1_193_180
+_NS_PER_SEC = 1_000_000_000
+
+
+class LXRT:
+    """Procedural RTAI-LXRT API bound to one :class:`RTKernel`."""
+
+    def __init__(self, kernel, count_frequency_hz=PIT_FREQUENCY_HZ):
+        self.kernel = kernel
+        self.count_frequency_hz = count_frequency_hz
+
+    # ------------------------------------------------------------------
+    # names and time
+    # ------------------------------------------------------------------
+    @staticmethod
+    def nam2num(name):
+        """Encode a 6-character name (RTAI ``nam2num``)."""
+        return names.nam2num(name)
+
+    @staticmethod
+    def num2nam(value):
+        """Decode an encoded name (RTAI ``num2nam``)."""
+        return names.num2nam(value)
+
+    def nano2count(self, ns):
+        """Convert nanoseconds to timer counts (floor, like RTAI)."""
+        return (int(ns) * self.count_frequency_hz) // _NS_PER_SEC
+
+    def count2nano(self, counts):
+        """Convert timer counts back to nanoseconds (floor)."""
+        return (int(counts) * _NS_PER_SEC) // self.count_frequency_hz
+
+    def rt_get_time_ns(self):
+        """Current time in nanoseconds."""
+        return self.kernel.now
+
+    def rt_get_time(self):
+        """Current time in timer counts."""
+        return self.nano2count(self.kernel.now)
+
+    # ------------------------------------------------------------------
+    # timer control
+    # ------------------------------------------------------------------
+    def rt_set_periodic_mode(self):
+        """Program the hardware timer in periodic mode."""
+        self.kernel.set_timer_mode(TIMER_PERIODIC)
+
+    def rt_set_oneshot_mode(self):
+        """Program the hardware timer in oneshot mode."""
+        self.kernel.set_timer_mode(TIMER_ONESHOT)
+
+    def start_rt_timer(self, period_counts):
+        """Start the timer with a period given in counts; returns the
+        *actual* period in counts (RTAI returns the rounded value)."""
+        period_ns = self.count2nano(period_counts)
+        self.kernel.start_timer(period_ns)
+        return period_counts
+
+    def start_rt_timer_ns(self, period_ns):
+        """Convenience: start the timer with a nanosecond period, going
+        through the count quantization exactly as real code would."""
+        counts = self.nano2count(period_ns)
+        self.start_rt_timer(counts)
+        return self.count2nano(counts)
+
+    def stop_rt_timer(self):
+        """Stop the hardware timer."""
+        self.kernel.stop_timer()
+
+    # ------------------------------------------------------------------
+    # tasks
+    # ------------------------------------------------------------------
+    def rt_task_init(self, name, body, priority, cpu=0, hybrid=False):
+        """Create an (initially aperiodic) task, like ``rt_task_init``."""
+        return self.kernel.create_task(
+            name, body, priority, cpu=cpu, task_type=TaskType.APERIODIC,
+            hybrid=hybrid)
+
+    def rt_task_make_periodic(self, task, period_ns, start_time_ns=None,
+                              collect_latency=False):
+        """Turn a task periodic and start it (``rt_task_make_periodic``)."""
+        task.task_type = TaskType.PERIODIC
+        task.period_ns = int(period_ns)
+        if task.deadline_ns is None:
+            task.deadline_ns = task.period_ns
+        if collect_latency and task.stats.latency is None:
+            from repro.sim.stats import SampleSeries
+            task.stats.latency = SampleSeries()
+        self.kernel.start_task(task, start_at=start_time_ns)
+        return task
+
+    def rt_task_resume(self, task):
+        """Start an aperiodic task running (``rt_task_resume`` on a new
+        task) or resume a suspended one."""
+        if task.suspended:
+            self.kernel.resume_task(task)
+        else:
+            self.kernel.release_task(task)
+
+    def rt_task_suspend(self, task):
+        """Suspend a task (``rt_task_suspend``)."""
+        self.kernel.suspend_task(task)
+
+    def rt_task_delete(self, task):
+        """Delete a task (``rt_task_delete``)."""
+        self.kernel.delete_task(task)
+
+    # ------------------------------------------------------------------
+    # IPC
+    # ------------------------------------------------------------------
+    def rt_shm_alloc(self, name, dtype, size, owner=None):
+        """Allocate/attach a named shared-memory segment."""
+        return self.kernel.shm_alloc(name, dtype, size, owner=owner)
+
+    def rt_shm_free(self, name, owner=None):
+        """Detach/free a named shared-memory segment."""
+        self.kernel.shm_free(name, owner=owner)
+
+    def rt_mbx_init(self, name, capacity=16):
+        """Create a mailbox."""
+        return self.kernel.mailbox(name, capacity)
+
+    def rt_mbx_delete(self, mailbox):
+        """Remove a mailbox."""
+        self.kernel.free_object(mailbox.name)
+
+    def rt_sem_init(self, name, initial=1):
+        """Create a counting semaphore."""
+        return self.kernel.semaphore(name, initial)
+
+    def rt_sem_delete(self, semaphore):
+        """Remove a semaphore."""
+        self.kernel.free_object(semaphore.name)
+
+    def rt_get_adr(self, name):
+        """Find any kernel object by name (``rt_get_adr``)."""
+        return self.kernel.lookup(name)

@@ -1,0 +1,136 @@
+"""Requests a task body may yield to the kernel.
+
+A task body is a generator function; each ``yield`` hands a request to
+the kernel, which resumes the generator (possibly much later in simulated
+time) with the request's result.  This mirrors how an RTAI task
+alternates between computing and calling blocking kernel services::
+
+    def body(task):
+        while True:
+            yield Compute(50 * USEC)          # burn CPU (preemptible)
+            task.shm_write("images", frame)    # zero-time side effect
+            cmd = yield Receive(mbx, blocking=False)   # poll, never block
+            yield WaitPeriod()                 # rt_task_wait_period()
+"""
+
+
+class Request:
+    """Base class for kernel requests (useful for isinstance checks)."""
+
+    __slots__ = ()
+
+
+class Compute(Request):
+    """Consume ``ns`` nanoseconds of CPU time; preemptible."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns):
+        if ns < 0:
+            raise ValueError("compute time must be >= 0, got %r" % (ns,))
+        self.ns = int(ns)
+
+    def __repr__(self):
+        return "Compute(%d)" % self.ns
+
+
+class WaitPeriod(Request):
+    """End the current job and wait for the next periodic release.
+
+    Resumes with the job's *scheduling latency* in nanoseconds (actual
+    resume time minus nominal release time), the quantity the paper's
+    Table 1 reports.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "WaitPeriod()"
+
+
+class Sleep(Request):
+    """Block for ``ns`` nanoseconds of simulated time."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns):
+        if ns < 0:
+            raise ValueError("sleep time must be >= 0, got %r" % (ns,))
+        self.ns = int(ns)
+
+    def __repr__(self):
+        return "Sleep(%d)" % self.ns
+
+
+class Receive(Request):
+    """Receive from a mailbox.
+
+    ``blocking=False`` polls: resumes immediately with the message or
+    ``None``.  ``blocking=True`` blocks until a message arrives or
+    ``timeout_ns`` elapses (resuming with ``None`` on timeout).
+    """
+
+    __slots__ = ("mailbox", "blocking", "timeout_ns")
+
+    def __init__(self, mailbox, blocking=True, timeout_ns=None):
+        self.mailbox = mailbox
+        self.blocking = blocking
+        self.timeout_ns = timeout_ns
+
+    def __repr__(self):
+        return "Receive(%s, blocking=%s)" % (self.mailbox.name,
+                                             self.blocking)
+
+
+class Send(Request):
+    """Send ``message`` to a mailbox.
+
+    ``blocking=False`` resumes immediately with ``True`` (delivered) or
+    ``False`` (mailbox full).  ``blocking=True`` blocks until space is
+    available (always resumes with ``True``).
+    """
+
+    __slots__ = ("mailbox", "message", "blocking")
+
+    def __init__(self, mailbox, message, blocking=False):
+        self.mailbox = mailbox
+        self.message = message
+        self.blocking = blocking
+
+    def __repr__(self):
+        return "Send(%s, blocking=%s)" % (self.mailbox.name, self.blocking)
+
+
+class SemWait(Request):
+    """Wait (P) on a semaphore; resumes with ``True`` once acquired, or
+    ``False`` on timeout."""
+
+    __slots__ = ("semaphore", "timeout_ns")
+
+    def __init__(self, semaphore, timeout_ns=None):
+        self.semaphore = semaphore
+        self.timeout_ns = timeout_ns
+
+    def __repr__(self):
+        return "SemWait(%s)" % self.semaphore.name
+
+
+class SemSignal(Request):
+    """Signal (V) a semaphore; never blocks, resumes with ``None``."""
+
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore):
+        self.semaphore = semaphore
+
+    def __repr__(self):
+        return "SemSignal(%s)" % self.semaphore.name
+
+
+class SuspendSelf(Request):
+    """Suspend the calling task until an external ``resume``."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "SuspendSelf()"

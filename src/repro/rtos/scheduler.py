@@ -1,0 +1,188 @@
+"""Ready-queue scheduling policies.
+
+The kernel keeps one scheduler instance per CPU.  A scheduler only
+manages the *ready set*; dispatching, preemption and time accounting stay
+in the kernel.  Two policies are provided:
+
+* :class:`PriorityScheduler` -- fixed-priority, preemptive, FIFO within a
+  priority level, with optional round-robin rotation among equal
+  priorities (the paper: "The scheduler used in the test is round-robin
+  algorithm", i.e. RTAI's SCHED_RR within a priority level).
+* :class:`EDFScheduler` -- earliest-deadline-first, used by the admission
+  policy ablation (experiment A2).
+"""
+
+import heapq
+import itertools
+from collections import deque
+
+from repro.rtos.errors import SchedulerError
+
+
+class Scheduler:
+    """Interface shared by all ready-queue policies."""
+
+    #: Human-readable policy name (used in traces and benchmarks).
+    policy = "abstract"
+
+    def add(self, task):
+        """Insert a task into the ready set."""
+        raise NotImplementedError
+
+    def remove(self, task):
+        """Remove a task from the ready set (it must be present)."""
+        raise NotImplementedError
+
+    def pick(self):
+        """Return the best ready task without removing it, or ``None``."""
+        raise NotImplementedError
+
+    def rotate(self, task):
+        """Round-robin hook: move ``task`` behind its equal-priority
+        peers.  Policies without a notion of rotation may ignore this."""
+
+    def would_preempt(self, candidate, running):
+        """Whether ``candidate`` should preempt ``running`` right now."""
+        raise NotImplementedError
+
+    def peers_ready(self, task):
+        """Whether another ready task shares ``task``'s scheduling class
+        (drives round-robin quantum arming)."""
+        return False
+
+    def __len__(self):
+        raise NotImplementedError
+
+
+class PriorityScheduler(Scheduler):
+    """Fixed-priority preemptive scheduler, FIFO/RR within a level.
+
+    ``rr_quantum_ns`` enables round-robin among equal-priority tasks;
+    ``None`` means run-to-block (plain FIFO), matching RTAI's default.
+    """
+
+    policy = "priority"
+
+    def __init__(self, rr_quantum_ns=None):
+        self._levels = {}
+        self._size = 0
+        self.rr_quantum_ns = rr_quantum_ns
+
+    def __len__(self):
+        return self._size
+
+    def add(self, task):
+        queue = self._levels.get(task.priority)
+        if queue is None:
+            queue = deque()
+            self._levels[task.priority] = queue
+        if task in queue:
+            raise SchedulerError("task %s already ready" % task.name)
+        queue.append(task)
+        self._size += 1
+
+    def remove(self, task):
+        queue = self._levels.get(task.priority)
+        if queue is None or task not in queue:
+            raise SchedulerError("task %s not in ready set" % task.name)
+        queue.remove(task)
+        if not queue:
+            del self._levels[task.priority]
+        self._size -= 1
+
+    def pick(self):
+        if not self._levels:
+            return None
+        best_priority = min(self._levels)
+        return self._levels[best_priority][0]
+
+    def rotate(self, task):
+        queue = self._levels.get(task.priority)
+        if queue and queue[0] is task:
+            queue.rotate(-1)
+
+    def would_preempt(self, candidate, running):
+        # Strictly higher priority (smaller number) preempts; equal
+        # priority does not preempt -- it waits for quantum expiry or
+        # for the running task to block.
+        return candidate.priority < running.priority
+
+    def peers_ready(self, task):
+        queue = self._levels.get(task.priority)
+        return bool(queue)
+
+
+class EDFScheduler(Scheduler):
+    """Earliest-deadline-first scheduler.
+
+    Deadlines are absolute (``task._release_nominal + task.deadline_ns``);
+    tasks without a live deadline (aperiodic, no deadline declared) sort
+    after all deadline-bearing tasks, by static priority.
+    """
+
+    policy = "edf"
+
+    def __init__(self):
+        self._heap = []
+        self._entries = {}
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return len(self._entries)
+
+    @staticmethod
+    def _absolute_deadline(task):
+        if task.deadline_ns is None:
+            return None
+        # A freshly released task carries its new nominal in the
+        # pending queue until dispatch; its deadline must be judged by
+        # that job, not by the previous one's.
+        if task._pending_nominals:
+            return task._pending_nominals[0] + task.deadline_ns
+        if task._release_nominal is None:
+            return None
+        return task._release_nominal + task.deadline_ns
+
+    def _key(self, task):
+        deadline = self._absolute_deadline(task)
+        if deadline is None:
+            return (1, task.priority, 0)
+        return (0, deadline, task.priority)
+
+    def add(self, task):
+        if task in self._entries:
+            raise SchedulerError("task %s already ready" % task.name)
+        entry = [self._key(task), next(self._counter), task, True]
+        self._entries[task] = entry
+        heapq.heappush(self._heap, entry)
+
+    def remove(self, task):
+        entry = self._entries.pop(task, None)
+        if entry is None:
+            raise SchedulerError("task %s not in ready set" % task.name)
+        entry[3] = False  # lazy deletion
+
+    def pick(self):
+        while self._heap:
+            entry = self._heap[0]
+            if not entry[3]:
+                heapq.heappop(self._heap)
+                continue
+            return entry[2]
+        return None
+
+    def would_preempt(self, candidate, running):
+        return self._key(candidate) < self._key(running)
+
+
+def make_scheduler(policy, rr_quantum_ns=None):
+    """Factory used by kernel configuration.
+
+    ``policy`` is ``"priority"`` or ``"edf"``; ``rr_quantum_ns`` only
+    applies to the priority policy.
+    """
+    if policy == "priority":
+        return PriorityScheduler(rr_quantum_ns=rr_quantum_ns)
+    if policy == "edf":
+        return EDFScheduler()
+    raise ValueError("unknown scheduling policy: %r" % (policy,))

@@ -1,0 +1,136 @@
+"""Counting semaphores (RTAI ``rt_sem`` analogue).
+
+Wakeups are **priority ordered** (highest-priority waiter first, FIFO
+within a priority), matching RTAI's resource-queue semantics.  Blocking
+is orchestrated by the kernel, as with mailboxes.
+"""
+
+from repro.rtos import names
+
+
+class Semaphore:
+    """A counting semaphore identified by a 6-character name."""
+
+    def __init__(self, kernel, name, initial=1):
+        if initial < 0:
+            raise ValueError("initial count must be >= 0, got %r"
+                             % (initial,))
+        self._kernel = kernel
+        self.name = names.validate_name(name)
+        self.count = int(initial)
+        self._waiters = []  # kept sorted by (priority, arrival seq)
+        self._arrival = 0
+        self.wait_count = 0
+        self.signal_count = 0
+
+    @property
+    def waiter_count(self):
+        """Number of tasks currently blocked on the semaphore."""
+        return len(self._waiters)
+
+    def _task_wait(self, task):
+        """Kernel entry for SemWait.  Returns ``(completed, result)``."""
+        self.wait_count += 1
+        if self.count > 0:
+            self.count -= 1
+            return True, True
+        self._arrival += 1
+        self._waiters.append((task.priority, self._arrival, task))
+        self._waiters.sort(key=lambda entry: (entry[0], entry[1]))
+        return False, None
+
+    def signal(self):
+        """Signal (V); wake the best waiter or bump the count.
+
+        Callable both from task context (via the SemSignal request) and
+        from external, non-RT code.
+        """
+        self.signal_count += 1
+        while self._waiters:
+            _, _, task = self._waiters.pop(0)
+            if task._blocked_on is not self:
+                continue  # stale (timed out / deleted)
+            self._kernel._wake_task(task, True)
+            return
+        self.count += 1
+
+    def _forget_waiter(self, task):
+        """Drop a parked task (timeout / deletion); stale-safe."""
+        self._waiters = [entry for entry in self._waiters
+                         if entry[2] is not task]
+
+    def __repr__(self):
+        return "Semaphore(%s, count=%d, waiters=%d)" % (
+            self.name, self.count, len(self._waiters))
+
+
+class ResourceSemaphore(Semaphore):
+    """A binary resource semaphore with **priority inheritance**
+    (RTAI's RES_SEM).
+
+    While a task owns the resource and a higher-priority task blocks on
+    it, the owner runs at the blocker's priority, bounding the classic
+    priority-inversion window (a medium-priority task can no longer
+    starve the owner and thereby the high-priority blocker).  The
+    owner's base priority is restored on release.
+
+    Single-resource inheritance only (no transitive chains across
+    nested resources) -- sufficient for the port-based components this
+    substrate hosts, and documented as such.
+    """
+
+    def __init__(self, kernel, name):
+        super().__init__(kernel, name, initial=1)
+        #: The task currently holding the resource (None when free).
+        self.owner = None
+        self._owner_base_priority = None
+        #: Number of times inheritance boosted an owner.
+        self.boost_count = 0
+
+    def _task_wait(self, task):
+        self.wait_count += 1
+        if self.count > 0:
+            self.count -= 1
+            self._take_ownership(task)
+            return True, True
+        # Contended: inherit the blocker's (higher) priority.
+        if self.owner is not None \
+                and task.priority < self.owner.priority:
+            self.boost_count += 1
+            self._kernel.set_task_priority(self.owner, task.priority)
+        self._arrival += 1
+        self._waiters.append((task.priority, self._arrival, task))
+        self._waiters.sort(key=lambda entry: (entry[0], entry[1]))
+        return False, None
+
+    def signal(self):
+        """Release the resource: restore the owner's base priority and
+        hand off to the best waiter."""
+        self.signal_count += 1
+        self._restore_owner_priority()
+        self.owner = None
+        while self._waiters:
+            _, _, task = self._waiters.pop(0)
+            if task._blocked_on is not self:
+                continue
+            self._take_ownership(task)
+            self._kernel._wake_task(task, True)
+            return
+        self.count += 1
+
+    def _take_ownership(self, task):
+        self.owner = task
+        self._owner_base_priority = task.priority
+
+    def _restore_owner_priority(self):
+        if (self.owner is not None
+                and self._owner_base_priority is not None
+                and self.owner.priority != self._owner_base_priority):
+            self._kernel.set_task_priority(self.owner,
+                                           self._owner_base_priority)
+        self._owner_base_priority = None
+
+    def __repr__(self):
+        return "ResourceSemaphore(%s, owner=%s, waiters=%d)" % (
+            self.name, self.owner.name if self.owner else None,
+            len(self._waiters))

@@ -1,0 +1,38 @@
+"""Discrete-event simulation core.
+
+This package provides the deterministic, nanosecond-resolution simulation
+substrate on which the RTAI-like real-time kernel (:mod:`repro.rtos`) runs.
+It contains:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop,
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventQueue`
+  -- cancellable scheduled callbacks ordered by (time, priority, sequence),
+* :class:`~repro.sim.rng.RandomStreams` -- named, independently seeded
+  random streams so that adding a new source of randomness never perturbs
+  existing ones,
+* :class:`~repro.sim.trace.TraceRecorder` -- structured trace records,
+* :class:`~repro.sim.stats.RunningStats` and
+  :class:`~repro.sim.stats.SampleSeries` -- statistics used by the
+  benchmark harness (including AVEDEV as reported in the paper's Table 1).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError, SchedulingInPastError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import RunningStats, SampleSeries, summarize
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "RunningStats",
+    "SampleSeries",
+    "SchedulingInPastError",
+    "SimulationError",
+    "Simulator",
+    "TraceRecord",
+    "TraceRecorder",
+    "summarize",
+]

@@ -1,0 +1,166 @@
+"""The discrete-event simulator.
+
+Time is an integer number of **nanoseconds** throughout the repository;
+this matches the resolution RTAI reports scheduling latency in (the paper's
+Table 1 is in nanoseconds) and avoids floating-point drift in long runs.
+"""
+
+from repro.sim.errors import SchedulingInPastError, SimulationLimitError
+from repro.sim.events import (
+    PRIORITY_INTERRUPT,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    EventQueue,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+#: One microsecond / millisecond / second in simulation ticks.
+USEC = 1000
+MSEC = 1000 * USEC
+SEC = 1000 * MSEC
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named random streams.  Two simulators built
+        with the same seed and fed the same schedule produce identical
+        traces.
+    max_events:
+        Safety valve: :meth:`run` raises :class:`SimulationLimitError`
+        after this many events, catching accidental infinite loops in
+        kernel code (a stuck periodic timer, for instance).
+    """
+
+    def __init__(self, seed=0, max_events=50_000_000):
+        self._now = 0
+        self._queue = EventQueue()
+        self._rng = RandomStreams(seed)
+        self._trace = TraceRecorder()
+        self._max_events = max_events
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def rng(self):
+        """The simulator's :class:`~repro.sim.rng.RandomStreams`."""
+        return self._rng
+
+    @property
+    def trace(self):
+        """The simulator's :class:`~repro.sim.trace.TraceRecorder`."""
+        return self._trace
+
+    @property
+    def pending_events(self):
+        """Number of live (not cancelled, not fired) events."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self):
+        """Number of events whose callbacks have run so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, callback, *args, priority=PRIORITY_NORMAL,
+                 label=""):
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        return self.schedule_at(self._now + delay, callback, *args,
+                                priority=priority, label=label)
+
+    def schedule_at(self, when, callback, *args, priority=PRIORITY_NORMAL,
+                    label=""):
+        """Schedule ``callback(*args)`` at absolute time ``when`` ns."""
+        if when < self._now:
+            raise SchedulingInPastError(self._now, when)
+        return self._queue.push(when, callback, args, priority=priority,
+                                label=label)
+
+    def schedule_interrupt(self, when, callback, *args, label=""):
+        """Schedule a hardware-priority event at absolute time ``when``."""
+        return self.schedule_at(when, callback, *args,
+                                priority=PRIORITY_INTERRUPT, label=label)
+
+    def call_soon(self, callback, *args, label=""):
+        """Run ``callback`` at the current instant, after pending
+        same-instant events of lower or equal priority already queued."""
+        return self.schedule_at(self._now, callback, *args,
+                                priority=PRIORITY_LATE, label=label)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Fire the single earliest event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty.
+        """
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.when
+        event._fired = True
+        self._processed += 1
+        if self._processed > self._max_events:
+            raise SimulationLimitError(
+                "exceeded max_events=%d at t=%d ns" %
+                (self._max_events, self._now))
+        event.callback(*event.args)
+        return True
+
+    def run(self, until=None):
+        """Run until the queue drains or time reaches ``until`` (ns).
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run``
+        windows tile the timeline seamlessly.
+        """
+        self._running = True
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration):
+        """Run for ``duration`` ns of simulated time from now."""
+        return self.run(until=self._now + duration)
+
+    def stop(self):
+        """Request that a :meth:`run` in progress return after the current
+        event (usable from inside event callbacks)."""
+        self._running = False
+
+    def reset(self):
+        """Drop all pending events and rewind the clock to zero.
+
+        Random streams are *not* reseeded; build a fresh simulator for a
+        statistically independent run.
+        """
+        self._queue.clear()
+        self._trace.clear()
+        self._now = 0
+        self._processed = 0

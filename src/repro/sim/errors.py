@@ -1,0 +1,25 @@
+"""Exceptions raised by the simulation core."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-core errors."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled at a time earlier than the current sim time."""
+
+    def __init__(self, now, when):
+        super().__init__(
+            "cannot schedule event at t=%d ns: current time is t=%d ns"
+            % (when, now)
+        )
+        self.now = now
+        self.when = when
+
+
+class EventAlreadyCancelledError(SimulationError):
+    """A cancelled event was cancelled or rescheduled a second time."""
+
+
+class SimulationLimitError(SimulationError):
+    """The simulator hit its configured safety limit on processed events."""

@@ -1,0 +1,154 @@
+"""Cancellable events and the time-ordered event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering of same-time, same-priority events deterministic (FIFO in
+scheduling order), which keeps every simulation run bit-reproducible for a
+given seed.
+"""
+
+import heapq
+import itertools
+
+from repro.sim.errors import EventAlreadyCancelledError
+
+#: Default event priority.  Lower values fire first at equal timestamps.
+PRIORITY_NORMAL = 100
+#: Priority used for hardware-level events (timer interrupts) that must be
+#: observed before any same-instant software action.
+PRIORITY_INTERRUPT = 0
+#: Priority used for bookkeeping that must run after all same-instant work.
+PRIORITY_LATE = 1000
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`;
+    user code only cancels them or inspects their state.
+    """
+
+    __slots__ = ("when", "priority", "seq", "callback", "args", "label",
+                 "_queue", "_cancelled", "_fired")
+
+    def __init__(self, when, priority, seq, callback, args=(), label="",
+                 queue=None):
+        self.when = when
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self._queue = queue
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self):
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self):
+        """Whether the event's callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self):
+        """Whether the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self):
+        """Cancel the event.
+
+        Cancelling an event that already fired or was already cancelled
+        raises :class:`EventAlreadyCancelledError`; silently ignoring the
+        second cancel would hide lifecycle bugs in the kernel code built on
+        top of this queue.
+        """
+        if self._cancelled or self._fired:
+            raise EventAlreadyCancelledError(
+                "event %r already %s" %
+                (self.label, "cancelled" if self._cancelled else "fired"))
+        self._mark_cancelled()
+
+    def cancel_if_pending(self):
+        """Cancel the event if it is still pending; return whether it was."""
+        if self.pending:
+            self._mark_cancelled()
+            return True
+        return False
+
+    def _mark_cancelled(self):
+        self._cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+
+    def _sort_key(self):
+        return (self.when, self.priority, self.seq)
+
+    def __lt__(self, other):
+        return self._sort_key() < other._sort_key()
+
+    def __repr__(self):
+        state = ("cancelled" if self._cancelled
+                 else "fired" if self._fired else "pending")
+        return "Event(t=%d, prio=%d, label=%r, %s)" % (
+            self.when, self.priority, self.label, state)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects with lazy deletion.
+
+    Cancelled events stay in the heap and are skipped on pop; this is the
+    standard O(log n) cancellation strategy and keeps `cancel` cheap for
+    the very frequent "cancel pending preemption/completion" pattern in the
+    RT kernel.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self):
+        return self._live
+
+    def __bool__(self):
+        return self._live > 0
+
+    def push(self, when, callback, args=(), priority=PRIORITY_NORMAL,
+             label=""):
+        """Create, enqueue and return a new :class:`Event`."""
+        event = Event(when, priority, next(self._counter), callback, args,
+                      label, queue=self)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self):
+        """Remove and return the earliest live event.
+
+        Returns ``None`` when the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event._cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self):
+        """Return the timestamp of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0]._cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].when
+        return None
+
+    def clear(self):
+        """Drop every event (used for simulator reset)."""
+        for event in self._heap:
+            event._queue = None
+        self._heap.clear()
+        self._live = 0

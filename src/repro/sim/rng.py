@@ -1,0 +1,72 @@
+"""Named, independently seeded random streams.
+
+Every stochastic model in the repository (latency jitter, load bursts,
+workload generators) draws from its own named stream.  Deriving each
+stream's seed from ``(master_seed, name)`` means adding a new model never
+changes the draws seen by existing ones -- runs stay comparable across
+code revisions, which matters when calibrating the latency model against
+the paper's Table 1.
+"""
+
+import hashlib
+import random
+
+
+def derive_seed(master_seed, name):
+    """Derive a 64-bit child seed from a master seed and a stream name."""
+    digest = hashlib.sha256(
+        ("%d/%s" % (master_seed, name)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A lazy dictionary of named :class:`random.Random` instances."""
+
+    def __init__(self, master_seed=0):
+        self._master_seed = master_seed
+        self._streams = {}
+
+    @property
+    def master_seed(self):
+        """The master seed the streams were derived from."""
+        return self._master_seed
+
+    def stream(self, name):
+        """Return (creating on first use) the stream called ``name``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self._master_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def gauss(self, name, mu, sigma):
+        """Draw one Gaussian sample from stream ``name``."""
+        return self.stream(name).gauss(mu, sigma)
+
+    def uniform(self, name, lo, hi):
+        """Draw one uniform sample from stream ``name``."""
+        return self.stream(name).uniform(lo, hi)
+
+    def expovariate(self, name, rate):
+        """Draw one exponential sample (mean ``1/rate``) from ``name``."""
+        return self.stream(name).expovariate(rate)
+
+    def randint(self, name, lo, hi):
+        """Draw one integer in ``[lo, hi]`` from stream ``name``."""
+        return self.stream(name).randint(lo, hi)
+
+    def random(self, name):
+        """Draw one float in ``[0, 1)`` from stream ``name``."""
+        return self.stream(name).random()
+
+    def choice(self, name, seq):
+        """Pick one element of ``seq`` from stream ``name``."""
+        return self.stream(name).choice(seq)
+
+    def fork(self, name):
+        """Return a new :class:`RandomStreams` rooted under ``name``.
+
+        Useful for giving a sub-simulation (for example one benchmark
+        repetition) its own namespace of streams.
+        """
+        return RandomStreams(derive_seed(self._master_seed, name))

@@ -1,0 +1,132 @@
+"""Workload generation for experiments.
+
+Random task sets and random DRCom component populations, built on the
+standard tools of the schedulability-evaluation literature:
+
+* :func:`uunifast` -- Bini & Buttazzo's unbiased utilization splitter
+  (the de-facto standard for generating task-set utilizations);
+* :func:`log_uniform_periods` -- periods drawn log-uniformly across
+  decades, snapped to a timer-grid-friendly quantum;
+* :func:`generate_taskset` -- :class:`~repro.analysis.TaskSpec` sets
+  with rate-monotonic priorities;
+* :func:`generate_component_set` -- full DRCom descriptors, optionally
+  chained through ports (component *i* consumes *i−1*'s outport), ready
+  for :meth:`repro.core.DRCR.register_component`.
+
+All draws go through named :class:`~repro.sim.rng.RandomStreams`
+streams, so workloads are reproducible and independent of any other
+randomness in a run.
+"""
+
+import math
+
+from repro.analysis import TaskSpec, rate_monotonic_priorities
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.ports import PortDirection, PortSpec
+from repro.rtos.task import TaskType
+
+_NS_PER_SEC = 1_000_000_000
+
+
+def uunifast(rng, stream, count, total_utilization):
+    """Bini-Buttazzo UUniFast: split ``total_utilization`` into
+    ``count`` unbiased utilizations.
+
+    Returns a list of floats summing to ``total_utilization``.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive, got %r" % (count,))
+    if total_utilization <= 0:
+        raise ValueError("total utilization must be positive")
+    utilizations = []
+    remaining = total_utilization
+    for index in range(1, count):
+        next_remaining = remaining * (
+            rng.random(stream) ** (1.0 / (count - index)))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def log_uniform_periods(rng, stream, count, min_period_ns,
+                        max_period_ns, quantum_ns=1_000_000):
+    """Periods drawn log-uniformly in ``[min, max]``, rounded to the
+    timer quantum (default 1 ms -- the benchmarks' tick)."""
+    if min_period_ns <= 0 or max_period_ns < min_period_ns:
+        raise ValueError("bad period range")
+    periods = []
+    log_lo = math.log(min_period_ns)
+    log_hi = math.log(max_period_ns)
+    for _ in range(count):
+        raw = math.exp(rng.uniform(stream, log_lo, log_hi))
+        snapped = max(quantum_ns,
+                      int(round(raw / quantum_ns)) * quantum_ns)
+        periods.append(snapped)
+    return periods
+
+
+def generate_taskset(rng, name, count, total_utilization,
+                     min_period_ns=1_000_000, max_period_ns=100_000_000,
+                     quantum_ns=1_000_000):
+    """A random :class:`TaskSpec` set with RM priorities.
+
+    ``name`` seeds the stream namespace, so different names give
+    independent sets under the same master seed.
+    """
+    stream = "workload/%s" % name
+    utilizations = uunifast(rng, stream, count, total_utilization)
+    periods = log_uniform_periods(rng, stream, count, min_period_ns,
+                                  max_period_ns, quantum_ns)
+    specs = []
+    for index, (utilization, period) in enumerate(
+            zip(utilizations, periods)):
+        wcet = max(1, int(utilization * period))
+        specs.append(TaskSpec("%s_T%02d" % (name.upper()[:2], index),
+                              period, wcet))
+    priorities = rate_monotonic_priorities(specs)
+    return [TaskSpec(spec.name, spec.period_ns, spec.wcet_ns,
+                     priority=priorities[spec.name])
+            for spec in specs]
+
+
+def generate_component_set(rng, name, count, total_utilization,
+                           chained=False, cpu=0,
+                           min_period_ns=1_000_000,
+                           max_period_ns=100_000_000):
+    """Random DRCom descriptors (optionally a dependency chain).
+
+    Returns a list of :class:`ComponentDescriptor`.  Frequencies derive
+    from the generated periods; declared ``cpuusage`` equals each
+    task's generated utilization (i.e. the descriptors tell the truth).
+    """
+    specs = generate_taskset(rng, name, count, total_utilization,
+                             min_period_ns, max_period_ns)
+    descriptors = []
+    for index, spec in enumerate(specs):
+        ports = []
+        if chained:
+            ports.append(PortSpec("%sP%03d" % (name.upper()[:2],
+                                               index),
+                                  PortDirection.OUT, "RTAI.SHM",
+                                  "Integer", 2))
+            if index > 0:
+                ports.append(PortSpec("%sP%03d" % (name.upper()[:2],
+                                                   index - 1),
+                                      PortDirection.IN, "RTAI.SHM",
+                                      "Integer", 2))
+        frequency = _NS_PER_SEC / spec.period_ns
+        # Names must be distinct after the six-character RTAI
+        # derivation, so bake the index into an RTAI-safe name.
+        descriptors.append(ComponentDescriptor(
+            name="%sC%03d" % (name.upper()[:2], index),
+            implementation="workload.%s.C%03d" % (name, index),
+            task_type=TaskType.PERIODIC,
+            description="generated workload component",
+            cpu_usage=min(1.0, spec.utilization),
+            frequency_hz=frequency,
+            priority=spec.priority,
+            cpu=cpu,
+            ports=ports,
+        ))
+    return descriptors

@@ -1,0 +1,96 @@
+"""Tests for the adaptation manager's simulated-time polling."""
+
+import pytest
+
+from repro.core import (
+    AdaptationManager,
+    AdaptationRule,
+    AlwaysAcceptPolicy,
+    ComponentState,
+    SuspendOnDeadlineMisses,
+)
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+class CountingRule(AdaptationRule):
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def apply(self, status, management, manager):
+        self.calls += 1
+        return None
+
+
+class TestPeriodicPolling:
+    def test_polls_on_simulated_schedule(self, platform):
+        deploy(platform, make_descriptor_xml("COMP00", cpuusage=0.05))
+        rule = CountingRule()
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        manager.start_periodic_polling(platform.sim, 10 * MSEC)
+        platform.run_for(100 * MSEC)
+        # One component, one rule call per poll; ~10 polls in 100 ms.
+        assert 9 <= rule.calls <= 11
+        manager.close()
+
+    def test_stop_polling(self, platform):
+        deploy(platform, make_descriptor_xml("COMP00", cpuusage=0.05))
+        rule = CountingRule()
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        manager.start_periodic_polling(platform.sim, 10 * MSEC)
+        platform.run_for(50 * MSEC)
+        count = rule.calls
+        manager.stop_periodic_polling()
+        platform.run_for(50 * MSEC)
+        assert rule.calls == count
+        manager.close()
+
+    def test_restart_with_new_period(self, platform):
+        deploy(platform, make_descriptor_xml("COMP00", cpuusage=0.05))
+        rule = CountingRule()
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        manager.start_periodic_polling(platform.sim, 50 * MSEC)
+        manager.start_periodic_polling(platform.sim, 10 * MSEC)
+        platform.run_for(100 * MSEC)
+        assert rule.calls >= 9  # the 10 ms schedule won
+        manager.close()
+
+    def test_bad_period_rejected(self, platform):
+        manager = AdaptationManager(platform.framework)
+        with pytest.raises(ValueError):
+            manager.start_periodic_polling(platform.sim, 0)
+        manager.close()
+
+    def test_close_cancels_polling(self, platform):
+        deploy(platform, make_descriptor_xml("COMP00", cpuusage=0.05))
+        rule = CountingRule()
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        manager.start_periodic_polling(platform.sim, 10 * MSEC)
+        manager.close()
+        platform.run_for(100 * MSEC)
+        assert rule.calls == 0
+
+    def test_closed_loop_entirely_inside_simulated_time(self, platform):
+        """The full paper loop with no test-code interleaving: overload
+        appears, the polling manager detects and suspends, and the
+        survivors run clean -- all within one run_for window."""
+        platform.drcr.set_internal_policy(AlwaysAcceptPolicy())
+        deploy(platform, make_descriptor_xml(
+            "HOGA00", cpuusage=0.7, frequency=1000, priority=1))
+        deploy(platform, make_descriptor_xml(
+            "HOGB00", cpuusage=0.7, frequency=1000, priority=2))
+        manager = AdaptationManager(
+            platform.framework, rules=[SuspendOnDeadlineMisses(10)])
+        manager.start_periodic_polling(platform.sim, 50 * MSEC)
+        platform.run_for(2 * SEC)
+        assert platform.drcr.component_state("HOGB00") \
+            is ComponentState.SUSPENDED
+        assert platform.drcr.component_state("HOGA00") \
+            is ComponentState.ACTIVE
+        hog_a = platform.kernel.lookup("HOGA00")
+        # After the shed, A ran clean for the rest of the window.
+        assert hog_a.stats.completions > 1500
+        manager.close()

@@ -1,0 +1,167 @@
+"""Tests for application descriptors and atomic group deployment."""
+
+import pytest
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.application import ApplicationDescriptor
+from repro.core.errors import AdmissionError, DescriptorError, \
+    LifecycleError
+
+from conftest import make_descriptor_xml
+
+
+def component_block(name, cpuusage=0.1, frequency=1000, priority=2,
+                    outports=(), inports=()):
+    """The component element without the <?xml?> prologue."""
+    xml = make_descriptor_xml(name, cpuusage=cpuusage,
+                              frequency=frequency, priority=priority,
+                              outports=outports, inports=inports)
+    return xml.split("\n", 1)[1]
+
+
+def app_xml(name="vision", complete=False, components=()):
+    return ('<?xml version="1.0" encoding="UTF-8"?>\n'
+            '<drt:application name="%s" desc="test app" complete="%s">\n'
+            "%s\n</drt:application>"
+            % (name, "true" if complete else "false",
+               "\n".join(components)))
+
+
+PIPELINE = [
+    component_block("CAMERA", cpuusage=0.10,
+                    outports=[("FRAME0", "RTAI.SHM", "Byte", 16)]),
+    component_block("TRACKR", cpuusage=0.20, frequency=500, priority=3,
+                    inports=[("FRAME0", "RTAI.SHM", "Byte", 16)]),
+]
+
+
+class TestApplicationDescriptor:
+    def test_parse_pipeline(self):
+        app = ApplicationDescriptor.from_xml(app_xml(
+            components=PIPELINE))
+        assert app.name == "vision"
+        assert app.component_names() == ["CAMERA", "TRACKR"]
+        assert app.declared_utilization() == pytest.approx(0.30)
+        assert app.cpus_used() == {0}
+
+    def test_complete_app_validates_wiring(self):
+        app = ApplicationDescriptor.from_xml(app_xml(
+            complete=True, components=PIPELINE))
+        assert app.complete
+
+    def test_complete_app_with_dangling_inport_rejected(self):
+        dangling = [component_block(
+            "LONELY", inports=[("NOPE00", "RTAI.SHM", "Integer", 2)])]
+        with pytest.raises(DescriptorError):
+            ApplicationDescriptor.from_xml(app_xml(
+                complete=True, components=dangling))
+
+    def test_incomplete_flag_skips_wiring_check(self):
+        dangling = [component_block(
+            "LONELY", inports=[("NOPE00", "RTAI.SHM", "Integer", 2)])]
+        app = ApplicationDescriptor.from_xml(app_xml(
+            complete=False, components=dangling))
+        assert not app.complete
+
+    def test_duplicate_component_rejected(self):
+        with pytest.raises(DescriptorError):
+            ApplicationDescriptor.from_xml(app_xml(
+                components=[PIPELINE[0], PIPELINE[0]]))
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(DescriptorError):
+            ApplicationDescriptor.from_xml(app_xml(components=[]))
+
+    def test_missing_name_rejected(self):
+        text = app_xml(components=PIPELINE).replace(
+            'name="vision" ', "")
+        with pytest.raises(DescriptorError):
+            ApplicationDescriptor.from_xml(text)
+
+    def test_unknown_child_rejected(self):
+        text = app_xml(components=PIPELINE).replace(
+            "</drt:application>", "<wire/></drt:application>")
+        with pytest.raises(DescriptorError):
+            ApplicationDescriptor.from_xml(text)
+
+    def test_xml_roundtrip(self):
+        app = ApplicationDescriptor.from_xml(app_xml(
+            complete=True, components=PIPELINE))
+        reparsed = ApplicationDescriptor.from_xml(app.to_xml())
+        assert reparsed.name == app.name
+        assert reparsed.complete == app.complete
+        assert reparsed.component_names() == app.component_names()
+        assert [d.contract for d in reparsed.components] \
+            == [d.contract for d in app.components]
+
+
+class TestAtomicDeployment:
+    def test_successful_group_deploy(self, platform):
+        app = ApplicationDescriptor.from_xml(app_xml(
+            components=PIPELINE))
+        deployed = platform.drcr.register_application(app)
+        assert len(deployed) == 2
+        for name in ("CAMERA", "TRACKR"):
+            assert platform.drcr.component_state(name) \
+                is ComponentState.ACTIVE
+        assert platform.drcr.applications() == {
+            "vision": ["CAMERA", "TRACKR"]}
+
+    def test_admission_failure_rolls_back_whole_group(self, platform):
+        platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.25))
+        app = ApplicationDescriptor.from_xml(app_xml(
+            components=PIPELINE))  # needs 0.30 total
+        with pytest.raises(AdmissionError):
+            platform.drcr.register_application(app)
+        # Nothing left behind -- not even the admissible camera.
+        assert "CAMERA" not in platform.drcr.registry
+        assert "TRACKR" not in platform.drcr.registry
+        assert platform.drcr.applications() == {}
+
+    def test_rollback_frees_kernel_objects(self, platform):
+        platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.25))
+        app = ApplicationDescriptor.from_xml(app_xml(
+            components=PIPELINE))
+        with pytest.raises(AdmissionError):
+            platform.drcr.register_application(app)
+        assert not platform.kernel.exists("CAMERA")
+        assert not platform.kernel.exists("FRAME0")
+
+    def test_unregister_application(self, platform):
+        app = ApplicationDescriptor.from_xml(app_xml(
+            components=PIPELINE))
+        platform.drcr.register_application(app)
+        platform.drcr.unregister_application("vision")
+        assert "CAMERA" not in platform.drcr.registry
+        assert platform.drcr.applications() == {}
+
+    def test_unregister_unknown_raises(self, platform):
+        with pytest.raises(LifecycleError):
+            platform.drcr.unregister_application("ghost")
+
+    def test_deploy_via_bundle_header(self, platform):
+        bundle = platform.install_and_start(
+            {"Bundle-SymbolicName": "apps.vision",
+             "RT-Application": "OSGI-INF/app.xml"},
+            resources={"OSGI-INF/app.xml": app_xml(
+                components=PIPELINE)})
+        assert platform.drcr.component_state("CAMERA") \
+            is ComponentState.ACTIVE
+        bundle.stop()
+        assert "CAMERA" not in platform.drcr.registry
+        assert platform.drcr.applications() == {}
+
+    def test_duplicate_name_with_existing_component_rolls_back(
+            self, platform):
+        from conftest import deploy
+        deploy(platform, make_descriptor_xml("CAMERA", cpuusage=0.05))
+        app = ApplicationDescriptor.from_xml(app_xml(
+            components=PIPELINE))
+        with pytest.raises(Exception):
+            platform.drcr.register_application(app)
+        # The pre-existing CAMERA survives; the app's TRACKR does not.
+        assert platform.drcr.component_state("CAMERA") \
+            is ComponentState.ACTIVE
+        assert "TRACKR" not in platform.drcr.registry

@@ -1,0 +1,107 @@
+"""Tests for run-time budget enforcement (the §2.1 "enforced by a
+central scheme" loop closed at run time)."""
+
+import pytest
+
+from repro.core import AdaptationManager, ComponentState
+from repro.core.adaptation import BudgetOveruseRule
+from repro.hybrid import RTImplementation, make_container_factory
+from repro.hybrid.implementation import ImplementationRegistry
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+class Liar(RTImplementation):
+    """Declares little, burns much: each job consumes three times the
+    contract's derived WCET."""
+
+    def compute_ns(self, ctx):
+        return 3 * ctx.contract.wcet_ns
+
+
+def liar_platform():
+    registry = ImplementationRegistry()
+    registry.register("liar.Impl", Liar)
+    platform = build_platform(
+        seed=3,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        container_factory=make_container_factory(registry))
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+class TestBudgetEnforcement:
+    def test_honest_component_untouched(self, platform):
+        deploy(platform, make_descriptor_xml("GOOD00", cpuusage=0.1))
+        manager = AdaptationManager(platform.framework,
+                                    rules=[BudgetOveruseRule()])
+        platform.run_for(500 * MSEC)
+        assert manager.poll() == []
+        assert platform.drcr.component_state("GOOD00") \
+            is ComponentState.ACTIVE
+        manager.close()
+
+    def test_overusing_component_suspended(self):
+        platform = liar_platform()
+        deploy(platform, make_descriptor_xml(
+            "LIAR00", cpuusage=0.1, bincode="liar.Impl"))
+        manager = AdaptationManager(platform.framework,
+                                    rules=[BudgetOveruseRule()])
+        platform.run_for(500 * MSEC)
+        actions = manager.poll()
+        assert actions and "measured" in actions[0][1]
+        assert platform.drcr.component_state("LIAR00") \
+            is ComponentState.SUSPENDED
+        manager.close()
+
+    def test_tolerance_respected(self):
+        # 3x overuse passes a 400% tolerance.
+        platform = liar_platform()
+        deploy(platform, make_descriptor_xml(
+            "LIAR00", cpuusage=0.1, bincode="liar.Impl"))
+        manager = AdaptationManager(
+            platform.framework, rules=[BudgetOveruseRule(tolerance=4.0)])
+        platform.run_for(500 * MSEC)
+        assert manager.poll() == []
+        manager.close()
+
+    def test_warmup_grace_period(self):
+        # With almost no accumulated CPU time, no verdict yet.
+        platform = liar_platform()
+        deploy(platform, make_descriptor_xml(
+            "LIAR00", cpuusage=0.1, bincode="liar.Impl"))
+        manager = AdaptationManager(
+            platform.framework,
+            rules=[BudgetOveruseRule(min_cpu_time_ns=int(1e12))])
+        platform.run_for(100 * MSEC)
+        assert manager.poll() == []
+        manager.close()
+
+    def test_enforcement_inside_simulated_time(self):
+        # The full enforcement loop as a periodic Linux-side activity.
+        platform = liar_platform()
+        deploy(platform, make_descriptor_xml(
+            "LIAR00", cpuusage=0.1, bincode="liar.Impl"))
+        deploy(platform, make_descriptor_xml(
+            "GOOD00", cpuusage=0.1, priority=3))
+        manager = AdaptationManager(platform.framework,
+                                    rules=[BudgetOveruseRule()])
+        manager.start_periodic_polling(platform.sim, 100 * MSEC)
+        platform.run_for(1 * SEC)
+        assert platform.drcr.component_state("LIAR00") \
+            is ComponentState.SUSPENDED
+        assert platform.drcr.component_state("GOOD00") \
+            is ComponentState.ACTIVE
+        manager.close()
+
+    def test_measured_utilization_in_status(self, platform):
+        deploy(platform, make_descriptor_xml("GOOD00", cpuusage=0.1))
+        platform.run_for(500 * MSEC)
+        component = platform.drcr.component("GOOD00")
+        measured = component.container.get_status()[
+            "measured_utilization"]
+        assert measured == pytest.approx(0.1, rel=0.1)

@@ -1,0 +1,155 @@
+"""Tests for DRCR's internal component registry (the global view)."""
+
+import pytest
+
+from repro.core.component import DRComComponent, LifecycleToken
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.errors import (
+    DuplicateComponentError,
+    UnknownComponentError,
+)
+from repro.core.lifecycle import ComponentState
+from repro.core.ports import PortDirection, PortSpec
+from repro.core.registry import ComponentRegistry
+
+from conftest import make_descriptor_xml
+
+
+@pytest.fixture
+def token():
+    return LifecycleToken("test")
+
+
+@pytest.fixture
+def registry():
+    return ComponentRegistry()
+
+
+def make_component(token, name, cpuusage=0.1, cpu=0, outports=(),
+                   inports=()):
+    xml = make_descriptor_xml(name, cpuusage=cpuusage, cpu=cpu,
+                              outports=outports, inports=inports)
+    return DRComComponent(ComponentDescriptor.from_xml(xml), None, token)
+
+
+def force_state(component, token, state):
+    component.state = state  # test shortcut; production goes via DRCR
+
+
+class TestMembership:
+    def test_add_get(self, registry, token):
+        component = make_component(token, "A00000")
+        registry.add(component)
+        assert registry.get("A00000") is component
+        assert "A00000" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_name_rejected(self, registry, token):
+        registry.add(make_component(token, "A00000"))
+        with pytest.raises(DuplicateComponentError):
+            registry.add(make_component(token, "A00000"))
+
+    def test_unknown_get_raises(self, registry):
+        with pytest.raises(UnknownComponentError):
+            registry.get("GHOST0")
+
+    def test_maybe_get_returns_none(self, registry):
+        assert registry.maybe_get("GHOST0") is None
+
+    def test_remove(self, registry, token):
+        component = make_component(token, "A00000")
+        registry.add(component)
+        registry.remove(component)
+        assert "A00000" not in registry
+
+    def test_all_preserves_order(self, registry, token):
+        names = ["C00000", "A00000", "B00000"]
+        for name in names:
+            registry.add(make_component(token, name))
+        assert [c.name for c in registry.all()] == names
+
+
+class TestStateViews:
+    def test_active_includes_suspended(self, registry, token):
+        a = make_component(token, "A00000")
+        b = make_component(token, "B00000")
+        c = make_component(token, "C00000")
+        registry.add(a), registry.add(b), registry.add(c)
+        force_state(a, token, ComponentState.ACTIVE)
+        force_state(b, token, ComponentState.SUSPENDED)
+        force_state(c, token, ComponentState.UNSATISFIED)
+        assert set(x.name for x in registry.active()) \
+            == {"A00000", "B00000"}
+        assert [x.name for x in registry.unsatisfied()] == ["C00000"]
+
+
+class TestPortIndex:
+    def test_providers_of_matches_compatible_outports(self, registry,
+                                                      token):
+        provider = make_component(
+            token, "PROV00",
+            outports=[("DATA00", "RTAI.SHM", "Integer", 4)])
+        registry.add(provider)
+        force_state(provider, token, ComponentState.ACTIVE)
+        needle = PortSpec("DATA00", PortDirection.IN, "RTAI.SHM",
+                          "Integer", 4)
+        matches = registry.providers_of(needle)
+        assert len(matches) == 1
+        assert matches[0][0] is provider
+
+    def test_inactive_providers_excluded_by_default(self, registry,
+                                                    token):
+        provider = make_component(
+            token, "PROV00",
+            outports=[("DATA00", "RTAI.SHM", "Integer", 4)])
+        registry.add(provider)  # stays INSTALLED
+        needle = PortSpec("DATA00", PortDirection.IN, "RTAI.SHM",
+                          "Integer", 4)
+        assert registry.providers_of(needle) == []
+
+    def test_incompatible_signature_excluded(self, registry, token):
+        provider = make_component(
+            token, "PROV00",
+            outports=[("DATA00", "RTAI.SHM", "Byte", 4)])
+        registry.add(provider)
+        force_state(provider, token, ComponentState.ACTIVE)
+        needle = PortSpec("DATA00", PortDirection.IN, "RTAI.SHM",
+                          "Integer", 4)
+        assert registry.providers_of(needle) == []
+
+
+class TestUtilizationLedger:
+    def test_declared_utilization_sums_active_on_cpu(self, registry,
+                                                     token):
+        a = make_component(token, "A00000", cpuusage=0.3, cpu=0)
+        b = make_component(token, "B00000", cpuusage=0.2, cpu=0)
+        c = make_component(token, "C00000", cpuusage=0.4, cpu=1)
+        for component in (a, b, c):
+            registry.add(component)
+            force_state(component, token, ComponentState.ACTIVE)
+        assert registry.declared_utilization(0) == pytest.approx(0.5)
+        assert registry.declared_utilization(1) == pytest.approx(0.4)
+
+    def test_extra_contract_added(self, registry, token):
+        a = make_component(token, "A00000", cpuusage=0.3)
+        registry.add(a)
+        force_state(a, token, ComponentState.ACTIVE)
+        candidate = make_component(token, "X00000", cpuusage=0.25)
+        total = registry.declared_utilization(
+            0, extra=candidate.contract)
+        assert total == pytest.approx(0.55)
+
+    def test_inactive_not_counted(self, registry, token):
+        a = make_component(token, "A00000", cpuusage=0.3)
+        registry.add(a)
+        assert registry.declared_utilization(0) == 0.0
+
+    def test_admitted_contracts_filter_by_cpu(self, registry, token):
+        a = make_component(token, "A00000", cpu=0)
+        b = make_component(token, "B00000", cpu=1)
+        for component in (a, b):
+            registry.add(component)
+            force_state(component, token, ComponentState.ACTIVE)
+        assert [c.name for c in registry.admitted_contracts(0)] \
+            == ["A00000"]
+        assert len(registry.admitted_contracts()) == 2

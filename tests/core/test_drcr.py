@@ -1,0 +1,361 @@
+"""Tests for the DRCR runtime: deployment, resolution, admission,
+dynamicity (paper sections 2.2, 4.3)."""
+
+import pytest
+
+from repro.core import (
+    MANAGEMENT_SERVICE_INTERFACE,
+    RESOLVING_SERVICE_INTERFACE,
+    AlwaysRejectPolicy,
+    ComponentEventType,
+    ComponentState,
+    Decision,
+    LifecycleError,
+    ResolvingService,
+    UtilizationBoundPolicy,
+)
+from repro.core.descriptor import ComponentDescriptor
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml
+
+PORT = ("LATDAT", "RTAI.SHM", "Integer", 4)
+
+
+def calc_xml(name="CALC00", cpuusage=0.05, enabled=True):
+    return make_descriptor_xml(name, cpuusage=cpuusage, enabled=enabled,
+                               frequency=1000, priority=2,
+                               outports=[PORT])
+
+
+def disp_xml(name="DISP00", cpuusage=0.01):
+    return make_descriptor_xml(name, cpuusage=cpuusage, frequency=250,
+                               priority=3, inports=[PORT])
+
+
+class TestDeployment:
+    def test_bundle_start_deploys_descriptor(self, platform):
+        deploy(platform, calc_xml())
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+
+    def test_programmatic_registration(self, platform):
+        descriptor = ComponentDescriptor.from_xml(calc_xml())
+        component = platform.drcr.register_component(descriptor)
+        assert component.state is ComponentState.ACTIVE
+
+    def test_missing_resource_recorded_as_framework_error(self,
+                                                          platform):
+        # Listener isolation: a broken bundle must not take the DRCR
+        # down; the error surfaces as a FrameworkEvent.ERROR.
+        from repro.osgi.events import FrameworkEventType
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "broken",
+             "RT-Component": "OSGI-INF/nope.xml"})
+        errors = [e for e in platform.framework.framework_events
+                  if e.event_type is FrameworkEventType.ERROR]
+        assert len(errors) == 1
+        assert "nope.xml" in str(errors[0].error)
+
+    def test_disabled_descriptor_stays_disabled(self, platform):
+        deploy(platform, calc_xml(enabled=False))
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.DISABLED
+
+    def test_multiple_descriptors_per_bundle(self, platform):
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "multi",
+             "RT-Component": "OSGI-INF/a.xml,OSGI-INF/b.xml"},
+            resources={"OSGI-INF/a.xml": calc_xml("CALCA0"),
+                       "OSGI-INF/b.xml": calc_xml("CALCB0")})
+        assert platform.drcr.component_state("CALCA0") \
+            is ComponentState.ACTIVE
+        assert platform.drcr.component_state("CALCB0") \
+            is ComponentState.ACTIVE
+
+    def test_already_active_bundles_deployed_on_attach(self):
+        from repro.platform import build_platform
+        from repro.rtos.kernel import KernelConfig
+        from repro.rtos.latency import NullLatencyModel
+        platform = build_platform(
+            seed=1,
+            kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()),
+            attach=False)
+        platform.start_timer(1 * MSEC)
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "pre",
+             "RT-Component": "OSGI-INF/c.xml"},
+            resources={"OSGI-INF/c.xml": calc_xml()})
+        assert "CALC00" not in platform.drcr.registry
+        platform.drcr.attach()
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+
+    def test_drcr_registered_as_service(self, platform):
+        from repro.core import DRCR_SERVICE_INTERFACE
+        ref = platform.framework.registry.get_reference(
+            DRCR_SERVICE_INTERFACE)
+        assert platform.framework.registry.get_service(ref) \
+            is platform.drcr
+
+
+class TestFunctionalResolution:
+    def test_unresolved_dependency_blocks(self, platform):
+        deploy(platform, disp_xml())
+        component = platform.drcr.component("DISP00")
+        assert component.state is ComponentState.UNSATISFIED
+        assert "no active provider" in component.status_reason
+
+    def test_activation_order_follows_dependencies(self, platform):
+        deploy(platform, disp_xml())
+        deploy(platform, calc_xml())
+        assert platform.drcr.component_state("DISP00") \
+            is ComponentState.ACTIVE
+        display = platform.drcr.component("DISP00")
+        assert display.bound_providers() == ["CALC00"]
+
+    def test_chain_of_three(self, platform):
+        mid_xml = make_descriptor_xml(
+            "MID000", cpuusage=0.02, frequency=500, priority=3,
+            inports=[PORT],
+            outports=[("MIDOUT", "RTAI.SHM", "Integer", 2)])
+        sink_xml = make_descriptor_xml(
+            "SINK00", cpuusage=0.01, frequency=250, priority=4,
+            inports=[("MIDOUT", "RTAI.SHM", "Integer", 2)])
+        deploy(platform, sink_xml)
+        deploy(platform, mid_xml)
+        assert platform.drcr.component_state("SINK00") \
+            is ComponentState.UNSATISFIED
+        deploy(platform, calc_xml())
+        for name in ("CALC00", "MID000", "SINK00"):
+            assert platform.drcr.component_state(name) \
+                is ComponentState.ACTIVE
+
+    def test_port_signature_mismatch_not_resolved(self, platform):
+        wrong = make_descriptor_xml(
+            "WRONG0", frequency=250,
+            inports=[("LATDAT", "RTAI.SHM", "Byte", 4)])  # Byte != Int
+        deploy(platform, calc_xml())
+        deploy(platform, wrong)
+        assert platform.drcr.component_state("WRONG0") \
+            is ComponentState.UNSATISFIED
+
+
+class TestDynamicity:
+    """The section 4.3 scenario."""
+
+    def test_provider_stop_cascades(self, platform):
+        calc_bundle = deploy(platform, calc_xml())
+        deploy(platform, disp_xml())
+        platform.run_for(100 * MSEC)
+        calc_bundle.stop()
+        assert "CALC00" not in platform.drcr.registry
+        assert platform.drcr.component_state("DISP00") \
+            is ComponentState.UNSATISFIED
+
+    def test_provider_return_reactivates(self, platform):
+        calc_bundle = deploy(platform, calc_xml())
+        deploy(platform, disp_xml())
+        calc_bundle.stop()
+        calc_bundle.start()
+        assert platform.drcr.component_state("DISP00") \
+            is ComponentState.ACTIVE
+
+    def test_event_sequence_matches_section_4_3(self, platform):
+        calc_bundle = deploy(platform, calc_xml())
+        deploy(platform, disp_xml())
+        calc_bundle.stop()
+        sequence = [e.event_type for e in
+                    platform.drcr.events.for_component("DISP00")]
+        assert sequence == [
+            ComponentEventType.REGISTERED,
+            ComponentEventType.SATISFIED,
+            ComponentEventType.ACTIVATED,
+            ComponentEventType.DEACTIVATED,
+            ComponentEventType.UNSATISFIED,
+        ]
+
+    def test_transitive_cascade(self, platform):
+        mid_xml = make_descriptor_xml(
+            "MID000", cpuusage=0.02, frequency=500, priority=3,
+            inports=[PORT],
+            outports=[("MIDOUT", "RTAI.SHM", "Integer", 2)])
+        sink_xml = make_descriptor_xml(
+            "SINK00", cpuusage=0.01, frequency=250, priority=4,
+            inports=[("MIDOUT", "RTAI.SHM", "Integer", 2)])
+        calc_bundle = deploy(platform, calc_xml())
+        deploy(platform, mid_xml)
+        deploy(platform, sink_xml)
+        calc_bundle.stop()
+        assert platform.drcr.component_state("MID000") \
+            is ComponentState.UNSATISFIED
+        assert platform.drcr.component_state("SINK00") \
+            is ComponentState.UNSATISFIED
+
+    def test_rt_task_created_and_destroyed(self, platform):
+        calc_bundle = deploy(platform, calc_xml())
+        assert platform.kernel.exists("CALC00")
+        calc_bundle.stop()
+        assert not platform.kernel.exists("CALC00")
+
+    def test_unaffected_component_keeps_running(self, platform):
+        deploy(platform, calc_xml())
+        other_xml = make_descriptor_xml("OTHER0", cpuusage=0.02,
+                                        frequency=100, priority=5)
+        other_bundle = deploy(platform, other_xml)
+        deploy(platform, disp_xml())
+        platform.run_for(50 * MSEC)
+        other_bundle.stop()  # no one depends on OTHER0
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+        assert platform.drcr.component_state("DISP00") \
+            is ComponentState.ACTIVE
+
+
+class TestAdmission:
+    def test_internal_policy_rejects(self, platform):
+        platform.drcr.set_internal_policy(AlwaysRejectPolicy())
+        deploy(platform, calc_xml())
+        component = platform.drcr.component("CALC00")
+        assert component.state is ComponentState.UNSATISFIED
+        rejected = platform.drcr.events.of_type(
+            ComponentEventType.ADMISSION_REJECTED)
+        assert len(rejected) == 1
+
+    def test_utilization_budget_enforced(self, platform):
+        platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.5))
+        deploy(platform, calc_xml("BIGA00", cpuusage=0.4))
+        deploy(platform, calc_xml("BIGB00", cpuusage=0.4))
+        states = {name: platform.drcr.component_state(name)
+                  for name in ("BIGA00", "BIGB00")}
+        assert states["BIGA00"] is ComponentState.ACTIVE
+        assert states["BIGB00"] is ComponentState.UNSATISFIED
+
+    def test_freed_budget_admits_waiter(self, platform):
+        platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.5))
+        first = deploy(platform, calc_xml("BIGA00", cpuusage=0.4))
+        deploy(platform, calc_xml("BIGB00", cpuusage=0.4))
+        first.stop()
+        assert platform.drcr.component_state("BIGB00") \
+            is ComponentState.ACTIVE
+
+    def test_customized_resolving_service_consulted(self, platform):
+        class VetoCalc(ResolvingService):
+            name = "veto-calc"
+
+            def admit(self, candidate, view):
+                if candidate.name.startswith("CALC"):
+                    return Decision.no("application policy says no")
+                return Decision.yes()
+
+        platform.framework.registry.register(
+            RESOLVING_SERVICE_INTERFACE, VetoCalc())
+        deploy(platform, calc_xml())
+        component = platform.drcr.component("CALC00")
+        assert component.state is ComponentState.UNSATISFIED
+        assert "veto-calc" in component.status_reason
+
+    def test_both_services_must_accept(self, platform):
+        # Internal accepts; customized rejects -> rejected (4.3: "when
+        # both services return positive results").
+        class RejectAll(ResolvingService):
+            name = "reject-all"
+
+            def admit(self, candidate, view):
+                return Decision.no("no")
+
+        registration = platform.framework.registry.register(
+            RESOLVING_SERVICE_INTERFACE, RejectAll())
+        deploy(platform, calc_xml())
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.UNSATISFIED
+        # Removing the veto service re-admits.
+        registration.unregister()
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+
+    def test_revalidation_sheds_on_policy_change(self, platform):
+        deploy(platform, calc_xml("BIGA00", cpuusage=0.4))
+        deploy(platform, calc_xml("BIGB00", cpuusage=0.4))
+        platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.5))
+        states = sorted(
+            (platform.drcr.component_state(n).value, n)
+            for n in ("BIGA00", "BIGB00"))
+        assert [s for s, _ in states] == ["active", "unsatisfied"]
+
+
+class TestManagementOperations:
+    def test_enable_disable_cycle(self, platform):
+        deploy(platform, calc_xml(enabled=False))
+        platform.drcr.enable_component("CALC00")
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+        platform.drcr.disable_component("CALC00")
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.DISABLED
+        assert not platform.kernel.exists("CALC00")
+
+    def test_disable_cascades_to_dependents(self, platform):
+        deploy(platform, calc_xml())
+        deploy(platform, disp_xml())
+        platform.drcr.disable_component("CALC00")
+        assert platform.drcr.component_state("DISP00") \
+            is ComponentState.UNSATISFIED
+
+    def test_enable_non_disabled_raises(self, platform):
+        deploy(platform, calc_xml())
+        with pytest.raises(LifecycleError):
+            platform.drcr.enable_component("CALC00")
+
+    def test_suspend_resume(self, platform):
+        deploy(platform, calc_xml())
+        platform.run_for(10 * MSEC)
+        platform.drcr.suspend_component("CALC00")
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.SUSPENDED
+        task = platform.kernel.lookup("CALC00")
+        completions = task.stats.completions
+        platform.run_for(10 * MSEC)
+        assert task.stats.completions == completions
+        platform.drcr.resume_component("CALC00")
+        platform.run_for(10 * MSEC)
+        assert task.stats.completions > completions
+
+    def test_suspend_keeps_admission(self, platform):
+        platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.5))
+        deploy(platform, calc_xml("BIGA00", cpuusage=0.4))
+        platform.drcr.suspend_component("BIGA00")
+        deploy(platform, calc_xml("BIGB00", cpuusage=0.4))
+        # Suspended keeps its budget: B must NOT be admitted.
+        assert platform.drcr.component_state("BIGB00") \
+            is ComponentState.UNSATISFIED
+
+    def test_suspend_inactive_raises(self, platform):
+        deploy(platform, disp_xml())
+        with pytest.raises(LifecycleError):
+            platform.drcr.suspend_component("DISP00")
+
+    def test_management_service_registered_with_properties(self,
+                                                           platform):
+        deploy(platform, calc_xml())
+        ref = platform.framework.registry.get_reference(
+            MANAGEMENT_SERVICE_INTERFACE, "(drcom.name=CALC00)")
+        assert ref is not None
+        assert ref.get_property("drcom.cpuusage") == pytest.approx(0.05)
+
+    def test_management_service_gone_after_deactivation(self, platform):
+        bundle = deploy(platform, calc_xml())
+        bundle.stop()
+        assert platform.framework.registry.get_reference(
+            MANAGEMENT_SERVICE_INTERFACE, "(drcom.name=CALC00)") is None
+
+    def test_detach_disposes_everything(self, platform):
+        deploy(platform, calc_xml())
+        platform.drcr.detach()
+        assert len(platform.drcr.registry) == 0
+        assert not platform.kernel.exists("CALC00")

@@ -1,0 +1,80 @@
+"""Unit tests for the DRCR component event log."""
+
+from repro.core.events import (
+    ComponentEvent,
+    ComponentEventLog,
+    ComponentEventType,
+)
+
+
+class TestComponentEventLog:
+    def test_emit_records_and_returns(self):
+        log = ComponentEventLog()
+        event = log.emit(10, ComponentEventType.ACTIVATED, "CAM",
+                         "ok")
+        assert isinstance(event, ComponentEvent)
+        assert len(log) == 1
+        assert list(log)[0] is event
+
+    def test_listeners_receive_events(self):
+        log = ComponentEventLog()
+        seen = []
+        log.listeners.add(seen.append)
+        log.emit(1, ComponentEventType.REGISTERED, "A")
+        log.emit(2, ComponentEventType.ACTIVATED, "A")
+        assert [e.event_type for e in seen] == [
+            ComponentEventType.REGISTERED,
+            ComponentEventType.ACTIVATED]
+
+    def test_of_type_filters(self):
+        log = ComponentEventLog()
+        log.emit(1, ComponentEventType.REGISTERED, "A")
+        log.emit(2, ComponentEventType.ACTIVATED, "A")
+        log.emit(3, ComponentEventType.ACTIVATED, "B")
+        activated = log.of_type(ComponentEventType.ACTIVATED)
+        assert [e.component for e in activated] == ["A", "B"]
+
+    def test_for_component_filters(self):
+        log = ComponentEventLog()
+        log.emit(1, ComponentEventType.REGISTERED, "A")
+        log.emit(2, ComponentEventType.REGISTERED, "B")
+        log.emit(3, ComponentEventType.ACTIVATED, "A")
+        assert [e.time for e in log.for_component("A")] == [1, 3]
+
+    def test_sequence_view(self):
+        log = ComponentEventLog()
+        log.emit(1, ComponentEventType.REGISTERED, "A")
+        log.emit(2, ComponentEventType.ACTIVATED, "A")
+        assert log.sequence() == [
+            (ComponentEventType.REGISTERED, "A"),
+            (ComponentEventType.ACTIVATED, "A")]
+        assert log.sequence("A") == log.sequence()
+        assert log.sequence("B") == []
+
+    def test_clear_keeps_listeners(self):
+        log = ComponentEventLog()
+        seen = []
+        log.listeners.add(seen.append)
+        log.emit(1, ComponentEventType.REGISTERED, "A")
+        log.clear()
+        assert len(log) == 0
+        log.emit(2, ComponentEventType.REGISTERED, "B")
+        assert len(seen) == 2
+
+    def test_event_repr_includes_reason(self):
+        event = ComponentEvent(5, ComponentEventType.DISABLED, "X",
+                               "fault")
+        assert "fault" in repr(event)
+        assert "disabled" in repr(event)
+
+    def test_listener_errors_do_not_break_emit(self):
+        log = ComponentEventLog()
+
+        def bad(event):
+            raise RuntimeError("listener bug")
+
+        seen = []
+        log.listeners.add(bad)
+        log.listeners.add(seen.append)
+        log.emit(1, ComponentEventType.REGISTERED, "A")
+        assert len(seen) == 1

@@ -1,0 +1,82 @@
+"""Tests for the inspection/report module."""
+
+from repro.core.inspection import (
+    format_component_table,
+    format_event_tail,
+    format_kernel_objects,
+    format_utilization,
+    system_report,
+)
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+def populated(platform):
+    deploy(platform, make_descriptor_xml(
+        "CALC00", cpuusage=0.05,
+        outports=[("LATDAT", "RTAI.SHM", "Integer", 4)]))
+    deploy(platform, make_descriptor_xml(
+        "DISP00", cpuusage=0.01, frequency=250, priority=3,
+        inports=[("LATDAT", "RTAI.SHM", "Integer", 4)]))
+    deploy(platform, make_descriptor_xml(
+        "LONELY", cpuusage=0.01, frequency=100, priority=9,
+        inports=[("GHOST0", "RTAI.SHM", "Byte", 8)]))
+    platform.run_for(10 * MSEC)
+    return platform
+
+
+class TestInspection:
+    def test_component_table_lists_everything(self, platform):
+        populated(platform)
+        table = format_component_table(platform.drcr)
+        assert "CALC00" in table and "DISP00" in table
+        assert "active" in table
+        assert "unsatisfied" in table
+        assert "no active provider" in table
+
+    def test_table_shows_providers(self, platform):
+        populated(platform)
+        table = format_component_table(platform.drcr)
+        disp_row = next(line for line in table.splitlines()
+                        if line.startswith("DISP00"))
+        assert "CALC00" in disp_row
+
+    def test_utilization_section(self, platform):
+        populated(platform)
+        text = format_utilization(platform.drcr)
+        assert "CPU" in text
+        assert "6.0%" in text  # declared: 0.05 + 0.01
+
+    def test_kernel_objects(self, platform):
+        populated(platform)
+        text = format_kernel_objects(platform.kernel)
+        assert "CALC00" in text
+        assert "LATDAT" in text
+
+    def test_event_tail_limits(self, platform):
+        populated(platform)
+        tail = format_event_tail(platform.drcr, count=3)
+        assert len(tail.splitlines()) == 3
+
+    def test_event_tail_empty(self, platform):
+        assert format_event_tail(platform.drcr) == "(no events)"
+
+    def test_system_report_composes(self, platform):
+        populated(platform)
+        report = system_report(platform.drcr)
+        assert "DRCR system report" in report
+        assert "3 deployed, 2 active" in report
+        assert "utilization-bound" in report
+        assert "recent events:" in report
+
+    def test_system_report_lists_applications(self, platform):
+        from repro.core.application import ApplicationDescriptor
+        xml = make_descriptor_xml("SOLO00", cpuusage=0.02)
+        body = xml.split("\n", 1)[1]
+        app = ApplicationDescriptor.from_xml(
+            '<?xml version="1.0"?>\n<drt:application name="demo">\n'
+            "%s\n</drt:application>" % body)
+        platform.drcr.register_application(app)
+        report = system_report(platform.drcr)
+        assert "applications: demo[SOLO00]" in report

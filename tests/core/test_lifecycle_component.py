@@ -1,0 +1,135 @@
+"""Tests for the Figure-1 lifecycle machine and component guards."""
+
+import pytest
+
+from repro.core.component import DRComComponent, LifecycleToken
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.errors import LifecycleError, NotManagedByDRCRError
+from repro.core.lifecycle import (
+    INSTANTIATED_STATES,
+    TRANSITIONS,
+    ComponentState,
+    can_transition,
+    reachable_states,
+)
+
+from conftest import make_descriptor_xml
+
+
+@pytest.fixture
+def descriptor():
+    return ComponentDescriptor.from_xml(make_descriptor_xml("CAM000"))
+
+
+@pytest.fixture
+def token():
+    return LifecycleToken(owner="test-drcr")
+
+
+@pytest.fixture
+def component(descriptor, token):
+    return DRComComponent(descriptor, bundle=None, token=token)
+
+
+class TestTransitionTable:
+    def test_every_state_has_an_entry(self):
+        assert set(TRANSITIONS) == set(ComponentState)
+
+    def test_disposed_is_terminal(self):
+        assert TRANSITIONS[ComponentState.DISPOSED] == set()
+
+    def test_no_self_loops(self):
+        for state, successors in TRANSITIONS.items():
+            assert state not in successors
+
+    def test_active_only_reachable_through_activating(self):
+        predecessors = [state for state, successors in TRANSITIONS.items()
+                        if ComponentState.ACTIVE in successors]
+        assert predecessors == [ComponentState.ACTIVATING] \
+            or set(predecessors) == {ComponentState.ACTIVATING,
+                                     ComponentState.SUSPENDED}
+
+    def test_disposed_reachable_from_everywhere(self):
+        for state in ComponentState:
+            assert ComponentState.DISPOSED in reachable_states(state)
+
+    def test_active_unreachable_from_disposed(self):
+        assert reachable_states(ComponentState.DISPOSED) \
+            == {ComponentState.DISPOSED}
+
+    def test_suspend_cycle(self):
+        assert can_transition(ComponentState.ACTIVE,
+                              ComponentState.SUSPENDED)
+        assert can_transition(ComponentState.SUSPENDED,
+                              ComponentState.ACTIVE)
+
+    def test_disabled_must_be_enabled_before_activation(self):
+        # DISABLED cannot jump straight to SATISFIED/ACTIVE.
+        assert not can_transition(ComponentState.DISABLED,
+                                  ComponentState.SATISFIED)
+        assert not can_transition(ComponentState.DISABLED,
+                                  ComponentState.ACTIVE)
+        assert can_transition(ComponentState.DISABLED,
+                              ComponentState.UNSATISFIED)
+
+    def test_deactivation_goes_through_deactivating(self):
+        assert not can_transition(ComponentState.ACTIVE,
+                                  ComponentState.UNSATISFIED)
+        assert can_transition(ComponentState.ACTIVE,
+                              ComponentState.DEACTIVATING)
+        assert can_transition(ComponentState.DEACTIVATING,
+                              ComponentState.UNSATISFIED)
+
+    def test_instantiated_states(self):
+        assert ComponentState.ACTIVE in INSTANTIATED_STATES
+        assert ComponentState.SUSPENDED in INSTANTIATED_STATES
+        assert ComponentState.UNSATISFIED not in INSTANTIATED_STATES
+
+
+class TestComponentGuards:
+    def test_initial_state_installed(self, component):
+        assert component.state is ComponentState.INSTALLED
+
+    def test_transition_with_owner_token(self, component, token):
+        component._transition(token, ComponentState.UNSATISFIED)
+        assert component.state is ComponentState.UNSATISFIED
+
+    def test_foreign_token_rejected(self, component):
+        intruder = LifecycleToken(owner="attacker")
+        with pytest.raises(NotManagedByDRCRError):
+            component._transition(intruder, ComponentState.UNSATISFIED)
+
+    def test_illegal_edge_rejected(self, component, token):
+        with pytest.raises(LifecycleError):
+            component._transition(token, ComponentState.ACTIVE)
+
+    def test_reason_recorded(self, component, token):
+        component._transition(token, ComponentState.UNSATISFIED,
+                              "missing provider")
+        assert component.status_reason == "missing provider"
+
+    def test_views(self, component, token):
+        assert component.name == "CAM000"
+        assert component.enabled
+        assert not component.is_active
+        assert not component.is_instantiated
+        component._transition(token, ComponentState.DISABLED)
+        assert not component.enabled
+
+    def test_snapshot_structure(self, component):
+        snapshot = component.snapshot()
+        assert snapshot["name"] == "CAM000"
+        assert snapshot["state"] == "installed"
+        assert "contract" in snapshot
+        assert "properties" in snapshot
+
+    def test_provides_requires_signatures(self, token):
+        xml = make_descriptor_xml(
+            "PROV00",
+            outports=[("OUTP00", "RTAI.SHM", "Integer", 4)],
+            inports=[("INP000", "RTAI.SHM", "Byte", 8)])
+        descriptor = ComponentDescriptor.from_xml(xml)
+        component = DRComComponent(descriptor, None, token)
+        assert component.provides == [("OUTP00", "RTAI.SHM", "Integer",
+                                       4)]
+        assert component.requires == [("INP000", "RTAI.SHM", "Byte", 8)]

@@ -1,0 +1,168 @@
+"""Tests for the management interface (section 2.4) and adaptation
+managers."""
+
+from repro.core import (
+    MANAGEMENT_SERVICE_INTERFACE,
+    AdaptationManager,
+    ComponentState,
+    LifecycleError,
+    PropertyTuningRule,
+    RTComponentManagement,
+    SuspendOnDeadlineMisses,
+    ImportanceShedding,
+)
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+def calc_xml(name="CALC00", cpuusage=0.05, properties=()):
+    return make_descriptor_xml(
+        name, cpuusage=cpuusage, frequency=1000, priority=2,
+        properties=properties,
+        outports=[("LATDAT", "RTAI.SHM", "Integer", 4)])
+
+
+def mgmt_for(platform, name):
+    ref = platform.framework.registry.get_reference(
+        MANAGEMENT_SERVICE_INTERFACE, "(drcom.name=%s)" % name)
+    return platform.framework.registry.get_service(ref)
+
+
+class TestManagementInterface:
+    def test_interface_has_exactly_the_paper_methods(self):
+        # suspend, resume, get/set property, get status -- and nothing
+        # like init/uninit ("they are not exposed in the component's
+        # interface", section 2.4).
+        public = {name for name in dir(RTComponentManagement)
+                  if not name.startswith("_")}
+        assert public == {"suspend", "resume", "get_property",
+                          "set_property", "get_status"}
+
+    def test_suspend_resume_via_service(self, platform):
+        deploy(platform, calc_xml())
+        mgmt = mgmt_for(platform, "CALC00")
+        mgmt.suspend()
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.SUSPENDED
+        mgmt.resume()
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+
+    def test_get_status_merges_task_stats(self, platform):
+        deploy(platform, calc_xml())
+        platform.run_for(10 * MSEC)
+        status = mgmt_for(platform, "CALC00").get_status()
+        assert status["state"] == "active"
+        assert status["task"]["stats"]["completions"] >= 9
+        assert status["task"]["job_index"] >= 9
+
+    def test_get_property_reads_descriptor_default(self, platform):
+        deploy(platform, calc_xml(properties=[("gain", "Integer", "3")]))
+        assert mgmt_for(platform, "CALC00").get_property("gain") == 3
+
+    def test_set_property_applied_at_next_job(self, platform):
+        deploy(platform, calc_xml(properties=[("gain", "Integer", "3")]))
+        mgmt = mgmt_for(platform, "CALC00")
+        mgmt.set_property("gain", 9)
+        # Asynchronous: applied when the RT task polls its mailbox.
+        platform.run_for(3 * MSEC)
+        assert mgmt.get_property("gain") == 9
+
+    def test_locate_component_by_property_filter(self, platform):
+        # "General component's user can locate the individual component"
+        deploy(platform, calc_xml("CAMA00",
+                                  properties=[("room", "String",
+                                               "kitchen")]))
+        deploy(platform, calc_xml("CAMB00",
+                                  properties=[("room", "String",
+                                               "garage")]))
+        ref = platform.framework.registry.get_reference(
+            MANAGEMENT_SERVICE_INTERFACE, "(room=garage)")
+        assert ref.get_property("drcom.name") == "CAMB00"
+
+
+class TestAdaptationManager:
+    def test_discovers_management_services(self, platform):
+        manager = AdaptationManager(platform.framework)
+        deploy(platform, calc_xml("CAMA00"))
+        deploy(platform, calc_xml("CAMB00"))
+        assert len(manager.services()) == 2
+        manager.close()
+
+    def test_suspend_on_misses_rule(self, platform):
+        # An overrunning component (cpuusage exhausts its period via a
+        # synthetic implementation that overruns) gets suspended.
+        from repro.core import AlwaysAcceptPolicy
+        platform.drcr.set_internal_policy(AlwaysAcceptPolicy())
+        overload_xml = make_descriptor_xml(
+            "HOG000", cpuusage=0.9, frequency=1000, priority=2)
+        ok_xml = calc_xml("OK0000", cpuusage=0.05)
+        deploy(platform, ok_xml)
+        deploy(platform, overload_xml)
+        # Force misses: add a higher-priority hog so HOG000 overruns.
+        hp_xml = make_descriptor_xml("HP0000", cpuusage=0.5,
+                                     frequency=1000, priority=0)
+        deploy(platform, hp_xml)
+        platform.run_for(100 * MSEC)
+        manager = AdaptationManager(
+            platform.framework, rules=[SuspendOnDeadlineMisses(5)])
+        actions = manager.poll()
+        suspended = [a for _, a in actions if "suspended" in a]
+        assert suspended
+        assert platform.drcr.component_state("HOG000") \
+            is ComponentState.SUSPENDED
+        assert platform.drcr.component_state("OK0000") \
+            is ComponentState.ACTIVE
+        manager.close()
+
+    def test_property_tuning_rule(self, platform):
+        deploy(platform, calc_xml(
+            properties=[("rate", "Integer", "100")]))
+        platform.run_for(5 * MSEC)
+        rule = PropertyTuningRule(
+            predicate=lambda status: True,
+            property_name="rate", new_value=50)
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        actions = manager.poll()
+        assert actions
+        platform.run_for(3 * MSEC)
+        assert mgmt_for(platform, "CALC00").get_property("rate") == 50
+        # once=True: second poll does nothing.
+        assert manager.poll() == []
+        manager.close()
+
+    def test_importance_shedding_picks_least_important(self, platform):
+        deploy(platform, calc_xml(
+            "VIPC00", properties=[("importance", "Integer", "10")]))
+        deploy(platform, calc_xml(
+            "LOWC00", properties=[("importance", "Integer", "1")]))
+        platform.run_for(5 * MSEC)
+        rule = ImportanceShedding(
+            pressure_predicate=lambda statuses: True)
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        manager.poll()
+        assert platform.drcr.component_state("LOWC00") \
+            is ComponentState.SUSPENDED
+        assert platform.drcr.component_state("VIPC00") \
+            is ComponentState.ACTIVE
+        manager.close()
+
+    def test_no_pressure_no_shedding(self, platform):
+        deploy(platform, calc_xml())
+        rule = ImportanceShedding(
+            pressure_predicate=lambda statuses: False)
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        assert manager.poll() == []
+        assert platform.drcr.component_state("CALC00") \
+            is ComponentState.ACTIVE
+        manager.close()
+
+    def test_actions_logged(self, platform):
+        deploy(platform, calc_xml())
+        rule = ImportanceShedding(
+            pressure_predicate=lambda statuses: True)
+        manager = AdaptationManager(platform.framework, rules=[rule])
+        manager.poll()
+        assert manager.log
+        manager.close()

@@ -1,0 +1,124 @@
+"""Tests for automatic CPU placement."""
+
+import pytest
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.placement import (
+    BestFitPlacement,
+    FirstFitPlacement,
+    PinnedPlacement,
+)
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+def dual_cpu_platform(placement=None, cap=1.0):
+    platform = build_platform(
+        seed=3,
+        kernel_config=KernelConfig(num_cpus=2,
+                                   latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=cap))
+    platform.drcr.placement_service = placement
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+def deploy_heavy(platform, count, usage=0.6):
+    for index in range(count):
+        xml = make_descriptor_xml(
+            "HVY%03d" % index, cpuusage=usage, frequency=1000,
+            priority=1 + index, cpu=0)  # all pinned to CPU 0
+        deploy(platform, xml)
+
+
+class TestPlacementPolicies:
+    def test_without_placement_second_heavy_rejected(self):
+        platform = dual_cpu_platform(placement=None)
+        deploy_heavy(platform, 2)
+        states = [platform.drcr.component_state("HVY%03d" % i)
+                  for i in range(2)]
+        assert states[0] is ComponentState.ACTIVE
+        assert states[1] is ComponentState.UNSATISFIED
+
+    def test_best_fit_spreads_across_cpus(self):
+        platform = dual_cpu_platform(placement=BestFitPlacement())
+        deploy_heavy(platform, 2)
+        components = [platform.drcr.component("HVY%03d" % i)
+                      for i in range(2)]
+        assert all(c.state is ComponentState.ACTIVE
+                   for c in components)
+        assert {c.contract.cpu for c in components} == {0, 1}
+
+    def test_best_fit_balances_load(self):
+        platform = dual_cpu_platform(placement=BestFitPlacement())
+        for index in range(4):
+            xml = make_descriptor_xml(
+                "BAL%03d" % index, cpuusage=0.4, frequency=1000,
+                priority=1 + index, cpu=0)
+            deploy(platform, xml)
+        u0 = platform.drcr.registry.declared_utilization(0)
+        u1 = platform.drcr.registry.declared_utilization(1)
+        assert u0 == pytest.approx(0.8)
+        assert u1 == pytest.approx(0.8)
+
+    def test_first_fit_fills_cpu0_first(self):
+        platform = dual_cpu_platform(placement=FirstFitPlacement())
+        for index in range(3):
+            xml = make_descriptor_xml(
+                "FF%04d" % index, cpuusage=0.4, frequency=1000,
+                priority=1 + index, cpu=1)  # pin says 1; policy decides
+            deploy(platform, xml)
+        cpus = [platform.drcr.component("FF%04d" % i).contract.cpu
+                for i in range(3)]
+        assert cpus == [0, 0, 1]
+
+    def test_pinned_placement_honours_descriptor(self):
+        platform = dual_cpu_platform(placement=PinnedPlacement())
+        deploy_heavy(platform, 2)
+        assert platform.drcr.component_state("HVY001") \
+            is ComponentState.UNSATISFIED
+
+    def test_component_opt_out_property(self):
+        platform = dual_cpu_platform(placement=BestFitPlacement())
+        xml = make_descriptor_xml(
+            "STAY00", cpuusage=0.6, frequency=1000, priority=1, cpu=0,
+            properties=[("drcom.placement", "String", "pinned")])
+        deploy(platform, xml)
+        xml2 = make_descriptor_xml(
+            "STAY01", cpuusage=0.6, frequency=1000, priority=2, cpu=0,
+            properties=[("drcom.placement", "String", "pinned")])
+        deploy(platform, xml2)
+        assert platform.drcr.component("STAY00").contract.cpu == 0
+        assert platform.drcr.component_state("STAY01") \
+            is ComponentState.UNSATISFIED
+
+    def test_placed_tasks_actually_run_on_their_cpu(self):
+        platform = dual_cpu_platform(placement=BestFitPlacement())
+        deploy_heavy(platform, 2)
+        platform.run_for(1 * SEC)
+        assert platform.kernel.rt_busy_ns(0) > 0
+        assert platform.kernel.rt_busy_ns(1) > 0
+        for index in range(2):
+            task = platform.kernel.lookup("HVY%03d" % index)
+            assert task.stats.deadline_misses == 0
+
+    def test_nowhere_fits_leaves_pin_and_rejects(self):
+        platform = dual_cpu_platform(placement=BestFitPlacement())
+        deploy_heavy(platform, 3)  # 3 x 0.6 over 2 CPUs: one must wait
+        states = [platform.drcr.component_state("HVY%03d" % i)
+                  for i in range(3)]
+        assert states.count(ComponentState.ACTIVE) == 2
+        assert states.count(ComponentState.UNSATISFIED) == 1
+
+    def test_set_placement_service_reconfigures(self):
+        platform = dual_cpu_platform(placement=None)
+        deploy_heavy(platform, 2)
+        assert platform.drcr.component_state("HVY001") \
+            is ComponentState.UNSATISFIED
+        platform.drcr.set_placement_service(BestFitPlacement())
+        assert platform.drcr.component_state("HVY001") \
+            is ComponentState.ACTIVE

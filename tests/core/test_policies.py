@@ -1,0 +1,214 @@
+"""Tests for built-in resolving services (admission policies)."""
+
+import pytest
+
+from repro.core.component import DRComComponent, LifecycleToken
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.lifecycle import ComponentState
+from repro.core.policies import (
+    AlwaysAcceptPolicy,
+    AlwaysRejectPolicy,
+    CompositePolicy,
+    EDFPolicy,
+    LiuLaylandPolicy,
+    PriorityBandPolicy,
+    ResponseTimeAnalysisPolicy,
+    UtilizationBoundPolicy,
+)
+from repro.core.registry import ComponentRegistry
+from repro.core.resolving import Decision, GlobalView
+from repro.rtos.kernel import KernelConfig, RTKernel
+from repro.sim.engine import Simulator
+
+from conftest import make_descriptor_xml
+
+
+@pytest.fixture
+def token():
+    return LifecycleToken("test")
+
+
+@pytest.fixture
+def kernel():
+    return RTKernel(Simulator(seed=0), KernelConfig())
+
+
+def make_component(token, name, cpuusage=0.1, frequency=1000,
+                   priority=2, cpu=0, task_type="periodic"):
+    xml = make_descriptor_xml(name, cpuusage=cpuusage,
+                              frequency=frequency, priority=priority,
+                              cpu=cpu, task_type=task_type)
+    return DRComComponent(ComponentDescriptor.from_xml(xml), None, token)
+
+
+def view_with(kernel, token, candidate, *admitted):
+    registry = ComponentRegistry()
+    for component in admitted:
+        registry.add(component)
+        component.state = ComponentState.ACTIVE
+    registry.add(candidate)
+    candidate.state = ComponentState.UNSATISFIED
+    return GlobalView(registry, kernel, candidate)
+
+
+class TestDecision:
+    def test_truthiness(self):
+        assert Decision.yes()
+        assert not Decision.no("because")
+
+    def test_reasons(self):
+        assert Decision.yes("fine").reason == "fine"
+        assert Decision.no("bad").reason == "bad"
+
+
+class TestTrivialPolicies:
+    def test_always_accept(self, kernel, token):
+        candidate = make_component(token, "X00000")
+        view = view_with(kernel, token, candidate)
+        assert AlwaysAcceptPolicy().admit(candidate, view)
+
+    def test_always_reject(self, kernel, token):
+        candidate = make_component(token, "X00000")
+        view = view_with(kernel, token, candidate)
+        assert not AlwaysRejectPolicy().admit(candidate, view)
+
+
+class TestUtilizationBound:
+    def test_admits_within_cap(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.5)
+        candidate = make_component(token, "X00000", cpuusage=0.4)
+        view = view_with(kernel, token, candidate, admitted)
+        assert UtilizationBoundPolicy(cap=1.0).admit(candidate, view)
+
+    def test_rejects_over_cap(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.7)
+        candidate = make_component(token, "X00000", cpuusage=0.4)
+        view = view_with(kernel, token, candidate, admitted)
+        decision = UtilizationBoundPolicy(cap=1.0).admit(candidate, view)
+        assert not decision
+        assert "exceed" in decision.reason
+
+    def test_exact_cap_admitted(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.6)
+        candidate = make_component(token, "X00000", cpuusage=0.4)
+        view = view_with(kernel, token, candidate, admitted)
+        assert UtilizationBoundPolicy(cap=1.0).admit(candidate, view)
+
+    def test_per_cpu_budgets_independent(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.9, cpu=1)
+        candidate = make_component(token, "X00000", cpuusage=0.9, cpu=0)
+        view = view_with(kernel, token, candidate, admitted)
+        assert UtilizationBoundPolicy(cap=1.0).admit(candidate, view)
+
+    def test_revalidate_checks_current_set(self, kernel, token):
+        a = make_component(token, "A00000", cpuusage=0.6)
+        b = make_component(token, "B00000", cpuusage=0.3)
+        view = view_with(kernel, token, a, b)
+        # a is the 'candidate' slot but revalidate ignores it.
+        a.state = ComponentState.ACTIVE
+        assert UtilizationBoundPolicy(cap=1.0).revalidate(a, view)
+        assert not UtilizationBoundPolicy(cap=0.5).revalidate(a, view)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationBoundPolicy(cap=0.0)
+        with pytest.raises(ValueError):
+            UtilizationBoundPolicy(cap=1.5)
+
+
+class TestSchedulabilityPolicies:
+    def test_liu_layland_two_tasks(self, kernel, token):
+        # Two tasks at 0.41 each: U=0.82 <= 0.828 (bound for n=2).
+        admitted = make_component(token, "A00000", cpuusage=0.41,
+                                  frequency=1000)
+        candidate = make_component(token, "X00000", cpuusage=0.41,
+                                   frequency=500)
+        view = view_with(kernel, token, candidate, admitted)
+        assert LiuLaylandPolicy().admit(candidate, view)
+
+    def test_liu_layland_rejects_above_bound(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.45)
+        candidate = make_component(token, "X00000", cpuusage=0.45)
+        view = view_with(kernel, token, candidate, admitted)
+        assert not LiuLaylandPolicy().admit(candidate, view)
+
+    def test_rta_accepts_what_liu_layland_rejects(self, kernel, token):
+        # Harmonic periods are schedulable up to U=1.0: RTA knows,
+        # the RM bound does not.
+        admitted = make_component(token, "A00000", cpuusage=0.5,
+                                  frequency=1000, priority=1)
+        candidate = make_component(token, "X00000", cpuusage=0.5,
+                                   frequency=500, priority=2)
+        view = view_with(kernel, token, candidate, admitted)
+        assert not LiuLaylandPolicy().admit(candidate, view)
+        assert ResponseTimeAnalysisPolicy().admit(candidate, view)
+
+    def test_rta_rejects_infeasible(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.8,
+                                  frequency=1000, priority=1)
+        candidate = make_component(token, "X00000", cpuusage=0.4,
+                                   frequency=500, priority=2)
+        view = view_with(kernel, token, candidate, admitted)
+        assert not ResponseTimeAnalysisPolicy().admit(candidate, view)
+
+    def test_edf_accepts_up_to_full_utilization(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.6,
+                                  frequency=1000)
+        candidate = make_component(token, "X00000", cpuusage=0.4,
+                                   frequency=333)
+        view = view_with(kernel, token, candidate, admitted)
+        assert EDFPolicy().admit(candidate, view)
+
+    def test_edf_rejects_overload(self, kernel, token):
+        admitted = make_component(token, "A00000", cpuusage=0.7)
+        candidate = make_component(token, "X00000", cpuusage=0.4)
+        view = view_with(kernel, token, candidate, admitted)
+        assert not EDFPolicy().admit(candidate, view)
+
+    def test_aperiodic_candidates_pass_through(self, kernel, token):
+        candidate = make_component(token, "X00000",
+                                   task_type="aperiodic")
+        view = view_with(kernel, token, candidate)
+        assert LiuLaylandPolicy().admit(candidate, view)
+        assert ResponseTimeAnalysisPolicy().admit(candidate, view)
+        assert EDFPolicy().admit(candidate, view)
+
+
+class TestPriorityBand:
+    def test_band_enforced(self, kernel, token):
+        policy = PriorityBandPolicy(lowest_allowed=2, highest_allowed=10)
+        inside = make_component(token, "A00000", priority=5)
+        below = make_component(token, "B00000", priority=1)
+        view = view_with(kernel, token, inside)
+        assert policy.admit(inside, view)
+        view = view_with(kernel, token, below)
+        assert not policy.admit(below, view)
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityBandPolicy(lowest_allowed=5, highest_allowed=2)
+
+
+class TestComposite:
+    def test_all_must_accept(self, kernel, token):
+        candidate = make_component(token, "X00000", priority=5)
+        view = view_with(kernel, token, candidate)
+        both = CompositePolicy([AlwaysAcceptPolicy(),
+                                PriorityBandPolicy(0, 10)])
+        assert both.admit(candidate, view)
+        vetoed = CompositePolicy([AlwaysAcceptPolicy(),
+                                  PriorityBandPolicy(0, 3)])
+        decision = vetoed.admit(candidate, view)
+        assert not decision
+        assert "priority-band" in decision.reason
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            CompositePolicy([])
+
+    def test_revalidate_delegates(self, kernel, token):
+        candidate = make_component(token, "X00000", cpuusage=0.9)
+        view = view_with(kernel, token, candidate)
+        candidate.state = ComponentState.ACTIVE
+        policy = CompositePolicy([UtilizationBoundPolicy(cap=0.5)])
+        assert not policy.revalidate(candidate, view)

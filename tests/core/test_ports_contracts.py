@@ -1,0 +1,170 @@
+"""Tests for port compatibility and real-time contracts."""
+
+import pytest
+
+from repro.core.contracts import RealTimeContract
+from repro.core.errors import ContractError, PortError
+from repro.core.ports import (
+    PortBinding,
+    PortDirection,
+    PortInterface,
+    PortSpec,
+)
+from repro.rtos.task import TaskType
+
+
+def outport(name="DATA00", interface="RTAI.SHM", dtype="Integer",
+            size=4):
+    return PortSpec(name, PortDirection.OUT, interface, dtype, size)
+
+
+def inport(name="DATA00", interface="RTAI.SHM", dtype="Integer", size=4):
+    return PortSpec(name, PortDirection.IN, interface, dtype, size)
+
+
+class TestPortSpec:
+    def test_name_canonicalized(self):
+        assert outport(name="data00").name == "DATA00"
+
+    def test_seven_char_name_rejected(self):
+        # "the ports are characterized by a six character name"
+        with pytest.raises(PortError):
+            outport(name="TOOLONG")
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(PortError):
+            outport(interface="CORBA.IIOP")
+
+    def test_unknown_data_type_rejected(self):
+        with pytest.raises(PortError):
+            outport(dtype="Complex")
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(PortError):
+            outport(size=0)
+
+    def test_interface_parse(self):
+        assert PortInterface.parse("RTAI.SHM") is PortInterface.RTAI_SHM
+        assert PortInterface.parse("RTAI.Mailbox") \
+            is PortInterface.RTAI_MAILBOX
+
+
+class TestCompatibility:
+    """Section 2.3: name + interface + type + size, opposite direction."""
+
+    def test_matching_pair_compatible(self):
+        assert inport().compatible_with(outport())
+        assert outport().compatible_with(inport())
+
+    def test_same_direction_incompatible(self):
+        assert not inport().compatible_with(inport())
+        assert not outport().compatible_with(outport())
+
+    def test_name_mismatch(self):
+        assert not inport(name="AAAA00").compatible_with(
+            outport(name="BBBB00"))
+
+    def test_interface_mismatch(self):
+        assert not inport(interface="RTAI.SHM").compatible_with(
+            outport(interface="RTAI.Mailbox"))
+
+    def test_type_mismatch(self):
+        assert not inport(dtype="Integer").compatible_with(
+            outport(dtype="Byte"))
+
+    def test_size_mismatch(self):
+        assert not inport(size=4).compatible_with(outport(size=8))
+
+    def test_non_port_incompatible(self):
+        assert not inport().compatible_with("not a port")
+
+    def test_equality_and_hash(self):
+        assert inport() == inport()
+        assert hash(inport()) == hash(inport())
+        assert inport() != outport()
+
+    def test_signature(self):
+        assert outport().signature() == ("DATA00", "RTAI.SHM",
+                                         "Integer", 4)
+
+
+class TestPortBinding:
+    def test_valid_binding(self):
+        binding = PortBinding("DISP", inport(), "CALC", outport(),
+                              kernel_object="DATA00")
+        assert binding.requirer == "DISP"
+        assert binding.provider == "CALC"
+        assert binding.kernel_object == "DATA00"
+
+    def test_swapped_directions_rejected(self):
+        with pytest.raises(PortError):
+            PortBinding("DISP", outport(), "CALC", inport())
+
+    def test_incompatible_pair_rejected(self):
+        with pytest.raises(PortError):
+            PortBinding("DISP", inport(size=4), "CALC", outport(size=8))
+
+
+class TestRealTimeContract:
+    def test_periodic_contract_derives_period(self):
+        contract = RealTimeContract("CAM", TaskType.PERIODIC,
+                                    priority=2, cpu_usage=0.1,
+                                    frequency_hz=100)
+        assert contract.period_ns == 10_000_000
+        assert contract.deadline_ns == 10_000_000
+        assert contract.wcet_ns == 1_000_000
+        assert contract.is_periodic
+
+    def test_aperiodic_contract(self):
+        contract = RealTimeContract("EVT", TaskType.APERIODIC,
+                                    priority=3, cpu_usage=0.05)
+        assert contract.period_ns is None
+        assert contract.wcet_ns is None
+        assert not contract.is_periodic
+
+    def test_periodic_needs_frequency(self):
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.PERIODIC, cpu_usage=0.1)
+
+    def test_cpu_usage_must_be_fraction(self):
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.APERIODIC, cpu_usage=2.0)
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.APERIODIC, cpu_usage=-0.1)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.APERIODIC, priority=-1)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.APERIODIC, cpu=-1)
+
+    def test_explicit_deadline(self):
+        contract = RealTimeContract("X", TaskType.PERIODIC,
+                                    cpu_usage=0.1, frequency_hz=100,
+                                    deadline_ns=5_000_000)
+        assert contract.deadline_ns == 5_000_000
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.PERIODIC, cpu_usage=0.1,
+                             frequency_hz=100, deadline_ns=0)
+
+    def test_task_type_must_be_enum(self):
+        with pytest.raises(ContractError):
+            RealTimeContract("X", "periodic")
+
+    def test_as_dict_and_equality(self):
+        a = RealTimeContract("X", TaskType.PERIODIC, cpu_usage=0.1,
+                             frequency_hz=100)
+        b = RealTimeContract("X", TaskType.PERIODIC, cpu_usage=0.1,
+                             frequency_hz=100)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.as_dict()["period_ns"] == 10_000_000
+
+    def test_fractional_frequency(self):
+        contract = RealTimeContract("X", TaskType.PERIODIC,
+                                    cpu_usage=0.1, frequency_hz=0.5)
+        assert contract.period_ns == 2_000_000_000

@@ -1,0 +1,161 @@
+"""Tests for DRCR state snapshot and warm restore."""
+
+import json
+
+import pytest
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.snapshot import export_state, restore_state
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml
+
+PORT = ("LINK00", "RTAI.SHM", "Integer", 2)
+
+
+def fresh_platform(cap=1.0):
+    platform = build_platform(
+        seed=12,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=cap))
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+def populate(platform):
+    deploy(platform, make_descriptor_xml(
+        "PROV00", cpuusage=0.2, outports=[PORT]))
+    deploy(platform, make_descriptor_xml(
+        "CONS00", cpuusage=0.1, frequency=250, priority=3,
+        inports=[PORT]))
+    deploy(platform, make_descriptor_xml(
+        "OFF000", cpuusage=0.1, frequency=100, priority=5,
+        enabled=False))
+    deploy(platform, make_descriptor_xml(
+        "PAUSE0", cpuusage=0.1, frequency=100, priority=6))
+    platform.drcr.suspend_component("PAUSE0")
+    platform.run_for(50 * MSEC)
+
+
+class TestExport:
+    def test_export_captures_population(self):
+        platform = fresh_platform()
+        populate(platform)
+        state = export_state(platform.drcr)
+        names = {entry["name"] for entry in state["components"]}
+        assert names == {"PROV00", "CONS00", "OFF000", "PAUSE0"}
+        by_name = {entry["name"]: entry
+                   for entry in state["components"]}
+        assert by_name["OFF000"]["state"] == "disabled"
+        assert by_name["PAUSE0"]["state"] == "suspended"
+
+    def test_export_is_json_serialisable(self):
+        platform = fresh_platform()
+        populate(platform)
+        text = json.dumps(export_state(platform.drcr))
+        assert "PROV00" in text
+
+    def test_live_properties_captured(self):
+        platform = fresh_platform()
+        deploy(platform, make_descriptor_xml(
+            "TUNED0", cpuusage=0.1,
+            properties=[("gain", "Integer", "1")]))
+        component = platform.drcr.component("TUNED0")
+        component.container.set_property("gain", 42)
+        platform.run_for(5 * MSEC)
+        state = export_state(platform.drcr)
+        entry = next(e for e in state["components"]
+                     if e["name"] == "TUNED0")
+        assert entry["properties"]["gain"] == 42
+
+
+class TestRestore:
+    def _roundtrip(self, cap=1.0):
+        source = fresh_platform()
+        populate(source)
+        state = export_state(source.drcr)
+        target = fresh_platform(cap=cap)
+        report = restore_state(target.drcr, state)
+        return target, report
+
+    def test_population_restored(self):
+        target, report = self._roundtrip()
+        assert target.drcr.component_state("PROV00") \
+            is ComponentState.ACTIVE
+        assert target.drcr.component_state("CONS00") \
+            is ComponentState.ACTIVE
+        assert target.drcr.component_state("OFF000") \
+            is ComponentState.DISABLED
+        assert target.drcr.component_state("PAUSE0") \
+            is ComponentState.SUSPENDED
+        assert sorted(report["restored"]) == ["CONS00", "PROV00"]
+        assert report["disabled"] == ["OFF000"]
+        assert report["suspended"] == ["PAUSE0"]
+
+    def test_restored_system_actually_runs(self):
+        target, _ = self._roundtrip()
+        target.run_for(100 * MSEC)
+        task = target.kernel.lookup("PROV00")
+        assert task.stats.completions >= 99
+
+    def test_admission_re_decided_on_restore(self):
+        # The target's tighter budget rejects part of the snapshot.
+        target, report = self._roundtrip(cap=0.25)
+        assert "PROV00" in report["restored"] \
+            or "PROV00" in report["unsatisfied"]
+        states = [target.drcr.component_state(n)
+                  for n in ("PROV00", "CONS00")]
+        assert ComponentState.UNSATISFIED in states
+
+    def test_live_properties_restored(self):
+        source = fresh_platform()
+        deploy(source, make_descriptor_xml(
+            "TUNED0", cpuusage=0.1,
+            properties=[("gain", "Integer", "1")]))
+        source.drcr.component("TUNED0").container.set_property(
+            "gain", 42)
+        source.run_for(5 * MSEC)
+        state = export_state(source.drcr)
+        target = fresh_platform()
+        restore_state(target.drcr, state)
+        component = target.drcr.component("TUNED0")
+        assert component.container.get_property("gain") == 42
+
+    def test_existing_names_skipped(self):
+        source = fresh_platform()
+        populate(source)
+        state = export_state(source.drcr)
+        target = fresh_platform()
+        deploy(target, make_descriptor_xml(
+            "PROV00", cpuusage=0.2, outports=[PORT]))
+        report = restore_state(target.drcr, state)
+        assert report["skipped"] == ["PROV00"]
+        assert target.drcr.component_state("CONS00") \
+            is ComponentState.ACTIVE
+
+    def test_applications_remembered(self):
+        source = fresh_platform()
+        populate(source)
+        source.drcr._applications["grp"] = ["PROV00", "CONS00"]
+        state = export_state(source.drcr)
+        target = fresh_platform()
+        restore_state(target.drcr, state)
+        assert target.drcr.applications() == {
+            "grp": ["PROV00", "CONS00"]}
+
+    def test_wrong_version_rejected(self):
+        target = fresh_platform()
+        with pytest.raises(ValueError):
+            restore_state(target.drcr, {"version": 99,
+                                        "components": []})
+
+    def test_json_roundtrip_restores(self):
+        source = fresh_platform()
+        populate(source)
+        text = json.dumps(export_state(source.drcr))
+        target = fresh_platform()
+        report = restore_state(target.drcr, json.loads(text))
+        assert report["restored"]

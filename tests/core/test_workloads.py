@@ -1,0 +1,123 @@
+"""Tests for the workload generation library."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workloads import (
+    generate_component_set,
+    generate_taskset,
+    log_uniform_periods,
+    uunifast,
+)
+
+MS = 1_000_000
+
+
+@pytest.fixture
+def rng():
+    return RandomStreams(42)
+
+
+class TestUUniFast:
+    def test_sums_to_total(self, rng):
+        for total in (0.5, 0.9, 1.5):
+            values = uunifast(rng, "s", 8, total)
+            assert sum(values) == pytest.approx(total)
+
+    def test_all_positive(self, rng):
+        for _ in range(50):
+            assert all(v > 0 for v in uunifast(rng, "s", 5, 0.8))
+
+    def test_single_task_gets_everything(self, rng):
+        assert uunifast(rng, "s", 1, 0.7) == [0.7]
+
+    def test_count_respected(self, rng):
+        assert len(uunifast(rng, "s", 12, 0.9)) == 12
+
+    def test_deterministic_per_seed(self):
+        a = uunifast(RandomStreams(7), "s", 6, 0.8)
+        b = uunifast(RandomStreams(7), "s", 6, 0.8)
+        assert a == b
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            uunifast(rng, "s", 0, 0.5)
+        with pytest.raises(ValueError):
+            uunifast(rng, "s", 3, 0.0)
+
+
+class TestPeriods:
+    def test_within_range_and_snapped(self, rng):
+        periods = log_uniform_periods(rng, "p", 100, 1 * MS, 100 * MS)
+        for period in periods:
+            assert 1 * MS <= period <= 101 * MS
+            assert period % MS == 0
+
+    def test_spans_decades(self, rng):
+        periods = log_uniform_periods(rng, "p", 200, 1 * MS, 100 * MS)
+        assert min(periods) < 5 * MS
+        assert max(periods) > 50 * MS
+
+    def test_bad_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            log_uniform_periods(rng, "p", 3, 10 * MS, 1 * MS)
+
+
+class TestTaskset:
+    def test_utilization_approximately_preserved(self, rng):
+        specs = generate_taskset(rng, "w1", 10, 0.75)
+        total = sum(spec.utilization for spec in specs)
+        assert total == pytest.approx(0.75, abs=0.02)
+
+    def test_rm_priorities_assigned(self, rng):
+        specs = generate_taskset(rng, "w1", 10, 0.75)
+        ordered = sorted(specs, key=lambda s: s.priority)
+        periods = [s.period_ns for s in ordered]
+        assert periods == sorted(periods)
+
+    def test_different_names_independent(self, rng):
+        a = generate_taskset(rng, "wa", 5, 0.5)
+        b = generate_taskset(rng, "wb", 5, 0.5)
+        assert [s.period_ns for s in a] != [s.period_ns for s in b]
+
+    def test_wcet_at_least_one(self, rng):
+        specs = generate_taskset(rng, "w1", 20, 0.05)
+        assert all(spec.wcet_ns >= 1 for spec in specs)
+
+
+class TestComponentSet:
+    def test_descriptors_valid_and_truthful(self, rng):
+        descriptors = generate_component_set(rng, "app", 6, 0.6)
+        total = sum(d.contract.cpu_usage for d in descriptors)
+        assert total == pytest.approx(0.6, abs=0.05)
+        for descriptor in descriptors:
+            assert descriptor.contract.is_periodic
+            assert descriptor.contract.period_ns % MS == 0
+
+    def test_chained_ports_line_up(self, rng):
+        descriptors = generate_component_set(rng, "app", 4, 0.4,
+                                             chained=True)
+        for previous, current in zip(descriptors, descriptors[1:]):
+            inport = current.inports[0]
+            outport = previous.outports[0]
+            assert inport.compatible_with(outport)
+
+    def test_unchained_has_no_ports(self, rng):
+        descriptors = generate_component_set(rng, "app", 4, 0.4)
+        assert all(not d.ports for d in descriptors)
+
+    def test_deployable_end_to_end(self, rng, platform):
+        descriptors = generate_component_set(rng, "app", 5, 0.5,
+                                             chained=True)
+        for descriptor in descriptors:
+            platform.drcr.register_component(descriptor)
+        from repro.core import ComponentState
+        active = platform.drcr.registry.in_state(ComponentState.ACTIVE)
+        assert len(active) == 5
+        assert active[0].name.startswith("AP")
+        from repro.sim.engine import SEC
+        platform.run_for(1 * SEC)
+        for component in active:
+            task = platform.kernel.lookup(
+                component.descriptor.task_name)
+            assert task.stats.completions > 0

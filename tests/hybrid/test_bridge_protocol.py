@@ -1,0 +1,70 @@
+"""Tests for the command bridge and the asynchronous protocol
+(paper section 3.2)."""
+
+from repro.hybrid.bridge import CommandBridge
+from repro.hybrid.protocol import Command, CommandKind, Reply
+
+
+class TestProtocol:
+    def test_command_sequence_numbers_increase(self):
+        first = Command(CommandKind.PING)
+        second = Command(CommandKind.PING)
+        assert second.seq > first.seq
+
+    def test_reply_copies_command_identity(self):
+        command = Command(CommandKind.GET_PROPERTY, "gain")
+        reply = Reply(command, 5, job_index=3, time_ns=1000)
+        assert reply.seq == command.seq
+        assert reply.kind is CommandKind.GET_PROPERTY
+        assert reply.name == "gain"
+        assert reply.value == 5
+        assert reply.job_index == 3
+
+
+class TestCommandBridge:
+    def test_mailboxes_allocated_with_unique_names(self, kernel):
+        a = CommandBridge(kernel, "COMPA")
+        b = CommandBridge(kernel, "COMPB")
+        names = {a.command_mailbox.name, a.status_mailbox.name,
+                 b.command_mailbox.name, b.status_mailbox.name}
+        assert len(names) == 4
+
+    def test_send_command_queues(self, kernel):
+        bridge = CommandBridge(kernel, "COMP")
+        command = bridge.set_property("gain", 5)
+        assert command is not None
+        assert len(bridge.command_mailbox) == 1
+        assert bridge.commands_sent == 1
+
+    def test_full_mailbox_drops_and_counts(self, kernel):
+        bridge = CommandBridge(kernel, "COMP", capacity=2)
+        assert bridge.ping() is not None
+        assert bridge.ping() is not None
+        assert bridge.ping() is None  # full: dropped, never blocks
+        assert bridge.commands_dropped == 1
+
+    def test_drain_replies(self, kernel):
+        bridge = CommandBridge(kernel, "COMP")
+        command = Command(CommandKind.PING)
+        bridge.status_mailbox.send_external(
+            Reply(command, "pong", 1, 10))
+        replies = bridge.drain_replies()
+        assert len(replies) == 1
+        assert replies[0].value == "pong"
+        assert bridge.drain_replies() == []
+        assert bridge.replies_received == 1
+
+    def test_stats(self, kernel):
+        bridge = CommandBridge(kernel, "COMP")
+        bridge.ping()
+        stats = bridge.stats()
+        assert stats["commands_sent"] == 1
+        assert stats["commands_pending"] == 1
+        assert stats["replies_pending"] == 0
+
+    def test_close_frees_mailboxes(self, kernel):
+        bridge = CommandBridge(kernel, "COMP")
+        cmd_name = bridge.command_mailbox.name
+        bridge.close()
+        assert not kernel.exists(cmd_name)
+        bridge.close()  # idempotent

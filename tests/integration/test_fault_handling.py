@@ -1,0 +1,185 @@
+"""Failure injection: a raising implementation must be quarantined
+without taking the platform (or any other component) down."""
+
+import pytest
+
+from repro.core import ComponentEventType, ComponentState
+from repro.hybrid import RTImplementation, make_container_factory
+from repro.hybrid.implementation import ImplementationRegistry
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.rtos.requests import Compute
+from repro.rtos.task import TaskState, TaskType
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+class BlowsUpAtJobFive(RTImplementation):
+    def execute(self, ctx):
+        if ctx.job_index == 4:
+            raise RuntimeError("sensor went away")
+
+
+@pytest.fixture
+def faulty_platform():
+    registry = ImplementationRegistry()
+    registry.register("faulty.Impl", BlowsUpAtJobFive)
+    platform = build_platform(
+        seed=13,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        container_factory=make_container_factory(registry))
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+class TestKernelFaultQuarantine:
+    def test_raising_body_faults_task(self, sim, kernel):
+        def body(task):
+            yield Compute(100_000)
+            raise ValueError("boom")
+
+        task = kernel.create_task("BOOM00", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        assert task.state is TaskState.FAULTED
+        assert isinstance(task.fault, ValueError)
+
+    def test_fault_does_not_stop_other_tasks(self, sim, kernel):
+        from repro.rtos.requests import WaitPeriod
+
+        def bad_body(task):
+            yield Compute(100_000)
+            raise ValueError("boom")
+
+        def good_body(task):
+            while True:
+                yield WaitPeriod()
+                yield Compute(50_000)
+
+        kernel.start_timer(1 * MSEC)
+        bad = kernel.create_task("BOOM00", bad_body, 1,
+                                 task_type=TaskType.APERIODIC)
+        good = kernel.create_task("GOOD00", good_body, 2,
+                                  task_type=TaskType.PERIODIC,
+                                  period_ns=1 * MSEC)
+        kernel.start_task(bad)
+        kernel.start_task(good)
+        sim.run_for(100 * MSEC)
+        assert bad.state is TaskState.FAULTED
+        assert good.stats.completions >= 98
+        assert good.stats.deadline_misses == 0
+
+    def test_faulted_periodic_stops_releasing(self, sim, kernel):
+        from repro.rtos.requests import WaitPeriod
+
+        def body(task):
+            yield WaitPeriod()
+            raise ValueError("boom")
+
+        kernel.start_timer(1 * MSEC)
+        task = kernel.create_task("BOOM00", body, 1,
+                                  task_type=TaskType.PERIODIC,
+                                  period_ns=1 * MSEC)
+        kernel.start_task(task)
+        sim.run_for(50 * MSEC)
+        assert task.state is TaskState.FAULTED
+        assert task.stats.activations <= 3
+
+    def test_fault_callback_invoked(self, sim, kernel):
+        faults = []
+        kernel.on_task_fault = lambda task, error: faults.append(
+            (task.name, str(error)))
+
+        def body(task):
+            yield Compute(1000)
+            raise RuntimeError("dead")
+
+        task = kernel.create_task("BOOM00", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        assert faults == [("BOOM00", "dead")]
+
+    def test_fault_while_blocked_peer_unaffected(self, sim, kernel):
+        from repro.rtos.requests import Receive
+
+        box = kernel.mailbox("MBX000")
+
+        def crasher(task):
+            value = yield Receive(box, blocking=True)
+            raise RuntimeError("bad message %r" % value)
+
+        task = kernel.create_task("BOOM00", crasher, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        box.send_external("poison")
+        sim.run_for(1 * MSEC)
+        assert task.state is TaskState.FAULTED
+        # The mailbox stays usable.
+        assert box.send_external("next") is True
+
+
+class TestDRCRFaultQuarantine:
+    def _deploy_faulty(self, platform):
+        xml = make_descriptor_xml(
+            "FLTY00", cpuusage=0.05, frequency=1000, priority=2,
+            bincode="faulty.Impl",
+            outports=[("FDATA0", "RTAI.SHM", "Integer", 2)])
+        return deploy(platform, xml)
+
+    def test_component_disabled_on_fault(self, faulty_platform):
+        self._deploy_faulty(faulty_platform)
+        assert faulty_platform.drcr.component_state("FLTY00") \
+            is ComponentState.ACTIVE
+        faulty_platform.run_for(100 * MSEC)
+        component = faulty_platform.drcr.component("FLTY00")
+        assert component.state is ComponentState.DISABLED
+        assert "implementation fault" in component.status_reason
+        assert not faulty_platform.kernel.exists("FLTY00")
+
+    def test_dependents_cascade_on_fault(self, faulty_platform):
+        self._deploy_faulty(faulty_platform)
+        consumer = make_descriptor_xml(
+            "CONS00", cpuusage=0.01, frequency=250, priority=3,
+            inports=[("FDATA0", "RTAI.SHM", "Integer", 2)])
+        deploy(faulty_platform, consumer)
+        faulty_platform.run_for(100 * MSEC)
+        assert faulty_platform.drcr.component_state("CONS00") \
+            is ComponentState.UNSATISFIED
+
+    def test_fault_frees_admission_budget(self, faulty_platform):
+        from repro.core import UtilizationBoundPolicy
+        faulty_platform.drcr.set_internal_policy(
+            UtilizationBoundPolicy(cap=0.08))
+        self._deploy_faulty(faulty_platform)  # 0.05 of the 0.08 budget
+        waiter = make_descriptor_xml("WAIT00", cpuusage=0.05,
+                                     frequency=500, priority=4)
+        deploy(faulty_platform, waiter)
+        assert faulty_platform.drcr.component_state("WAIT00") \
+            is ComponentState.UNSATISFIED
+        faulty_platform.run_for(100 * MSEC)  # FLTY00 faults, frees 0.05
+        assert faulty_platform.drcr.component_state("WAIT00") \
+            is ComponentState.ACTIVE
+
+    def test_enable_after_fault_reactivates(self, faulty_platform):
+        self._deploy_faulty(faulty_platform)
+        faulty_platform.run_for(100 * MSEC)
+        faulty_platform.drcr.enable_component("FLTY00")
+        assert faulty_platform.drcr.component_state("FLTY00") \
+            is ComponentState.ACTIVE
+        # It will fault again (fresh instance, job 5), and be
+        # re-quarantined -- no crash loop in the runtime itself.
+        faulty_platform.run_for(100 * MSEC)
+        assert faulty_platform.drcr.component_state("FLTY00") \
+            is ComponentState.DISABLED
+
+    def test_fault_event_logged(self, faulty_platform):
+        self._deploy_faulty(faulty_platform)
+        faulty_platform.run_for(100 * MSEC)
+        disabled = faulty_platform.drcr.events.of_type(
+            ComponentEventType.DISABLED)
+        assert any("implementation fault" in e.reason for e in disabled)

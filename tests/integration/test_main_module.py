@@ -1,0 +1,16 @@
+"""The ``python -m repro`` demo must run and print the report."""
+
+import subprocess
+import sys
+
+
+def test_python_dash_m_repro():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert "DRCR system report" in result.stdout
+    assert "CALC00" in result.stdout
+    assert "scheduling latency" in result.stdout
+    # The pipeline resolved: the display lists its provider.
+    assert "DISP00" in result.stdout

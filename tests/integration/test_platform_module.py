@@ -1,0 +1,99 @@
+"""Tests for the platform assembly module and top-level package."""
+
+import repro
+from repro.core import DRCR_SERVICE_INTERFACE, ComponentState
+from repro.platform import Platform, build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC, SEC
+
+from conftest import make_descriptor_xml
+
+
+class TestBuildPlatform:
+    def test_builds_connected_stack(self):
+        platform = build_platform(seed=1)
+        assert platform.drcr.framework is platform.framework
+        assert platform.drcr.kernel is platform.kernel
+        assert platform.kernel.sim is platform.sim
+
+    def test_drcr_attached_by_default(self):
+        platform = build_platform(seed=1)
+        ref = platform.framework.registry.get_reference(
+            DRCR_SERVICE_INTERFACE)
+        assert ref is not None
+
+    def test_attach_false_defers(self):
+        platform = build_platform(seed=1, attach=False)
+        assert platform.framework.registry.get_reference(
+            DRCR_SERVICE_INTERFACE) is None
+        platform.drcr.attach()
+        assert platform.framework.registry.get_reference(
+            DRCR_SERVICE_INTERFACE) is not None
+
+    def test_custom_kernel_config_used(self):
+        config = KernelConfig(num_cpus=3,
+                              latency_model=NullLatencyModel())
+        platform = build_platform(seed=1, kernel_config=config)
+        assert platform.kernel.config.num_cpus == 3
+
+    def test_now_and_run_for(self):
+        platform = build_platform(seed=1)
+        assert platform.now == 0
+        platform.run_for(5 * MSEC)
+        assert platform.now == 5 * MSEC
+
+    def test_start_timer_default_tick(self):
+        platform = build_platform(seed=1)
+        platform.start_timer()
+        assert platform.kernel.timer_period_ns == 1 * MSEC
+
+    def test_install_and_start_deploys(self):
+        platform = build_platform(
+            seed=1, kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()))
+        platform.start_timer()
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "x",
+             "RT-Component": "OSGI-INF/c.xml"},
+            resources={"OSGI-INF/c.xml": make_descriptor_xml(
+                "COMP00", cpuusage=0.05)})
+        assert platform.drcr.component_state("COMP00") \
+            is ComponentState.ACTIVE
+
+    def test_shutdown_cleans_everything(self):
+        platform = build_platform(
+            seed=1, kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()))
+        platform.start_timer()
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "x",
+             "RT-Component": "OSGI-INF/c.xml"},
+            resources={"OSGI-INF/c.xml": make_descriptor_xml(
+                "COMP00", cpuusage=0.05)})
+        platform.run_for(10 * MSEC)
+        platform.shutdown()
+        assert len(platform.drcr.registry) == 0
+        assert not platform.kernel.exists("COMP00")
+        assert len(platform.framework.registry) == 0
+
+    def test_package_exports(self):
+        assert repro.build_platform is build_platform
+        assert repro.Platform is Platform
+        assert repro.__version__
+
+    def test_deterministic_across_builds(self):
+        def run(seed):
+            platform = build_platform(seed=seed)
+            platform.start_timer()
+            platform.install_and_start(
+                {"Bundle-SymbolicName": "x",
+                 "RT-Component": "OSGI-INF/c.xml"},
+                resources={"OSGI-INF/c.xml": make_descriptor_xml(
+                    "COMP00", cpuusage=0.05)})
+            platform.run_for(1 * SEC)
+            task = platform.kernel.lookup("COMP00")
+            return task.stats.latency.values
+
+        assert run(77) == run(77)
+        assert run(77) != run(78)

@@ -1,0 +1,157 @@
+"""Tests for sporadic tasks and sporadic DRCom components."""
+
+import pytest
+
+from repro.core import ComponentState, ResponseTimeAnalysisPolicy
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.errors import ContractError, DescriptorError
+from repro.rtos.requests import Compute
+from repro.rtos.task import TaskState, TaskType
+from repro.sim.engine import MSEC, SEC
+
+SPORADIC_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<drt:component name="ALARM0" desc="event-driven alarm handler"
+               type="sporadic" enabled="true" cpuusage="0.10">
+  <implementation bincode="demo.AlarmHandler"/>
+  <sporadictask mininterarrival_ns="10000000" runoncpu="0"
+                priority="1"/>
+</drt:component>
+"""
+
+
+def one_shot_body(compute_ns):
+    def body(task):
+        yield Compute(compute_ns)
+    return body
+
+
+class TestSporadicKernel:
+    def _sporadic(self, kernel, mia=10 * MSEC, compute=1 * MSEC):
+        task = kernel.create_task("SPOR00", one_shot_body(compute), 1,
+                                  task_type=TaskType.SPORADIC,
+                                  period_ns=mia)
+        kernel.start_task(task)
+        return task
+
+    def test_needs_min_interarrival(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.create_task("SPOR00", one_shot_body(1000), 1,
+                               task_type=TaskType.SPORADIC)
+
+    def test_legal_rate_released_normally(self, sim, kernel):
+        task = self._sporadic(kernel)
+        sim.run_for(15 * MSEC)
+        kernel.release_task(task)  # 15ms > 10ms MIA: fine
+        sim.run_for(5 * MSEC)
+        assert task.stats.activations == 2
+        assert task.stats.throttled_releases == 0
+
+    def test_early_release_deferred_to_mia(self, sim, kernel):
+        task = self._sporadic(kernel)
+        sim.run_for(3 * MSEC)          # started at t=0
+        kernel.release_task(task)      # too early (3ms < 10ms)
+        assert task.stats.throttled_releases == 1
+        assert task.stats.activations == 1
+        sim.run_for(20 * MSEC)
+        # The deferred release fired at exactly t=10ms.
+        assert task.stats.activations == 2
+        assert task._last_release_time == 10 * MSEC
+
+    def test_extra_early_releases_dropped(self, sim, kernel):
+        task = self._sporadic(kernel)
+        sim.run_for(3 * MSEC)
+        for _ in range(5):
+            kernel.release_task(task)
+        assert task.stats.throttled_releases == 5
+        sim.run_for(50 * MSEC)
+        assert task.stats.activations == 2  # only one deferral queued
+
+    def test_demand_bounded_under_release_storm(self, sim, kernel):
+        task = self._sporadic(kernel, mia=10 * MSEC, compute=1 * MSEC)
+        # Hammer the release API every millisecond for one second.
+        for _ in range(1000):
+            if not task.suspended:
+                kernel.release_task(task)
+            sim.run_for(1 * MSEC)
+        # The MIA bounds activations to ~1 per 10 ms.
+        assert task.stats.activations <= 101
+        assert task.stats.cpu_time_ns <= 101 * MSEC
+
+    def test_deadline_checked_on_completion(self, sim, kernel):
+        # Compute time exceeds the implicit deadline (= MIA).
+        task = kernel.create_task("SPOR00", one_shot_body(15 * MSEC), 1,
+                                  task_type=TaskType.SPORADIC,
+                                  period_ns=10 * MSEC)
+        kernel.start_task(task)
+        sim.run_for(30 * MSEC)
+        assert task.stats.deadline_misses == 1
+
+    def test_delete_cancels_deferred_release(self, sim, kernel):
+        task = self._sporadic(kernel)
+        sim.run_for(3 * MSEC)
+        kernel.release_task(task)
+        kernel.delete_task(task)
+        sim.run_for(50 * MSEC)
+        assert task.state is TaskState.DELETED
+        assert task.stats.activations == 1
+
+
+class TestSporadicDescriptor:
+    def test_parses(self):
+        descriptor = ComponentDescriptor.from_xml(SPORADIC_XML)
+        contract = descriptor.contract
+        assert contract.task_type is TaskType.SPORADIC
+        assert contract.period_ns == 10 * MSEC
+        assert contract.is_rate_bound
+        assert not contract.is_periodic
+        assert contract.wcet_ns == 1 * MSEC  # 0.10 x 10 ms
+
+    def test_roundtrip(self):
+        descriptor = ComponentDescriptor.from_xml(SPORADIC_XML)
+        reparsed = ComponentDescriptor.from_xml(descriptor.to_xml())
+        assert reparsed.contract == descriptor.contract
+
+    def test_sporadic_without_element_rejected(self):
+        broken = SPORADIC_XML.replace(
+            '<sporadictask mininterarrival_ns="10000000" runoncpu="0"\n'
+            '                priority="1"/>', "")
+        with pytest.raises(DescriptorError):
+            ComponentDescriptor.from_xml(broken)
+
+    def test_contract_requires_positive_mia(self):
+        from repro.core.contracts import RealTimeContract
+        with pytest.raises(ContractError):
+            RealTimeContract("X", TaskType.SPORADIC, cpu_usage=0.1)
+
+
+class TestSporadicComponent:
+    def test_deploy_and_release(self, platform):
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "demo.alarm",
+             "RT-Component": "OSGI-INF/alarm.xml"},
+            resources={"OSGI-INF/alarm.xml": SPORADIC_XML})
+        component = platform.drcr.component("ALARM0")
+        assert component.state is ComponentState.ACTIVE
+        container = component.container
+        platform.run_for(15 * MSEC)
+        container.release()
+        platform.run_for(15 * MSEC)
+        assert container.task.stats.activations == 2
+
+    def test_admission_uses_mia_as_period(self, platform):
+        # RTA must account for the sporadic demand: a sporadic claiming
+        # 90% leaves no room for a periodic claiming 50%.
+        platform.drcr.set_internal_policy(ResponseTimeAnalysisPolicy())
+        heavy = SPORADIC_XML.replace('cpuusage="0.10"',
+                                     'cpuusage="0.90"')
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "demo.alarm",
+             "RT-Component": "OSGI-INF/alarm.xml"},
+            resources={"OSGI-INF/alarm.xml": heavy})
+        from conftest import deploy, make_descriptor_xml
+        deploy(platform, make_descriptor_xml(
+            "PERIO0", cpuusage=0.5, frequency=100, priority=2))
+        assert platform.drcr.component_state("ALARM0") \
+            is ComponentState.ACTIVE
+        assert platform.drcr.component_state("PERIO0") \
+            is ComponentState.UNSATISFIED

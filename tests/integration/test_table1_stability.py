@@ -1,0 +1,62 @@
+"""Table-1 shape stability across seeds.
+
+The benchmark reproduces Table 1 with one seed; this test checks that
+the *shape* claims hold across several independent seeds (shorter
+windows, looser bounds), i.e. the calibration is not a single-seed
+coincidence.
+"""
+
+import pytest
+
+from repro.platform import build_platform
+from repro.rtos.load import apply_stress
+from repro.sim.engine import MSEC, SEC
+
+from conftest import make_descriptor_xml
+
+CALC_XML = make_descriptor_xml(
+    "CALC00", cpuusage=0.03, frequency=1000, priority=2,
+    outports=[("LATDAT", "RTAI.SHM", "Integer", 4)])
+
+SEEDS = (1, 77, 4242)
+
+
+def run_cell(seed, stress):
+    platform = build_platform(seed=seed)
+    platform.start_timer(1 * MSEC)
+    platform.install_and_start(
+        {"Bundle-SymbolicName": "stab.calc",
+         "RT-Component": "OSGI-INF/c.xml"},
+        resources={"OSGI-INF/c.xml": CALC_XML})
+    if stress:
+        apply_stress(platform.kernel)
+    task = platform.kernel.lookup("CALC00")
+    platform.run_for(50 * MSEC)  # settle
+    task.stats.latency.clear()
+    platform.run_for(1 * SEC)
+    summary = task.stats.latency.summary()
+    summary["misses"] = task.stats.deadline_misses
+    return summary
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestShapeAcrossSeeds:
+    def test_light_mode_shape(self, seed):
+        cell = run_cell(seed, stress=False)
+        assert -4500 < cell["average"] < 500
+        assert 2500 < cell["avedev"] < 5500
+        assert cell["min"] < -10_000
+        assert cell["max"] > 8_000
+        assert cell["misses"] == 0
+
+    def test_stress_mode_shape(self, seed):
+        cell = run_cell(seed, stress=True)
+        assert -23_500 < cell["average"] < -19_000
+        assert cell["avedev"] < 1200
+        assert cell["max"] < 0
+        assert cell["misses"] == 0
+
+    def test_stress_tightens_by_factor(self, seed):
+        light = run_cell(seed, stress=False)
+        stress = run_cell(seed, stress=True)
+        assert stress["avedev"] < light["avedev"] / 3

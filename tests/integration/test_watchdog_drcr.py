@@ -1,0 +1,67 @@
+"""The full runaway chain: implementation spins -> watchdog faults the
+task -> kernel notifies the DRCR -> component quarantined to DISABLED
+-> dependents cascade -> the rest of the system keeps its contracts."""
+
+from repro.core import ComponentState
+from repro.hybrid import RTImplementation, make_container_factory
+from repro.hybrid.implementation import ImplementationRegistry
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.rtos.watchdog import Watchdog
+from repro.sim.engine import MSEC, SEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+class SpinsForever(RTImplementation):
+    def compute_ns(self, ctx):
+        if ctx.job_index >= 3:
+            return 10 * SEC  # wedged from the fourth job on
+        return ctx.contract.wcet_ns
+
+
+def test_runaway_component_quarantined_end_to_end():
+    registry = ImplementationRegistry()
+    registry.register("runaway.Impl", SpinsForever)
+    platform = build_platform(
+        seed=14,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        container_factory=make_container_factory(registry))
+    platform.start_timer(1 * MSEC)
+    watchdog = Watchdog(platform.kernel, limit_ns=20 * MSEC,
+                        policy="fault").start()
+
+    # The runaway runs at the TOP priority -- the scenario the RTAI
+    # watchdog exists for: nothing below can ever preempt it, so only
+    # the watchdog can break the lockout.
+    deploy(platform, make_descriptor_xml(
+        "SPIN00", cpuusage=0.1, frequency=100, priority=0,
+        bincode="runaway.Impl",
+        outports=[("SPINP0", "RTAI.SHM", "Integer", 2)]))
+    deploy(platform, make_descriptor_xml(
+        "DEP000", cpuusage=0.05, frequency=100, priority=3,
+        inports=[("SPINP0", "RTAI.SHM", "Integer", 2)]))
+    deploy(platform, make_descriptor_xml(
+        "SAFE00", cpuusage=0.1, frequency=1000, priority=1))
+
+    platform.run_for(1 * SEC)
+
+    # The runaway was caught and its component quarantined.
+    assert watchdog.interventions
+    spin = platform.drcr.component("SPIN00")
+    assert spin.state is ComponentState.DISABLED
+    assert "watchdog" in spin.status_reason
+    assert not platform.kernel.exists("SPIN00")
+
+    # Its dependent cascaded; the unrelated component never suffered.
+    assert platform.drcr.component_state("DEP000") \
+        is ComponentState.UNSATISFIED
+    safe_task = platform.kernel.lookup("SAFE00")
+    # SAFE00 lost at most the lockout window (limit + check period),
+    # then ran clean for the rest of the second.
+    assert safe_task.stats.deadline_misses <= 30
+    assert safe_task.stats.completions >= 950
+    misses_at_end = safe_task.stats.deadline_misses
+    platform.run_for(1 * SEC)
+    assert safe_task.stats.deadline_misses == misses_at_end

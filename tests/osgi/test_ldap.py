@@ -1,0 +1,168 @@
+"""Unit tests for the RFC 1960 LDAP filter implementation."""
+
+import pytest
+
+from repro.osgi.errors import InvalidFilterError
+from repro.osgi.ldap import LDAPFilter, escape, parse_filter
+from repro.osgi.version import Version
+
+
+def matches(text, props):
+    return parse_filter(text).matches(props)
+
+
+class TestSimpleComparisons:
+    def test_equality(self):
+        assert matches("(name=camera)", {"name": "camera"})
+        assert not matches("(name=camera)", {"name": "display"})
+
+    def test_missing_attribute_never_matches(self):
+        assert not matches("(name=camera)", {})
+
+    def test_attribute_names_case_insensitive(self):
+        assert matches("(NAME=camera)", {"name": "camera"})
+        assert matches("(name=camera)", {"Name": "camera"})
+
+    def test_numeric_coercion_int(self):
+        assert matches("(priority=2)", {"priority": 2})
+        assert not matches("(priority=2)", {"priority": 3})
+
+    def test_numeric_coercion_float(self):
+        assert matches("(cpuusage<=0.2)", {"cpuusage": 0.1})
+        assert not matches("(cpuusage<=0.2)", {"cpuusage": 0.5})
+
+    def test_gte_lte(self):
+        props = {"ranking": 10}
+        assert matches("(ranking>=10)", props)
+        assert matches("(ranking<=10)", props)
+        assert not matches("(ranking>=11)", props)
+
+    def test_boolean_coercion(self):
+        assert matches("(enabled=true)", {"enabled": True})
+        assert matches("(enabled=FALSE)", {"enabled": False})
+        assert not matches("(enabled=true)", {"enabled": False})
+
+    def test_version_coercion(self):
+        props = {"version": Version.parse("1.5.0")}
+        assert matches("(version>=1.0)", props)
+        assert not matches("(version>=2.0)", props)
+
+    def test_uncoercible_value_no_match(self):
+        assert not matches("(priority=abc)", {"priority": 2})
+
+    def test_approx_ignores_case_and_whitespace(self):
+        assert matches("(desc~=SmartCamera)", {"desc": "smart camera"})
+
+    def test_list_valued_attribute_matches_any(self):
+        props = {"objectClass": ["IFoo", "IBar"]}
+        assert matches("(objectClass=IBar)", props)
+        assert not matches("(objectClass=IBaz)", props)
+
+
+class TestPresenceAndSubstring:
+    def test_presence(self):
+        assert matches("(name=*)", {"name": "x"})
+        assert not matches("(name=*)", {"other": "x"})
+
+    def test_prefix(self):
+        assert matches("(name=cam*)", {"name": "camera"})
+        assert not matches("(name=cam*)", {"name": "display"})
+
+    def test_suffix(self):
+        assert matches("(name=*era)", {"name": "camera"})
+        assert not matches("(name=*era)", {"name": "cameras"})
+
+    def test_contains(self):
+        assert matches("(name=*mer*)", {"name": "camera"})
+        assert not matches("(name=*xyz*)", {"name": "camera"})
+
+    def test_multi_chunk(self):
+        assert matches("(path=a*b*c)", {"path": "aXXbYYc"})
+        assert not matches("(path=a*b*c)", {"path": "acb"})
+
+    def test_wildcards_match_empty(self):
+        # RFC 1960 '*' matches zero or more characters.
+        assert matches("(x=a*bc*c)", {"x": "abcc"})
+        assert matches("(x=a*bc*c)", {"x": "abcXc"})
+
+    def test_chunks_may_not_overlap(self):
+        # The final 'bc' needs its own characters after the middle one.
+        assert not matches("(x=a*bc*bc)", {"x": "abc"})
+        assert matches("(x=a*bc*bc)", {"x": "abcbc"})
+
+    def test_escaped_star_is_literal(self):
+        assert matches(r"(name=a\*b)", {"name": "a*b"})
+        assert not matches(r"(name=a\*b)", {"name": "aXb"})
+
+    def test_number_substring_uses_string_form(self):
+        assert matches("(value=12*)", {"value": "123"})
+
+
+class TestBooleanOperators:
+    def test_and(self):
+        props = {"a": 1, "b": 2}
+        assert matches("(&(a=1)(b=2))", props)
+        assert not matches("(&(a=1)(b=3))", props)
+
+    def test_or(self):
+        props = {"a": 1}
+        assert matches("(|(a=2)(a=1))", props)
+        assert not matches("(|(a=2)(a=3))", props)
+
+    def test_not(self):
+        assert matches("(!(a=1))", {"a": 2})
+        assert not matches("(!(a=1))", {"a": 1})
+
+    def test_nested(self):
+        f = "(&(objectclass=camera)(|(cpu=0)(cpu=1))(!(disabled=true)))"
+        assert matches(f, {"objectclass": "camera", "cpu": 1,
+                           "disabled": False})
+        assert not matches(f, {"objectclass": "camera", "cpu": 2,
+                               "disabled": False})
+
+    def test_single_child_and(self):
+        assert matches("(&(a=1))", {"a": 1})
+
+
+class TestParsing:
+    def test_whitespace_tolerated(self):
+        assert matches("( & (a=1) (b=2) )", {"a": 1, "b": 2})
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "(",
+        "(a=1",
+        "a=1",
+        "(a=1))",
+        "(&)",
+        "(a)",
+        "(=1)",
+        "((a=1))",
+        "(a>1)",   # '>' must be '>='
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(InvalidFilterError):
+            parse_filter(bad)
+
+    def test_wildcard_with_ordering_operator_rejected(self):
+        with pytest.raises(InvalidFilterError):
+            parse_filter("(a>=1*2)")
+
+    def test_escape_helper(self):
+        assert escape("a(b)c*d\\e") == r"a\(b\)c\*d\\e"
+        noisy = "we(ird)*na\\me"
+        assert matches("(key=%s)" % escape(noisy), {"key": noisy})
+
+    def test_str_normalizes(self):
+        f = parse_filter("( a = 1 )")
+        assert str(f) == "(a = 1)" or "(a" in str(f)
+
+    def test_filter_equality_and_hash(self):
+        a = parse_filter("(&(x=1)(y=2))")
+        b = parse_filter("(&(x=1)(y=2))")
+        assert a == b and hash(a) == hash(b)
+
+    def test_parse_idempotent(self):
+        f = parse_filter("(a=1)")
+        assert parse_filter(f) is not None
+        assert LDAPFilter(f).matches({"a": 1})

@@ -1,0 +1,119 @@
+"""Unit tests for manifest header parsing."""
+
+import pytest
+
+from repro.osgi.errors import ManifestError
+from repro.osgi.manifest import (
+    RT_COMPONENT_HEADER,
+    BundleManifest,
+    parse_header,
+)
+from repro.osgi.version import Version
+
+
+class TestParseHeader:
+    def test_single_path(self):
+        clauses = parse_header("com.example.api")
+        assert len(clauses) == 1
+        assert clauses[0].path == "com.example.api"
+
+    def test_multiple_clauses(self):
+        clauses = parse_header("a.b,c.d,e.f")
+        assert [c.path for c in clauses] == ["a.b", "c.d", "e.f"]
+
+    def test_attributes(self):
+        clauses = parse_header('a.b;version="1.0";vendor=acme')
+        assert clauses[0].attributes == {"version": "1.0",
+                                         "vendor": "acme"}
+
+    def test_directives(self):
+        clauses = parse_header("a.b;resolution:=optional")
+        assert clauses[0].directives == {"resolution": "optional"}
+        assert clauses[0].attributes == {}
+
+    def test_comma_inside_quotes_not_a_separator(self):
+        clauses = parse_header('a.b;version="[1.0,2.0)"')
+        assert len(clauses) == 1
+        assert clauses[0].attributes["version"] == "[1.0,2.0)"
+
+    def test_multiple_paths_share_attributes(self):
+        clauses = parse_header('a.b;a.c;version="2.0"')
+        assert clauses[0].paths == ["a.b", "a.c"]
+        assert clauses[0].version() == Version.parse("2.0")
+
+    def test_none_yields_empty(self):
+        assert parse_header(None) == []
+
+    def test_empty_clauses_skipped(self):
+        assert len(parse_header("a.b,,c.d,")) == 2
+
+    def test_clause_without_path_rejected(self):
+        with pytest.raises(ManifestError):
+            parse_header("version=1.0")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ManifestError):
+            parse_header('a.b;version="1.0')
+
+    def test_version_range_helper(self):
+        clause = parse_header('a.b;version="[1.0,2.0)"')[0]
+        rng = clause.version_range()
+        assert rng.includes("1.5") and not rng.includes("2.0")
+
+
+class TestBundleManifest:
+    def _manifest(self, **extra):
+        headers = {"Bundle-SymbolicName": "com.example.app"}
+        headers.update(extra)
+        return BundleManifest(headers)
+
+    def test_symbolic_name_required(self):
+        with pytest.raises(ManifestError):
+            BundleManifest({"Bundle-Version": "1.0"})
+
+    def test_defaults(self):
+        m = self._manifest()
+        assert m.symbolic_name == "com.example.app"
+        assert m.version == Version()
+        assert m.name == "com.example.app"
+        assert m.activator is None
+        assert m.imports == [] and m.exports == []
+        assert m.rt_components == []
+
+    def test_version_parsed(self):
+        m = self._manifest(**{"Bundle-Version": "2.1.0"})
+        assert m.version == Version(2, 1, 0)
+
+    def test_imports_and_exports(self):
+        m = self._manifest(**{
+            "Import-Package": 'a.b;version="[1.0,2.0)",c.d',
+            "Export-Package": "e.f;version=1.2",
+        })
+        imports = list(m.imported_packages())
+        assert imports[0][0] == "a.b"
+        assert imports[0][1].includes("1.5")
+        assert imports[1][0] == "c.d"
+        exports = list(m.exported_packages())
+        assert exports[0][:2] == ("e.f", Version.parse("1.2"))
+
+    def test_optional_import_directive(self):
+        m = self._manifest(**{
+            "Import-Package": "a.b;resolution:=optional,c.d"})
+        flags = {pkg: optional for pkg, _, _, optional
+                 in m.imported_packages()}
+        assert flags == {"a.b": True, "c.d": False}
+
+    def test_duplicate_import_rejected(self):
+        with pytest.raises(ManifestError):
+            self._manifest(**{"Import-Package": "a.b,a.b"})
+
+    def test_rt_component_header(self):
+        m = self._manifest(**{
+            RT_COMPONENT_HEADER: "OSGI-INF/cam.xml,OSGI-INF/disp.xml"})
+        assert m.rt_components == ["OSGI-INF/cam.xml",
+                                   "OSGI-INF/disp.xml"]
+
+    def test_symbolic_name_clause_attributes_ignored(self):
+        m = BundleManifest({
+            "Bundle-SymbolicName": "com.example;singleton:=true"})
+        assert m.symbolic_name == "com.example"

@@ -1,0 +1,167 @@
+"""Tests for the service registry, references and rankings."""
+
+import pytest
+
+from repro.osgi.errors import ServiceUnregisteredError
+from repro.osgi.events import ListenerList, ServiceEventType
+from repro.osgi.registry import ServiceRegistry
+from repro.osgi.services import OBJECTCLASS, SERVICE_RANKING
+
+
+@pytest.fixture
+def registry():
+    return ServiceRegistry(listeners=ListenerList())
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, registry):
+        registry.register("IFoo", "impl")
+        ref = registry.get_reference("IFoo")
+        assert registry.get_service(ref) == "impl"
+
+    def test_register_multiple_interfaces(self, registry):
+        registry.register(["IFoo", "IBar"], "impl")
+        assert registry.get_reference("IFoo") is not None
+        assert registry.get_reference("IBar") is not None
+
+    def test_service_ids_monotonic(self, registry):
+        first = registry.register("IFoo", "a")
+        second = registry.register("IFoo", "b")
+        assert second.reference.service_id \
+            > first.reference.service_id
+
+    def test_empty_classes_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register([], "impl")
+
+    def test_len(self, registry):
+        registry.register("IFoo", "a")
+        registry.register("IBar", "b")
+        assert len(registry) == 2
+
+
+class TestLookup:
+    def test_filter_on_properties(self, registry):
+        registry.register("IFoo", "cam", {"kind": "camera"})
+        registry.register("IFoo", "disp", {"kind": "display"})
+        refs = registry.get_references("IFoo", "(kind=camera)")
+        assert len(refs) == 1
+        assert registry.get_service(refs[0]) == "cam"
+
+    def test_filter_without_class(self, registry):
+        registry.register("IFoo", "x", {"tag": 1})
+        registry.register("IBar", "y", {"tag": 1})
+        assert len(registry.get_references(
+            filter_text="(tag=1)")) == 2
+
+    def test_filter_matches_objectclass(self, registry):
+        registry.register("IFoo", "x")
+        refs = registry.get_references(
+            filter_text="(objectClass=IFoo)")
+        assert len(refs) == 1
+
+    def test_ranking_orders_best_first(self, registry):
+        registry.register("IFoo", "low", {SERVICE_RANKING: 1})
+        registry.register("IFoo", "high", {SERVICE_RANKING: 10})
+        registry.register("IFoo", "default")
+        services = [registry.get_service(r)
+                    for r in registry.get_references("IFoo")]
+        assert services == ["high", "low", "default"]
+
+    def test_equal_ranking_lowest_id_wins(self, registry):
+        registry.register("IFoo", "first")
+        registry.register("IFoo", "second")
+        assert registry.get_service(
+            registry.get_reference("IFoo")) == "first"
+
+    def test_no_match_returns_none(self, registry):
+        assert registry.get_reference("IMissing") is None
+
+
+class TestUnregister:
+    def test_unregister_removes(self, registry):
+        reg = registry.register("IFoo", "impl")
+        reg.unregister()
+        assert registry.get_reference("IFoo") is None
+
+    def test_double_unregister_raises(self, registry):
+        reg = registry.register("IFoo", "impl")
+        reg.unregister()
+        with pytest.raises(ServiceUnregisteredError):
+            reg.unregister()
+
+    def test_get_service_after_unregister_returns_none(self, registry):
+        reg = registry.register("IFoo", "impl")
+        ref = reg.reference
+        reg.unregister()
+        assert registry.get_service(ref) is None
+
+    def test_reference_property_after_unregister_raises(self, registry):
+        reg = registry.register("IFoo", "impl")
+        reg.unregister()
+        with pytest.raises(ServiceUnregisteredError):
+            reg.reference
+
+    def test_unregister_all_for_bundle(self, registry):
+        bundle = object()
+        registry.register("IFoo", "a", bundle=bundle)
+        registry.register("IBar", "b", bundle=bundle)
+        registry.register("IBaz", "c", bundle=object())
+        registry.unregister_all_for_bundle(bundle)
+        assert registry.get_reference("IFoo") is None
+        assert registry.get_reference("IBaz") is not None
+
+
+class TestPropertiesAndEvents:
+    def test_set_properties_preserves_identity_keys(self, registry):
+        reg = registry.register("IFoo", "impl", {"a": 1})
+        original_id = reg.properties["service.id"]
+        reg.set_properties({"b": 2})
+        assert reg.properties["b"] == 2
+        assert "a" not in reg.properties
+        assert reg.properties[OBJECTCLASS] == ["IFoo"]
+        assert reg.properties["service.id"] == original_id
+
+    def test_modify_after_unregister_raises(self, registry):
+        reg = registry.register("IFoo", "impl")
+        reg.unregister()
+        with pytest.raises(ServiceUnregisteredError):
+            reg.set_properties({})
+
+    def test_event_sequence(self, registry):
+        events = []
+        registry.listeners.add(
+            lambda e: events.append(e.event_type))
+        reg = registry.register("IFoo", "impl")
+        reg.set_properties({"x": 1})
+        reg.unregister()
+        assert events == [ServiceEventType.REGISTERED,
+                          ServiceEventType.MODIFIED,
+                          ServiceEventType.UNREGISTERING]
+
+    def test_unregistering_listener_sees_registry_without_service(
+            self, registry):
+        remaining = []
+        registry.listeners.add(
+            lambda e: remaining.append(len(registry))
+            if e.event_type is ServiceEventType.UNREGISTERING else None)
+        reg = registry.register("IFoo", "impl")
+        reg.unregister()
+        assert remaining == [0]
+
+    def test_reference_get_property(self, registry):
+        reg = registry.register("IFoo", "impl", {"key": "value"})
+        assert reg.reference.get_property("key") == "value"
+        assert reg.reference.get_property("missing") is None
+
+    def test_reference_properties_copy(self, registry):
+        reg = registry.register("IFoo", "impl", {"key": 1})
+        props = reg.reference.get_properties()
+        props["key"] = 99
+        assert reg.reference.get_property("key") == 1
+
+    def test_snapshot(self, registry):
+        registry.register("IFoo", "impl", {"a": 1})
+        snapshot = registry.snapshot()
+        assert snapshot[0][0] == ["IFoo"]
+        assert snapshot[0][1]["a"] == 1

@@ -1,0 +1,237 @@
+"""Tests for ServiceTracker and the Declarative Services subset."""
+
+import pytest
+
+from repro.osgi.declarative import (
+    ComponentDescription,
+    DSRuntime,
+    ReferenceSpec,
+)
+from repro.osgi.framework import Framework
+from repro.osgi.tracker import ServiceTracker
+
+
+@pytest.fixture
+def fw():
+    return Framework()
+
+
+class TestServiceTracker:
+    def test_tracks_existing_services_on_open(self, fw):
+        fw.registry.register("IFoo", "pre-existing")
+        tracker = ServiceTracker(fw, clazz="IFoo")
+        tracker.open()
+        assert tracker.get_service() == "pre-existing"
+
+    def test_tracks_later_registrations(self, fw):
+        added = []
+        tracker = ServiceTracker(fw, clazz="IFoo",
+                                 on_added=lambda r, s: added.append(s))
+        tracker.open()
+        fw.registry.register("IFoo", "late")
+        assert added == ["late"]
+        assert tracker.tracking_count == 1
+
+    def test_untracks_on_unregister(self, fw):
+        removed = []
+        tracker = ServiceTracker(fw, clazz="IFoo",
+                                 on_removed=lambda r, s:
+                                 removed.append(s))
+        tracker.open()
+        reg = fw.registry.register("IFoo", "x")
+        reg.unregister()
+        assert removed == ["x"]
+        assert tracker.get_service() is None
+
+    def test_filter_narrows_tracking(self, fw):
+        tracker = ServiceTracker(fw, clazz="IFoo",
+                                 filter_text="(kind=camera)")
+        tracker.open()
+        fw.registry.register("IFoo", "cam", {"kind": "camera"})
+        fw.registry.register("IFoo", "disp", {"kind": "display"})
+        assert tracker.get_services() == ["cam"]
+
+    def test_modified_can_start_and_stop_tracking(self, fw):
+        tracker = ServiceTracker(fw, clazz="IFoo",
+                                 filter_text="(enabled=yes)")
+        tracker.open()
+        reg = fw.registry.register("IFoo", "x", {"enabled": "no"})
+        assert tracker.tracking_count == 0
+        reg.set_properties({"enabled": "yes"})
+        assert tracker.tracking_count == 1
+        reg.set_properties({"enabled": "no"})
+        assert tracker.tracking_count == 0
+
+    def test_modified_callback_for_still_matching(self, fw):
+        modified = []
+        tracker = ServiceTracker(
+            fw, clazz="IFoo",
+            on_modified=lambda r, s: modified.append(s))
+        tracker.open()
+        reg = fw.registry.register("IFoo", "x")
+        reg.set_properties({"v": 2})
+        assert modified == ["x"]
+
+    def test_close_reports_removals(self, fw):
+        removed = []
+        tracker = ServiceTracker(fw, clazz="IFoo",
+                                 on_removed=lambda r, s:
+                                 removed.append(s))
+        tracker.open()
+        fw.registry.register("IFoo", "x")
+        tracker.close()
+        assert removed == ["x"]
+        fw.registry.register("IFoo", "y")
+        assert tracker.tracking_count == 0  # closed: no longer tracking
+
+    def test_best_service_by_ranking(self, fw):
+        tracker = ServiceTracker(fw, clazz="IFoo")
+        tracker.open()
+        fw.registry.register("IFoo", "low", {"service.ranking": 1})
+        fw.registry.register("IFoo", "high", {"service.ranking": 5})
+        assert tracker.get_service() == "high"
+
+    def test_needs_class_or_filter(self, fw):
+        with pytest.raises(ValueError):
+            ServiceTracker(fw)
+
+    def test_open_idempotent(self, fw):
+        tracker = ServiceTracker(fw, clazz="IFoo")
+        tracker.open()
+        tracker.open()
+        fw.registry.register("IFoo", "x")
+        assert tracker.tracking_count == 1
+
+
+class TestDeclarativeServices:
+    def _display_description(self, cardinality="1..1", target=None,
+                             provides="IDisplay"):
+        return ComponentDescription(
+            "display",
+            lambda comp: "display-impl",
+            provides=provides,
+            references=[ReferenceSpec("calc", "ICalc", cardinality,
+                                      target=target)])
+
+    def test_mandatory_reference_gates_activation(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description())
+        assert not comp.active
+        fw.registry.register("ICalc", "calc-impl")
+        assert comp.active
+        assert comp.service("calc") == "calc-impl"
+
+    def test_optional_reference_activates_immediately(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description("0..1"))
+        assert comp.active
+        assert comp.service("calc") is None
+
+    def test_departure_deactivates(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description())
+        reg = fw.registry.register("ICalc", "calc-impl")
+        assert comp.active
+        reg.unregister()
+        assert not comp.active
+
+    def test_rebind_on_return(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description())
+        reg = fw.registry.register("ICalc", "v1")
+        reg.unregister()
+        fw.registry.register("ICalc", "v2")
+        assert comp.active
+        assert comp.service("calc") == "v2"
+
+    def test_target_filter_respected(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(
+            self._display_description(target="(rate=fast)"))
+        fw.registry.register("ICalc", "slow", {"rate": "slow"})
+        assert not comp.active
+        fw.registry.register("ICalc", "fast", {"rate": "fast"})
+        assert comp.active
+        assert comp.service("calc") == "fast"
+
+    def test_multiple_cardinality_binds_all(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description("1..n"))
+        fw.registry.register("ICalc", "a")
+        fw.registry.register("ICalc", "b")
+        assert sorted(comp.services("calc")) == ["a", "b"]
+
+    def test_provided_service_registered(self, fw):
+        ds = DSRuntime(fw)
+        ds.add_component(self._display_description("0..1"))
+        ref = fw.registry.get_reference("IDisplay")
+        assert ref is not None
+        assert ref.get_property("component.name") == "display"
+
+    def test_activation_cascade(self, fw):
+        # A provides IA; B requires IA and provides IB; C requires IB.
+        ds = DSRuntime(fw)
+        c = ds.add_component(ComponentDescription(
+            "c", lambda comp: "c", references=[
+                ReferenceSpec("dep", "IB")]))
+        b = ds.add_component(ComponentDescription(
+            "b", lambda comp: "b", provides="IB", references=[
+                ReferenceSpec("dep", "IA")]))
+        assert not b.active and not c.active
+        ds.add_component(ComponentDescription(
+            "a", lambda comp: "a", provides="IA"))
+        assert b.active and c.active
+
+    def test_deactivation_cascade(self, fw):
+        ds = DSRuntime(fw)
+        ds.add_component(ComponentDescription(
+            "b", lambda comp: "b", provides="IB", references=[
+                ReferenceSpec("dep", "IA")]))
+        c = ds.add_component(ComponentDescription(
+            "c", lambda comp: "c", references=[
+                ReferenceSpec("dep", "IB")]))
+        a_reg = fw.registry.register("IA", "a")
+        assert c.active
+        a_reg.unregister()
+        assert not c.active
+
+    def test_activate_deactivate_hooks(self, fw):
+        calls = []
+
+        class Impl:
+            def activate(self, comp):
+                calls.append("activate")
+
+            def deactivate(self, comp):
+                calls.append("deactivate")
+
+        ds = DSRuntime(fw)
+        comp = ds.add_component(ComponentDescription(
+            "hooked", lambda c: Impl(),
+            references=[ReferenceSpec("dep", "IA")]))
+        reg = fw.registry.register("IA", "a")
+        reg.unregister()
+        assert calls == ["activate", "deactivate"]
+
+    def test_remove_component(self, fw):
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description("0..1"))
+        assert comp.active
+        ds.remove_component(comp)
+        assert not comp.active
+        assert fw.registry.get_reference("IDisplay") is None
+
+    def test_components_die_with_bundle(self, fw):
+        bundle = fw.install_bundle({"Bundle-SymbolicName": "host"})
+        bundle.start()
+        ds = DSRuntime(fw)
+        comp = ds.add_component(self._display_description("0..1"),
+                                bundle=bundle)
+        assert comp.active
+        bundle.stop()
+        assert not comp.active
+        assert comp not in ds.components()
+
+    def test_bad_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceSpec("x", "IX", cardinality="2..3")

@@ -1,0 +1,106 @@
+"""Unit tests for OSGi versions and ranges."""
+
+import pytest
+
+from repro.osgi.errors import VersionError
+from repro.osgi.version import Version, VersionRange
+
+
+class TestVersionParse:
+    def test_full_version(self):
+        v = Version.parse("1.2.3.beta")
+        assert (v.major, v.minor, v.micro, v.qualifier) == (1, 2, 3,
+                                                            "beta")
+
+    def test_missing_parts_default_zero(self):
+        assert Version.parse("2") == Version(2, 0, 0)
+        assert Version.parse("2.1") == Version(2, 1, 0)
+
+    def test_empty_is_zero(self):
+        assert Version.parse("") == Version()
+        assert Version.parse(None) == Version()
+
+    def test_idempotent_on_version(self):
+        v = Version(1, 2, 3)
+        assert Version.parse(v) is v
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(VersionError):
+            Version.parse("1.2.3.q.x")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(VersionError):
+            Version.parse("1.x.3")
+
+    def test_negative_part_rejected(self):
+        with pytest.raises(VersionError):
+            Version(-1, 0, 0)
+
+    def test_bad_qualifier_rejected(self):
+        with pytest.raises(VersionError):
+            Version(1, 0, 0, "with space")
+
+
+class TestVersionOrdering:
+    def test_numeric_ordering(self):
+        assert Version.parse("1.0.0") < Version.parse("1.0.1")
+        assert Version.parse("1.9.0") < Version.parse("1.10.0")
+        assert Version.parse("2.0.0") > Version.parse("1.99.99")
+
+    def test_qualifier_ordering(self):
+        assert Version.parse("1.0.0") < Version.parse("1.0.0.a")
+        assert Version.parse("1.0.0.a") < Version.parse("1.0.0.b")
+
+    def test_equality_and_hash(self):
+        a, b = Version.parse("1.2.3"), Version.parse("1.2.3")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str_roundtrip(self):
+        for text in ("1.2.3", "1.2.3.beta", "0.0.0"):
+            assert str(Version.parse(text)) == text
+
+
+class TestVersionRange:
+    def test_atleast_range(self):
+        r = VersionRange.parse("1.5")
+        assert r.includes("1.5.0")
+        assert r.includes("99.0")
+        assert not r.includes("1.4.9")
+
+    def test_inclusive_exclusive_interval(self):
+        r = VersionRange.parse("[1.0,2.0)")
+        assert r.includes("1.0.0")
+        assert r.includes("1.9.9")
+        assert not r.includes("2.0.0")
+        assert not r.includes("0.9")
+
+    def test_exclusive_floor(self):
+        r = VersionRange.parse("(1.0,2.0]")
+        assert not r.includes("1.0.0")
+        assert r.includes("1.0.1")
+        assert r.includes("2.0.0")
+
+    def test_empty_text_is_zero_floor(self):
+        assert VersionRange.parse("").includes("0.0.0")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(VersionError):
+            VersionRange.parse("[1.0,2.0")
+
+    def test_interval_needs_comma(self):
+        with pytest.raises(VersionError):
+            VersionRange.parse("[1.0]")
+
+    def test_str_roundtrip(self):
+        for text in ("[1.0.0,2.0.0)", "(1.0.0,2.0.0]", "1.5.0"):
+            assert str(VersionRange.parse(text)) == text
+
+    def test_equality_and_hash(self):
+        a = VersionRange.parse("[1.0,2.0)")
+        b = VersionRange.parse("[1.0,2.0)")
+        assert a == b and hash(a) == hash(b)
+
+    def test_idempotent_parse(self):
+        r = VersionRange.parse("[1.0,2.0)")
+        assert VersionRange.parse(r) is r

@@ -1,0 +1,66 @@
+"""Property-based tests for application descriptors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.application import ApplicationDescriptor
+from repro.core.descriptor import ComponentDescriptor
+
+from conftest import make_descriptor_xml
+
+app_names = st.text(alphabet="abcdefghij-", min_size=1, max_size=16)
+member_counts = st.integers(min_value=1, max_value=6)
+usages = st.floats(min_value=0.01, max_value=0.3, allow_nan=False)
+
+
+@st.composite
+def applications(draw):
+    count = draw(member_counts)
+    chained = draw(st.booleans())
+    blocks = []
+    for index in range(count):
+        kwargs = {"cpuusage": round(draw(usages), 3),
+                  "frequency": draw(st.sampled_from([100, 250, 500,
+                                                     1000])),
+                  "priority": index}
+        if chained:
+            kwargs["outports"] = [("L%05d" % index, "RTAI.SHM",
+                                   "Integer", 2)]
+            if index > 0:
+                kwargs["inports"] = [("L%05d" % (index - 1),
+                                      "RTAI.SHM", "Integer", 2)]
+        xml = make_descriptor_xml("M%05d" % index, **kwargs)
+        blocks.append(xml.split("\n", 1)[1])
+    name = draw(app_names)
+    return ApplicationDescriptor.from_xml(
+        '<?xml version="1.0"?>\n'
+        '<drt:application name="%s" complete="%s">\n%s\n'
+        "</drt:application>"
+        % (name, "true" if chained else "false", "\n".join(blocks)))
+
+
+class TestApplicationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(applications())
+    def test_xml_roundtrip(self, app):
+        reparsed = ApplicationDescriptor.from_xml(app.to_xml())
+        assert reparsed.name == app.name
+        assert reparsed.complete == app.complete
+        assert reparsed.component_names() == app.component_names()
+        assert [d.contract for d in reparsed.components] \
+            == [d.contract for d in app.components]
+        assert [d.ports for d in reparsed.components] \
+            == [d.ports for d in app.components]
+
+    @settings(max_examples=30, deadline=None)
+    @given(applications())
+    def test_declared_utilization_is_member_sum(self, app):
+        total = sum(d.contract.cpu_usage for d in app.components)
+        assert abs(app.declared_utilization() - total) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(applications())
+    def test_members_parse_standalone(self, app):
+        for descriptor in app.components:
+            alone = ComponentDescriptor.from_xml(descriptor.to_xml())
+            assert alone.contract == descriptor.contract

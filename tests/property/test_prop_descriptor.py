@@ -1,0 +1,97 @@
+"""Property-based tests: descriptor XML round-trips losslessly."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.descriptor import ComponentDescriptor, ComponentProperty
+from repro.core.ports import PortDirection, PortSpec
+from repro.rtos.task import TaskType
+
+rtai_names = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+                     min_size=1, max_size=6)
+component_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz.-",
+                          min_size=1, max_size=24)
+
+
+@st.composite
+def port_specs(draw, direction):
+    return PortSpec(
+        draw(rtai_names),
+        direction,
+        draw(st.sampled_from(["RTAI.SHM", "RTAI.Mailbox"])),
+        draw(st.sampled_from(["Integer", "Byte", "Float"])),
+        draw(st.integers(min_value=1, max_value=10_000)),
+    )
+
+
+@st.composite
+def properties(draw):
+    type_name, value = draw(st.sampled_from([
+        ("Integer", "42"), ("Integer", "-7"), ("Byte", "200"),
+        ("Float", "1.25"), ("String", "hello"), ("Boolean", "true"),
+        ("Boolean", "false"),
+    ]))
+    return ComponentProperty(draw(rtai_names), type_name, value)
+
+
+@st.composite
+def descriptors(draw):
+    task_type = draw(st.sampled_from(list(TaskType)))
+    outs = draw(st.lists(port_specs(PortDirection.OUT), max_size=3))
+    ins = draw(st.lists(port_specs(PortDirection.IN), max_size=3))
+    ports, seen = [], set()
+    for port in outs + ins:
+        key = (port.direction, port.name)
+        if key not in seen:
+            seen.add(key)
+            ports.append(port)
+    props, prop_names = [], set()
+    for prop in draw(st.lists(properties(), max_size=3)):
+        if prop.name not in prop_names:
+            prop_names.add(prop.name)
+            props.append(prop)
+    kwargs = {}
+    if task_type is TaskType.PERIODIC:
+        kwargs["frequency_hz"] = draw(st.floats(
+            min_value=0.1, max_value=100_000, allow_nan=False))
+    elif task_type is TaskType.SPORADIC:
+        kwargs["min_interarrival_ns"] = draw(st.integers(
+            min_value=1_000, max_value=10_000_000_000))
+    return ComponentDescriptor(
+        name=draw(component_names),
+        implementation="impl.Class",
+        task_type=task_type,
+        description=draw(st.text(
+            alphabet="abc <>&\"' xyz", max_size=20)),
+        enabled=draw(st.booleans()),
+        cpu_usage=draw(st.floats(min_value=0.0, max_value=1.0,
+                                 allow_nan=False)),
+        priority=draw(st.integers(min_value=0, max_value=255)),
+        cpu=draw(st.integers(min_value=0, max_value=3)),
+        ports=ports,
+        properties=props,
+        **kwargs,
+    )
+
+
+class TestDescriptorRoundTrip:
+    @given(descriptors())
+    def test_xml_roundtrip_preserves_everything(self, descriptor):
+        reparsed = ComponentDescriptor.from_xml(descriptor.to_xml())
+        assert reparsed.name == descriptor.name
+        assert reparsed.enabled == descriptor.enabled
+        assert reparsed.implementation == descriptor.implementation
+        assert reparsed.contract == descriptor.contract
+        assert reparsed.ports == descriptor.ports
+        assert reparsed.property_dict() == descriptor.property_dict()
+
+    @given(descriptors())
+    def test_task_name_always_valid_rtai_name(self, descriptor):
+        from repro.rtos.names import validate_name
+        assert validate_name(descriptor.task_name) == descriptor.task_name
+
+    @given(descriptors())
+    def test_port_partition(self, descriptor):
+        assert set(descriptor.inports) | set(descriptor.outports) \
+            == set(descriptor.ports)
+        assert not (set(descriptor.inports) & set(descriptor.outports))

@@ -1,0 +1,132 @@
+"""Property-based tests on DRCR invariants.
+
+Random deploy/stop/enable/disable sequences are applied to a platform;
+after every step the DRCR's promised invariants must hold:
+
+* every ACTIVE component's inports are bound to ACTIVE/SUSPENDED
+  providers (functional constraint, section 2.2);
+* the declared-cpuusage budget is respected on every CPU (the internal
+  utilization policy);
+* a kernel task exists iff its component is instantiated (the global
+  view is *accurate*).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.lifecycle import INSTANTIATED_STATES
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+
+from conftest import make_descriptor_xml
+
+#: A small universe of components: two providers, two consumers, one
+#: standalone, with real utilization weights.
+UNIVERSE = {
+    "PROVA0": dict(cpuusage=0.30, frequency=1000, priority=1,
+                   outports=[("DATAA0", "RTAI.SHM", "Integer", 4)]),
+    "PROVB0": dict(cpuusage=0.30, frequency=500, priority=2,
+                   outports=[("DATAB0", "RTAI.SHM", "Integer", 4)]),
+    "CONSA0": dict(cpuusage=0.20, frequency=250, priority=3,
+                   inports=[("DATAA0", "RTAI.SHM", "Integer", 4)]),
+    "CONSB0": dict(cpuusage=0.20, frequency=250, priority=4,
+                   inports=[("DATAB0", "RTAI.SHM", "Integer", 4)]),
+    "SOLO00": dict(cpuusage=0.25, frequency=100, priority=5),
+}
+
+actions = st.lists(
+    st.tuples(st.sampled_from(["deploy", "stop", "disable", "enable",
+                               "run"]),
+              st.sampled_from(sorted(UNIVERSE))),
+    min_size=1, max_size=12)
+
+
+def check_invariants(platform):
+    drcr = platform.drcr
+    registry = drcr.registry
+    # 1. Functional constraints of every ACTIVE component hold.
+    for component in registry.in_state(ComponentState.ACTIVE):
+        providers = set(component.bound_providers())
+        for provider_name in providers:
+            provider = registry.maybe_get(provider_name)
+            assert provider is not None
+            assert provider.state in (ComponentState.ACTIVE,
+                                      ComponentState.SUSPENDED)
+        assert len(component.bindings) \
+            == len(component.descriptor.inports)
+    # 2. Utilization budget respected per CPU.
+    for cpu in range(platform.kernel.config.num_cpus):
+        assert registry.declared_utilization(cpu) <= 1.0 + 1e-9
+    # 3. Kernel task existence matches instantiation.
+    for component in registry.all():
+        task_name = component.descriptor.task_name
+        assert platform.kernel.exists(task_name) \
+            == (component.state in INSTANTIATED_STATES)
+
+
+class TestDRCRInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(actions)
+    def test_invariants_hold_under_random_dynamics(self, sequence):
+        platform = build_platform(
+            seed=2,
+            kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()),
+            internal_policy=UtilizationBoundPolicy(cap=1.0))
+        platform.start_timer(1 * MSEC)
+        bundles = {}
+        for action, name in sequence:
+            if action == "deploy" and name not in bundles:
+                xml = make_descriptor_xml(name, **UNIVERSE[name])
+                bundles[name] = platform.install_and_start(
+                    {"Bundle-SymbolicName": "bundle.%s" % name,
+                     "RT-Component": "OSGI-INF/c.xml"},
+                    resources={"OSGI-INF/c.xml": xml})
+            elif action == "stop" and name in bundles:
+                bundles.pop(name).uninstall()
+            elif action == "disable" and name in platform.drcr.registry:
+                if platform.drcr.component_state(name) \
+                        is not ComponentState.DISABLED:
+                    platform.drcr.disable_component(name)
+            elif action == "enable" and name in platform.drcr.registry:
+                if platform.drcr.component_state(name) \
+                        is ComponentState.DISABLED:
+                    platform.drcr.enable_component(name)
+            elif action == "run":
+                platform.run_for(5 * MSEC)
+            check_invariants(platform)
+        # Final settle: nothing left half-configured.
+        platform.run_for(10 * MSEC)
+        check_invariants(platform)
+
+    @settings(max_examples=15, deadline=None)
+    @given(actions)
+    def test_event_log_transitions_are_legal(self, sequence):
+        from repro.core import ComponentEventType
+        platform = build_platform(
+            seed=2,
+            kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()))
+        platform.start_timer(1 * MSEC)
+        bundles = {}
+        for action, name in sequence:
+            if action == "deploy" and name not in bundles:
+                xml = make_descriptor_xml(name, **UNIVERSE[name])
+                bundles[name] = platform.install_and_start(
+                    {"Bundle-SymbolicName": "bundle.%s" % name,
+                     "RT-Component": "OSGI-INF/c.xml"},
+                    resources={"OSGI-INF/c.xml": xml})
+            elif action == "stop" and name in bundles:
+                bundles.pop(name).uninstall()
+        # ACTIVATED must always be preceded by SATISFIED for the same
+        # component with no DEACTIVATED in between.
+        for name in UNIVERSE:
+            history = [e.event_type for e in
+                       platform.drcr.events.for_component(name)]
+            for index, event_type in enumerate(history):
+                if event_type is ComponentEventType.ACTIVATED:
+                    assert history[index - 1] \
+                        is ComponentEventType.SATISFIED

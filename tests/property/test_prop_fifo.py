@@ -1,0 +1,68 @@
+"""Property-based tests for the RT->user-space FIFO."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtos.kernel import KernelConfig, RTKernel
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC, Simulator
+
+#: A session: per step, put N records then advance time M ms.
+sessions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=8),
+              st.integers(min_value=0, max_value=5)),
+    min_size=1, max_size=25)
+
+
+def run_session(session, capacity=16, with_handler=True):
+    sim = Simulator(seed=2)
+    kernel = RTKernel(sim, KernelConfig(
+        latency_model=NullLatencyModel()))
+    fifo = kernel.fifo_create("PROPFF", capacity=capacity)
+    delivered = []
+    if with_handler:
+        fifo.set_user_handler(delivered.extend)
+    sequence = 0
+    accepted = []
+    for puts, advance_ms in session:
+        for _ in range(puts):
+            if fifo.put(sequence):
+                accepted.append(sequence)
+            sequence += 1
+        sim.run_for(advance_ms * MSEC)
+    sim.run_for(100 * MSEC)  # flush pending wakeups
+    return fifo, accepted, delivered, sequence
+
+
+class TestFifoProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sessions)
+    def test_delivery_preserves_order_and_content(self, session):
+        fifo, accepted, delivered, _ = run_session(session)
+        # Everything accepted is eventually delivered, in put order,
+        # with nothing invented.
+        assert delivered == accepted
+
+    @settings(max_examples=40, deadline=None)
+    @given(sessions)
+    def test_accounting_balances(self, session):
+        fifo, accepted, delivered, total = run_session(session)
+        assert fifo.put_count == len(accepted)
+        assert fifo.put_count + fifo.dropped_count == total
+        assert fifo.read_count == len(delivered)
+        assert len(fifo) == 0  # handler drained everything
+
+    @settings(max_examples=40, deadline=None)
+    @given(sessions)
+    def test_capacity_never_exceeded_without_reader(self, session):
+        fifo, accepted, _, _ = run_session(session,
+                                           with_handler=False)
+        assert len(fifo) <= fifo.capacity
+        assert len(accepted) == len(fifo.read())
+
+    @settings(max_examples=40, deadline=None)
+    @given(sessions)
+    def test_delivery_latencies_nonnegative(self, session):
+        fifo, _, _, _ = run_session(session)
+        assert all(latency >= 0
+                   for latency in fifo.delivery_latencies_ns)

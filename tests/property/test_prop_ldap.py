@@ -1,0 +1,79 @@
+"""Property-based tests for the LDAP filter engine."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.osgi.ldap import escape, parse_filter
+
+attr_names = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+attr_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0, max_size=20)
+prop_values = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.text(alphabet="abcxyz0123", max_size=10),
+    st.booleans(),
+)
+props_strategy = st.dictionaries(attr_names, prop_values, max_size=6)
+
+
+class TestFilterProperties:
+    @given(attr_names, attr_values)
+    def test_escaped_equality_always_matches_itself(self, attr, value):
+        text = "(%s=%s)" % (attr, escape(value))
+        assert parse_filter(text).matches({attr: value})
+
+    @given(attr_names, props_strategy)
+    def test_presence_iff_attribute_present(self, attr, props):
+        compiled = parse_filter("(%s=*)" % attr)
+        lowered = {str(k).lower() for k in props}
+        assert compiled.matches(props) == (attr.lower() in lowered)
+
+    @given(attr_names, st.integers(-10**6, 10**6),
+           st.integers(-10**6, 10**6))
+    def test_ordering_operators_consistent(self, attr, actual, bound):
+        props = {attr: actual}
+        gte = parse_filter("(%s>=%d)" % (attr, bound)).matches(props)
+        lte = parse_filter("(%s<=%d)" % (attr, bound)).matches(props)
+        assert gte == (actual >= bound)
+        assert lte == (actual <= bound)
+        assert gte or lte  # a total order: at least one holds
+
+    @given(attr_names, prop_values, props_strategy)
+    def test_not_is_complement(self, attr, value, props):
+        props[attr] = value
+        inner = "(%s=*)" % attr
+        assert parse_filter("(!%s)" % inner).matches(props) \
+            != parse_filter(inner).matches(props)
+
+    @given(props_strategy, attr_names, attr_names)
+    def test_and_or_against_python_semantics(self, props, a, b):
+        fa, fb = "(%s=*)" % a, "(%s=*)" % b
+        ra = parse_filter(fa).matches(props)
+        rb = parse_filter(fb).matches(props)
+        assert parse_filter("(&%s%s)" % (fa, fb)).matches(props) \
+            == (ra and rb)
+        assert parse_filter("(|%s%s)" % (fa, fb)).matches(props) \
+            == (ra or rb)
+
+    @given(attr_names, attr_values, attr_values)
+    def test_prefix_substring_agrees_with_startswith(self, attr, value,
+                                                     prefix):
+        text = "(%s=%s*)" % (attr, escape(prefix))
+        assert parse_filter(text).matches({attr: value}) \
+            == value.startswith(prefix)
+
+    @given(attr_names, attr_values, attr_values)
+    def test_contains_substring_agrees_with_in(self, attr, value,
+                                               needle):
+        text = "(%s=*%s*)" % (attr, escape(needle))
+        assert parse_filter(text).matches({attr: value}) \
+            == (needle in value)
+
+    @given(attr_names, attr_values)
+    def test_str_reparse_equivalent(self, attr, value):
+        compiled = parse_filter("(%s=%s)" % (attr, escape(value)))
+        reparsed = parse_filter(str(compiled))
+        for candidate in (value, value + "x", ""):
+            assert compiled.matches({attr: candidate}) \
+                == reparsed.matches({attr: candidate})

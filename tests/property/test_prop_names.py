@@ -1,0 +1,37 @@
+"""Property-based tests for RTAI name encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtos.names import nam2num, num2nam, validate_name
+
+name_strategy = st.text(
+    alphabet="0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ_$", min_size=1,
+    max_size=6)
+
+
+class TestNameProperties:
+    @given(name_strategy)
+    def test_roundtrip(self, name):
+        assert num2nam(nam2num(name)) == name.upper()
+
+    @given(name_strategy)
+    def test_validate_idempotent(self, name):
+        canonical = validate_name(name)
+        assert validate_name(canonical) == canonical
+
+    @given(name_strategy, name_strategy)
+    def test_injective(self, a, b):
+        if a.upper() != b.upper():
+            assert nam2num(a) != nam2num(b)
+        else:
+            assert nam2num(a) == nam2num(b)
+
+    @given(name_strategy)
+    def test_case_insensitive(self, name):
+        assert nam2num(name.lower() if name.isupper() else name.upper()) \
+            == nam2num(name)
+
+    @given(name_strategy)
+    def test_encoding_nonnegative(self, name):
+        assert nam2num(name) >= 0

@@ -1,0 +1,89 @@
+"""Property-based tests for placement + admission on multi-core."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.placement import BestFitPlacement, FirstFitPlacement
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml
+
+usages = st.lists(
+    st.floats(min_value=0.05, max_value=0.6, allow_nan=False),
+    min_size=1, max_size=10)
+policies = st.sampled_from(["best-fit", "first-fit"])
+cpu_counts = st.integers(min_value=1, max_value=3)
+
+CAP = 0.9
+
+
+def build(num_cpus, policy_name):
+    platform = build_platform(
+        seed=1,
+        kernel_config=KernelConfig(num_cpus=num_cpus,
+                                   latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=CAP))
+    placement = (BestFitPlacement(cap=CAP) if policy_name == "best-fit"
+                 else FirstFitPlacement(cap=CAP))
+    platform.drcr.placement_service = placement
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+class TestPlacementProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(usages, policies, cpu_counts)
+    def test_per_cpu_budget_never_exceeded(self, usage_list,
+                                           policy_name, num_cpus):
+        platform = build(num_cpus, policy_name)
+        for index, usage in enumerate(usage_list):
+            xml = make_descriptor_xml(
+                "P%05d" % index, cpuusage=round(usage, 3),
+                frequency=1000, priority=1 + index, cpu=0)
+            deploy(platform, xml)
+        for cpu in range(num_cpus):
+            assert platform.drcr.registry.declared_utilization(cpu) \
+                <= CAP + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(usages, policies, cpu_counts)
+    def test_admitted_set_maximal_wrt_total_capacity(self, usage_list,
+                                                     policy_name,
+                                                     num_cpus):
+        # If something stayed unsatisfied, then no CPU can fit it --
+        # the placement policy left no obvious capacity on the table.
+        platform = build(num_cpus, policy_name)
+        for index, usage in enumerate(usage_list):
+            xml = make_descriptor_xml(
+                "P%05d" % index, cpuusage=round(usage, 3),
+                frequency=1000, priority=1 + index, cpu=0)
+            deploy(platform, xml)
+        waiting = platform.drcr.registry.in_state(
+            ComponentState.UNSATISFIED)
+        for component in waiting:
+            usage = component.contract.cpu_usage
+            for cpu in range(num_cpus):
+                load = platform.drcr.registry.declared_utilization(cpu)
+                assert load + usage > CAP + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(usages)
+    def test_single_cpu_placement_equals_no_placement(self, usage_list):
+        def admitted(with_placement):
+            platform = build(1, "best-fit")
+            if not with_placement:
+                platform.drcr.placement_service = None
+            for index, usage in enumerate(usage_list):
+                xml = make_descriptor_xml(
+                    "P%05d" % index, cpuusage=round(usage, 3),
+                    frequency=1000, priority=1 + index, cpu=0)
+                deploy(platform, xml)
+            return sorted(
+                c.name for c in platform.drcr.registry.in_state(
+                    ComponentState.ACTIVE))
+
+        assert admitted(True) == admitted(False)

@@ -1,0 +1,69 @@
+"""Property-based tests on the sporadic minimum-inter-arrival
+guarantee: no release pattern can exceed the contracted demand."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtos.kernel import KernelConfig, RTKernel
+from repro.rtos.latency import NullLatencyModel
+from repro.rtos.requests import Compute
+from repro.rtos.task import TaskType
+from repro.sim.engine import MSEC, Simulator
+
+#: Random release patterns: a list of inter-request gaps in ms.
+gap_patterns = st.lists(st.integers(min_value=0, max_value=30),
+                        min_size=1, max_size=60)
+
+MIA_MS = 10
+
+
+def run_pattern(gaps):
+    sim = Simulator(seed=9)
+    kernel = RTKernel(sim, KernelConfig(
+        latency_model=NullLatencyModel()))
+
+    def body(task):
+        yield Compute(100_000)
+
+    task = kernel.create_task("SPOR00", body, 1,
+                              task_type=TaskType.SPORADIC,
+                              period_ns=MIA_MS * MSEC)
+    kernel.start_task(task)
+    for gap_ms in gaps:
+        sim.run_for(gap_ms * MSEC)
+        kernel.release_task(task)
+    sim.run_for(50 * MSEC)  # settle deferred releases
+    return sim, task
+
+
+class TestSporadicInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(gap_patterns)
+    def test_activations_bounded_by_mia(self, gaps):
+        sim, task = run_pattern(gaps)
+        elapsed = sim.now
+        # The sporadic contract: at most one activation per MIA window
+        # (plus the initial start).
+        bound = elapsed // (MIA_MS * MSEC) + 1
+        assert task.stats.activations <= bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(gap_patterns)
+    def test_consecutive_releases_separated_by_mia(self, gaps):
+        sim, task = run_pattern(gaps)
+        releases = [r.time for r in sim.trace.by_category("task_release")]
+        for earlier, later in zip(releases, releases[1:]):
+            assert later - earlier >= MIA_MS * MSEC
+
+    @settings(max_examples=40, deadline=None)
+    @given(gap_patterns)
+    def test_request_accounting_bounds(self, gaps):
+        _, task = run_pattern(gaps)
+        requests = len(gaps)
+        served = task.stats.activations - 1  # minus start_task's run
+        # No request is served more than once...
+        assert served + task.stats.overruns <= requests
+        # ...and every request left a trace somewhere (a throttled
+        # request that later fires its deferral counts twice, hence >=).
+        assert (served + task.stats.overruns
+                + task.stats.throttled_releases) >= requests

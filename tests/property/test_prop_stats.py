@@ -1,0 +1,85 @@
+"""Property-based tests for the statistics primitives."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import RunningStats, SampleSeries
+
+floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+                   allow_infinity=False)
+float_lists = st.lists(floats, min_size=1, max_size=200)
+
+
+class TestRunningStatsProperties:
+    @given(float_lists)
+    def test_mean_bounded_by_min_max(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.minimum <= stats.mean + 1e-6
+        assert stats.mean <= stats.maximum + 1e-6
+
+    @given(float_lists)
+    def test_matches_batch_formulas(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        assert math.isclose(stats.mean, mean, rel_tol=1e-9,
+                            abs_tol=1e-6)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert math.isclose(stats.variance, variance, rel_tol=1e-6,
+                            abs_tol=1e-3)
+
+    @given(float_lists, float_lists)
+    def test_merge_equals_concatenation(self, left_values, right_values):
+        left, right, combined = (RunningStats(), RunningStats(),
+                                 RunningStats())
+        for value in left_values:
+            left.add(value)
+            combined.add(value)
+        for value in right_values:
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert math.isclose(left.mean, combined.mean, rel_tol=1e-9,
+                            abs_tol=1e-6)
+        assert math.isclose(left.variance, combined.variance,
+                            rel_tol=1e-6, abs_tol=1e-2)
+
+
+class TestSampleSeriesProperties:
+    @given(float_lists)
+    def test_avedev_nonnegative_and_bounded_by_range(self, values):
+        series = SampleSeries(values)
+        assert series.avedev >= 0
+        assert series.avedev <= (series.maximum - series.minimum) + 1e-6
+
+    @given(float_lists)
+    def test_avedev_at_most_stdev(self, values):
+        # Mean absolute deviation <= population standard deviation.
+        series = SampleSeries(values)
+        assert series.avedev <= series.stdev + 1e-6
+
+    @given(float_lists)
+    def test_shift_invariance_of_avedev(self, values):
+        series = SampleSeries(values)
+        shifted = SampleSeries([v + 1000.0 for v in values])
+        assert math.isclose(series.avedev, shifted.avedev,
+                            rel_tol=1e-6, abs_tol=1e-3)
+
+    @given(float_lists)
+    def test_percentiles_monotone(self, values):
+        series = SampleSeries(values)
+        quantiles = [series.percentile(q) for q in (0, 25, 50, 75, 100)]
+        assert all(a <= b + 1e-9 for a, b in zip(quantiles,
+                                                 quantiles[1:]))
+
+    @given(float_lists)
+    def test_percentile_0_100_are_min_max(self, values):
+        series = SampleSeries(values)
+        assert series.percentile(0) == series.minimum
+        assert series.percentile(100) == series.maximum

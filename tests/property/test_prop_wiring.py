@@ -1,0 +1,128 @@
+"""Property-based tests for the package wiring resolver."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.osgi.errors import ResolutionError
+from repro.osgi.framework import Framework
+
+package_names = st.sampled_from(
+    ["com.a", "com.b", "com.c", "org.x", "org.y"])
+versions = st.sampled_from(["1.0.0", "1.5.0", "2.0.0", "3.1.4"])
+
+
+@st.composite
+def bundle_specs(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for index in range(count):
+        exports = draw(st.lists(
+            st.tuples(package_names, versions), max_size=3,
+            unique_by=lambda t: t[0]))
+        imports = draw(st.lists(package_names, max_size=3,
+                                unique=True))
+        specs.append(("bundle%d" % index, exports, imports))
+    return specs
+
+
+def install_all(specs):
+    fw = Framework()
+    bundles = []
+    for name, exports, imports in specs:
+        headers = {"Bundle-SymbolicName": name}
+        if exports:
+            headers["Export-Package"] = ",".join(
+                "%s;version=%s" % (pkg, ver) for pkg, ver in exports)
+        if imports:
+            headers["Import-Package"] = ",".join(imports)
+        bundles.append(fw.install_bundle(headers))
+    return fw, bundles
+
+
+class TestWiringProperties:
+    @given(bundle_specs())
+    def test_every_wire_satisfies_its_import(self, specs):
+        fw, bundles = install_all(specs)
+        for bundle in bundles:
+            try:
+                bundle.start()
+            except ResolutionError:
+                continue
+            for wire in fw.resolver.wires_of(bundle):
+                assert wire.exported.satisfies(wire.imported)
+                assert wire.importer is bundle
+
+    @given(bundle_specs())
+    def test_fixpoint_resolution_failure_iff_missing_export(self,
+                                                            specs):
+        # Exports publish at resolve time, so start order matters for a
+        # single pass; after retrying to a fixpoint, a bundle fails iff
+        # one of its imports is exported nowhere.
+        fw, bundles = install_all(specs)
+        pending = list(bundles)
+        progress = True
+        while progress:
+            progress = False
+            for bundle in list(pending):
+                try:
+                    bundle.start()
+                except ResolutionError:
+                    continue
+                pending.remove(bundle)
+                progress = True
+        # Oracle: a bundle resolves iff all of its imports are exported
+        # by some bundle that itself resolves (computed as the same
+        # fixpoint over the plain spec data).
+        resolvable = set()
+        changed = True
+        while changed:
+            changed = False
+            available = {pkg for name, exports, _ in specs
+                         if name in resolvable for pkg, _ in exports}
+            for name, exports, imports in specs:
+                if name in resolvable:
+                    continue
+                own = {pkg for pkg, _ in exports}
+                if all(pkg in available or pkg in own
+                       for pkg in imports):
+                    resolvable.add(name)
+                    changed = True
+        failed_names = {bundle.symbolic_name for bundle in pending}
+        for name, _, _ in specs:
+            assert (name in failed_names) == (name not in resolvable), \
+                name
+
+    @given(bundle_specs())
+    def test_dependents_is_inverse_of_wires(self, specs):
+        fw, bundles = install_all(specs)
+        for bundle in bundles:
+            try:
+                bundle.start()
+            except ResolutionError:
+                pass
+        for bundle in bundles:
+            for wire in fw.resolver.wires_of(bundle):
+                assert bundle in fw.resolver.dependents_of(
+                    wire.exporter)
+
+    @given(bundle_specs())
+    def test_selected_export_is_highest_version(self, specs):
+        fw, bundles = install_all(specs)
+        for bundle in bundles:
+            try:
+                bundle.start()
+            except ResolutionError:
+                continue
+        for bundle in bundles:
+            for wire in fw.resolver.wires_of(bundle):
+                candidates = [
+                    export for export in
+                    fw.resolver.exported_of(wire.imported.package)
+                    if export.satisfies(wire.imported)
+                    and export.bundle.is_resolved
+                ]
+                if candidates:
+                    best = max(c.version for c in candidates)
+                    # The wire may predate later resolutions; it must
+                    # at least point at a then-valid export.
+                    assert wire.exported.version <= best

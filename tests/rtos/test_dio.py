@@ -1,0 +1,146 @@
+"""Tests for the digital I/O module (Figure 3)."""
+
+import pytest
+
+from repro.rtos.dio import (
+    ConstantSignal,
+    DigitalIOModule,
+    RandomWalk,
+    SineWave,
+    SquareWave,
+    attach_dio,
+)
+from repro.sim.engine import MSEC, SEC
+
+
+class TestSignalSources:
+    def test_constant(self, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(0, ConstantSignal(7))
+        assert dio.read(0) == 7
+
+    def test_square_wave_halves(self, sim, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(0, SquareWave(period_ns=10 * MSEC, low=0,
+                                     high=5))
+        assert dio.read(0) == 5        # t=0: first half
+        sim.run_for(6 * MSEC)
+        assert dio.read(0) == 0        # t=6ms: second half
+        sim.run_for(5 * MSEC)
+        assert dio.read(0) == 5        # t=11ms: wrapped
+
+    def test_square_wave_phase(self, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(0, SquareWave(period_ns=10 * MSEC,
+                                     phase_ns=5 * MSEC))
+        assert dio.read(0) == 0        # phase shifts into second half
+
+    def test_sine_wave_bounds_and_zero_crossings(self, sim, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(0, SineWave(period_ns=8 * MSEC, amplitude=2.0,
+                                   offset=1.0))
+        values = []
+        for _ in range(16):
+            values.append(dio.read(0))
+            sim.run_for(1 * MSEC)
+        assert all(-1.0 - 1e-9 <= v <= 3.0 + 1e-9 for v in values)
+        assert max(values) > 2.5 and min(values) < -0.5
+
+    def test_random_walk_bounded(self, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(0, RandomWalk(step=5.0, lo=-10, hi=10))
+        for _ in range(500):
+            assert -10 <= dio.read(0) <= 10
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            SquareWave(period_ns=0)
+        with pytest.raises(ValueError):
+            SineWave(period_ns=-1)
+
+
+class TestDIOModule:
+    def test_attach_is_idempotent(self, kernel):
+        assert attach_dio(kernel) is attach_dio(kernel)
+        assert kernel.dio is attach_dio(kernel)
+
+    def test_unwired_read_raises(self, kernel):
+        dio = attach_dio(kernel)
+        with pytest.raises(KeyError):
+            dio.read(3)
+
+    def test_non_source_rejected(self, kernel):
+        dio = attach_dio(kernel)
+        with pytest.raises(TypeError):
+            dio.wire_input(0, lambda t: 1)
+
+    def test_writes_logged_with_timestamps(self, sim, kernel):
+        dio = attach_dio(kernel)
+        dio.write(1, 100)
+        sim.run_for(5 * MSEC)
+        dio.write(1, 200)
+        assert dio.output_log[1] == [(0, 100), (5 * MSEC, 200)]
+        assert dio.last_output(1) == (5 * MSEC, 200)
+        assert dio.last_output(9) is None
+
+    def test_counters(self, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(0, ConstantSignal(1))
+        dio.read(0)
+        dio.write(1, 2)
+        assert dio.read_count == 1
+        assert dio.write_count == 1
+
+    def test_input_channels_listing(self, kernel):
+        dio = attach_dio(kernel)
+        dio.wire_input(3, ConstantSignal(1))
+        dio.wire_input(1, ConstantSignal(2))
+        assert dio.input_channels() == [1, 3]
+
+
+class TestComponentDIOAccess:
+    def test_control_loop_through_context(self, platform):
+        """A controller component reads a sensor and drives an actuator
+        every period -- the Figure-3 wiring, end to end."""
+        from repro.hybrid import RTImplementation, make_container_factory
+        from repro.hybrid.implementation import ImplementationRegistry
+        from repro.platform import build_platform
+        from repro.rtos.kernel import KernelConfig
+        from repro.rtos.latency import NullLatencyModel
+        from conftest import deploy, make_descriptor_xml
+
+        class BangBang(RTImplementation):
+            def execute(self, ctx):
+                level = ctx.read_sensor(0)
+                ctx.write_actuator(1, 1 if level < 0 else 0)
+
+        registry = ImplementationRegistry()
+        registry.register("ctl.BangBang", BangBang)
+        platform = build_platform(
+            seed=8,
+            kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()),
+            container_factory=make_container_factory(registry))
+        platform.start_timer(1 * MSEC)
+        dio = attach_dio(platform.kernel)
+        dio.wire_input(0, SineWave(period_ns=20 * MSEC, amplitude=1.0))
+        deploy(platform, make_descriptor_xml(
+            "CTRL00", cpuusage=0.05, frequency=1000, priority=2,
+            bincode="ctl.BangBang"))
+        platform.run_for(100 * MSEC)
+        writes = dio.output_log[1]
+        assert len(writes) >= 99
+        values = {value for _, value in writes}
+        assert values == {0, 1}  # the controller actually switched
+
+    def test_missing_dio_raises_cleanly(self, platform):
+        from repro.hybrid.context import RTContext
+        from repro.core.descriptor import ComponentDescriptor
+        from conftest import make_descriptor_xml
+        descriptor = ComponentDescriptor.from_xml(
+            make_descriptor_xml("NODIO0", cpuusage=0.05))
+        ctx = RTContext(descriptor, platform.kernel)
+        with pytest.raises(RuntimeError, match="no DIO module"):
+            ctx.read_sensor(0)
+        with pytest.raises(RuntimeError, match="no DIO module"):
+            ctx.write_actuator(0, 1)

@@ -1,0 +1,209 @@
+"""Tests for RTAI FIFOs and priority-inheritance semaphores."""
+
+import pytest
+
+from repro.rtos.fifo import LinuxWakeupModel
+from repro.rtos.load import apply_stress
+from repro.rtos.requests import Compute, SemSignal, SemWait, Sleep, \
+    WaitPeriod
+from repro.rtos.task import TaskType
+from repro.sim.engine import MSEC, SEC
+
+
+class TestRTFifo:
+    def test_put_and_poll(self, kernel):
+        fifo = kernel.fifo_create("FIFO00", capacity=8)
+        assert fifo.put("a") and fifo.put("b")
+        assert fifo.read() == ["a", "b"]
+        assert fifo.read() == []
+        assert fifo.put_count == 2 and fifo.read_count == 2
+
+    def test_overflow_drops_nonblocking(self, kernel):
+        fifo = kernel.fifo_create("FIFO00", capacity=2)
+        assert fifo.put(1) and fifo.put(2)
+        assert fifo.put(3) is False  # rtf_put never blocks
+        assert fifo.dropped_count == 1
+        assert fifo.read() == [1, 2]
+
+    def test_read_max_records(self, kernel):
+        fifo = kernel.fifo_create("FIFO00", capacity=8)
+        for value in range(5):
+            fifo.put(value)
+        assert fifo.read(max_records=2) == [0, 1]
+        assert len(fifo) == 3
+
+    def test_registered_in_kernel_namespace(self, kernel):
+        fifo = kernel.fifo_create("FIFO00", capacity=4)
+        assert kernel.lookup("FIFO00") is fifo
+
+    def test_user_handler_runs_after_wakeup_delay(self, sim, kernel):
+        fifo = kernel.fifo_create("FIFO00", capacity=8)
+        seen = []
+        fifo.set_user_handler(lambda records: seen.append(
+            (kernel.now, records)))
+        fifo.put("frame")
+        assert seen == []  # not synchronous
+        sim.run_for(5 * MSEC)
+        assert len(seen) == 1
+        assert seen[0][1] == ["frame"]
+        assert seen[0][0] > 0  # wakeup delay elapsed
+
+    def test_handler_batches_racing_puts(self, sim, kernel):
+        fifo = kernel.fifo_create("FIFO00", capacity=64)
+        batches = []
+        fifo.set_user_handler(batches.append)
+        for value in range(5):
+            fifo.put(value)
+        sim.run_for(10 * MSEC)
+        assert sum(len(batch) for batch in batches) == 5
+
+    def test_wakeup_delay_grows_with_linux_load(self, sim, kernel):
+        def measure(stress):
+            fifo = kernel.fifo_create("FIF%03d" % stress,
+                                      capacity=1024)
+            fifo.set_user_handler(lambda records: None)
+            producer_state = {"fifo": fifo}
+
+            def body(task):
+                while True:
+                    yield WaitPeriod()
+                    producer_state["fifo"].put(kernel.now)
+
+            kernel.start_timer(1 * MSEC) if not kernel.timer_started \
+                else None
+            task = kernel.create_task("PRD%03d" % stress, body, 1,
+                                      task_type=TaskType.PERIODIC,
+                                      period_ns=1 * MSEC)
+            kernel.start_task(task)
+            sim.run_for(1 * SEC)
+            kernel.delete_task(task)
+            lat = fifo.delivery_latencies_ns
+            return sum(lat) / len(lat)
+
+        light = measure(0)
+        apply_stress(kernel)
+        stressed = measure(1)
+        # RT->userspace delivery IS hurt by Linux load (unlike the RT
+        # side itself): the complementary half of the Table-1 story.
+        assert stressed > light * 10
+
+    def test_bad_capacity_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.fifo_create("FIFO00", capacity=0)
+
+    def test_wakeup_model_bounds(self):
+        from repro.sim.rng import RandomStreams
+        model = LinuxWakeupModel()
+        rng = RandomStreams(1)
+        for demand in (0.0, 0.5, 1.0):
+            for _ in range(100):
+                assert model.sample(rng, "F", demand) >= 0
+
+
+class TestPriorityInheritance:
+    def _run_inversion(self, sim, kernel, protocol):
+        """Classic Mars-Pathfinder setup: low-priority task holds the
+        resource, medium-priority hog preempts it, high-priority task
+        blocks on the resource.  Returns the high task's blocking time.
+        """
+        if protocol == "inherit":
+            res = kernel.resource_semaphore("RES000")
+        else:
+            res = kernel.semaphore("RES000", initial=1)
+        timeline = {}
+
+        def low_body(task):
+            yield SemWait(res)
+            yield Compute(4 * MSEC)   # long critical section
+            yield SemSignal(res)
+
+        def medium_body(task):
+            yield Sleep(1 * MSEC)
+            yield Compute(20 * MSEC)  # hog, preempts low
+
+        def high_body(task):
+            yield Sleep(2 * MSEC)
+            timeline["request"] = kernel.now
+            yield SemWait(res)
+            timeline["acquired"] = kernel.now
+            yield SemSignal(res)
+
+        for name, body, priority in (("LOWT00", low_body, 30),
+                                     ("MEDT00", medium_body, 20),
+                                     ("HIGHT0", high_body, 10)):
+            task = kernel.create_task(name, body, priority,
+                                      task_type=TaskType.APERIODIC)
+            kernel.start_task(task)
+        sim.run_for(100 * MSEC)
+        return timeline["acquired"] - timeline["request"]
+
+    def test_plain_semaphore_suffers_inversion(self, sim, kernel):
+        blocked = self._run_inversion(sim, kernel, "none")
+        # High waits for the 20 ms medium hog + the critical section.
+        assert blocked > 15 * MSEC
+
+    def test_inheritance_bounds_inversion(self):
+        from repro.rtos.kernel import KernelConfig, RTKernel
+        from repro.rtos.latency import NullLatencyModel
+        from repro.sim.engine import Simulator
+        sim = Simulator(seed=2)
+        kernel = RTKernel(sim, KernelConfig(
+            latency_model=NullLatencyModel()))
+        blocked = self._run_inversion(sim, kernel, "inherit")
+        # Bounded by the remaining critical section (~3 ms), not by
+        # the medium hog.
+        assert blocked < 5 * MSEC
+
+    def test_owner_priority_restored_after_release(self, sim, kernel):
+        res = kernel.resource_semaphore("RES000")
+        low_priority_after = {}
+
+        def low_body(task):
+            yield SemWait(res)
+            yield Compute(2 * MSEC)
+            yield SemSignal(res)
+            low_priority_after["value"] = task.priority
+
+        def high_body(task):
+            yield Sleep(1 * MSEC)
+            yield SemWait(res)
+            yield SemSignal(res)
+
+        low = kernel.create_task("LOWT00", low_body, 30,
+                                 task_type=TaskType.APERIODIC)
+        high = kernel.create_task("HIGHT0", high_body, 10,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(low)
+        kernel.start_task(high)
+        sim.run_for(50 * MSEC)
+        assert low_priority_after["value"] == 30
+        assert res.boost_count == 1
+        assert res.owner is None
+
+    def test_handoff_to_highest_priority_waiter(self, sim, kernel):
+        res = kernel.resource_semaphore("RES000")
+        order = []
+
+        def holder_body(task):
+            yield SemWait(res)
+            yield Compute(2 * MSEC)
+            yield SemSignal(res)
+
+        def waiter_body(label):
+            def body(task):
+                yield Sleep(1 * MSEC)
+                yield SemWait(res)
+                order.append(label)
+                yield SemSignal(res)
+            return body
+
+        kernel.start_task(kernel.create_task(
+            "HOLD00", holder_body, 5, task_type=TaskType.APERIODIC))
+        kernel.start_task(kernel.create_task(
+            "WLOW00", waiter_body("low"), 20,
+            task_type=TaskType.APERIODIC))
+        kernel.start_task(kernel.create_task(
+            "WHIGH0", waiter_body("high"), 1,
+            task_type=TaskType.APERIODIC))
+        sim.run_for(50 * MSEC)
+        assert order == ["high", "low"]

@@ -1,0 +1,88 @@
+"""Kernel tests: EDF scheduling policy end-to-end.
+
+Regression suite for the ready-queue deadline bug where a freshly
+released task was sorted by its *previous* job's deadline (found by
+benchmark A2).
+"""
+
+from repro.rtos.kernel import KernelConfig, RTKernel
+from repro.rtos.latency import NullLatencyModel
+from repro.rtos.requests import Compute, WaitPeriod
+from repro.rtos.task import TaskType
+from repro.sim.engine import MSEC, SEC, USEC, Simulator
+
+
+def periodic_body(compute_ns):
+    def body(task):
+        while True:
+            yield WaitPeriod()
+            yield Compute(compute_ns)
+    return body
+
+
+def edf_kernel(seed=1):
+    sim = Simulator(seed=seed)
+    kernel = RTKernel(sim, KernelConfig(
+        latency_model=NullLatencyModel(), scheduler_policy="edf",
+        irq_entry_ns=0, scheduler_overhead_ns=0, context_switch_ns=0))
+    kernel.start_timer(1 * MSEC)
+    return sim, kernel
+
+
+def start(kernel, name, period, compute, priority=0):
+    task = kernel.create_task(name, periodic_body(compute), priority,
+                              task_type=TaskType.PERIODIC,
+                              period_ns=period, collect_latency=True)
+    kernel.start_task(task)
+    return task
+
+
+class TestEDFExecution:
+    def test_full_utilization_non_harmonic_runs_clean(self):
+        # U = 0.5 + 0.3 + 0.2 = 1.0 with non-harmonic periods: EDF is
+        # optimal, so zero misses; RM would fail this set.
+        sim, kernel = edf_kernel()
+        tasks = [
+            start(kernel, "EDFA00", 2 * MSEC, 1 * MSEC),
+            start(kernel, "EDFB00", 5 * MSEC, 1500 * USEC),
+            start(kernel, "EDFC00", 10 * MSEC, 2 * MSEC),
+        ]
+        sim.run_for(1 * SEC)
+        for task in tasks:
+            assert task.stats.deadline_misses == 0, task.name
+            # At exact U=1 a job can finish precisely at its deadline,
+            # which the release interrupt (fired first at the same
+            # instant) counts as a boundary overrun; that is a
+            # measurement artifact, not a missed deadline -- completions
+            # must still track activations.
+            assert task.stats.completions \
+                >= task.stats.activations - 1, task.name
+
+    def test_fresh_release_uses_new_deadline(self):
+        # Regression: T2's stale (old-job) deadline must not let it
+        # preempt T1 whose real deadline is sooner.
+        sim, kernel = edf_kernel()
+        fast = start(kernel, "FAST00", 2 * MSEC, 900 * USEC)
+        slow = start(kernel, "SLOW00", 5 * MSEC, 2500 * USEC)
+        sim.run_for(1 * SEC)
+        assert fast.stats.deadline_misses == 0
+        assert slow.stats.deadline_misses == 0
+
+    def test_overload_misses_land_somewhere(self):
+        sim, kernel = edf_kernel()
+        a = start(kernel, "OVLA00", 2 * MSEC, 1500 * USEC)
+        b = start(kernel, "OVLB00", 4 * MSEC, 2 * MSEC)  # U = 1.25
+        sim.run_for(200 * MSEC)
+        assert (a.stats.deadline_misses + a.stats.overruns
+                + b.stats.deadline_misses + b.stats.overruns) > 0
+
+    def test_priority_field_breaks_no_deadline_ties_only(self):
+        # Static priority is irrelevant under EDF for deadline-bearing
+        # tasks: a "low-priority" short-deadline task still wins.
+        sim, kernel = edf_kernel()
+        urgent = start(kernel, "URGT00", 2 * MSEC, 1 * MSEC,
+                       priority=99)
+        relaxed = start(kernel, "RLXD00", 20 * MSEC, 10 * MSEC,
+                        priority=0)
+        sim.run_for(500 * MSEC)
+        assert urgent.stats.deadline_misses == 0

@@ -1,0 +1,256 @@
+"""Kernel tests: mailbox and semaphore blocking semantics."""
+
+import pytest
+
+from repro.rtos.errors import DuplicateNameError, UnknownObjectError
+from repro.rtos.requests import (
+    Compute,
+    Receive,
+    SemSignal,
+    SemWait,
+    Send,
+    Sleep,
+)
+from repro.rtos.task import TaskType
+from repro.sim.engine import MSEC
+
+
+def run_aperiodic(kernel, name, body, priority=1):
+    task = kernel.create_task(name, body, priority,
+                              task_type=TaskType.APERIODIC)
+    kernel.start_task(task)
+    return task
+
+
+class TestMailboxTasks:
+    def test_blocking_receive_wakes_on_send(self, sim, kernel):
+        box = kernel.mailbox("MBX000")
+        received = []
+
+        def receiver(task):
+            message = yield Receive(box, blocking=True)
+            received.append((kernel.now, message))
+
+        def sender(task):
+            yield Sleep(2 * MSEC)
+            yield Send(box, "data")
+
+        run_aperiodic(kernel, "RECV00", receiver)
+        run_aperiodic(kernel, "SEND00", sender)
+        sim.run_for(5 * MSEC)
+        assert len(received) == 1
+        assert received[0][1] == "data"
+        assert received[0][0] >= 2 * MSEC
+
+    def test_nonblocking_receive_returns_none(self, sim, kernel):
+        box = kernel.mailbox("MBX000")
+        results = []
+
+        def poller(task):
+            message = yield Receive(box, blocking=False)
+            results.append(message)
+
+        run_aperiodic(kernel, "POLL00", poller)
+        sim.run_for(1 * MSEC)
+        assert results == [None]
+
+    def test_receive_timeout(self, sim, kernel):
+        box = kernel.mailbox("MBX000")
+        results = []
+
+        def receiver(task):
+            message = yield Receive(box, blocking=True,
+                                    timeout_ns=3 * MSEC)
+            results.append((kernel.now, message))
+
+        run_aperiodic(kernel, "RECV00", receiver)
+        sim.run_for(10 * MSEC)
+        assert results == [(3 * MSEC, None)]
+
+    def test_timeout_cancelled_by_delivery(self, sim, kernel):
+        box = kernel.mailbox("MBX000")
+        results = []
+
+        def receiver(task):
+            message = yield Receive(box, blocking=True,
+                                    timeout_ns=5 * MSEC)
+            results.append(message)
+            # A second receive proves the timeout event didn't linger.
+            message = yield Receive(box, blocking=True,
+                                    timeout_ns=5 * MSEC)
+            results.append(message)
+
+        run_aperiodic(kernel, "RECV00", receiver)
+        sim.run_for(1 * MSEC)
+        box.send_external("fast")
+        sim.run_for(20 * MSEC)
+        assert results == ["fast", None]
+
+    def test_blocking_send_on_full_mailbox(self, sim, kernel):
+        box = kernel.mailbox("MBX000", capacity=1)
+        box.send_external("fill")
+        progress = []
+
+        def sender(task):
+            delivered = yield Send(box, "second", blocking=True)
+            progress.append((kernel.now, delivered))
+
+        run_aperiodic(kernel, "SEND00", sender)
+        sim.run_for(2 * MSEC)
+        assert progress == []  # still blocked
+        assert box.receive_external() == "fill"
+        sim.run_for(1 * MSEC)
+        assert progress and progress[0][1] is True
+        assert box.receive_external() == "second"
+
+    def test_nonblocking_send_on_full_returns_false(self, sim, kernel):
+        box = kernel.mailbox("MBX000", capacity=1)
+        box.send_external("fill")
+        results = []
+
+        def sender(task):
+            delivered = yield Send(box, "x", blocking=False)
+            results.append(delivered)
+
+        run_aperiodic(kernel, "SEND00", sender)
+        sim.run_for(1 * MSEC)
+        assert results == [False]
+        assert box.dropped_count == 1
+
+    def test_send_hands_directly_to_waiter(self, sim, kernel):
+        box = kernel.mailbox("MBX000", capacity=1)
+        received = []
+
+        def receiver(task):
+            message = yield Receive(box, blocking=True)
+            received.append(message)
+
+        def sender(task):
+            yield Sleep(1 * MSEC)
+            delivered = yield Send(box, "direct")
+            assert delivered is True
+
+        run_aperiodic(kernel, "RECV00", receiver)
+        run_aperiodic(kernel, "SEND00", sender)
+        sim.run_for(5 * MSEC)
+        assert received == ["direct"]
+        assert len(box) == 0
+
+    def test_fifo_order(self, sim, kernel):
+        box = kernel.mailbox("MBX000", capacity=8)
+        for i in range(4):
+            box.send_external(i)
+        received = []
+
+        def receiver(task):
+            for _ in range(4):
+                message = yield Receive(box, blocking=True)
+                received.append(message)
+
+        run_aperiodic(kernel, "RECV00", receiver)
+        sim.run_for(1 * MSEC)
+        assert received == [0, 1, 2, 3]
+
+    def test_drain(self, sim, kernel):
+        box = kernel.mailbox("MBX000", capacity=8)
+        for i in range(3):
+            box.send_external(i)
+        assert box.drain() == [0, 1, 2]
+        assert box.empty
+
+
+class TestSemaphoreTasks:
+    def test_mutual_exclusion(self, sim, kernel):
+        sem = kernel.semaphore("SEM000", initial=1)
+        timeline = []
+
+        def worker(label, hold_ns):
+            def body(task):
+                acquired = yield SemWait(sem)
+                assert acquired
+                timeline.append(("enter", label, kernel.now))
+                yield Compute(hold_ns)
+                timeline.append(("exit", label, kernel.now))
+                yield SemSignal(sem)
+            return body
+
+        run_aperiodic(kernel, "WORKA0", worker("a", 1 * MSEC), priority=2)
+        run_aperiodic(kernel, "WORKB0", worker("b", 1 * MSEC), priority=3)
+        sim.run_for(10 * MSEC)
+        # Critical sections must not interleave.
+        events = [e[0] for e in timeline]
+        assert events == ["enter", "exit", "enter", "exit"]
+
+    def test_priority_ordered_wakeup(self, sim, kernel):
+        sem = kernel.semaphore("SEM000", initial=0)
+        order = []
+
+        def waiter(label):
+            def body(task):
+                yield SemWait(sem)
+                order.append(label)
+            return body
+
+        run_aperiodic(kernel, "LOWW00", waiter("low"), priority=8)
+        run_aperiodic(kernel, "HIGHW0", waiter("high"), priority=1)
+        run_aperiodic(kernel, "MIDW00", waiter("mid"), priority=4)
+        sim.run_for(1 * MSEC)
+        assert sem.waiter_count == 3
+        for _ in range(3):
+            sem.signal()
+        sim.run_for(1 * MSEC)
+        assert order == ["high", "mid", "low"]
+
+    def test_sem_timeout(self, sim, kernel):
+        sem = kernel.semaphore("SEM000", initial=0)
+        results = []
+
+        def body(task):
+            acquired = yield SemWait(sem, timeout_ns=2 * MSEC)
+            results.append((kernel.now, acquired))
+
+        run_aperiodic(kernel, "WAIT00", body)
+        sim.run_for(10 * MSEC)
+        assert results == [(2 * MSEC, False)]
+
+    def test_initial_count_admits_without_blocking(self, sim, kernel):
+        sem = kernel.semaphore("SEM000", initial=2)
+        acquired = []
+
+        def body(name):
+            def gen(task):
+                ok = yield SemWait(sem)
+                acquired.append((name, ok))
+            return gen
+
+        run_aperiodic(kernel, "WAITA0", body("a"))
+        run_aperiodic(kernel, "WAITB0", body("b"))
+        sim.run_for(1 * MSEC)
+        assert sorted(acquired) == [("a", True), ("b", True)]
+        assert sem.count == 0
+
+
+class TestObjectRegistry:
+    def test_lookup_by_name(self, kernel):
+        box = kernel.mailbox("FINDME")
+        assert kernel.lookup("findme") is box
+
+    def test_unknown_lookup_raises(self, kernel):
+        with pytest.raises(UnknownObjectError):
+            kernel.lookup("GHOST0")
+
+    def test_duplicate_mailbox_name_raises(self, kernel):
+        kernel.mailbox("DUP000")
+        with pytest.raises(DuplicateNameError):
+            kernel.mailbox("DUP000")
+
+    def test_free_object(self, kernel):
+        kernel.mailbox("TEMP00")
+        kernel.free_object("TEMP00")
+        assert not kernel.exists("TEMP00")
+
+    def test_unique_name_allocates_fresh(self, kernel):
+        first = kernel.unique_name("C")
+        kernel.mailbox(first)
+        second = kernel.unique_name("C")
+        assert first != second

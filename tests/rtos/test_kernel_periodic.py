@@ -1,0 +1,171 @@
+"""Kernel tests: periodic task release, latency accounting, deadlines."""
+
+import pytest
+
+from repro.rtos.errors import TimerNotStartedError
+from repro.rtos.kernel import TIMER_ONESHOT
+from repro.rtos.requests import Compute, WaitPeriod
+from repro.rtos.task import TaskState, TaskType
+from repro.sim.engine import MSEC, SEC, USEC
+
+
+def periodic_body(compute_ns):
+    def body(task):
+        while True:
+            yield WaitPeriod()
+            if compute_ns:
+                yield Compute(compute_ns)
+    return body
+
+
+def make_periodic(kernel, name="TASK0", priority=2, period=1 * MSEC,
+                  compute=50 * USEC, cpu=0, body=None, **kwargs):
+    task = kernel.create_task(
+        name, body or periodic_body(compute), priority, cpu=cpu,
+        task_type=TaskType.PERIODIC, period_ns=period,
+        collect_latency=True, **kwargs)
+    kernel.start_task(task)
+    return task
+
+
+class TestPeriodicRelease:
+    def test_requires_timer(self, kernel):
+        task = kernel.create_task("T0", periodic_body(0), 1,
+                                  task_type=TaskType.PERIODIC,
+                                  period_ns=MSEC)
+        with pytest.raises(TimerNotStartedError):
+            kernel.start_task(task)
+
+    def test_activations_match_elapsed_periods(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel)
+        sim.run_for(1 * SEC)
+        # Releases start one period in; allow the boundary release.
+        assert task.stats.activations in (999, 1000)
+
+    def test_completions_track_activations(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel)
+        sim.run_for(100 * MSEC)
+        assert abs(task.stats.activations - task.stats.completions) <= 1
+
+    def test_latency_is_wakeup_path_cost_with_null_model(self, sim,
+                                                         kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel)
+        sim.run_for(50 * MSEC)
+        values = set(task.stats.latency.values)
+        # Full wakeup path: IRQ entry + scheduler pass + context switch.
+        expected = (kernel.config.irq_entry_ns
+                    + kernel.config.dispatch_cost_ns)
+        assert values == {expected}
+
+    def test_cpu_time_accumulates(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel, compute=100 * USEC)
+        sim.run_for(100 * MSEC)
+        expected = task.stats.completions * 100 * USEC
+        assert task.stats.cpu_time_ns == expected
+
+    def test_no_deadline_misses_when_underloaded(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel, compute=100 * USEC)
+        sim.run_for(200 * MSEC)
+        assert task.stats.deadline_misses == 0
+        assert task.stats.overruns == 0
+
+    def test_release_quantized_to_timer_grid(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        sim.run_for(300 * USEC)  # desync: timer epoch at 0, now 300us
+        task = make_periodic(kernel, period=1 * MSEC)
+        sim.run_for(10 * MSEC)
+        # Nominal releases snap to the 1ms grid anchored at t=0.
+        assert task._next_release % MSEC == 0
+
+    def test_oneshot_mode_no_quantization(self, sim, kernel):
+        kernel.set_timer_mode(TIMER_ONESHOT)
+        kernel.start_timer(1 * MSEC)
+        sim.run_for(300 * USEC)
+        task = make_periodic(kernel, period=1 * MSEC)
+        assert task._next_release == 300 * USEC + 1 * MSEC
+
+    def test_periodic_task_state_waits_between_jobs(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel, compute=10 * USEC)
+        sim.run_for(1 * MSEC + 500 * USEC)
+        assert task.state is TaskState.WAITING_PERIOD
+
+
+class TestOverrun:
+    def test_wcet_over_period_overruns(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel, compute=1500 * USEC)  # 1.5x period
+        sim.run_for(50 * MSEC)
+        assert task.stats.overruns > 0
+        assert task.stats.deadline_misses > 0
+
+    def test_overrun_latency_positive(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel, compute=1200 * USEC)
+        sim.run_for(20 * MSEC)
+        assert task.stats.latency.maximum > 0
+
+    def test_timer_stop_halts_releases(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel)
+        sim.run_for(10 * MSEC)
+        count = task.stats.activations
+        kernel.stop_timer()
+        sim.run_for(20 * MSEC)
+        assert task.stats.activations <= count + 1
+
+
+class TestAperiodic:
+    def test_start_runs_once(self, sim, kernel):
+        runs = []
+
+        def body(task):
+            runs.append(kernel.now)
+            yield Compute(10 * USEC)
+
+        task = kernel.create_task("AP0", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        assert len(runs) == 1
+        assert task.state is TaskState.DORMANT
+        assert task.stats.activations == 1
+
+    def test_release_restarts(self, sim, kernel):
+        runs = []
+
+        def body(task):
+            runs.append(kernel.now)
+            yield Compute(10 * USEC)
+
+        task = kernel.create_task("AP0", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        kernel.release_task(task)
+        sim.run_for(1 * MSEC)
+        assert len(runs) == 2
+        assert task.stats.activations == 2
+
+    def test_release_while_running_counts_overrun(self, sim, kernel):
+        def body(task):
+            yield Compute(10 * MSEC)
+
+        task = kernel.create_task("AP0", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        kernel.release_task(task)  # still computing
+        assert task.stats.overruns == 1
+
+    def test_periodic_release_task_rejected(self, sim, kernel):
+        from repro.rtos.errors import TaskStateError
+        kernel.start_timer(1 * MSEC)
+        task = make_periodic(kernel)
+        with pytest.raises(TaskStateError):
+            kernel.release_task(task)

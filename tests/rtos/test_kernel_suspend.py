@@ -1,0 +1,228 @@
+"""Kernel tests: external suspend/resume and task deletion."""
+
+import pytest
+
+from repro.rtos.errors import TaskStateError
+from repro.rtos.requests import Compute, Sleep, SuspendSelf, WaitPeriod
+from repro.rtos.task import TaskState, TaskType
+from repro.sim.engine import MSEC, USEC
+
+
+def periodic_body(compute_ns):
+    def body(task):
+        while True:
+            yield WaitPeriod()
+            yield Compute(compute_ns)
+    return body
+
+
+def start_periodic(kernel, name="TASK00", priority=2, period=1 * MSEC,
+                   compute=100 * USEC):
+    task = kernel.create_task(name, periodic_body(compute), priority,
+                              task_type=TaskType.PERIODIC,
+                              period_ns=period, collect_latency=True)
+    kernel.start_task(task)
+    return task
+
+
+class TestSuspendResume:
+    def test_suspend_stops_job_execution(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        sim.run_for(10 * MSEC)
+        completions = task.stats.completions
+        kernel.suspend_task(task)
+        sim.run_for(20 * MSEC)
+        assert task.stats.completions == completions
+        assert task.state is TaskState.SUSPENDED
+
+    def test_releases_skipped_while_suspended(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        sim.run_for(5 * MSEC)
+        kernel.suspend_task(task)
+        sim.run_for(10 * MSEC)
+        assert task.stats.skipped_releases >= 9
+
+    def test_resume_rejoins_grid(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        sim.run_for(5 * MSEC)
+        kernel.suspend_task(task)
+        sim.run_for(10 * MSEC)
+        kernel.resume_task(task)
+        completions = task.stats.completions
+        sim.run_for(10 * MSEC)
+        assert task.stats.completions >= completions + 9
+        assert task.stats.deadline_misses == 0
+
+    def test_suspend_mid_compute_conserves_work(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel, period=10 * MSEC, compute=5 * MSEC)
+        sim.run_for(12 * MSEC)  # release at 10ms; 2ms into the job
+        assert task.state is TaskState.RUNNING
+        kernel.suspend_task(task)
+        sim.run_for(10 * MSEC)
+        kernel.resume_task(task)
+        sim.run_for(10 * MSEC)
+        # The interrupted job finished with the full 5ms of CPU billed.
+        assert task.stats.completions >= 1
+        assert task.stats.cpu_time_ns >= 5 * MSEC
+
+    def test_nested_suspend_needs_matching_resumes(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        sim.run_for(3 * MSEC)
+        kernel.suspend_task(task)
+        kernel.suspend_task(task)
+        kernel.resume_task(task)
+        assert task.suspended
+        completions = task.stats.completions
+        sim.run_for(5 * MSEC)
+        assert task.stats.completions == completions
+        kernel.resume_task(task)
+        sim.run_for(5 * MSEC)
+        assert task.stats.completions > completions
+
+    def test_resume_unsuspended_raises(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        with pytest.raises(TaskStateError):
+            kernel.resume_task(task)
+
+    def test_suspend_counts_in_stats(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        kernel.suspend_task(task)
+        assert task.stats.suspensions == 1
+
+    def test_self_suspend_via_request(self, sim, kernel):
+        def body(task):
+            yield Compute(100 * USEC)
+            yield SuspendSelf()
+            yield Compute(100 * USEC)
+
+        task = kernel.create_task("SELF00", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        assert task.state is TaskState.SUSPENDED
+        assert task.stats.cpu_time_ns == 100 * USEC
+        kernel.resume_task(task)
+        sim.run_for(1 * MSEC)
+        assert task.state is TaskState.DORMANT
+        assert task.stats.cpu_time_ns == 200 * USEC
+
+    def test_suspend_while_blocked_defers_wake(self, sim, kernel):
+        box = kernel.mailbox("MBX000")
+
+        from repro.rtos.requests import Receive
+        received = []
+
+        def body(task):
+            message = yield Receive(box, blocking=True)
+            received.append(message)
+
+        task = kernel.create_task("BLK000", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        kernel.suspend_task(task)
+        box.send_external("hello")
+        sim.run_for(1 * MSEC)
+        assert received == []  # wake deferred during suspension
+        kernel.resume_task(task)
+        sim.run_for(1 * MSEC)
+        assert received == ["hello"]
+
+    def test_suspend_while_sleeping(self, sim, kernel):
+        done = []
+
+        def body(task):
+            yield Sleep(2 * MSEC)
+            done.append(kernel.now)
+
+        task = kernel.create_task("SLP000", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        kernel.suspend_task(task)
+        sim.run_for(5 * MSEC)  # sleep expires while suspended
+        assert done == []
+        kernel.resume_task(task)
+        sim.run_for(1 * MSEC)
+        assert len(done) == 1
+
+
+class TestDelete:
+    def test_delete_running_task(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel, period=10 * MSEC, compute=5 * MSEC)
+        sim.run_for(12 * MSEC)
+        assert task.state is TaskState.RUNNING
+        kernel.delete_task(task)
+        assert task.state is TaskState.DELETED
+        sim.run_for(20 * MSEC)
+        assert task.stats.completions == 0
+
+    def test_delete_removes_from_registry(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel, name="GONE00")
+        kernel.delete_task(task)
+        assert not kernel.exists("GONE00")
+        assert task not in kernel.tasks
+
+    def test_delete_is_idempotent(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        kernel.delete_task(task)
+        kernel.delete_task(task)  # no raise
+
+    def test_delete_runs_finally_blocks(self, sim, kernel):
+        cleaned = []
+
+        def body(task):
+            try:
+                while True:
+                    yield Sleep(1 * MSEC)
+            finally:
+                cleaned.append(True)
+
+        task = kernel.create_task("FIN000", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(500 * USEC)
+        kernel.delete_task(task)
+        assert cleaned == [True]
+
+    def test_delete_blocked_task_forgets_waiter(self, sim, kernel):
+        from repro.rtos.requests import Receive
+        box = kernel.mailbox("MBX000")
+
+        def body(task):
+            yield Receive(box, blocking=True)
+
+        task = kernel.create_task("BLK000", body, 1,
+                                  task_type=TaskType.APERIODIC)
+        kernel.start_task(task)
+        sim.run_for(1 * MSEC)
+        assert box.recv_waiter_count == 1
+        kernel.delete_task(task)
+        # The parked entry is stale; a send must not wake a deleted task.
+        assert box.send_external("x") is True
+        sim.run_for(1 * MSEC)
+        assert task.state is TaskState.DELETED
+
+    def test_suspend_deleted_raises(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel)
+        kernel.delete_task(task)
+        with pytest.raises(TaskStateError):
+            kernel.suspend_task(task)
+
+    def test_freed_name_reusable(self, sim, kernel):
+        kernel.start_timer(1 * MSEC)
+        task = start_periodic(kernel, name="REUSE0")
+        kernel.delete_task(task)
+        again = start_periodic(kernel, name="REUSE0")
+        assert kernel.lookup("REUSE0") is again

@@ -1,0 +1,95 @@
+"""Tests for the LXRT procedural facade."""
+
+import pytest
+
+from repro.rtos.lxrt import LXRT, PIT_FREQUENCY_HZ
+from repro.rtos.requests import Compute, WaitPeriod
+from repro.rtos.task import TaskState, TaskType
+from repro.sim.engine import MSEC, SEC, USEC
+
+
+@pytest.fixture
+def lxrt(kernel):
+    return LXRT(kernel)
+
+
+def periodic_body(task):
+    while True:
+        yield WaitPeriod()
+        yield Compute(50 * USEC)
+
+
+class TestTimeConversion:
+    def test_nano2count_uses_pit_frequency(self, lxrt):
+        counts = lxrt.nano2count(1_000_000_000)
+        assert counts == PIT_FREQUENCY_HZ
+
+    def test_count2nano_roundtrip_is_lossy_like_rtai(self, lxrt):
+        # 1 ms is not an integer number of PIT counts: the roundtrip
+        # loses sub-count precision, exactly the drift the paper's
+        # latency test observes.
+        period = lxrt.count2nano(lxrt.nano2count(1 * MSEC))
+        assert period != 1 * MSEC
+        assert abs(period - 1 * MSEC) < 1000
+
+    def test_rt_get_time(self, sim, lxrt):
+        sim.schedule(5 * MSEC, lambda: None)
+        sim.run()
+        assert lxrt.rt_get_time_ns() == 5 * MSEC
+        assert lxrt.rt_get_time() == lxrt.nano2count(5 * MSEC)
+
+
+class TestTaskAPI:
+    def test_rt_task_init_creates_aperiodic(self, lxrt):
+        task = lxrt.rt_task_init("TASK00", periodic_body, priority=2)
+        assert task.task_type is TaskType.APERIODIC
+        assert task.state is TaskState.DORMANT
+
+    def test_make_periodic_starts_task(self, sim, lxrt):
+        lxrt.rt_set_periodic_mode()
+        lxrt.start_rt_timer_ns(1 * MSEC)
+        task = lxrt.rt_task_init("TASK00", periodic_body, priority=2)
+        lxrt.rt_task_make_periodic(task, 1 * MSEC, collect_latency=True)
+        sim.run_for(10 * MSEC)
+        assert task.stats.completions > 5
+
+    def test_suspend_resume_via_facade(self, sim, lxrt):
+        lxrt.start_rt_timer_ns(1 * MSEC)
+        task = lxrt.rt_task_init("TASK00", periodic_body, priority=2)
+        lxrt.rt_task_make_periodic(task, 1 * MSEC)
+        sim.run_for(5 * MSEC)
+        lxrt.rt_task_suspend(task)
+        assert task.suspended
+        lxrt.rt_task_resume(task)
+        assert not task.suspended
+
+    def test_delete_via_facade(self, sim, lxrt):
+        lxrt.start_rt_timer_ns(1 * MSEC)
+        task = lxrt.rt_task_init("TASK00", periodic_body, priority=2)
+        lxrt.rt_task_make_periodic(task, 1 * MSEC)
+        lxrt.rt_task_delete(task)
+        assert task.state is TaskState.DELETED
+
+
+class TestIPCFacade:
+    def test_shm(self, lxrt):
+        segment = lxrt.rt_shm_alloc("SHM000", "Integer", 4, owner="me")
+        segment.write_at(0, 5)
+        assert lxrt.rt_get_adr("SHM000").read_at(0) == 5
+        lxrt.rt_shm_free("SHM000", owner="me")
+        assert not lxrt.kernel.exists("SHM000")
+
+    def test_mailbox(self, lxrt):
+        box = lxrt.rt_mbx_init("MBX000", capacity=4)
+        assert box.send_external("x")
+        lxrt.rt_mbx_delete(box)
+        assert not lxrt.kernel.exists("MBX000")
+
+    def test_semaphore(self, lxrt):
+        sem = lxrt.rt_sem_init("SEM000", initial=2)
+        assert sem.count == 2
+        lxrt.rt_sem_delete(sem)
+        assert not lxrt.kernel.exists("SEM000")
+
+    def test_nam2num_facade(self, lxrt):
+        assert lxrt.num2nam(lxrt.nam2num("CAMERA")) == "CAMERA"

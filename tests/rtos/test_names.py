@@ -1,0 +1,98 @@
+"""Unit tests for RTAI 6-character names."""
+
+import pytest
+
+from repro.rtos.errors import InvalidTaskNameError
+from repro.rtos.names import (
+    MAX_NAME_LENGTH,
+    derive_port_name,
+    nam2num,
+    num2nam,
+    validate_name,
+)
+
+
+class TestValidateName:
+    def test_canonicalizes_to_upper(self):
+        assert validate_name("camera") == "CAMERA"
+
+    def test_exactly_six_characters_ok(self):
+        assert validate_name("ABCDEF") == "ABCDEF"
+
+    def test_seven_characters_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            validate_name("ABCDEFG")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            validate_name("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            validate_name(123)
+
+    def test_digits_and_underscore_allowed(self):
+        assert validate_name("A_9") == "A_9"
+
+    def test_space_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            validate_name("A B")
+
+    def test_hyphen_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            validate_name("A-B")
+
+    def test_dollar_allowed(self):
+        assert validate_name("A$B") == "A$B"
+
+    def test_max_length_constant(self):
+        assert MAX_NAME_LENGTH == 6
+
+
+class TestNam2Num:
+    def test_roundtrip(self):
+        for name in ("CAMERA", "CALC00", "A", "Z9_", "IMAGES", "XYSIZE"):
+            assert num2nam(nam2num(name)) == name
+
+    def test_case_insensitive_encoding(self):
+        assert nam2num("camera") == nam2num("CAMERA")
+
+    def test_distinct_names_distinct_numbers(self):
+        names = ["CALC00", "CALC01", "DISP00", "A", "AA", "AAA"]
+        numbers = [nam2num(n) for n in names]
+        assert len(set(numbers)) == len(names)
+
+    def test_num2nam_negative_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            num2nam(-1)
+
+    def test_num2nam_too_large_rejected(self):
+        huge = nam2num("______") * 40
+        with pytest.raises(InvalidTaskNameError):
+            num2nam(huge)
+
+    def test_num2nam_zero_rejected(self):
+        with pytest.raises(InvalidTaskNameError):
+            num2nam(0)
+
+
+class TestDerivePortName:
+    def test_short_names_concatenate(self):
+        assert derive_port_name("cam", "img") == "CAMIMG"
+
+    def test_long_names_truncate(self):
+        derived = derive_port_name("calculation", "output")
+        assert len(derived) <= 6
+        assert derived == "CALOUT"
+
+    def test_index_disambiguates(self):
+        base = derive_port_name("calculation", "output")
+        other = derive_port_name("calculation", "output", index=1)
+        assert base != other
+
+    def test_illegal_characters_replaced(self):
+        derived = derive_port_name("a.b", "c-d")
+        # '.' and '-' are not in the RTAI alphabet
+        assert derive_port_name("a.b", "c-d") == derived
+        from repro.rtos.names import validate_name
+        validate_name(derived)

@@ -1,0 +1,174 @@
+"""Unit tests for the ready-queue scheduling policies."""
+
+import pytest
+
+from repro.rtos.errors import SchedulerError
+from repro.rtos.scheduler import (
+    EDFScheduler,
+    PriorityScheduler,
+    make_scheduler,
+)
+
+
+class FakeTask:
+    def __init__(self, name, priority, release=None, deadline=None):
+        self.name = name
+        self.priority = priority
+        self._release_nominal = release
+        self._pending_nominals = []
+        self.deadline_ns = deadline
+
+    def __repr__(self):
+        return "FakeTask(%s)" % self.name
+
+
+class TestPriorityScheduler:
+    def test_picks_highest_priority(self):
+        sched = PriorityScheduler()
+        low, high = FakeTask("low", 5), FakeTask("high", 1)
+        sched.add(low)
+        sched.add(high)
+        assert sched.pick() is high
+
+    def test_fifo_within_priority(self):
+        sched = PriorityScheduler()
+        a, b = FakeTask("a", 3), FakeTask("b", 3)
+        sched.add(a)
+        sched.add(b)
+        assert sched.pick() is a
+
+    def test_rotate_moves_head_to_tail(self):
+        sched = PriorityScheduler()
+        a, b = FakeTask("a", 3), FakeTask("b", 3)
+        sched.add(a)
+        sched.add(b)
+        sched.rotate(a)
+        assert sched.pick() is b
+
+    def test_rotate_non_head_is_noop(self):
+        sched = PriorityScheduler()
+        a, b = FakeTask("a", 3), FakeTask("b", 3)
+        sched.add(a)
+        sched.add(b)
+        sched.rotate(b)
+        assert sched.pick() is a
+
+    def test_remove(self):
+        sched = PriorityScheduler()
+        a = FakeTask("a", 1)
+        sched.add(a)
+        sched.remove(a)
+        assert sched.pick() is None
+        assert len(sched) == 0
+
+    def test_remove_absent_raises(self):
+        sched = PriorityScheduler()
+        with pytest.raises(SchedulerError):
+            sched.remove(FakeTask("ghost", 1))
+
+    def test_double_add_raises(self):
+        sched = PriorityScheduler()
+        a = FakeTask("a", 1)
+        sched.add(a)
+        with pytest.raises(SchedulerError):
+            sched.add(a)
+
+    def test_would_preempt_strictly_higher_only(self):
+        sched = PriorityScheduler()
+        assert sched.would_preempt(FakeTask("h", 1), FakeTask("l", 2))
+        assert not sched.would_preempt(FakeTask("e", 2), FakeTask("l", 2))
+        assert not sched.would_preempt(FakeTask("w", 3), FakeTask("l", 2))
+
+    def test_peers_ready(self):
+        sched = PriorityScheduler()
+        running = FakeTask("run", 3)
+        assert not sched.peers_ready(running)
+        sched.add(FakeTask("peer", 3))
+        assert sched.peers_ready(running)
+
+    def test_empty_pick_none(self):
+        assert PriorityScheduler().pick() is None
+
+    def test_len_tracks_all_levels(self):
+        sched = PriorityScheduler()
+        sched.add(FakeTask("a", 1))
+        sched.add(FakeTask("b", 2))
+        sched.add(FakeTask("c", 2))
+        assert len(sched) == 3
+
+
+class TestEDFScheduler:
+    def test_earliest_deadline_wins(self):
+        sched = EDFScheduler()
+        late = FakeTask("late", 1, release=0, deadline=2000)
+        soon = FakeTask("soon", 5, release=0, deadline=1000)
+        sched.add(late)
+        sched.add(soon)
+        assert sched.pick() is soon
+
+    def test_no_deadline_sorts_after_deadlines(self):
+        sched = EDFScheduler()
+        deadline = FakeTask("d", 9, release=0, deadline=10_000_000)
+        no_deadline = FakeTask("n", 0)
+        sched.add(no_deadline)
+        sched.add(deadline)
+        assert sched.pick() is deadline
+
+    def test_no_deadline_ties_break_by_priority(self):
+        sched = EDFScheduler()
+        a = FakeTask("a", 5)
+        b = FakeTask("b", 2)
+        sched.add(a)
+        sched.add(b)
+        assert sched.pick() is b
+
+    def test_remove_lazy_deletion(self):
+        sched = EDFScheduler()
+        a = FakeTask("a", 1, release=0, deadline=100)
+        b = FakeTask("b", 1, release=0, deadline=200)
+        sched.add(a)
+        sched.add(b)
+        sched.remove(a)
+        assert sched.pick() is b
+        assert len(sched) == 1
+
+    def test_readd_after_remove(self):
+        sched = EDFScheduler()
+        a = FakeTask("a", 1, release=0, deadline=100)
+        sched.add(a)
+        sched.remove(a)
+        sched.add(a)
+        assert sched.pick() is a
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(SchedulerError):
+            EDFScheduler().remove(FakeTask("x", 1))
+
+    def test_double_add_raises(self):
+        sched = EDFScheduler()
+        a = FakeTask("a", 1, release=0, deadline=100)
+        sched.add(a)
+        with pytest.raises(SchedulerError):
+            sched.add(a)
+
+    def test_would_preempt_by_deadline(self):
+        sched = EDFScheduler()
+        running = FakeTask("run", 1, release=0, deadline=5000)
+        sooner = FakeTask("soon", 9, release=0, deadline=1000)
+        later = FakeTask("late", 0, release=0, deadline=9000)
+        assert sched.would_preempt(sooner, running)
+        assert not sched.would_preempt(later, running)
+
+
+class TestFactory:
+    def test_priority(self):
+        sched = make_scheduler("priority", rr_quantum_ns=100)
+        assert isinstance(sched, PriorityScheduler)
+        assert sched.rr_quantum_ns == 100
+
+    def test_edf(self):
+        assert isinstance(make_scheduler("edf"), EDFScheduler)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_scheduler("lottery")

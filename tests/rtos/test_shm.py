@@ -1,0 +1,146 @@
+"""Unit tests for shared-memory segments."""
+
+import pytest
+
+from repro.rtos.errors import DuplicateNameError, ShmTypeError
+from repro.rtos.shm import SharedMemory, element_size_bytes
+
+
+def make_shm(dtype="Integer", size=4):
+    clock = {"t": 0}
+    shm = SharedMemory(lambda: clock["t"], "SEG000", dtype, size)
+    return shm, clock
+
+
+class TestSharedMemory:
+    def test_initial_contents_zeroed(self):
+        shm, _ = make_shm()
+        assert shm.read() == [0, 0, 0, 0]
+
+    def test_write_whole_segment(self):
+        shm, _ = make_shm()
+        shm.write([1, 2, 3, 4])
+        assert shm.read() == [1, 2, 3, 4]
+
+    def test_write_wrong_length_raises(self):
+        shm, _ = make_shm()
+        with pytest.raises(ShmTypeError):
+            shm.write([1, 2])
+
+    def test_write_at_single_element(self):
+        shm, _ = make_shm()
+        shm.write_at(2, 99)
+        assert shm.read_at(2) == 99
+        assert shm.read_at(0) == 0
+
+    def test_integer_type_rejects_float(self):
+        shm, _ = make_shm("Integer")
+        with pytest.raises(ShmTypeError):
+            shm.write_at(0, 1.5)
+
+    def test_integer_type_rejects_bool(self):
+        shm, _ = make_shm("Integer")
+        with pytest.raises(ShmTypeError):
+            shm.write_at(0, True)
+
+    def test_byte_range_enforced(self):
+        shm, _ = make_shm("Byte")
+        shm.write_at(0, 255)
+        with pytest.raises(ShmTypeError):
+            shm.write_at(0, 256)
+        with pytest.raises(ShmTypeError):
+            shm.write_at(0, -1)
+
+    def test_float_accepts_int_and_float(self):
+        shm, _ = make_shm("Float")
+        shm.write_at(0, 1)
+        shm.write_at(1, 2.5)
+        assert shm.read()[:2] == [1, 2.5]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ShmTypeError):
+            SharedMemory(lambda: 0, "BAD000", "Complex", 4)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ShmTypeError):
+            SharedMemory(lambda: 0, "BAD000", "Integer", 0)
+
+    def test_write_metadata(self):
+        shm, clock = make_shm()
+        assert shm.last_write_time is None
+        assert shm.age_ns() is None
+        clock["t"] = 500
+        shm.write_at(0, 7, writer="CALC00")
+        assert shm.write_count == 1
+        assert shm.last_write_time == 500
+        assert shm.last_writer == "CALC00"
+        clock["t"] = 800
+        assert shm.age_ns() == 300
+
+    def test_read_returns_copy(self):
+        shm, _ = make_shm()
+        data = shm.read()
+        data[0] = 42
+        assert shm.read_at(0) == 0
+
+    def test_len(self):
+        shm, _ = make_shm(size=7)
+        assert len(shm) == 7
+
+
+class TestAttachment:
+    def test_attach_detach_refcount(self):
+        shm, _ = make_shm()
+        shm.attach("a")
+        shm.attach("b")
+        assert shm.attached_count == 2
+        assert shm.detach("a") is False
+        assert shm.detach("b") is True
+
+    def test_detach_unknown_is_noop(self):
+        shm, _ = make_shm()
+        shm.attach("a")
+        assert shm.detach("ghost") is False
+
+
+class TestKernelShmAlloc:
+    def test_alloc_and_lookup(self, kernel):
+        segment = kernel.shm_alloc("DATA00", "Integer", 8, owner="a")
+        assert kernel.lookup("DATA00") is segment
+
+    def test_realloc_attaches_same_segment(self, kernel):
+        first = kernel.shm_alloc("DATA00", "Integer", 8, owner="a")
+        second = kernel.shm_alloc("DATA00", "Integer", 8, owner="b")
+        assert first is second
+        assert first.attached_count == 2
+
+    def test_realloc_with_different_shape_raises(self, kernel):
+        kernel.shm_alloc("DATA00", "Integer", 8, owner="a")
+        with pytest.raises(DuplicateNameError):
+            kernel.shm_alloc("DATA00", "Byte", 8, owner="b")
+        with pytest.raises(DuplicateNameError):
+            kernel.shm_alloc("DATA00", "Integer", 4, owner="b")
+
+    def test_alloc_name_clash_with_mailbox_raises(self, kernel):
+        kernel.mailbox("CLASH0")
+        with pytest.raises(DuplicateNameError):
+            kernel.shm_alloc("CLASH0", "Integer", 4)
+
+    def test_free_on_last_detach(self, kernel):
+        kernel.shm_alloc("DATA00", "Integer", 8, owner="a")
+        kernel.shm_alloc("DATA00", "Integer", 8, owner="b")
+        kernel.shm_free("DATA00", owner="a")
+        assert kernel.exists("DATA00")
+        kernel.shm_free("DATA00", owner="b")
+        assert not kernel.exists("DATA00")
+
+
+class TestElementSize:
+    def test_sizes(self):
+        assert element_size_bytes("Byte") == 1
+        assert element_size_bytes("Integer") == 4
+        assert element_size_bytes("Float") == 8
+
+    def test_unknown_raises(self):
+        with pytest.raises(ShmTypeError):
+            element_size_bytes("Complex")

@@ -1,0 +1,160 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.sim.engine import MSEC, SEC, USEC, Simulator
+from repro.sim.errors import SchedulingInPastError, SimulationLimitError
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_schedule_relative_delay(self, sim):
+        fired = []
+        sim.schedule(100, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 100
+
+    def test_schedule_at_absolute_time(self, sim):
+        times = []
+        sim.schedule_at(50, lambda: times.append(sim.now))
+        sim.schedule_at(25, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [25, 50]
+
+    def test_scheduling_in_past_raises(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingInPastError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_callback_args_passed(self, sim):
+        results = []
+        sim.schedule(1, lambda a, b: results.append((a, b)), 3, 4)
+        sim.run()
+        assert results == [(3, 4)]
+
+    def test_call_soon_runs_after_same_instant_events(self, sim):
+        order = []
+
+        def first():
+            sim.call_soon(lambda: order.append("soon"))
+            order.append("first")
+
+        sim.schedule_at(10, first)
+        sim.schedule_at(10, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "soon"]
+
+    def test_interrupt_priority_fires_first(self, sim):
+        order = []
+        sim.schedule_at(10, lambda: order.append("normal"))
+        sim.schedule_interrupt(10, lambda: order.append("irq"))
+        sim.run()
+        assert order == ["irq", "normal"]
+
+
+class TestRunWindows:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule_at(100, fired.append, "a")
+        sim.schedule_at(300, fired.append, "b")
+        sim.run(until=200)
+        assert fired == ["a"]
+        assert sim.now == 200
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_windows_tile_seamlessly(self, sim):
+        fired = []
+        for t in (100, 200, 300):
+            sim.schedule_at(t, fired.append, t)
+        sim.run_for(150)
+        assert fired == [100]
+        sim.run_for(150)
+        assert fired == [100, 200, 300]
+        assert sim.now == 300
+
+    def test_event_at_window_boundary_fires(self, sim):
+        fired = []
+        sim.schedule_at(100, fired.append, "x")
+        sim.run(until=100)
+        assert fired == ["x"]
+
+    def test_stop_from_callback(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule_at(10, stopper)
+        sim.schedule_at(20, fired.append, "late")
+        sim.run()
+        assert fired == ["stop"]
+        sim.run()
+        assert fired == ["stop", "late"]
+
+    def test_step_fires_single_event(self, sim):
+        fired = []
+        sim.schedule_at(10, fired.append, 1)
+        sim.schedule_at(20, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_processed_and_pending_counters(self, sim):
+        sim.schedule_at(10, lambda: None)
+        sim.schedule_at(20, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.processed_events == 2
+
+
+class TestSafetyAndReset:
+    def test_max_events_limit(self):
+        sim = Simulator(max_events=50)
+
+        def reschedule():
+            sim.schedule(1, reschedule)
+
+        sim.schedule(1, reschedule)
+        with pytest.raises(SimulationLimitError):
+            sim.run()
+
+    def test_reset_clears_events_and_clock(self, sim):
+        sim.schedule_at(10, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0
+        assert sim.pending_events == 0
+
+    def test_reset_keeps_rng_streams(self, sim):
+        first = sim.rng.random("x")
+        sim.reset()
+        second = sim.rng.random("x")
+        assert first != second  # stream continued, not reseeded
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_draws(self):
+        a, b = Simulator(seed=9), Simulator(seed=9)
+        draws_a = [a.rng.gauss("jitter", 0, 1) for _ in range(20)]
+        draws_b = [b.rng.gauss("jitter", 0, 1) for _ in range(20)]
+        assert draws_a == draws_b
+
+    def test_different_seeds_differ(self):
+        a, b = Simulator(seed=1), Simulator(seed=2)
+        assert [a.rng.random("x") for _ in range(5)] != \
+            [b.rng.random("x") for _ in range(5)]
+
+    def test_time_constants(self):
+        assert USEC == 1_000
+        assert MSEC == 1_000_000
+        assert SEC == 1_000_000_000

@@ -1,0 +1,114 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.errors import EventAlreadyCancelledError
+from repro.sim.events import (
+    PRIORITY_INTERRUPT,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    EventQueue,
+)
+
+
+def _noop():
+    pass
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(30, _noop, label="c")
+        q.push(10, _noop, label="a")
+        q.push(20, _noop, label="b")
+        assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_orders_by_priority(self):
+        q = EventQueue()
+        q.push(10, _noop, priority=PRIORITY_LATE, label="late")
+        q.push(10, _noop, priority=PRIORITY_INTERRUPT, label="irq")
+        q.push(10, _noop, priority=PRIORITY_NORMAL, label="normal")
+        assert [q.pop().label for _ in range(3)] == ["irq", "normal",
+                                                     "late"]
+
+    def test_same_time_same_priority_is_fifo(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(10, _noop, label=str(i))
+        assert [q.pop().label for _ in range(5)] == list("01234")
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time_reports_earliest_live(self):
+        q = EventQueue()
+        early = q.push(5, _noop)
+        q.push(10, _noop)
+        assert q.peek_time() == 5
+        early.cancel()
+        assert q.peek_time() == 10
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestEventCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        keep = q.push(10, _noop, label="keep")
+        drop = q.push(5, _noop, label="drop")
+        drop.cancel()
+        assert q.pop() is keep
+
+    def test_len_counts_live_events_only(self):
+        q = EventQueue()
+        events = [q.push(i, _noop) for i in range(4)]
+        assert len(q) == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert len(q) == 2
+
+    def test_double_cancel_raises(self):
+        q = EventQueue()
+        event = q.push(1, _noop)
+        event.cancel()
+        with pytest.raises(EventAlreadyCancelledError):
+            event.cancel()
+
+    def test_cancel_if_pending_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1, _noop)
+        assert event.cancel_if_pending() is True
+        assert event.cancel_if_pending() is False
+        assert len(q) == 0
+
+    def test_cancel_fired_event_raises(self):
+        q = EventQueue()
+        event = q.push(1, _noop)
+        popped = q.pop()
+        popped._fired = True
+        with pytest.raises(EventAlreadyCancelledError):
+            event.cancel()
+
+    def test_state_properties(self):
+        q = EventQueue()
+        event = q.push(1, _noop)
+        assert event.pending and not event.cancelled and not event.fired
+        event.cancel()
+        assert event.cancelled and not event.pending
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        for i in range(3):
+            q.push(i, _noop)
+        q.clear()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        event = q.push(1, _noop)
+        assert q
+        event.cancel()
+        assert not q

@@ -1,0 +1,128 @@
+"""Unit tests for streaming statistics (the Table-1 summary math)."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import RunningStats, SampleSeries, summarize
+
+
+class TestRunningStats:
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.count == 1
+        assert stats.mean == 5.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+        assert stats.variance == 0.0
+
+    def test_mean_min_max(self):
+        stats = RunningStats()
+        for value in (2, 4, 6, 8):
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.minimum == 2
+        assert stats.maximum == 8
+
+    def test_variance_matches_definition(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.variance == pytest.approx(expected)
+        assert stats.stdev == pytest.approx(math.sqrt(expected))
+
+    def test_merge_equals_combined_stream(self):
+        left, right, combined = RunningStats(), RunningStats(), \
+            RunningStats()
+        for value in (1, 5, 9):
+            left.add(value)
+            combined.add(value)
+        for value in (2, 4):
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_into_empty(self):
+        left, right = RunningStats(), RunningStats()
+        right.add(3)
+        left.merge(right)
+        assert left.count == 1 and left.mean == 3
+
+    def test_merge_empty_is_noop(self):
+        left, right = RunningStats(), RunningStats()
+        left.add(7)
+        left.merge(right)
+        assert left.count == 1 and left.mean == 7
+
+
+class TestSampleSeries:
+    def test_empty_summary_is_nan(self):
+        series = SampleSeries()
+        assert math.isnan(series.average)
+        assert math.isnan(series.avedev)
+        assert math.isnan(series.minimum)
+        assert math.isnan(series.maximum)
+
+    def test_avedev_is_mean_absolute_deviation(self):
+        # Excel AVEDEV([1,2,3,4]) = 1.0
+        series = SampleSeries([1, 2, 3, 4])
+        assert series.avedev == pytest.approx(1.0)
+
+    def test_avedev_matches_paper_style_sample(self):
+        values = [-1000, -2000, 500, 1500, -3000]
+        series = SampleSeries(values)
+        mean = sum(values) / len(values)
+        expected = sum(abs(v - mean) for v in values) / len(values)
+        assert series.avedev == pytest.approx(expected)
+
+    def test_summary_keys_match_table1_columns(self):
+        summary = SampleSeries([1, 2, 3]).summary()
+        assert set(summary) == {"average", "avedev", "min", "max",
+                                "count"}
+
+    def test_extend_and_len(self):
+        series = SampleSeries()
+        series.extend([1, 2])
+        series.add(3)
+        assert len(series) == 3
+        assert series.values == [1, 2, 3]
+
+    def test_values_returns_copy(self):
+        series = SampleSeries([1])
+        series.values.append(99)
+        assert len(series) == 1
+
+    def test_percentile_endpoints(self):
+        series = SampleSeries([10, 20, 30, 40])
+        assert series.percentile(0) == 10
+        assert series.percentile(100) == 40
+        assert series.percentile(50) == pytest.approx(25.0)
+
+    def test_percentile_single_sample(self):
+        assert SampleSeries([42]).percentile(73) == 42
+
+    def test_percentile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SampleSeries([1]).percentile(101)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(SampleSeries().percentile(50))
+
+    def test_stdev_population(self):
+        series = SampleSeries([2, 4])
+        assert series.stdev == pytest.approx(1.0)
+
+    def test_summarize_shorthand(self):
+        summary = summarize([5, 5, 5])
+        assert summary["average"] == 5
+        assert summary["avedev"] == 0
+        assert summary["count"] == 3
