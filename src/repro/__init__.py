@@ -23,6 +23,12 @@ Packages
     asynchronous command protocol.
 ``repro.analysis``
     Schedulability analysis (RM/RTA, EDF, utilization bounds).
+``repro.telemetry``
+    Platform observability: per-subsystem metric registries, Chrome
+    trace-event export, metric dumps (see ``docs/OBSERVABILITY.md``).
+``repro.workloads``
+    UUniFast task-set and random component-population generation for
+    experiments.
 
 Quickstart
 ----------

@@ -4,11 +4,27 @@ Runs the paper's section-4.2 application (a 1000 Hz calculation task
 feeding a 250 Hz display task) for one simulated second and prints the
 DRCR system report plus the calculation task's Table-1-style latency
 summary.
+
+Observability flags (see ``docs/OBSERVABILITY.md``):
+
+``--trace out.json``
+    export the run as Chrome trace-event JSON (open in
+    ``chrome://tracing`` or https://ui.perfetto.dev);
+``--metrics metrics.json``
+    dump every telemetry counter/gauge/histogram as JSON;
+``--no-telemetry``
+    run with ``Telemetry(enabled=False)`` -- the single switch that
+    turns all metric collection off;
+``--seconds N``
+    simulate N seconds instead of one.
 """
+
+import argparse
 
 from repro import build_platform
 from repro.core.inspection import system_report
 from repro.sim.engine import MSEC, SEC
+from repro.telemetry.metrics import Telemetry
 
 CALC_XML = """<?xml version="1.0" encoding="UTF-8"?>
 <drt:component name="CALC00" desc="simulated computing job, 1000 Hz"
@@ -29,16 +45,44 @@ DISP_XML = """<?xml version="1.0" encoding="UTF-8"?>
 """
 
 
-def main():
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive number of seconds, got %r" % text)
+    return value
+
+
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's section-4.2 demo pipeline and "
+                    "print the DRCR system report.")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON file "
+                             "(chrome://tracing / Perfetto)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write the telemetry metrics as JSON")
+    parser.add_argument("--seconds", type=_positive_int, default=1,
+                        metavar="N",
+                        help="simulated seconds to run (default 1)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable all metric collection")
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
     """Run the demo pipeline and print the system report."""
-    platform = build_platform(seed=2008)
+    args = _parse_args(argv)
+    telemetry = Telemetry(enabled=not args.no_telemetry)
+    platform = build_platform(seed=2008, telemetry=telemetry)
     platform.start_timer(1 * MSEC)
     for name, xml in (("demo.calc", CALC_XML), ("demo.disp", DISP_XML)):
         platform.install_and_start(
             {"Bundle-SymbolicName": name,
              "RT-Component": "OSGI-INF/c.xml"},
             resources={"OSGI-INF/c.xml": xml})
-    platform.run_for(1 * SEC)
+    platform.run_for(args.seconds * SEC)
     print(system_report(platform.drcr))
     calc = platform.kernel.lookup("CALC00")
     summary = calc.stats.latency.summary()
@@ -47,6 +91,13 @@ def main():
           "min=%d max=%d over %d jobs"
           % (summary["average"], summary["avedev"], summary["min"],
              summary["max"], summary["count"]))
+    if args.trace:
+        document = platform.export_trace(args.trace)
+        print("wrote Chrome trace (%d events) to %s"
+              % (len(document["traceEvents"]), args.trace))
+    if args.metrics:
+        platform.export_metrics(args.metrics)
+        print("wrote metrics to %s" % args.metrics)
     platform.shutdown()
 
 

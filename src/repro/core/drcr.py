@@ -27,7 +27,7 @@ from repro.core.component import DRComComponent, LifecycleToken
 from repro.core.descriptor import ComponentDescriptor
 from repro.core.errors import DescriptorError, LifecycleError
 from repro.core.events import ComponentEventLog, ComponentEventType
-from repro.core.lifecycle import ComponentState
+from repro.core.lifecycle import ComponentState, state_metric_name
 from repro.core.management import (
     MANAGEMENT_SERVICE_INTERFACE,
     ComponentManagementService,
@@ -93,6 +93,21 @@ class DRCR:
             framework, clazz=RESOLVING_SERVICE_INTERFACE,
             on_added=self._on_resolving_service_change,
             on_removed=self._on_resolving_service_change)
+        # Telemetry instruments (no-ops when telemetry is disabled).
+        self._metrics = kernel.sim.telemetry.registry("drcr")
+        self._m_reconfigurations = self._metrics.counter(
+            "reconfigurations_total")
+        self._m_passes = self._metrics.counter(
+            "reconfiguration_passes_total")
+        self._m_admissions = self._metrics.counter("admissions_total")
+        self._m_rejections = self._metrics.counter(
+            "admission_rejections_total")
+        self._m_revocations = self._metrics.counter(
+            "admissions_revoked_total")
+        self._state_gauges = {
+            state: self._metrics.gauge(state_metric_name(state))
+            for state in ComponentState
+        }
 
     # ------------------------------------------------------------------
     # attachment to the OSGi framework
@@ -370,9 +385,11 @@ class DRCR:
             self._dirty = True
             return
         self._reconfiguring = True
+        self._m_reconfigurations.inc()
         try:
             for _ in range(_MAX_RECONFIGURE_PASSES):
                 self._dirty = False
+                self._m_passes.inc()
                 changed = self._revalidate_pass()
                 changed = self._activation_pass() or changed
                 if not changed and not self._dirty:
@@ -383,6 +400,12 @@ class DRCR:
                 % _MAX_RECONFIGURE_PASSES)
         finally:
             self._reconfiguring = False
+            self._refresh_state_gauges()
+
+    def _refresh_state_gauges(self):
+        """Publish the per-state component population (Figure-1 view)."""
+        for state, gauge in self._state_gauges.items():
+            gauge.set(len(self.registry.in_state(state)))
 
     def _revalidate_pass(self):
         changed = False
@@ -390,6 +413,7 @@ class DRCR:
             view = GlobalView(self.registry, self.kernel, component)
             decision = self._consult_revalidate(component, view)
             if not decision:
+                self._m_revocations.inc()
                 self._deactivate(component, ComponentState.UNSATISFIED,
                                  "admission revoked: %s" % decision.reason)
                 self._emit(ComponentEventType.UNSATISFIED, component,
@@ -417,6 +441,7 @@ class DRCR:
         # -- non-functional constraints (resolving services) ------------
         decision = self._consult_admit(component, view)
         if not decision:
+            self._m_rejections.inc()
             # Emit only when the rejection reason changes, so a
             # permanently rejected component does not flood the event
             # log on every reconfiguration pass.
@@ -499,15 +524,26 @@ class DRCR:
     def _consult_admit(self, component, view):
         decision = self.internal_policy.admit(component, view)
         if not decision:
+            self._count_rejection(self.internal_policy)
             return Decision.no("internal %s: %s"
                                % (self.internal_policy.name,
                                   decision.reason))
         for service in self.customized_resolving_services():
             decision = service.admit(component, view)
             if not decision:
+                self._count_rejection(service)
                 return Decision.no("customized %s: %s"
                                    % (service.name, decision.reason))
+        self._m_admissions.inc()
         return Decision.yes("admitted")
+
+    def _count_rejection(self, service):
+        """Attribute one admission veto to the rejecting service."""
+        if hasattr(service, "metric_name"):
+            label = service.metric_name()
+        else:  # duck-typed service objects registered in OSGi
+            label = str(getattr(service, "name", "anonymous"))
+        self._metrics.counter("rejected_by.%s" % label).inc()
 
     def _consult_revalidate(self, component, view):
         decision = self.internal_policy.revalidate(component, view)
@@ -572,6 +608,7 @@ class DRCR:
         component.management_registration = None
 
     def _emit(self, event_type, component, reason=""):
+        self._metrics.counter("events_%s_total" % event_type.value).inc()
         self.events.emit(self.kernel.now, event_type, component.name,
                          reason)
 

@@ -66,8 +66,15 @@ def format_event_tail(drcr, count=10):
         for e in events)
 
 
-def system_report(drcr, event_count=10):
-    """The full operator report: components, budgets, events."""
+def format_metrics_section(drcr):
+    """The platform's telemetry counters (flat ``subsystem.metric``
+    table; see ``docs/OBSERVABILITY.md`` for what each name means)."""
+    from repro.telemetry.export import format_metrics
+    return format_metrics(drcr.kernel.sim.telemetry)
+
+
+def system_report(drcr, event_count=10, include_metrics=True):
+    """The full operator report: components, budgets, events, metrics."""
     active = len(drcr.registry.in_state(ComponentState.ACTIVE))
     sections = [
         "=== DRCR system report (t=%d ns) ===" % drcr.kernel.now,
@@ -81,6 +88,8 @@ def system_report(drcr, event_count=10):
         "recent events:",
         format_event_tail(drcr, event_count),
     ]
+    if include_metrics:
+        sections.extend(["", "metrics:", format_metrics_section(drcr)])
     if drcr.applications():
         sections.insert(2, "applications: " + ", ".join(
             "%s[%s]" % (name, ",".join(members))

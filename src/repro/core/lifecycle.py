@@ -94,6 +94,18 @@ INSTANTIATED_STATES = frozenset({
 RESOLVABLE_STATES = frozenset({ComponentState.UNSATISFIED})
 
 
+def state_metric_name(state):
+    """Telemetry gauge name for the live population of one state.
+
+    The DRCR keeps one gauge per lifecycle state in its ``drcr``
+    metrics registry (``components_active``, ``components_unsatisfied``,
+    ...) and refreshes them after every reconfiguration, so operators
+    see the Figure-1 population at a glance without walking the
+    registry.
+    """
+    return "components_%s" % state.value
+
+
 def can_transition(current, target):
     """Whether ``current -> target`` is a legal lifecycle edge."""
     return target in TRANSITIONS[current]

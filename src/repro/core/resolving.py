@@ -14,7 +14,15 @@ constraint decisions:
 A candidate is admitted only when *every* consulted service accepts,
 mirroring section 4.3: "When both services return positive results ...
 the DRCR will create and activate the component".
+
+Every rejection is attributed: the DRCR counts, per resolving service,
+how often that service vetoed a candidate (telemetry counters named
+``drcr.rejected_by.<service>``; see :meth:`ResolvingService
+.metric_name` and ``docs/OBSERVABILITY.md``), so an operator can tell
+*which* policy is holding a component out, not just that one is.
 """
+
+import re
 
 #: OSGi service interface name customized resolving services register
 #: under.
@@ -102,6 +110,15 @@ class ResolvingService:
         load-shedding policies.
         """
         return Decision.yes("still admitted")
+
+    def metric_name(self):
+        """This service's identifier inside telemetry metric names.
+
+        Derived from :attr:`name` with anything outside
+        ``[A-Za-z0-9_.-]`` replaced by ``_`` so free-form policy names
+        stay safe inside dotted metric identifiers.
+        """
+        return re.sub(r"[^0-9A-Za-z_.\-]", "_", self.name) or "anonymous"
 
     def __repr__(self):
         return "%s(%s)" % (type(self).__name__, self.name)

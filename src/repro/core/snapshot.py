@@ -19,6 +19,28 @@ Restore semantics:
   defaults via set_property) are re-applied;
 * admission is *re-decided* by the current policies -- a snapshot is
   a statement of intent, not a bypass of the resolving services.
+
+Usage::
+
+    from repro.core.snapshot import export_state, restore_state
+
+    data = export_state(platform.drcr)       # plain dicts/lists/strs
+    json.dump(data, open("state.json", "w")) # safe to persist/ship
+
+    fresh = build_platform(seed=1)
+    fresh.start_timer(1_000_000)
+    report = restore_state(fresh.drcr, data)
+    report["restored"]                       # re-admitted and active
+    report["unsatisfied"]                    # intent the current
+                                             # policies refused
+
+The restore *report* is the interesting part: because admission is
+re-decided, a snapshot taken on a 2-CPU platform may only partially
+restore onto a 1-CPU one -- the report says exactly which components
+made it (``restored``/``suspended``/``disabled``) and which did not
+(``unsatisfied``, plus ``skipped`` for name collisions).
+``SNAPSHOT_VERSION`` guards the format; incompatible payloads are
+rejected, not guessed at.
 """
 
 from repro.core.descriptor import ComponentDescriptor

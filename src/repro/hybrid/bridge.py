@@ -14,6 +14,14 @@ Benchmark A4 measures what this poll costs the RT task.
 
 from repro.hybrid.protocol import Command, CommandKind
 
+#: Round-trip-time histogram buckets (ns).  Turnaround is bounded by
+#: one task period plus job time (benchmark A4), so the grid spans
+#: 10 us .. 100 ms.
+ROUNDTRIP_BOUNDS_NS = (
+    10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+    2_000_000, 5_000_000, 10_000_000, 100_000_000,
+)
+
 
 class CommandBridge:
     """The mailbox pair plus bookkeeping for one hybrid component."""
@@ -29,6 +37,16 @@ class CommandBridge:
         self.commands_dropped = 0
         self.replies_received = 0
         self._closed = False
+        # Telemetry: every bridge of the platform shares these (the
+        # registry get-or-creates by name), so they aggregate the whole
+        # management plane, not one component.
+        metrics = kernel.sim.telemetry.registry("hybrid")
+        self._m_sent = metrics.counter("commands_sent_total")
+        self._m_dropped = metrics.counter("commands_dropped_total")
+        self._m_replies = metrics.counter("replies_received_total")
+        self._m_depth = metrics.gauge("command_mailbox_depth")
+        self._m_roundtrip = metrics.histogram("command_roundtrip_ns",
+                                              ROUNDTRIP_BOUNDS_NS)
 
     # ------------------------------------------------------------------
     # non-RT side
@@ -36,21 +54,29 @@ class CommandBridge:
     def send_command(self, kind, name=None, value=None):
         """Queue a command; returns the Command or None when dropped."""
         command = Command(kind, name, value)
+        command.sent_at_ns = self.kernel.now
         if self.command_mailbox.send_external(command):
             self.commands_sent += 1
+            self._m_sent.inc()
+            self._m_depth.set(len(self.command_mailbox))
             return command
         self.commands_dropped += 1
+        self._m_dropped.inc()
         return None
 
     def drain_replies(self):
         """Collect all pending replies (non-blocking)."""
         replies = []
+        now = self.kernel.now
         while True:
             reply = self.status_mailbox.receive_external()
             if reply is None:
                 break
+            if reply.sent_at_ns is not None:
+                self._m_roundtrip.observe(now - reply.sent_at_ns)
             replies.append(reply)
         self.replies_received += len(replies)
+        self._m_replies.inc(len(replies))
         return replies
 
     def close(self):

@@ -26,9 +26,14 @@ class CommandKind(enum.Enum):
 
 
 class Command:
-    """One command message (non-RT -> RT)."""
+    """One command message (non-RT -> RT).
 
-    __slots__ = ("seq", "kind", "name", "value")
+    ``sent_at_ns`` is stamped by the bridge when the command is queued;
+    it rides through the matching :class:`Reply` so the bridge can
+    observe the full management round-trip time.
+    """
+
+    __slots__ = ("seq", "kind", "name", "value", "sent_at_ns")
 
     _seq = itertools.count(1)
 
@@ -37,6 +42,7 @@ class Command:
         self.kind = kind
         self.name = name
         self.value = value
+        self.sent_at_ns = None
 
     def __repr__(self):
         return "Command(#%d %s %r=%r)" % (self.seq, self.kind.value,
@@ -46,7 +52,8 @@ class Command:
 class Reply:
     """One reply message (RT -> non-RT)."""
 
-    __slots__ = ("seq", "kind", "name", "value", "job_index", "time_ns")
+    __slots__ = ("seq", "kind", "name", "value", "job_index", "time_ns",
+                 "sent_at_ns")
 
     def __init__(self, command, value, job_index, time_ns):
         self.seq = command.seq
@@ -55,6 +62,7 @@ class Reply:
         self.value = value
         self.job_index = job_index
         self.time_ns = time_ns
+        self.sent_at_ns = command.sent_at_ns
 
     def __repr__(self):
         return "Reply(#%d %s %r=%r @job%d)" % (

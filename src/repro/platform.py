@@ -26,6 +26,26 @@ class Platform:
         """Current simulated time (ns)."""
         return self.sim.now
 
+    @property
+    def telemetry(self):
+        """The platform-wide :class:`~repro.telemetry.metrics.Telemetry`
+        (owned by the simulator; shared by every subsystem)."""
+        return self.sim.telemetry
+
+    def export_trace(self, path, indent=None):
+        """Write the run's Chrome trace-event JSON to ``path`` (open it
+        in ``chrome://tracing`` or Perfetto); returns the document."""
+        from repro.telemetry.chrome import export_chrome_trace
+        return export_chrome_trace(
+            self.sim.trace, path, component_events=self.drcr.events,
+            telemetry=self.sim.telemetry, indent=indent)
+
+    def export_metrics(self, path):
+        """Write the platform's metrics JSON to ``path``; returns the
+        document."""
+        from repro.telemetry.export import write_metrics_json
+        return write_metrics_json(self.sim.telemetry, path)
+
     def run_for(self, duration_ns):
         """Advance simulated time by ``duration_ns``."""
         return self.sim.run_for(duration_ns)
@@ -53,13 +73,16 @@ class Platform:
 
 
 def build_platform(seed=0, kernel_config=None, internal_policy=None,
-                   container_factory=None, attach=True):
+                   container_factory=None, attach=True, telemetry=None):
     """Assemble a full platform.
 
     Parameters mirror the individual constructors; ``attach=False``
     leaves the DRCR detached (the caller wires listeners first).
+    ``telemetry`` (a :class:`~repro.telemetry.metrics.Telemetry`) lets
+    callers disable or share metric collection; default is a fresh,
+    enabled instance.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     kernel = RTKernel(sim, kernel_config or KernelConfig())
     framework = Framework()
     drcr = DRCR(framework, kernel, internal_policy=internal_policy,

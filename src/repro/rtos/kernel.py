@@ -103,6 +103,22 @@ class RTKernel:
         # Object registry (single RTAI-style namespace).
         self._registry = {}
         self.tasks = []
+        # Telemetry instruments (cached; no-ops when telemetry is off).
+        metrics = sim.telemetry.registry("rtos")
+        self._m_dispatches = metrics.counter("dispatches_total")
+        self._m_context_switches = metrics.counter(
+            "context_switches_total")
+        self._m_preemptions = metrics.counter("preemptions_total")
+        self._m_releases = metrics.counter("releases_total")
+        self._m_overruns = metrics.counter("overruns_total")
+        self._m_deadline_misses = metrics.counter("deadline_misses_total")
+        self._m_faults = metrics.counter("task_faults_total")
+        self._m_latency = metrics.histogram("dispatch_latency_ns")
+        ready_enqueues = metrics.counter("ready_enqueues_total")
+        ready_dequeues = metrics.counter("ready_dequeues_total")
+        for scheduler in self._schedulers.values():
+            scheduler.bind_counters(ready_enqueues, ready_dequeues)
+        self._last_ran = {cpu: None for cpu in cpus}
         #: Optional callback ``(task, error)`` invoked (deferred to the
         #: current instant's end) when a task body raises.  The DRCR
         #: hooks this to quarantine the owning component.
@@ -361,10 +377,12 @@ class RTKernel:
             task._pending_value = None
             task._release_nominal = self.sim.now
             task.stats.activations += 1
+            self._m_releases.inc()
             self._trace("task_release", task=task.name)
             self._make_ready(task)
         else:
             task.stats.overruns += 1
+            self._m_overruns.inc()
             self._trace("task_release_overrun", task=task.name)
 
     def suspend_task(self, task):
@@ -567,6 +585,7 @@ class RTKernel:
         task._next_release = nominal + task.period_ns
         self._arm_release(task)
         task.stats.activations += 1
+        self._m_releases.inc()
         if task.state is TaskState.SUSPENDED:
             # Releases are skipped (not queued) while suspended: on
             # resume the task waits for the next fresh release instead
@@ -584,6 +603,7 @@ class RTKernel:
             # Task has not finished its previous job yet: overrun.  The
             # pending nominal makes the next WaitPeriod return at once.
             task.stats.overruns += 1
+            self._m_overruns.inc()
             task._pending_nominals.append(nominal)
             self._trace("overrun", task=task.name, nominal=nominal)
 
@@ -622,6 +642,10 @@ class RTKernel:
         self._running[cpu] = task
         if self._segment_start[cpu] is None:
             self._segment_start[cpu] = self.sim.now
+        self._m_dispatches.inc()
+        if self._last_ran[cpu] is not task:
+            self._m_context_switches.inc()
+            self._last_ran[cpu] = task
         self._trace("dispatch", task=task.name, cpu=cpu)
         if task._needs_advance:
             task._needs_advance = False
@@ -650,6 +674,7 @@ class RTKernel:
                        - nominal)
             if task.stats.latency is not None:
                 task.stats.latency.add(latency)
+            self._m_latency.observe(latency)
             self._trace("period_resume", task=task.name, nominal=nominal,
                         latency=latency)
             return latency
@@ -693,6 +718,7 @@ class RTKernel:
         self._take_off_cpu(task)
         task.state = TaskState.READY
         task.stats.preemptions += 1
+        self._m_preemptions.inc()
         self._schedulers[cpu].add(task)
         self._trace("preempt", task=task.name, cpu=cpu)
 
@@ -718,6 +744,7 @@ class RTKernel:
         if self._segment_start[cpu] is not None:
             self._rt_busy_ns[cpu] += self.sim.now - self._segment_start[cpu]
             self._segment_start[cpu] = None
+        self._trace("off_cpu", task=task.name, cpu=cpu)
 
     def _on_compute_complete(self, task):
         """The current Compute segment finished; advance the body."""
@@ -823,6 +850,7 @@ class RTKernel:
                 deadline = task._release_nominal + task.deadline_ns
                 if self.sim.now > deadline:
                     task.stats.deadline_misses += 1
+                    self._m_deadline_misses.inc()
                     self._trace("deadline_miss", task=task.name,
                                 nominal=task._release_nominal,
                                 lateness=self.sim.now - deadline)
@@ -832,6 +860,7 @@ class RTKernel:
             latency = self.sim.now - nominal
             if task.stats.latency is not None:
                 task.stats.latency.add(latency)
+            self._m_latency.observe(latency)
             return latency
         self._release_cpu_if_running(task)
         task.state = TaskState.WAITING_PERIOD
@@ -907,6 +936,7 @@ class RTKernel:
         task._gen = None
         task.state = TaskState.FAULTED
         task.fault = error
+        self._m_faults.inc()
         self._trace("task_fault", task=task.name, error=repr(error))
         if self.on_task_fault is not None:
             self.sim.call_soon(self.on_task_fault, task, error,
@@ -925,6 +955,7 @@ class RTKernel:
                 deadline = task._release_nominal + task.deadline_ns
                 if self.sim.now > deadline:
                     task.stats.deadline_misses += 1
+                    self._m_deadline_misses.inc()
                     self._trace("deadline_miss", task=task.name,
                                 nominal=task._release_nominal,
                                 lateness=self.sim.now - deadline)

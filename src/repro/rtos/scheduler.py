@@ -17,6 +17,7 @@ import itertools
 from collections import deque
 
 from repro.rtos.errors import SchedulerError
+from repro.telemetry.metrics import NULL_COUNTER
 
 
 class Scheduler:
@@ -24,6 +25,18 @@ class Scheduler:
 
     #: Human-readable policy name (used in traces and benchmarks).
     policy = "abstract"
+
+    #: Telemetry counters for ready-queue traffic.  Class-level null
+    #: defaults keep standalone schedulers (unit tests, analyses)
+    #: zero-cost; the kernel rebinds them via :meth:`bind_counters`.
+    _enqueues = NULL_COUNTER
+    _dequeues = NULL_COUNTER
+
+    def bind_counters(self, enqueues, dequeues):
+        """Attach telemetry counters for add/remove traffic (the kernel
+        shares one pair across all per-CPU scheduler instances)."""
+        self._enqueues = enqueues
+        self._dequeues = dequeues
 
     def add(self, task):
         """Insert a task into the ready set."""
@@ -80,6 +93,7 @@ class PriorityScheduler(Scheduler):
             raise SchedulerError("task %s already ready" % task.name)
         queue.append(task)
         self._size += 1
+        self._enqueues.inc()
 
     def remove(self, task):
         queue = self._levels.get(task.priority)
@@ -89,6 +103,7 @@ class PriorityScheduler(Scheduler):
         if not queue:
             del self._levels[task.priority]
         self._size -= 1
+        self._dequeues.inc()
 
     def pick(self):
         if not self._levels:
@@ -155,12 +170,14 @@ class EDFScheduler(Scheduler):
         entry = [self._key(task), next(self._counter), task, True]
         self._entries[task] = entry
         heapq.heappush(self._heap, entry)
+        self._enqueues.inc()
 
     def remove(self, task):
         entry = self._entries.pop(task, None)
         if entry is None:
             raise SchedulerError("task %s not in ready set" % task.name)
         entry[3] = False  # lazy deletion
+        self._dequeues.inc()
 
     def pick(self):
         while self._heap:

@@ -14,6 +14,7 @@ from repro.sim.events import (
 )
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
+from repro.telemetry.metrics import Telemetry
 
 #: One microsecond / millisecond / second in simulation ticks.
 USEC = 1000
@@ -34,9 +35,14 @@ class Simulator:
         Safety valve: :meth:`run` raises :class:`SimulationLimitError`
         after this many events, catching accidental infinite loops in
         kernel code (a stuck periodic timer, for instance).
+    telemetry:
+        The platform-wide :class:`~repro.telemetry.metrics.Telemetry`.
+        The simulator owns it (every other subsystem reaches it via
+        ``sim.telemetry``); pass ``Telemetry(enabled=False)`` to turn
+        all metric collection off.
     """
 
-    def __init__(self, seed=0, max_events=50_000_000):
+    def __init__(self, seed=0, max_events=50_000_000, telemetry=None):
         self._now = 0
         self._queue = EventQueue()
         self._rng = RandomStreams(seed)
@@ -44,6 +50,12 @@ class Simulator:
         self._max_events = max_events
         self._processed = 0
         self._running = False
+        self._telemetry = telemetry if telemetry is not None \
+            else Telemetry()
+        registry = self._telemetry.registry("sim")
+        self._m_events = registry.counter("events_total")
+        self._m_windows = registry.counter("run_windows_total")
+        self._m_pending = registry.gauge("pending_events")
 
     # ------------------------------------------------------------------
     # introspection
@@ -62,6 +74,11 @@ class Simulator:
     def trace(self):
         """The simulator's :class:`~repro.sim.trace.TraceRecorder`."""
         return self._trace
+
+    @property
+    def telemetry(self):
+        """The platform-wide :class:`~repro.telemetry.metrics.Telemetry`."""
+        return self._telemetry
 
     @property
     def pending_events(self):
@@ -116,6 +133,7 @@ class Simulator:
         self._now = event.when
         event._fired = True
         self._processed += 1
+        self._m_events.inc()
         if self._processed > self._max_events:
             raise SimulationLimitError(
                 "exceeded max_events=%d at t=%d ns" %
@@ -131,6 +149,7 @@ class Simulator:
         windows tile the timeline seamlessly.
         """
         self._running = True
+        self._m_windows.inc()
         try:
             while self._running:
                 next_time = self._queue.peek_time()
@@ -141,6 +160,7 @@ class Simulator:
                 self.step()
         finally:
             self._running = False
+            self._m_pending.set(len(self._queue))
         if until is not None and until > self._now:
             self._now = until
         return self._now

@@ -1,0 +1,207 @@
+"""Unit tests for the metric instruments and registry semantics."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Telemetry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("hits")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_zero_increment_is_allowed(self):
+        c = Counter("hits")
+        c.inc(0)
+        assert c.value == 0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("hits")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_as_dict(self):
+        c = Counter("hits")
+        c.inc(3)
+        assert c.as_dict() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc()
+        g.inc(4)
+        g.dec(3)
+        assert g.value == 12
+        g.inc(-12)
+        assert g.value == 0
+
+    def test_as_dict(self):
+        g = Gauge("depth")
+        g.set(-2)
+        assert g.as_dict() == {"type": "gauge", "value": -2}
+
+
+class TestHistogram:
+    def test_bucketing_is_le_upper_bound(self):
+        h = Histogram("lat", bounds=(0, 10, 20))
+        # counts: (-inf, 0], (0, 10], (10, 20], (20, inf)
+        for v in (-5, 0):        # both land in the first bucket
+            h.observe(v)
+        for v in (1, 10):        # (0, 10]: upper edge inclusive
+            h.observe(v)
+        h.observe(11)
+        h.observe(21)            # overflow
+        assert h.counts == [2, 2, 1, 1]
+
+    def test_buckets_view_ends_with_inf(self):
+        h = Histogram("lat", bounds=(5,))
+        h.observe(3)
+        h.observe(7)
+        assert h.buckets() == [(5, 1), (math.inf, 1)]
+
+    def test_exact_stats_alongside_buckets(self):
+        h = Histogram("lat", bounds=(0, 100))
+        for v in (-10, 0, 10, 200):
+            h.observe(v)
+        assert h.count == 4
+        assert h.stats.minimum == -10
+        assert h.stats.maximum == 200
+        assert h.stats.mean == pytest.approx(50.0)
+
+    def test_default_bounds_handle_negative_latency(self):
+        # Table 1 latencies can be negative (early-firing timer).
+        h = Histogram("lat")
+        h.observe(-23_782)
+        assert sum(h.counts) == 1
+        assert h.counts[0] == 0          # not in the (-inf, -50us] bucket
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram("lat", bounds=())
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram("lat", bounds=(0, 10, 10))
+        with pytest.raises(MetricsError):
+            Histogram("lat", bounds=(10, 0))
+
+    def test_as_dict_empty_histogram(self):
+        h = Histogram("lat", bounds=(0,))
+        d = h.as_dict()
+        assert d["count"] == 0
+        assert d["mean"] is None and d["min"] is None and d["max"] is None
+        assert d["buckets"] == {"le_0": 0, "inf": 0}
+
+    def test_as_dict_is_json_serializable(self):
+        h = Histogram("lat")
+        h.observe(-1_000)
+        h.observe(2_000_000)
+        json.dumps(h.as_dict())  # must not raise (no inf keys/values)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry("hybrid")
+        a = r.counter("commands_sent_total")
+        b = r.counter("commands_sent_total")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry("x")
+        r.counter("m")
+        with pytest.raises(MetricsError):
+            r.gauge("m")
+        with pytest.raises(MetricsError):
+            r.histogram("m")
+
+    def test_histogram_bounds_conflict_raises(self):
+        r = MetricsRegistry("x")
+        r.histogram("h", bounds=(0, 10))
+        assert r.histogram("h", bounds=(0, 10)) is r.get("h")
+        with pytest.raises(MetricsError):
+            r.histogram("h", bounds=(0, 20))
+
+    def test_names_preserve_creation_order(self):
+        r = MetricsRegistry("x")
+        r.counter("b")
+        r.gauge("a")
+        assert r.names() == ["b", "a"]
+        assert len(r) == 2
+
+    def test_get_missing_returns_none(self):
+        assert MetricsRegistry("x").get("nope") is None
+
+
+class TestTelemetry:
+    def test_registry_per_subsystem(self):
+        t = Telemetry()
+        assert t.registry("rtos") is t.registry("rtos")
+        assert t.registry("rtos") is not t.registry("sim")
+        assert t.subsystems() == ["rtos", "sim"]
+
+    def test_aggregate_flat_names(self):
+        t = Telemetry()
+        t.registry("rtos").counter("dispatches_total").inc(7)
+        t.registry("sim").gauge("pending_events").set(3)
+        flat = t.aggregate()
+        assert flat["rtos.dispatches_total"].value == 7
+        assert flat["sim.pending_events"].value == 3
+
+    def test_as_dict_round_trips_through_json(self):
+        t = Telemetry()
+        t.registry("rtos").histogram("lat").observe(500)
+        t.registry("rtos").counter("dispatches_total").inc()
+        doc = json.loads(json.dumps(t.as_dict()))
+        assert doc["rtos"]["dispatches_total"]["value"] == 1
+        assert doc["rtos"]["lat"]["count"] == 1
+
+
+class TestDisabledTelemetry:
+    def test_disabled_returns_null_registry(self):
+        t = Telemetry(enabled=False)
+        assert not t.enabled
+        assert t.registry("rtos") is NULL_REGISTRY
+
+    def test_null_instruments_are_shared_no_ops(self):
+        r = Telemetry(enabled=False).registry("anything")
+        c, g, h = r.counter("c"), r.gauge("g"), r.histogram("h")
+        assert c is NULL_COUNTER and g is NULL_GAUGE and h is NULL_HISTOGRAM
+        c.inc(100)
+        g.set(5)
+        g.dec()
+        h.observe(123)
+        assert c.value == 0 and g.value == 0 and h.count == 0
+
+    def test_disabled_exports_are_empty(self):
+        t = Telemetry(enabled=False)
+        t.registry("rtos").counter("c").inc()
+        assert t.as_dict() == {}
+        assert t.aggregate() == {}
+        assert t.subsystems() == []
+
+    def test_default_bounds_constant_is_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BOUNDS_NS) == \
+            sorted(set(DEFAULT_LATENCY_BOUNDS_NS))
