@@ -16,13 +16,18 @@ Observability flags (see ``docs/OBSERVABILITY.md``):
     run with ``Telemetry(enabled=False)`` -- the single switch that
     turns all metric collection off;
 ``--seconds N``
-    simulate N seconds instead of one.
+    simulate N seconds instead of one;
+``--faults PLAN``
+    run a chaos experiment: arm the named fault plan (``examples`` for
+    the built-in one, else a JSON plan file) against the pipeline and
+    print the injection report (see ``docs/FAULT_INJECTION.md``).
 """
 
 import argparse
 
 from repro import build_platform
 from repro.core.inspection import system_report
+from repro.rtos.errors import UnknownObjectError
 from repro.sim.engine import MSEC, SEC
 from repro.telemetry.metrics import Telemetry
 
@@ -68,6 +73,9 @@ def _parse_args(argv=None):
                         help="simulated seconds to run (default 1)")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="disable all metric collection")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="arm a fault plan ('examples' for the "
+                             "built-in chaos plan, or a JSON plan file)")
     return parser.parse_args(argv)
 
 
@@ -77,6 +85,10 @@ def main(argv=None):
     telemetry = Telemetry(enabled=not args.no_telemetry)
     platform = build_platform(seed=2008, telemetry=telemetry)
     platform.start_timer(1 * MSEC)
+    engine = None
+    if args.faults is not None:
+        from repro.faults import FaultEngine, load_plan
+        engine = FaultEngine(platform, load_plan(args.faults)).arm()
     for name, xml in (("demo.calc", CALC_XML), ("demo.disp", DISP_XML)):
         platform.install_and_start(
             {"Bundle-SymbolicName": name,
@@ -84,13 +96,22 @@ def main(argv=None):
             resources={"OSGI-INF/c.xml": xml})
     platform.run_for(args.seconds * SEC)
     print(system_report(platform.drcr))
-    calc = platform.kernel.lookup("CALC00")
-    summary = calc.stats.latency.summary()
-    print()
-    print("CALC00 scheduling latency (ns): avg=%.1f avedev=%.1f "
-          "min=%d max=%d over %d jobs"
-          % (summary["average"], summary["avedev"], summary["min"],
-             summary["max"], summary["count"]))
+    if engine is not None:
+        print()
+        print(engine.format_report())
+    try:
+        calc = platform.kernel.lookup("CALC00")
+    except UnknownObjectError:
+        print()
+        print("CALC00 is not running at the end of the run "
+              "(quarantined by the fault plan?)")
+    else:
+        summary = calc.stats.latency.summary()
+        print()
+        print("CALC00 scheduling latency (ns): avg=%.1f avedev=%.1f "
+              "min=%d max=%d over %d jobs"
+              % (summary["average"], summary["avedev"], summary["min"],
+                 summary["max"], summary["count"]))
     if args.trace:
         document = platform.export_trace(args.trace)
         print("wrote Chrome trace (%d events) to %s"

@@ -83,6 +83,15 @@ class DRCR:
             from repro.hybrid.container import default_container_factory
             container_factory = default_container_factory
         self._container_factory = container_factory
+        #: Optional :class:`~repro.faults.recovery.QuarantinePolicy`.
+        #: When set, a faulting component is automatically re-enabled
+        #: after the cool-down (until ``max_failures``); when None the
+        #: quarantine is permanent until an operator intervenes.
+        self.recovery_policy = None
+        #: Optional hook ``(xml_text, bundle, path) -> xml_text``
+        #: applied to RT-Component resources before parsing (the
+        #: fault-injection subsystem's descriptor-corruption seam).
+        self.descriptor_filter = None
         self._token = LifecycleToken(self)
         self._reconfiguring = False
         self._dirty = False
@@ -104,6 +113,17 @@ class DRCR:
             "admission_rejections_total")
         self._m_revocations = self._metrics.counter(
             "admissions_revoked_total")
+        self._m_quarantines = self._metrics.counter("quarantines_total")
+        self._m_readmissions = self._metrics.counter(
+            "quarantine_readmissions_total")
+        self._m_quarantine_permanent = self._metrics.counter(
+            "quarantine_permanent_total")
+        self._m_descriptor_errors = self._metrics.counter(
+            "descriptor_errors_total")
+        self._m_resolver_errors = self._metrics.counter(
+            "resolving_service_errors_total")
+        self._m_deactivation_errors = self._metrics.counter(
+            "deactivation_errors_total")
         self._state_gauges = {
             state: self._metrics.gauge(state_metric_name(state))
             for state in ComponentState
@@ -152,21 +172,78 @@ class DRCR:
     def _on_task_fault(self, task, error):
         """A component implementation raised inside its RT task.
 
-        The component is quarantined to DISABLED (it will not be
-        re-admitted until an operator calls ``enableRTComponent``);
-        its dependents cascade to UNSATISFIED and the freed budget is
-        redistributed -- the rest of the system keeps its contracts.
+        The component is quarantined to DISABLED; its dependents
+        cascade to UNSATISFIED and the freed budget is redistributed --
+        the rest of the system keeps its contracts.  Without a
+        :attr:`recovery_policy` the quarantine is permanent until an
+        operator calls ``enableRTComponent``; with one, re-admission is
+        scheduled after the cool-down (see :meth:`_quarantine`).
         """
         for component in self.registry.all():
             if component.descriptor.task_name == task.name \
                     and component.is_instantiated:
                 reason = "implementation fault: %r" % (error,)
-                self._deactivate(component, ComponentState.DISABLED,
-                                 reason)
-                self._emit(ComponentEventType.DISABLED, component,
-                           reason)
+                if self.recovery_policy is not None:
+                    self._quarantine(component, reason)
+                else:
+                    self._deactivate(component, ComponentState.DISABLED,
+                                     reason)
+                    self._emit(ComponentEventType.DISABLED, component,
+                               reason)
                 self._reconfigure()
                 return
+
+    def set_recovery_policy(self, policy):
+        """Install (or clear, with ``None``) the quarantine policy."""
+        self.recovery_policy = policy
+
+    def _quarantine(self, component, reason):
+        """Quarantine a faulting component under the recovery policy:
+        DISABLED now, automatic re-enable after the cool-down, until
+        the component exhausts ``max_failures``."""
+        policy = self.recovery_policy
+        failures = policy.record_failure(component.name)
+        if policy.is_permanent(component.name):
+            self._m_quarantine_permanent.inc()
+            full_reason = ("%s; quarantined permanently after %d "
+                           "faults" % (reason, failures))
+            self._deactivate(component, ComponentState.DISABLED,
+                             full_reason)
+            self._emit(ComponentEventType.DISABLED, component,
+                       full_reason)
+            self.kernel.sim.trace.record(
+                self.kernel.now, "quarantine", component=component.name,
+                failures=failures, permanent=True)
+            return
+        self._m_quarantines.inc()
+        full_reason = ("%s; quarantined (fault %d/%d), re-admission in "
+                       "%d ns" % (reason, failures, policy.max_failures,
+                                  policy.cooldown_ns))
+        self._deactivate(component, ComponentState.DISABLED, full_reason)
+        self._emit(ComponentEventType.DISABLED, component, full_reason)
+        self.kernel.sim.trace.record(
+            self.kernel.now, "quarantine", component=component.name,
+            failures=failures, permanent=False,
+            cooldown_ns=policy.cooldown_ns)
+        self.kernel.sim.schedule(
+            policy.cooldown_ns, self._release_quarantine, component.name,
+            label="quarantine:%s" % component.name)
+
+    def _release_quarantine(self, name):
+        """Cool-down expired: re-enable the component (if it is still
+        deployed, still DISABLED, and an operator has not intervened)."""
+        component = self.registry.maybe_get(name)
+        if component is None \
+                or component.state is not ComponentState.DISABLED:
+            return
+        self._m_readmissions.inc()
+        self.kernel.sim.trace.record(
+            self.kernel.now, "quarantine_release", component=name)
+        component._transition(self._token, ComponentState.UNSATISFIED,
+                              "quarantine cool-down expired")
+        self._emit(ComponentEventType.ENABLED, component,
+                   "quarantine cool-down expired")
+        self._reconfigure()
 
     def _on_resolving_service_change(self, reference, service):
         # A customized resolving service arrived or departed: both the
@@ -180,7 +257,20 @@ class DRCR:
         for path in bundle.manifest.rt_components:
             xml_text = self._require_resource(bundle, path,
                                               "RT-Component")
-            descriptor = ComponentDescriptor.from_xml(xml_text)
+            if self.descriptor_filter is not None:
+                xml_text = self.descriptor_filter(xml_text, bundle, path)
+            try:
+                descriptor = ComponentDescriptor.from_xml(xml_text)
+            except DescriptorError as error:
+                # A corrupt descriptor must not take down the rest of
+                # the bundle (or the platform): count it, trace it,
+                # keep deploying the healthy components.
+                self._m_descriptor_errors.inc()
+                self.kernel.sim.trace.record(
+                    self.kernel.now, "descriptor_error",
+                    bundle=bundle.symbolic_name, path=path,
+                    error=str(error))
+                continue
             self.register_component(descriptor, bundle)
         for path in bundle.manifest.rt_applications:
             from repro.core.application import ApplicationDescriptor
@@ -348,6 +438,16 @@ class DRCR:
     def set_internal_policy(self, policy):
         """Swap the internal resolving service and reconfigure."""
         self.internal_policy = policy
+        self._reconfigure()
+
+    def reconfigure(self):
+        """Trigger a reconfiguration round explicitly.
+
+        Management path for out-of-band context changes the DRCR cannot
+        observe itself -- for example after lowering a
+        :class:`~repro.faults.recovery.GracefulDegradationService`
+        cap at run time.
+        """
         self._reconfigure()
 
     # ------------------------------------------------------------------
@@ -522,20 +622,45 @@ class DRCR:
         self._reconfigure()
 
     def _consult_admit(self, component, view):
-        decision = self.internal_policy.admit(component, view)
+        try:
+            decision = self.internal_policy.admit(component, view)
+        except Exception as error:  # noqa: BLE001 -- fail safe
+            return self._resolver_failure(self.internal_policy, "admit",
+                                          error)
         if not decision:
             self._count_rejection(self.internal_policy)
             return Decision.no("internal %s: %s"
                                % (self.internal_policy.name,
                                   decision.reason))
         for service in self.customized_resolving_services():
-            decision = service.admit(component, view)
+            try:
+                decision = service.admit(component, view)
+            except Exception as error:  # noqa: BLE001 -- fail safe
+                return self._resolver_failure(service, "admit", error)
             if not decision:
                 self._count_rejection(service)
                 return Decision.no("customized %s: %s"
                                    % (service.name, decision.reason))
         self._m_admissions.inc()
         return Decision.yes("admitted")
+
+    def _resolver_failure(self, service, phase, error):
+        """A resolving service raised.  Admission **fails safe** (the
+        error counts as a veto: an unresponsive resolver must not wave
+        components through); revalidation **fails open** (the caller
+        keeps already-admitted components admitted: a broken resolver
+        must not evict healthy contract holders)."""
+        name = str(getattr(service, "name", "anonymous"))
+        self._m_resolver_errors.inc()
+        if phase == "admit":
+            # Attribute the veto (keeps the documented invariant:
+            # sum(rejected_by.*) == admission_rejections_total).
+            self._count_rejection(service)
+        self.kernel.sim.trace.record(
+            self.kernel.now, "resolver_error", service=name,
+            phase=phase, error=repr(error))
+        return Decision.no("resolving service %s failed during %s: %r"
+                           % (name, phase, error))
 
     def _count_rejection(self, service):
         """Attribute one admission veto to the rejecting service."""
@@ -546,11 +671,21 @@ class DRCR:
         self._metrics.counter("rejected_by.%s" % label).inc()
 
     def _consult_revalidate(self, component, view):
-        decision = self.internal_policy.revalidate(component, view)
+        try:
+            decision = self.internal_policy.revalidate(component, view)
+        except Exception as error:  # noqa: BLE001 -- fail open
+            self._resolver_failure(self.internal_policy, "revalidate",
+                                   error)
+            decision = Decision.yes("revalidation errored; admission "
+                                    "retained")
         if not decision:
             return decision
         for service in self.customized_resolving_services():
-            decision = service.revalidate(component, view)
+            try:
+                decision = service.revalidate(component, view)
+            except Exception as error:  # noqa: BLE001 -- fail open
+                self._resolver_failure(service, "revalidate", error)
+                continue
             if not decision:
                 return decision
         return Decision.yes("still admitted")
@@ -573,11 +708,38 @@ class DRCR:
                               reason)
         self._unregister_management(component)
         if component.container is not None:
-            component.container.deactivate()
+            try:
+                component.container.deactivate()
+            except Exception as error:  # noqa: BLE001 -- force teardown
+                # A raising container must not wedge the lifecycle in
+                # DEACTIVATING: reclaim the kernel resources ourselves
+                # so the contract budget is really freed.
+                self._m_deactivation_errors.inc()
+                self.kernel.sim.trace.record(
+                    self.kernel.now, "deactivation_error",
+                    component=component.name, error=repr(error))
+                self._force_teardown(component)
         component.container = None
         component.bindings = []
         component._transition(self._token, target_state, reason)
         self._emit(ComponentEventType.DEACTIVATED, component, reason)
+
+    def _force_teardown(self, component):
+        """Last-resort reclamation after ``container.deactivate``
+        raised: delete the RT task and close the bridge directly so
+        nothing keeps occupying the kernel."""
+        task_name = component.descriptor.task_name
+        if self.kernel.exists(task_name):
+            try:
+                self.kernel.delete_task(self.kernel.lookup(task_name))
+            except Exception:  # noqa: BLE001 -- best effort
+                pass
+        bridge = getattr(component.container, "bridge", None)
+        if bridge is not None:
+            try:
+                bridge.close()
+            except Exception:  # noqa: BLE001 -- best effort
+                pass
 
     def _dispose(self, component, reason):
         if component.state is ComponentState.DISPOSED:

@@ -1,0 +1,338 @@
+"""The injectors: one class per :class:`~repro.faults.plan.FaultKind`.
+
+Each injector arms itself against a live platform (scheduling simulator
+events, wrapping containers, registering hostile services) and reports
+every perturbation back through the owning
+:class:`~repro.faults.engine.FaultEngine`, which counts it in the
+``faults`` metrics registry and records a ``fault_inject`` trace row.
+
+Injectors perturb *product* code paths -- the kernel's fault machinery,
+the DRCR's activation path, the bridge's mailboxes, the descriptor
+parser, the resolving-service consultation -- never test-only seams, so
+what a chaos run exercises is exactly what production runs.
+"""
+
+from repro.core.resolving import ResolvingService
+from repro.faults.plan import FaultInjectionError, FaultKind
+from repro.hybrid.protocol import CommandKind
+
+
+class ResolverTimeoutError(FaultInjectionError):
+    """Raised by the injected resolving service (hung resolver)."""
+
+
+class Injector:
+    """Base: one armed :class:`FaultSpec`."""
+
+    #: Kinds that intercept container creation instead of scheduling.
+    factory_kind = False
+
+    def __init__(self, spec, index):
+        self.spec = spec
+        self.index = index
+
+    def arm(self, engine):
+        """Schedule/install this injector against the platform."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _stream(self, engine):
+        return engine.stream_for(self.index)
+
+    def _gate(self, engine):
+        """Apply the spec's probability gate (deterministic per plan
+        seed)."""
+        if self.spec.probability >= 1.0:
+            return True
+        return self._stream(engine).random() < self.spec.probability
+
+    def _targets(self, engine, instantiated=True):
+        """Deployed components this spec targets."""
+        return [component
+                for component in engine.drcr.registry.all()
+                if self.spec.matches(component.name)
+                and (not instantiated or component.is_instantiated)]
+
+
+class CrashInjector(Injector):
+    """``crash``: fault the target's RT task at ``at_ns``, exactly as
+    if the implementation body had raised."""
+
+    def arm(self, engine):
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:crash")
+
+    def _fire(self, engine):
+        targets = self._targets(engine)
+        if not targets:
+            engine.record_skip(self.spec, "no instantiated target")
+            return
+        for component in targets:
+            if not self._gate(engine):
+                engine.record_skip(self.spec, "probability gate")
+                continue
+            task = component.container.task
+            if task is None:
+                engine.record_skip(self.spec, "no task")
+                continue
+            engine.record_injection(self.spec, target=component.name)
+            engine.kernel.inject_fault(task, FaultInjectionError(
+                "injected crash (plan %s)" % engine.plan.name))
+
+
+class ActivationCrashInjector(Injector):
+    """``crash_on_activate`` / ``crash_on_deactivate``: wrap containers
+    created in the fault window so the chosen lifecycle call raises.
+
+    The DRCR recovers from both: a failed activation parks the
+    component UNSATISFIED (retried on the next reconfiguration); a
+    failed deactivation triggers the DRCR's force-teardown so the
+    kernel task and bridge are reclaimed regardless.
+    """
+
+    factory_kind = True
+
+    def __init__(self, spec, index):
+        super().__init__(spec, index)
+        self.remaining = spec.count
+
+    def arm(self, engine):
+        pass  # interception happens through wrap_container
+
+    def wrap_container(self, engine, component, container):
+        if self.remaining <= 0 or not self.spec.matches(component.name):
+            return container
+        if engine.kernel.now < self.spec.at_ns:
+            return container
+        if not self._gate(engine):
+            engine.record_skip(self.spec, "probability gate")
+            return container
+        self.remaining -= 1
+        engine.record_injection(self.spec, target=component.name)
+        on_activate = self.spec.kind is FaultKind.CRASH_ON_ACTIVATE
+        return _CrashingContainer(container, engine.plan.name,
+                                  fail_activate=on_activate,
+                                  fail_deactivate=not on_activate)
+
+
+class _CrashingContainer:
+    """Container proxy whose activate/deactivate raises (once)."""
+
+    def __init__(self, inner, plan_name, fail_activate, fail_deactivate):
+        self._inner = inner
+        self._plan_name = plan_name
+        self._fail_activate = fail_activate
+        self._fail_deactivate = fail_deactivate
+
+    def activate(self, bindings):
+        if self._fail_activate:
+            self._fail_activate = False
+            raise FaultInjectionError(
+                "injected activation crash (plan %s)" % self._plan_name)
+        return self._inner.activate(bindings)
+
+    def deactivate(self):
+        if self._fail_deactivate:
+            self._fail_deactivate = False
+            raise FaultInjectionError(
+                "injected deactivation crash (plan %s)"
+                % self._plan_name)
+        return self._inner.deactivate()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class OverrunInjector(Injector):
+    """``overrun``: multiply the implementation's per-job compute time
+    by ``factor`` for ``duration_ns`` -- the component lies about its
+    WCET.  Paired with a ``fault``-policy watchdog this exercises
+    eviction + contract-preserving re-resolution."""
+
+    def arm(self, engine):
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:overrun")
+
+    def _fire(self, engine):
+        targets = self._targets(engine)
+        if not targets:
+            engine.record_skip(self.spec, "no instantiated target")
+            return
+        for component in targets:
+            implementation = component.container.implementation
+            if "compute_ns" in implementation.__dict__:
+                engine.record_skip(self.spec, "already wrapped")
+                continue
+            engine.record_injection(self.spec, target=component.name,
+                                    factor=self.spec.factor)
+            self._wrap(engine, implementation)
+
+    def _wrap(self, engine, implementation):
+        original = implementation.compute_ns
+        spec = self.spec
+
+        def inflated_compute_ns(ctx):
+            base = original(ctx)
+            if engine.kernel.now >= spec.end_ns:
+                return base
+            engine.count_overrun_job()
+            return int(base * spec.factor)
+
+        implementation.compute_ns = inflated_compute_ns
+        engine.sim.schedule_at(
+            spec.end_ns, self._restore, implementation,
+            inflated_compute_ns, label="fault:overrun_end")
+
+    @staticmethod
+    def _restore(implementation, wrapper):
+        if implementation.__dict__.get("compute_ns") is wrapper:
+            del implementation.__dict__["compute_ns"]
+
+
+class MailboxDropInjector(Injector):
+    """``mailbox_drop``: shrink the target's command mailbox to zero
+    capacity for the window, so every management send drops (the §3.2
+    non-blocking discipline under a dead RT consumer)."""
+
+    def arm(self, engine):
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:mbx_drop")
+
+    def _fire(self, engine):
+        targets = self._targets(engine)
+        if not targets:
+            engine.record_skip(self.spec, "no instantiated target")
+            return
+        for component in targets:
+            bridge = component.container.bridge
+            if bridge is None:
+                engine.record_skip(self.spec, "no bridge")
+                continue
+            mailbox = bridge.command_mailbox
+            engine.record_injection(self.spec, target=component.name)
+            original = mailbox.capacity
+            mailbox.resize(0)
+            engine.sim.schedule_at(
+                self.spec.end_ns, mailbox.resize, original,
+                label="fault:mbx_drop_end")
+
+
+class MailboxFloodInjector(Injector):
+    """``mailbox_flood``: fill the target's command mailbox with
+    injected PINGs, so the next real management command overflows."""
+
+    def arm(self, engine):
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:mbx_flood")
+
+    def _fire(self, engine):
+        targets = self._targets(engine)
+        if not targets:
+            engine.record_skip(self.spec, "no instantiated target")
+            return
+        for component in targets:
+            bridge = component.container.bridge
+            if bridge is None:
+                engine.record_skip(self.spec, "no bridge")
+                continue
+            flooded = 0
+            while not bridge.command_mailbox.full:
+                command = bridge.send_command(CommandKind.PING)
+                if command is None:
+                    break
+                command.injected = True
+                flooded += 1
+            engine.record_injection(self.spec, target=component.name,
+                                    flooded=flooded)
+
+
+class DescriptorCorruptInjector(Injector):
+    """``descriptor_corrupt``: mangle the next ``count`` matching
+    descriptor XMLs before the DRCR parses them.  The hardened
+    ``_deploy_bundle`` contains the damage to the corrupt component and
+    keeps deploying the rest of the bundle."""
+
+    def __init__(self, spec, index):
+        super().__init__(spec, index)
+        self.remaining = spec.count
+
+    def arm(self, engine):
+        engine.add_descriptor_filter(self._filter)
+
+    def _filter(self, engine, xml_text, bundle, path):
+        if self.remaining <= 0:
+            return xml_text
+        if engine.kernel.now < self.spec.at_ns:
+            return xml_text
+        if not self.spec.matches(bundle.symbolic_name):
+            return xml_text
+        if not self._gate(engine):
+            engine.record_skip(self.spec, "probability gate")
+            return xml_text
+        self.remaining -= 1
+        engine.record_injection(self.spec, target=bundle.symbolic_name,
+                                path=path)
+        return "<corrupted/>" + xml_text[:len(xml_text) // 2]
+
+
+class TimingOutResolvingService(ResolvingService):
+    """A resolving service that raises on every consultation."""
+
+    name = "injected-timeout"
+
+    def __init__(self, plan_name):
+        self._plan_name = plan_name
+
+    def _raise(self):
+        raise ResolverTimeoutError(
+            "resolving service timed out (plan %s)" % self._plan_name)
+
+    def admit(self, candidate, view):
+        self._raise()
+
+    def revalidate(self, component, view):
+        self._raise()
+
+
+class ResolverTimeoutInjector(Injector):
+    """``resolver_timeout``: register a raising resolving service for
+    the window.  The DRCR must *fail safe* on admission (treat the
+    error as a veto) and *fail open* on revalidation (keep admitted
+    components admitted) -- both are asserted in
+    ``tests/faults/test_injectors.py``."""
+
+    def arm(self, engine):
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:resolver")
+
+    def _fire(self, engine):
+        service = TimingOutResolvingService(engine.plan.name)
+        from repro.core.resolving import RESOLVING_SERVICE_INTERFACE
+        registration = engine.drcr.framework.registry.register(
+            RESOLVING_SERVICE_INTERFACE, service)
+        engine.record_injection(self.spec, target=self.spec.target)
+        engine.sim.schedule_at(self.spec.end_ns, self._end,
+                               registration, label="fault:resolver_end")
+
+    @staticmethod
+    def _end(registration):
+        if not registration.unregistered:
+            registration.unregister()
+
+
+#: FaultKind -> injector class.
+INJECTOR_CLASSES = {
+    FaultKind.CRASH: CrashInjector,
+    FaultKind.CRASH_ON_ACTIVATE: ActivationCrashInjector,
+    FaultKind.CRASH_ON_DEACTIVATE: ActivationCrashInjector,
+    FaultKind.OVERRUN: OverrunInjector,
+    FaultKind.MAILBOX_DROP: MailboxDropInjector,
+    FaultKind.MAILBOX_FLOOD: MailboxFloodInjector,
+    FaultKind.DESCRIPTOR_CORRUPT: DescriptorCorruptInjector,
+    FaultKind.RESOLVER_TIMEOUT: ResolverTimeoutInjector,
+}
+
+
+def make_injector(spec, index):
+    """Build the injector for one spec."""
+    return INJECTOR_CLASSES[spec.kind](spec, index)

@@ -23,6 +23,33 @@ ROUNDTRIP_BOUNDS_NS = (
 )
 
 
+class RetryState:
+    """Progress of one :meth:`CommandBridge.send_command_reliable`.
+
+    ``delivered`` and ``gave_up`` are mutually exclusive and both start
+    False (the retry loop runs on simulator time); ``command`` holds
+    the successfully queued :class:`Command` once delivered.
+    """
+
+    __slots__ = ("kind", "name", "value", "attempts", "delivered",
+                 "gave_up", "command")
+
+    def __init__(self, kind, name=None, value=None):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.attempts = 0
+        self.delivered = False
+        self.gave_up = False
+        self.command = None
+
+    def __repr__(self):
+        status = "delivered" if self.delivered \
+            else "gave_up" if self.gave_up else "pending"
+        return "RetryState(%s, %s after %d attempts)" % (
+            self.kind.value, status, self.attempts)
+
+
 class CommandBridge:
     """The mailbox pair plus bookkeeping for one hybrid component."""
 
@@ -47,6 +74,10 @@ class CommandBridge:
         self._m_depth = metrics.gauge("command_mailbox_depth")
         self._m_roundtrip = metrics.histogram("command_roundtrip_ns",
                                               ROUNDTRIP_BOUNDS_NS)
+        self._m_retries = metrics.counter("command_retries_total")
+        self._m_retry_giveups = metrics.counter(
+            "command_retry_giveups_total")
+        self._m_recovered = metrics.counter("commands_recovered_total")
 
     # ------------------------------------------------------------------
     # non-RT side
@@ -63,6 +94,62 @@ class CommandBridge:
         self.commands_dropped += 1
         self._m_dropped.inc()
         return None
+
+    def send_command_reliable(self, kind, name=None, value=None,
+                              backoff=None):
+        """Queue a command, retrying dropped sends with capped
+        exponential backoff (+jitter).
+
+        The plain :meth:`send_command` preserves the paper's §3.2
+        discipline -- never block, drop on overflow -- but management
+        callers often *want* eventual delivery.  This wrapper retries a
+        dropped send after ``backoff.delay_ns(attempt)`` (default
+        :class:`~repro.faults.recovery.BackoffPolicy`: 1 ms doubling to
+        a 100 ms cap, 6 attempts, ±10 % jitter from the simulator's
+        ``hybrid/backoff`` stream) and gives up after the cap.
+
+        Returns a :class:`RetryState`; the caller polls ``delivered`` /
+        ``gave_up`` (retries run on simulator time, so resolution is
+        asynchronous by construction).
+        """
+        if backoff is None:
+            from repro.faults.recovery import BackoffPolicy
+            backoff = BackoffPolicy()
+        state = RetryState(kind, name, value)
+        self._attempt_reliable(state, backoff)
+        return state
+
+    def _attempt_reliable(self, state, backoff):
+        if self._closed:
+            state.gave_up = True
+            return
+        state.attempts += 1
+        command = self.send_command(state.kind, state.name, state.value)
+        if command is not None:
+            state.delivered = True
+            state.command = command
+            if state.attempts > 1:
+                self._m_recovered.inc()
+            return
+        if state.attempts >= backoff.max_attempts:
+            state.gave_up = True
+            self._m_retry_giveups.inc()
+            self.kernel.sim.trace.record(
+                self.kernel.now, "command_retry_giveup",
+                component=self.component_name, kind=state.kind.value,
+                attempts=state.attempts)
+            return
+        self._m_retries.inc()
+        delay = backoff.delay_ns(
+            state.attempts,
+            self.kernel.sim.rng.stream("hybrid/backoff"))
+        self.kernel.sim.trace.record(
+            self.kernel.now, "command_retry",
+            component=self.component_name, kind=state.kind.value,
+            attempt=state.attempts, delay_ns=delay)
+        self.kernel.sim.schedule(delay, self._attempt_reliable, state,
+                                 backoff,
+                                 label="retry:%s" % self.component_name)
 
     def drain_replies(self):
         """Collect all pending replies (non-blocking)."""

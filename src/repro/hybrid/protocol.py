@@ -30,10 +30,14 @@ class Command:
 
     ``sent_at_ns`` is stamped by the bridge when the command is queued;
     it rides through the matching :class:`Reply` so the bridge can
-    observe the full management round-trip time.
+    observe the full management round-trip time.  ``injected`` marks
+    commands synthesized by the fault-injection subsystem (the
+    ``mailbox_flood`` injector) so tests and reports can separate
+    chaos traffic from real management traffic.
     """
 
-    __slots__ = ("seq", "kind", "name", "value", "sent_at_ns")
+    __slots__ = ("seq", "kind", "name", "value", "sent_at_ns",
+                 "injected")
 
     _seq = itertools.count(1)
 
@@ -43,6 +47,7 @@ class Command:
         self.name = name
         self.value = value
         self.sent_at_ns = None
+        self.injected = False
 
     def __repr__(self):
         return "Command(#%d %s %r=%r)" % (self.seq, self.kind.value,

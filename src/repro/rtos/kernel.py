@@ -464,6 +464,20 @@ class RTKernel:
                     new=priority)
         self._request_resched(task.cpu)
 
+    def inject_fault(self, task, error):
+        """Force-fault a task from outside its body (fault injection).
+
+        Behaves exactly as if the task's body had raised ``error``: the
+        task is quarantined to FAULTED, its events are cancelled, and
+        the embedder's ``on_task_fault`` callback (the DRCR) is
+        notified.  This is the public surface :mod:`repro.faults` uses;
+        the watchdog's ``fault`` policy takes the same path.
+        """
+        if task.state is TaskState.DELETED:
+            raise TaskStateError("cannot fault deleted task %s"
+                                 % task.name)
+        self._fault_task(task, error)
+
     def delete_task(self, task):
         """Remove a task from the kernel entirely."""
         if task.state is TaskState.DELETED:

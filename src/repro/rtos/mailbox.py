@@ -58,6 +58,21 @@ class Mailbox:
         """Whether a non-blocking receive would fail right now."""
         return not self._messages
 
+    def resize(self, capacity):
+        """Change the capacity at run time (fault injection, tuning).
+
+        Zero is allowed -- every non-blocking send then drops, which is
+        how the ``mailbox_drop`` injector simulates a dead consumer.
+        Messages already queued beyond a shrunken capacity stay queued;
+        only new sends see the new bound.  Growing the capacity admits
+        blocked senders immediately.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0, got %r"
+                             % (capacity,))
+        self.capacity = int(capacity)
+        self._refill_from_send_waiters()
+
     @property
     def recv_waiter_count(self):
         """Number of tasks blocked waiting to receive."""

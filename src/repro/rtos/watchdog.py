@@ -39,6 +39,13 @@ class Watchdog:
         self.interventions = []
         self._event = None
         self._immune = set()
+        # Telemetry: interventions must be visible in the metrics path
+        # (and hence in system_report), not only in the trace.
+        metrics = kernel.sim.telemetry.registry("rtos")
+        self._m_interventions = metrics.counter(
+            "watchdog_interventions_total")
+        self._m_suspends = metrics.counter("watchdog_suspends_total")
+        self._m_evictions = metrics.counter("watchdog_evictions_total")
 
     # ------------------------------------------------------------------
     def start(self):
@@ -81,12 +88,15 @@ class Watchdog:
     def _intervene(self, task, occupancy):
         self.interventions.append((self.kernel.now, task.name,
                                    occupancy))
+        self._m_interventions.inc()
         self.kernel.sim.trace.record(
             self.kernel.now, "watchdog", task=task.name,
             occupancy_ns=occupancy, policy=self.policy)
         if self.policy == "suspend":
+            self._m_suspends.inc()
             self.kernel.suspend_task(task)
         else:
+            self._m_evictions.inc()
             self.kernel._fault_task(task, RuntimeError(
                 "watchdog: task %s occupied the CPU for %d ns "
                 "(limit %d ns)" % (task.name, occupancy,

@@ -59,6 +59,14 @@ CATEGORY_GROUPS = {
     "load_register": "kernel.linux", "load_unregister": "kernel.linux",
     "watchdog": "kernel.watchdog",
     "placement": "drcr", "component": "drcr",
+    "fault_inject": "faults",
+    "quarantine": "drcr.recovery",
+    "quarantine_release": "drcr.recovery",
+    "descriptor_error": "drcr.recovery",
+    "resolver_error": "drcr.recovery",
+    "deactivation_error": "drcr.recovery",
+    "command_retry": "hybrid.recovery",
+    "command_retry_giveup": "hybrid.recovery",
 }
 
 #: Phases this exporter emits (also what the validator accepts).

@@ -1,0 +1,109 @@
+"""The paper's section-4.3 adaptation scenario as a chaos experiment.
+
+A three-stage pipeline (calculation -> filter -> display) is attacked
+twice through a fixed :class:`FaultPlan`: the filter's task is crashed
+at 200 ms, and at 500 ms its jobs overrun 1000x until the watchdog
+evicts it.  Both times the DRCR quarantines the filter, cascades its
+dependent, re-admits after the cool-down -- and every component that
+stays admitted keeps its contract: **zero deadline misses platform
+wide**.  This is the CI chaos smoke scenario (see EXPERIMENTS.md and
+docs/FAULT_INJECTION.md).
+"""
+
+from repro.core import ComponentState
+from repro.core.policies import UtilizationBoundPolicy
+from repro.faults import FaultEngine, FaultKind, FaultPlan, FaultSpec
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC, SEC, USEC
+
+from conftest import deploy, make_descriptor_xml
+
+
+def chaos_plan():
+    return FaultPlan(
+        "chaos-4.3", seed=7,
+        watchdog={"limit_ns": 300 * USEC,
+                  "check_period_ns": 100 * USEC,
+                  "policy": "fault"},
+        quarantine={"cooldown_ns": 100 * MSEC, "max_failures": 3},
+        faults=[
+            FaultSpec(FaultKind.CRASH, "FILT00", at_ns=200 * MSEC),
+            FaultSpec(FaultKind.OVERRUN, "FILT00", at_ns=500 * MSEC,
+                      duration_ns=10 * MSEC, factor=1000.0),
+        ])
+
+
+def run_chaos():
+    platform = build_platform(
+        seed=2008,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=1.0))
+    platform.start_timer(1 * MSEC)
+    engine = FaultEngine(platform, chaos_plan()).arm()
+    # The filter runs at the top priority: when its jobs overrun, only
+    # the watchdog can break the lockout (the RTAI scenario).
+    deploy(platform, make_descriptor_xml(
+        "CALC00", cpuusage=0.03, frequency=1000, priority=2,
+        outports=[("LATDAT", "RTAI.SHM", "Integer", 4)]))
+    deploy(platform, make_descriptor_xml(
+        "FILT00", cpuusage=0.02, frequency=500, priority=1,
+        inports=[("LATDAT", "RTAI.SHM", "Integer", 4)],
+        outports=[("FILTD0", "RTAI.SHM", "Integer", 4)]))
+    deploy(platform, make_descriptor_xml(
+        "DISP00", cpuusage=0.01, frequency=250, priority=3,
+        inports=[("FILTD0", "RTAI.SHM", "Integer", 4)]))
+    platform.run_for(1 * SEC)
+    return platform, engine
+
+
+def test_crashing_filter_is_quarantined_and_readmitted():
+    platform, engine = run_chaos()
+    # Both planned faults landed, at their planned instants.
+    injected = [(time_ns, kind) for time_ns, kind, _, _
+                in engine.injections]
+    assert injected == [(200 * MSEC, "crash"),
+                        (500 * MSEC, "overrun")]
+    assert len(platform.sim.trace.by_category("fault_inject")) == 2
+    # The watchdog broke the overrun lockout.
+    assert engine.watchdog.interventions
+    # Two quarantine cycles, both re-admitted (2 faults < 3 allowed).
+    records = platform.sim.trace.by_category("quarantine")
+    assert [r.fields["permanent"] for r in records] == [False, False]
+    assert len(platform.sim.trace.by_category("quarantine_release")) \
+        == 2
+    assert platform.drcr.recovery_policy.failures["FILT00"] == 2
+    # After the second cool-down the whole pipeline is back.
+    for name in ("CALC00", "FILT00", "DISP00"):
+        assert platform.drcr.component_state(name) \
+            is ComponentState.ACTIVE
+
+
+def test_admitted_components_keep_their_contracts():
+    platform, _ = run_chaos()
+    # The paper's adaptivity claim, measured: re-resolution preserved
+    # every surviving contract -- not one deadline missed anywhere,
+    # through a crash, a 1000x overrun, eviction and two re-admissions.
+    flat = platform.telemetry.aggregate()
+    assert flat["rtos.deadline_misses_total"].value == 0
+    assert flat["rtos.watchdog_evictions_total"].value >= 1
+    # The untouched provider ran essentially the whole second.
+    calc = platform.kernel.lookup("CALC00")
+    assert calc.stats.deadline_misses == 0
+    assert calc.stats.completions >= 950
+    # The cascade hit only the filter's dependent, and only while the
+    # filter was down: DISP00 was re-resolved both times.
+    history = [e.event_type.value for e in
+               platform.drcr.events.for_component("DISP00")]
+    assert history.count("activated") == 3
+
+
+def test_chaos_run_is_deterministic():
+    first_platform, first = run_chaos()
+    second_platform, second = run_chaos()
+    assert first.injections == second.injections
+    assert first_platform.telemetry.aggregate()[
+        "rtos.dispatches_total"].value \
+        == second_platform.telemetry.aggregate()[
+            "rtos.dispatches_total"].value
