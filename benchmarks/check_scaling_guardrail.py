@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A3 scaling guardrail: fail if marginal-deploy cost regressed >2x.
+
+Usage::
+
+    python benchmarks/check_scaling_guardrail.py \
+        BENCH_scaling_drcr.json benchmarks/baselines/BENCH_scaling_drcr.json
+
+Compares a fresh ``BENCH_scaling_drcr.json`` (written by
+``benchmarks/test_scaling_drcr.py``) against the committed baseline.
+Machine-independent shape ratios carry the regression signal:
+
+* ``marginal_growth_per_fleet_growth`` -- how fast the marginal deploy
+  grows relative to the fleet (the ~O(affected) promise);
+* ``incremental_speedup_at_max`` -- incremental vs full-sweep marginal
+  deploy on the same machine/process;
+* absolute ``marginal_deploy_ms`` at the largest fleet, compared only
+  when both runs used the same ladder (CI baseline is recorded on the
+  CI ladder, so this check is live there).
+
+A metric regresses when it is more than ``TOLERANCE`` (2x) worse than
+the baseline.  Exit status 1 on any regression.
+"""
+
+import json
+import sys
+
+TOLERANCE = 2.0
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+    failures = []
+
+    def check_at_most(label, value, limit):
+        verdict = "ok" if value <= limit else "REGRESSED"
+        print("%-42s %10.3f (limit %10.3f)  %s"
+              % (label, value, limit, verdict))
+        if value > limit:
+            failures.append(label)
+
+    check_at_most(
+        "marginal_growth_per_fleet_growth",
+        current["marginal_growth_per_fleet_growth"],
+        TOLERANCE * baseline["marginal_growth_per_fleet_growth"])
+    # Speedup shrinking by >2x counts as the same class of regression.
+    check_at_most(
+        "1 / incremental_speedup_at_max",
+        1.0 / max(current["incremental_speedup_at_max"], 1e-9),
+        TOLERANCE / max(baseline["incremental_speedup_at_max"], 1e-9))
+    if current["fleet_sizes"] == baseline["fleet_sizes"]:
+        check_at_most(
+            "marginal_deploy_ms at max fleet",
+            current["rows"][-1]["marginal_deploy_ms"],
+            TOLERANCE * baseline["rows"][-1]["marginal_deploy_ms"])
+    else:
+        print("fleet ladders differ (%s vs %s): skipping the absolute "
+              "marginal-deploy comparison"
+              % (current["fleet_sizes"], baseline["fleet_sizes"]))
+
+    if failures:
+        print("guardrail FAILED: %s regressed more than %.0fx vs the "
+              "committed baseline" % (", ".join(failures), TOLERANCE))
+        return 1
+    print("guardrail passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

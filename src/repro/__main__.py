@@ -76,6 +76,11 @@ def _parse_args(argv=None):
     parser.add_argument("--faults", metavar="PLAN", default=None,
                         help="arm a fault plan ('examples' for the "
                              "built-in chaos plan, or a JSON plan file)")
+    parser.add_argument("--full-reconfigure", action="store_true",
+                        help="disable incremental (dirty-set) "
+                             "reconfiguration: every lifecycle event "
+                             "sweeps the full global view, the "
+                             "historical behavior")
     return parser.parse_args(argv)
 
 
@@ -84,6 +89,8 @@ def main(argv=None):
     args = _parse_args(argv)
     telemetry = Telemetry(enabled=not args.no_telemetry)
     platform = build_platform(seed=2008, telemetry=telemetry)
+    if args.full_reconfigure:
+        platform.drcr.incremental = False
     platform.start_timer(1 * MSEC)
     engine = None
     if args.faults is not None:

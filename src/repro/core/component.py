@@ -32,7 +32,10 @@ class DRComComponent:
         self.descriptor = descriptor
         self.bundle = bundle
         self._token = token
-        self.state = ComponentState.INSTALLED
+        #: Back-reference set by the owning ComponentRegistry so state
+        #: changes keep its per-state index current.
+        self._registry = None
+        self._state = ComponentState.INSTALLED
         #: The hybrid container while instantiated, else None.
         self.container = None
         #: PortBindings where this component is the requirer.
@@ -45,6 +48,20 @@ class DRComComponent:
     # ------------------------------------------------------------------
     # identity / views
     # ------------------------------------------------------------------
+    @property
+    def state(self):
+        """Current lifecycle state (Figure 1)."""
+        return self._state
+
+    @state.setter
+    def state(self, value):
+        # Every assignment -- _transition or a test shortcut -- funnels
+        # through here so the registry's state index never goes stale.
+        old = self._state
+        self._state = value
+        if self._registry is not None and old is not value:
+            self._registry._state_changed(self, old, value)
+
     @property
     def name(self):
         """The component's globally unique name."""

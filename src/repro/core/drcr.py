@@ -21,7 +21,24 @@ that
   instances"), cascading deactivation to dependents without touching the
   contracts of unaffected components,
 * registers a management service per component (section 2.4).
+
+Because components arrive and depart *during operation* (section 1),
+resolution cost is a steady-state tax.  Reconfiguration is therefore
+**incremental**: every lifecycle event seeds a *dirty set* of component
+names, and each fixpoint pass visits only the dirty components,
+propagating along the registry's port-dependency graph (a departure
+dirties its waiting consumers and the components its freed budget could
+admit; an activation dirties its waiting consumers).  A full sweep of
+the global view stays reachable -- :meth:`DRCR.reconfigure` (used for
+out-of-band context changes such as a lowered degradation cap),
+resolver arrival/departure, and the ``--full-reconfigure`` CLI flag all
+force one -- and ``incremental = False`` restores the historical
+sweep-everything behavior wholesale.  :meth:`DRCR.batch` coalesces
+event storms (bundle deploys, fleet rollouts) into a single
+reconfiguration round.
 """
+
+from contextlib import contextmanager
 
 from repro.core.component import DRComComponent, LifecycleToken
 from repro.core.descriptor import ComponentDescriptor
@@ -94,7 +111,27 @@ class DRCR:
         self.descriptor_filter = None
         self._token = LifecycleToken(self)
         self._reconfiguring = False
-        self._dirty = False
+        #: Incremental (dirty-set) reconfiguration.  ``False`` restores
+        #: the historical full-sweep-per-event behavior
+        #: (``--full-reconfigure`` on the CLI).
+        self.incremental = True
+        #: Completed reconfiguration rounds (mirrors the
+        #: ``drcr.reconfigurations_total`` counter; plain attribute so
+        #: tests can assert coalescing without telemetry enabled).
+        self.reconfigurations = 0
+        # Dirty-set bookkeeping: names touched by events that arrive
+        # while a round is running fold into the running fixpoint.
+        self._pending_dirty = set()
+        self._pending_full = False
+        # Components whose activation *attempt* crashed (as opposed to
+        # being vetoed).  A full sweep retried them on any later event;
+        # incremental rounds merge them into the first pass to match.
+        self._retry_failed = set()
+        # Batch bookkeeping: while a batch() is open, events accumulate
+        # here instead of triggering a round each.
+        self._batch_depth = 0
+        self._batch_dirty = set()
+        self._batch_full = False
         self._attached = False
         self._registration = None
         self._applications = {}
@@ -124,6 +161,11 @@ class DRCR:
             "resolving_service_errors_total")
         self._m_deactivation_errors = self._metrics.counter(
             "deactivation_errors_total")
+        self._m_dirty_set_size = self._metrics.gauge("dirty_set_size")
+        self._m_components_skipped = self._metrics.counter(
+            "components_skipped_total")
+        self._m_full_passes = self._metrics.counter(
+            "full_sweep_passes_total")
         self._state_gauges = {
             state: self._metrics.gauge(state_metric_name(state))
             for state in ComponentState
@@ -162,6 +204,11 @@ class DRCR:
             self._registration.unregister()
         self._registration = None
         self._attached = False
+        # Everything is disposed; pending dirt refers to nothing now.
+        self._pending_dirty = set()
+        self._pending_full = False
+        self._batch_dirty = set()
+        self._batch_full = False
 
     def _on_bundle_event(self, event):
         if event.event_type is BundleEventType.STARTED:
@@ -179,19 +226,18 @@ class DRCR:
         operator calls ``enableRTComponent``; with one, re-admission is
         scheduled after the cool-down (see :meth:`_quarantine`).
         """
-        for component in self.registry.all():
-            if component.descriptor.task_name == task.name \
-                    and component.is_instantiated:
-                reason = "implementation fault: %r" % (error,)
-                if self.recovery_policy is not None:
-                    self._quarantine(component, reason)
-                else:
-                    self._deactivate(component, ComponentState.DISABLED,
-                                     reason)
-                    self._emit(ComponentEventType.DISABLED, component,
-                               reason)
-                self._reconfigure()
-                return
+        component = self.registry.by_task_name(task.name)
+        if component is None or not component.is_instantiated:
+            return
+        reason = "implementation fault: %r" % (error,)
+        if self.recovery_policy is not None:
+            self._quarantine(component, reason)
+        else:
+            self._deactivate(component, ComponentState.DISABLED, reason)
+            self._emit(ComponentEventType.DISABLED, component, reason)
+        # _deactivate already seeded the dirty set (dependents, freed
+        # budget); run the round over it.
+        self._reconfigure(dirty=())
 
     def set_recovery_policy(self, policy):
         """Install (or clear, with ``None``) the quarantine policy."""
@@ -243,35 +289,41 @@ class DRCR:
                               "quarantine cool-down expired")
         self._emit(ComponentEventType.ENABLED, component,
                    "quarantine cool-down expired")
-        self._reconfigure()
+        self._reconfigure(dirty={name})
 
     def _on_resolving_service_change(self, reference, service):
-        # A customized resolving service arrived or departed: both the
-        # pending and the admitted sets may be affected.
+        # A customized resolving service arrived or departed: it may
+        # veto (or stop vetoing) *any* component, so both the pending
+        # and the admitted sets need a full sweep.
         self._reconfigure()
 
     # ------------------------------------------------------------------
     # deployment
     # ------------------------------------------------------------------
     def _deploy_bundle(self, bundle):
-        for path in bundle.manifest.rt_components:
-            xml_text = self._require_resource(bundle, path,
-                                              "RT-Component")
-            if self.descriptor_filter is not None:
-                xml_text = self.descriptor_filter(xml_text, bundle, path)
-            try:
-                descriptor = ComponentDescriptor.from_xml(xml_text)
-            except DescriptorError as error:
-                # A corrupt descriptor must not take down the rest of
-                # the bundle (or the platform): count it, trace it,
-                # keep deploying the healthy components.
-                self._m_descriptor_errors.inc()
-                self.kernel.sim.trace.record(
-                    self.kernel.now, "descriptor_error",
-                    bundle=bundle.symbolic_name, path=path,
-                    error=str(error))
-                continue
-            self.register_component(descriptor, bundle)
+        # One reconfiguration round per bundle, not per component.
+        with self.batch():
+            for path in bundle.manifest.rt_components:
+                xml_text = self._require_resource(bundle, path,
+                                                  "RT-Component")
+                if self.descriptor_filter is not None:
+                    xml_text = self.descriptor_filter(xml_text, bundle,
+                                                      path)
+                try:
+                    descriptor = ComponentDescriptor.from_xml(xml_text)
+                except DescriptorError as error:
+                    # A corrupt descriptor must not take down the rest
+                    # of the bundle (or the platform): count it, trace
+                    # it, keep deploying the healthy components.
+                    self._m_descriptor_errors.inc()
+                    self.kernel.sim.trace.record(
+                        self.kernel.now, "descriptor_error",
+                        bundle=bundle.symbolic_name, path=path,
+                        error=str(error))
+                    continue
+                self.register_component(descriptor, bundle)
+        # Applications run outside the component batch: their all-or-
+        # nothing check needs members actually activated.
         for path in bundle.manifest.rt_applications:
             from repro.core.application import ApplicationDescriptor
             xml_text = self._require_resource(bundle, path,
@@ -289,14 +341,16 @@ class DRCR:
         return xml_text
 
     def _undeploy_bundle(self, bundle):
-        for component in self.registry.of_bundle(bundle):
-            self._dispose(component,
-                          "bundle %s stopping" % bundle.symbolic_name)
-        # Applications whose members are all gone are forgotten.
-        for name, members in list(self._applications.items()):
-            if not any(member in self.registry for member in members):
-                del self._applications[name]
-        self._reconfigure()
+        with self.batch():
+            for component in self.registry.of_bundle(bundle):
+                self._dispose(
+                    component,
+                    "bundle %s stopping" % bundle.symbolic_name)
+            # Applications whose members are all gone are forgotten.
+            for name, members in list(self._applications.items()):
+                if not any(member in self.registry
+                           for member in members):
+                    del self._applications[name]
 
     def register_component(self, descriptor, bundle=None):
         """Deploy one component from a parsed descriptor.
@@ -315,14 +369,14 @@ class DRCR:
                                   'descriptor enabled="false"')
             self._emit(ComponentEventType.DISABLED, component,
                        "disabled by descriptor")
-        self._reconfigure()
+        self._reconfigure(dirty={component.name})
         return component
 
     def unregister_component(self, name):
         """Undeploy one component by name (programmatic path)."""
         component = self.registry.get(name)
         self._dispose(component, "unregistered")
-        self._reconfigure()
+        self._reconfigure(dirty=())
 
     # ------------------------------------------------------------------
     # applications (grouped, atomic deployment)
@@ -336,15 +390,21 @@ class DRCR:
         member back out) when any member fails to activate.
         """
         from repro.core.errors import AdmissionError
+        if self._batch_depth:
+            raise LifecycleError(
+                "register_application cannot run inside an open "
+                "drcr.batch(): its all-or-nothing check needs members "
+                "activated before it returns")
         deployed = []
         try:
-            for descriptor in application.components:
-                deployed.append(
-                    self.register_component(descriptor, bundle))
+            with self.batch():
+                for descriptor in application.components:
+                    deployed.append(
+                        self.register_component(descriptor, bundle))
         except Exception:
             for component in deployed:
                 self._dispose(component, "application rollback")
-            self._reconfigure()
+            self._reconfigure(dirty=())
             raise
         failures = {
             component.name: component.status_reason
@@ -356,7 +416,7 @@ class DRCR:
                 self._dispose(
                     component,
                     "application %s rolled back" % application.name)
-            self._reconfigure()
+            self._reconfigure(dirty=())
             raise AdmissionError(
                 "application %s not admitted: %s"
                 % (application.name,
@@ -377,7 +437,7 @@ class DRCR:
             if component is not None:
                 self._dispose(component,
                               "application %s undeployed" % name)
-        self._reconfigure()
+        self._reconfigure(dirty=())
 
     def applications(self):
         """Deployed applications: name -> member component names."""
@@ -395,7 +455,7 @@ class DRCR:
         component._transition(self._token, ComponentState.UNSATISFIED,
                               "enabled")
         self._emit(ComponentEventType.ENABLED, component)
-        self._reconfigure()
+        self._reconfigure(dirty={component.name})
 
     def disable_component(self, name):
         """``disableRTComponent``: deactivate (if needed) and hold."""
@@ -409,7 +469,7 @@ class DRCR:
             component._transition(self._token, ComponentState.DISABLED,
                                   "disabled by management")
         self._emit(ComponentEventType.DISABLED, component)
-        self._reconfigure()
+        self._reconfigure(dirty=())
 
     def suspend_component(self, name):
         """Suspend an active component's RT task (admission retained)."""
@@ -440,15 +500,47 @@ class DRCR:
         self.internal_policy = policy
         self._reconfigure()
 
-    def reconfigure(self):
+    def reconfigure(self, full=True):
         """Trigger a reconfiguration round explicitly.
 
         Management path for out-of-band context changes the DRCR cannot
         observe itself -- for example after lowering a
         :class:`~repro.faults.recovery.GracefulDegradationService`
-        cap at run time.
+        cap at run time.  Such changes can affect *any* admitted
+        component, so the round defaults to a full sweep; pass
+        ``full=False`` for a cheap drain of any pending dirty set.
         """
-        self._reconfigure()
+        if full:
+            self._reconfigure()
+        else:
+            self._reconfigure(dirty=())
+
+    @contextmanager
+    def batch(self):
+        """Coalesce an event storm into one reconfiguration round.
+
+        While the (re-entrant) context is open, lifecycle events that
+        would each trigger a round -- ``register_component``, bundle
+        deploy/undeploy, ``unregister_component`` -- only accumulate
+        their dirty sets.  The outermost exit runs a single round over
+        the union.  Bundle deployment uses this internally; fleet-scale
+        callers (see :func:`repro.workloads.deploy_component_set`)
+        should too.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                full = self._batch_full
+                dirty = self._batch_dirty
+                self._batch_full = False
+                self._batch_dirty = set()
+                if full:
+                    self._reconfigure()
+                else:
+                    self._reconfigure(dirty=dirty)
 
     # ------------------------------------------------------------------
     # queries
@@ -473,44 +565,104 @@ class DRCR:
     # ==================================================================
     # the constraint-resolution engine
     # ==================================================================
-    def _reconfigure(self):
+    def _reconfigure(self, dirty=None, full=None):
         """Drive the configuration to a fixpoint.
 
-        Each pass (1) revalidates admitted components against the
-        resolving services, deactivating any that lost their admission,
-        then (2) tries to activate unsatisfied components.  Re-entrant
-        triggers (events raised during the pass) fold into the loop.
+        ``dirty`` is the set of component names the triggering event
+        touched; ``None`` (or ``full=True``, or ``incremental=False``)
+        means a full sweep of the global view.  Each pass (1)
+        revalidates admitted components against the resolving services,
+        deactivating any that lost their admission, then (2) tries to
+        activate unsatisfied components -- but an incremental pass only
+        visits the dirty components, and the changes it makes seed the
+        next pass's dirty set (activation dirties waiting consumers;
+        departure dirties dependents and budget-starved peers).
+        Re-entrant triggers (events raised during a pass) and open
+        :meth:`batch` contexts fold into the running/pending round.
         """
+        if full is None:
+            full = dirty is None
+        if not self.incremental:
+            full = True
         if self._reconfiguring:
-            self._dirty = True
+            # Event raised mid-pass: fold into the running fixpoint.
+            if full:
+                self._pending_full = True
+            elif dirty:
+                self._pending_dirty.update(dirty)
+            return
+        if self._batch_depth:
+            if full:
+                self._batch_full = True
+            elif dirty:
+                self._batch_dirty.update(dirty)
             return
         self._reconfiguring = True
+        self.reconfigurations += 1
         self._m_reconfigurations.inc()
+        if full:
+            self._pending_full = True
+        elif dirty:
+            self._pending_dirty.update(dirty)
+        if self._retry_failed:
+            self._pending_dirty.update(self._retry_failed)
+            self._retry_failed.clear()
         try:
             for _ in range(_MAX_RECONFIGURE_PASSES):
-                self._dirty = False
-                self._m_passes.inc()
-                changed = self._revalidate_pass()
-                changed = self._activation_pass() or changed
-                if not changed and not self._dirty:
+                full_pass = self._pending_full
+                work = self._pending_dirty
+                self._pending_full = False
+                self._pending_dirty = set()
+                if not full_pass and not work:
                     return
+                if full_pass:
+                    targets = None
+                    self._m_full_passes.inc()
+                    self._m_dirty_set_size.set(len(self.registry))
+                else:
+                    targets = work
+                    self._m_dirty_set_size.set(len(work))
+                    self._m_components_skipped.inc(
+                        max(0, len(self.registry) - len(work)))
+                self._m_passes.inc()
+                # One view per pass; the candidate slot is re-pointed
+                # per consultation.
+                view = GlobalView(self.registry, self.kernel, None)
+                changed = self._revalidate_pass(view, targets)
+                changed = self._activation_pass(view, targets) or changed
+                if full_pass and changed:
+                    # The classic fixpoint rule: a changed full sweep
+                    # re-sweeps until quiescent.
+                    self._pending_full = True
             raise LifecycleError(
                 "reconfiguration did not converge in %d passes; a "
                 "resolving service is oscillating"
                 % _MAX_RECONFIGURE_PASSES)
         finally:
             self._reconfiguring = False
+            self._pending_full = False
+            self._pending_dirty = set()
             self._refresh_state_gauges()
 
     def _refresh_state_gauges(self):
-        """Publish the per-state component population (Figure-1 view)."""
+        """Publish the per-state component population (Figure-1 view)
+        in a single pass over the state index."""
+        counts = self.registry.state_counts()
         for state, gauge in self._state_gauges.items():
-            gauge.set(len(self.registry.in_state(state)))
+            gauge.set(counts[state])
 
-    def _revalidate_pass(self):
+    def _revalidate_pass(self, view, targets=None):
+        if targets is None:
+            candidates = self.registry.active()
+        else:
+            candidates = self.registry.select(
+                targets, ComponentState.ACTIVE, ComponentState.SUSPENDED)
         changed = False
-        for component in list(self.registry.active()):
-            view = GlobalView(self.registry, self.kernel, component)
+        for component in candidates:
+            if component.state not in (ComponentState.ACTIVE,
+                                       ComponentState.SUSPENDED):
+                continue  # deactivated by an earlier cascade this pass
+            view.candidate = component
             decision = self._consult_revalidate(component, view)
             if not decision:
                 self._m_revocations.inc()
@@ -521,14 +673,39 @@ class DRCR:
                 changed = True
         return changed
 
-    def _activation_pass(self):
+    def _activation_pass(self, view, targets=None):
+        if targets is None:
+            candidates = self.registry.unsatisfied()
+        else:
+            candidates = self.registry.select(
+                targets, ComponentState.UNSATISFIED)
         changed = False
-        for component in list(self.registry.unsatisfied()):
-            if self._try_activate(component):
+        for component in candidates:
+            if component.state is not ComponentState.UNSATISFIED:
+                continue
+            if self._try_activate(component, view):
                 changed = True
         return changed
 
-    def _try_activate(self, component):
+    def _mark_departure_dirty(self, component):
+        """Seed the dirty set with everything a departure can affect:
+        waiting consumers of the departed provider (their status
+        refreshes) and every waiting component (the freed budget may
+        admit them -- the unsatisfied population is exactly what a full
+        sweep's activation pass would visit)."""
+        for peer in self.registry.unsatisfied():
+            self._pending_dirty.add(peer.name)
+
+    def _mark_activation_dirty(self, component):
+        """Seed the dirty set after an activation: the newcomer itself
+        (the next pass revalidates it, exactly like a full sweep would)
+        and its waiting consumers (its outports may satisfy them)."""
+        self._pending_dirty.add(component.name)
+        for consumer in self.registry.consumers_of(
+                component, states=(ComponentState.UNSATISFIED,)):
+            self._pending_dirty.add(consumer.name)
+
+    def _try_activate(self, component, view=None):
         """One admission + activation attempt.  Returns True on
         activation."""
         # -- functional constraints (port wiring) ----------------------
@@ -536,7 +713,9 @@ class DRCR:
         if bindings is None:
             return False
         # -- placement (optional re-pin before admission) ----------------
-        view = GlobalView(self.registry, self.kernel, component)
+        if view is None:
+            view = GlobalView(self.registry, self.kernel, component)
+        view.candidate = component
         self._apply_placement(component, view)
         # -- non-functional constraints (resolving services) ------------
         decision = self._consult_admit(component, view)
@@ -566,12 +745,15 @@ class DRCR:
                                   "activation failed: %s" % error)
             self._emit(ComponentEventType.UNSATISFIED, component,
                        "activation failed: %s" % error)
+            self._retry_failed.add(component.name)
             return False
         component.container = container
         component.bindings = bindings
+        self.registry.note_wired(component)
         component._transition(self._token, ComponentState.ACTIVE)
         self._register_management(component)
         self._emit(ComponentEventType.ACTIVATED, component)
+        self._mark_activation_dirty(component)
         return True
 
     def _resolve_ports(self, component):
@@ -719,10 +901,15 @@ class DRCR:
                     self.kernel.now, "deactivation_error",
                     component=component.name, error=repr(error))
                 self._force_teardown(component)
+        self.registry.note_unwired(component)
         component.container = None
         component.bindings = []
         component._transition(self._token, target_state, reason)
         self._emit(ComponentEventType.DEACTIVATED, component, reason)
+        # Seed the next incremental pass: the departed component (if it
+        # is re-resolvable) is now in the unsatisfied population the
+        # marker dirties.
+        self._mark_departure_dirty(component)
 
     def _force_teardown(self, component):
         """Last-resort reclamation after ``container.deactivate``
@@ -750,6 +937,7 @@ class DRCR:
             component._transition(self._token, ComponentState.DISPOSED,
                                   reason)
         self.registry.remove(component)
+        self._retry_failed.discard(component.name)
         self._emit(ComponentEventType.DISPOSED, component, reason)
 
     # ------------------------------------------------------------------

@@ -62,7 +62,8 @@ PORT_DATA_TYPES = ("Integer", "Byte", "Float")
 class PortSpec:
     """One declared port of a component."""
 
-    __slots__ = ("name", "direction", "interface", "data_type", "size")
+    __slots__ = ("name", "direction", "interface", "data_type", "size",
+                 "_signature")
 
     def __init__(self, name, direction, interface, data_type, size):
         try:
@@ -86,6 +87,11 @@ class PortSpec:
         if size <= 0:
             raise PortError("port size must be positive, got %r" % (size,))
         self.size = size
+        # Ports are immutable after construction, so the compatibility
+        # signature -- also the key of the registry's port-dependency
+        # indexes -- is computed once.
+        self._signature = (self.name, self.interface.value,
+                           self.data_type, self.size)
 
     def compatible_with(self, other):
         """Port-compatibility predicate (paper section 2.3).
@@ -97,23 +103,20 @@ class PortSpec:
             return False
         if self.direction is other.direction:
             return False
-        return (self.name == other.name
-                and self.interface is other.interface
-                and self.data_type == other.data_type
-                and self.size == other.size)
+        return self._signature == other._signature
 
     def signature(self):
         """The (name, interface, type, size) compatibility signature."""
-        return (self.name, self.interface.value, self.data_type, self.size)
+        return self._signature
 
     def __eq__(self, other):
         if not isinstance(other, PortSpec):
             return NotImplemented
         return (self.direction is other.direction
-                and self.signature() == other.signature())
+                and self._signature == other._signature)
 
     def __hash__(self):
-        return hash((self.direction,) + self.signature())
+        return hash((self.direction,) + self._signature)
 
     def __repr__(self):
         return "PortSpec(%s %s %s %s[%d])" % (

@@ -59,7 +59,12 @@ class Decision:
 class GlobalView:
     """Read-only snapshot of the system the DRCR hands to resolving
     services: the admitted contracts, per-CPU utilization, and kernel
-    facts.  Policies must not mutate anything through it."""
+    facts.  Policies must not mutate anything through it.
+
+    The DRCR allocates one view per reconfiguration pass and re-points
+    :attr:`candidate` per consultation, so policies must read the
+    candidate from the view they are handed rather than capture it
+    across calls."""
 
     __slots__ = ("registry", "kernel", "candidate")
 

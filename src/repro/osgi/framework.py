@@ -23,15 +23,23 @@ from repro.osgi.wiring import WiringResolver
 
 
 class Framework:
-    """A running OSGi framework instance."""
+    """A running OSGi framework instance.
 
-    def __init__(self):
+    ``telemetry`` is an optional :class:`~repro.telemetry.metrics
+    .Telemetry` switchboard; when given, the service registry's lookup
+    and filter-cache instruments land in its ``osgi`` registry.
+    """
+
+    def __init__(self, telemetry=None):
         self._bundles = []
         self._ids = itertools.count(1)
         self.framework_events = []
         self.bundle_listeners = ListenerList(on_error=self._listener_error)
         self.service_listeners = ListenerList(on_error=self._listener_error)
-        self.registry = ServiceRegistry(listeners=self.service_listeners)
+        metrics = telemetry.registry("osgi") if telemetry is not None \
+            else None
+        self.registry = ServiceRegistry(listeners=self.service_listeners,
+                                        metrics=metrics)
         self.resolver = WiringResolver()
         self._started = True
         self._record(FrameworkEventType.STARTED)

@@ -391,3 +391,56 @@ class LDAPFilter:
 def parse_filter(text):
     """Compile ``text`` into an :class:`LDAPFilter` (idempotent)."""
     return LDAPFilter(text)
+
+
+class FilterCache:
+    """Bounded memo of compiled filters keyed by filter text.
+
+    Service lookups tend to reuse a small set of filter strings
+    (management-service queries, DS target filters), so the registry
+    compiles each text once instead of re-running the parser per call.
+    Eviction is FIFO; with the default bound the cache holds every
+    filter a realistic platform uses.  ``on_hit``/``on_miss`` take
+    no-argument callables (telemetry counter ``inc`` methods slot in
+    directly); :attr:`hits`/:attr:`misses` are always tracked for
+    direct inspection.
+    """
+
+    __slots__ = ("max_size", "hits", "misses", "_cache",
+                 "_on_hit", "_on_miss")
+
+    def __init__(self, max_size=256, on_hit=None, on_miss=None):
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._cache = {}
+        self._on_hit = on_hit
+        self._on_miss = on_miss
+
+    def compile(self, text):
+        """The compiled :class:`LDAPFilter` for ``text``."""
+        if isinstance(text, LDAPFilter):
+            return text
+        compiled = self._cache.get(text)
+        if compiled is not None:
+            self.hits += 1
+            if self._on_hit is not None:
+                self._on_hit()
+            return compiled
+        self.misses += 1
+        if self._on_miss is not None:
+            self._on_miss()
+        compiled = LDAPFilter(text)
+        if len(self._cache) >= self.max_size:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[text] = compiled
+        return compiled
+
+    def __len__(self):
+        return len(self._cache)
+
+    def __repr__(self):
+        return "FilterCache(%d/%d, %d hits, %d misses)" % (
+            len(self._cache), self.max_size, self.hits, self.misses)

@@ -8,25 +8,65 @@ reconfiguration activities" (section 2.4), and customized resolving
 services are plugged in through it (section 1).
 
 Queries combine an interface name with an optional RFC 1960 LDAP filter
-(:mod:`repro.osgi.ldap`).
+(:mod:`repro.osgi.ldap`).  Lookups are the hot side of the registry --
+every management query and DS target check lands here -- so queries by
+interface go through a per-interface index instead of scanning all
+registrations, and filters compile through a :class:`FilterCache`
+keyed by filter text.  The per-interface index stays valid across
+``set_properties`` because ``objectClass`` is reserved and preserved
+(:mod:`repro.osgi.services`).
 """
 
 import itertools
 
 from repro.osgi.events import ServiceEvent, ServiceEventType
-from repro.osgi.ldap import parse_filter
+from repro.osgi.ldap import FilterCache
 from repro.osgi.services import OBJECTCLASS, ServiceRegistration
 
 
-class ServiceRegistry:
-    """Registry of services with LDAP-filter queries and events."""
+class _NullCounter:
+    """Stands in for telemetry counters on standalone registries."""
 
-    def __init__(self, listeners=None):
+    __slots__ = ()
+
+    def inc(self, amount=1):
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+
+
+class ServiceRegistry:
+    """Registry of services with LDAP-filter queries and events.
+
+    ``metrics`` is an optional telemetry
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (duck-typed --
+    anything with ``counter(name)``); when omitted the instruments are
+    no-ops, keeping standalone registries dependency-free.
+    """
+
+    def __init__(self, listeners=None, metrics=None):
         self._registrations = []
+        #: interface name -> [registrations], registration order.
+        self._by_class = {}
         self._ids = itertools.count(1)
         #: :class:`repro.osgi.events.ListenerList` for ServiceEvents;
         #: injected by the framework (kept optional for standalone use).
         self.listeners = listeners
+        if metrics is not None:
+            self._m_lookups = metrics.counter("service_lookups_total")
+            self._m_candidates = metrics.counter(
+                "service_lookup_candidates_total")
+            cache_hits = metrics.counter("filter_cache_hits_total")
+            cache_misses = metrics.counter("filter_cache_misses_total")
+        else:
+            self._m_lookups = _NULL_COUNTER
+            self._m_candidates = _NULL_COUNTER
+            cache_hits = cache_misses = _NULL_COUNTER
+        #: Compiled-filter memo (public: tests and inspection read its
+        #: hit/miss tallies directly).
+        self.filter_cache = FilterCache(on_hit=cache_hits.inc,
+                                        on_miss=cache_misses.inc)
 
     # ------------------------------------------------------------------
     # registration
@@ -44,6 +84,8 @@ class ServiceRegistry:
         registration = ServiceRegistration(
             self, bundle, classes, service, properties, next(self._ids))
         self._registrations.append(registration)
+        for clazz in registration.properties[OBJECTCLASS]:
+            self._by_class.setdefault(clazz, []).append(registration)
         self._emit(ServiceEventType.REGISTERED, registration)
         return registration
 
@@ -53,6 +95,12 @@ class ServiceRegistry:
         # re-resolving) must observe a registry without the departing
         # service, otherwise departure handling never converges.
         self._registrations.remove(registration)
+        for clazz in registration.properties[OBJECTCLASS]:
+            entries = self._by_class.get(clazz)
+            if entries is not None:
+                entries.remove(registration)
+                if not entries:
+                    del self._by_class[clazz]
         self._emit(ServiceEventType.UNREGISTERING, registration)
 
     def _service_modified(self, registration):
@@ -66,27 +114,39 @@ class ServiceRegistry:
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
+    def _matches(self, clazz, filter_text):
+        """Matching references (index-restricted, unsorted)."""
+        self._m_lookups.inc()
+        compiled = (self.filter_cache.compile(filter_text)
+                    if filter_text else None)
+        if clazz is None:
+            candidates = self._registrations
+        else:
+            # The index already guarantees the objectClass match.
+            candidates = self._by_class.get(clazz, ())
+        self._m_candidates.inc(len(candidates))
+        for registration in candidates:
+            if compiled is not None \
+                    and not compiled.matches(registration.properties):
+                continue
+            yield registration._reference
+
     def get_references(self, clazz=None, filter_text=None):
         """Find references by interface and/or LDAP filter.
 
         Results are sorted best-first (ranking desc, service.id asc).
         """
-        compiled = parse_filter(filter_text) if filter_text else None
-        matches = []
-        for registration in self._registrations:
-            props = registration.properties
-            if clazz is not None and clazz not in props[OBJECTCLASS]:
-                continue
-            if compiled is not None and not compiled.matches(props):
-                continue
-            matches.append(registration._reference)
-        matches.sort(key=lambda ref: ref.sort_key())
-        return matches
+        return sorted(self._matches(clazz, filter_text),
+                      key=lambda ref: ref.sort_key())
 
     def get_reference(self, clazz=None, filter_text=None):
-        """The best matching reference, or ``None``."""
-        refs = self.get_references(clazz, filter_text)
-        return refs[0] if refs else None
+        """The best matching reference, or ``None``.
+
+        One O(matches) ``min`` by sort key -- callers wanting a single
+        best service do not pay for sorting the full match set.
+        """
+        return min(self._matches(clazz, filter_text),
+                   key=lambda ref: ref.sort_key(), default=None)
 
     def get_service(self, reference):
         """Obtain the service object behind a reference."""

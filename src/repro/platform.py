@@ -84,7 +84,7 @@ def build_platform(seed=0, kernel_config=None, internal_policy=None,
     """
     sim = Simulator(seed=seed, telemetry=telemetry)
     kernel = RTKernel(sim, kernel_config or KernelConfig())
-    framework = Framework()
+    framework = Framework(telemetry=sim.telemetry)
     drcr = DRCR(framework, kernel, internal_policy=internal_policy,
                 container_factory=container_factory)
     if attach:

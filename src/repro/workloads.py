@@ -156,6 +156,20 @@ def generate_component_set(rng, name, count, total_utilization,
     return descriptors
 
 
+def deploy_component_set(drcr, descriptors):
+    """Deploy a generated population in one reconfiguration round.
+
+    Registers every descriptor inside :meth:`repro.core.DRCR.batch`,
+    so a fleet of N components costs one coalesced reconfiguration
+    instead of N full rounds -- the deployment path experiments A2/A3
+    (and any fleet-scale caller) should use.  Returns the managed
+    components in descriptor order.
+    """
+    with drcr.batch():
+        return [drcr.register_component(descriptor)
+                for descriptor in descriptors]
+
+
 def generate_fault_plan(rng, name, descriptors, horizon_ns=1_000_000_000,
                         crash_fraction=0.25, overrun_fraction=0.25,
                         overrun_factor=50.0):

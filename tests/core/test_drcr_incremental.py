@@ -1,0 +1,210 @@
+"""Incremental (dirty-set) reconfiguration and event-storm batching."""
+
+import pytest
+
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.errors import LifecycleError
+from repro.core.lifecycle import ComponentState
+
+from conftest import deploy, make_descriptor_xml
+
+
+def descriptor(name, **kwargs):
+    return ComponentDescriptor.from_xml(
+        make_descriptor_xml(name, **kwargs))
+
+
+def chain_descriptors(count, cpuusage=0.001):
+    """A port chain: component i consumes component i-1's outport."""
+    descriptors = []
+    for index in range(count):
+        outports = [("P%05d" % index, "RTAI.SHM", "Integer", 4)]
+        inports = [("P%05d" % (index - 1), "RTAI.SHM", "Integer", 4)] \
+            if index else []
+        descriptors.append(descriptor(
+            "C%05d" % index, cpuusage=cpuusage, frequency=100,
+            priority=min(200, index + 1), outports=outports,
+            inports=inports))
+    return descriptors
+
+
+class TestBatchCoalescing:
+    def test_deploy_storm_is_one_reconfiguration(self, platform):
+        drcr = platform.drcr
+        before = drcr.reconfigurations
+        with drcr.batch():
+            for spec in chain_descriptors(8):
+                drcr.register_component(spec)
+            # Nothing resolves until the batch closes.
+            assert drcr.reconfigurations == before
+            assert len(drcr.registry.active()) == 0
+        assert drcr.reconfigurations == before + 1
+        assert len(drcr.registry.active()) == 8
+
+    def test_counter_attribute_mirrors_telemetry(self, platform):
+        drcr = platform.drcr
+        metric = platform.telemetry.registry("drcr").get(
+            "reconfigurations_total")
+        with drcr.batch():
+            for spec in chain_descriptors(3):
+                drcr.register_component(spec)
+        assert drcr.reconfigurations == metric.value
+
+    def test_undeploy_storm_is_one_reconfiguration(self, platform):
+        drcr = platform.drcr
+        components = [drcr.register_component(spec)
+                      for spec in chain_descriptors(6)]
+        before = drcr.reconfigurations
+        with drcr.batch():
+            for component in components[3:]:
+                drcr.unregister_component(component.name)
+        assert drcr.reconfigurations == before + 1
+        assert len(drcr.registry) == 3
+        assert len(drcr.registry.active()) == 3
+
+    def test_nested_batches_flush_once(self, platform):
+        drcr = platform.drcr
+        before = drcr.reconfigurations
+        with drcr.batch():
+            with drcr.batch():
+                drcr.register_component(descriptor("INNER0"))
+            # Inner exit must not flush while the outer is open.
+            assert drcr.reconfigurations == before
+            drcr.register_component(descriptor("OUTER0"))
+        assert drcr.reconfigurations == before + 1
+        assert drcr.component_state("INNER0") is ComponentState.ACTIVE
+        assert drcr.component_state("OUTER0") is ComponentState.ACTIVE
+
+    def test_bundle_deploy_batches_per_bundle(self, platform):
+        drcr = platform.drcr
+        before = drcr.reconfigurations
+        xml_a = make_descriptor_xml("BATA00", cpuusage=0.01)
+        xml_b = make_descriptor_xml("BATB00", cpuusage=0.01)
+        platform.install_and_start(
+            {"Bundle-SymbolicName": "batch.bundle",
+             "RT-Component": "OSGI-INF/a.xml,OSGI-INF/b.xml"},
+            resources={"OSGI-INF/a.xml": xml_a,
+                       "OSGI-INF/b.xml": xml_b})
+        assert drcr.reconfigurations == before + 1
+        assert drcr.component_state("BATA00") is ComponentState.ACTIVE
+        assert drcr.component_state("BATB00") is ComponentState.ACTIVE
+
+    def test_register_application_refuses_open_batch(self, platform):
+        from repro.core.application import ApplicationDescriptor
+        application = ApplicationDescriptor(
+            "app.batch", [descriptor("APPB00")])
+        with platform.drcr.batch():
+            with pytest.raises(LifecycleError):
+                platform.drcr.register_application(application)
+
+    def test_reverse_registration_order_converges_in_batch(
+            self, platform):
+        # Consumers registered before their providers must still
+        # activate: the dirty set propagates provider -> consumer.
+        drcr = platform.drcr
+        with drcr.batch():
+            for spec in reversed(chain_descriptors(5)):
+                drcr.register_component(spec)
+        assert len(drcr.registry.active()) == 5
+
+
+class TestIncrementalEquivalence:
+    """Incremental mode must land in the same configuration a full
+    sweep does, for the same event sequence."""
+
+    @staticmethod
+    def run_scenario(platform):
+        drcr = platform.drcr
+        with drcr.batch():
+            for spec in chain_descriptors(10, cpuusage=0.02):
+                drcr.register_component(spec)
+        # Kill a mid-chain provider: everything downstream cascades.
+        drcr.disable_component("C00004")
+        states_after_kill = {
+            component.name: component.state
+            for component in drcr.registry.all()}
+        # Re-enable: the chain re-forms.
+        drcr.enable_component("C00004")
+        states_after_heal = {
+            component.name: component.state
+            for component in drcr.registry.all()}
+        return states_after_kill, states_after_heal
+
+    def test_matches_full_sweep(self, platform):
+        from repro.core.policies import UtilizationBoundPolicy
+        from repro.platform import build_platform
+        from repro.rtos.kernel import KernelConfig
+        from repro.rtos.latency import NullLatencyModel
+        from repro.sim.engine import MSEC
+        full = build_platform(
+            seed=7,
+            kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+            internal_policy=UtilizationBoundPolicy(cap=1.0))
+        full.start_timer(1 * MSEC)
+        full.drcr.incremental = False
+        incremental_result = self.run_scenario(platform)
+        full_result = self.run_scenario(full)
+        assert incremental_result == full_result
+
+    def test_cascade_marks_whole_downstream(self, platform):
+        drcr = platform.drcr
+        with drcr.batch():
+            for spec in chain_descriptors(6):
+                drcr.register_component(spec)
+        drcr.disable_component("C00002")
+        for index in range(6):
+            state = drcr.component_state("C%05d" % index)
+            if index < 2:
+                assert state is ComponentState.ACTIVE
+            elif index == 2:
+                assert state is ComponentState.DISABLED
+            else:
+                assert state is ComponentState.UNSATISFIED
+
+    def test_full_mode_flag_still_works(self, platform):
+        platform.drcr.incremental = False
+        for spec in chain_descriptors(4):
+            platform.drcr.register_component(spec)
+        assert len(platform.drcr.registry.active()) == 4
+
+
+class TestDirtySetTelemetry:
+    def test_marginal_deploy_skips_unaffected(self, platform):
+        drcr = platform.drcr
+        metrics = platform.telemetry.registry("drcr")
+        with drcr.batch():
+            for spec in chain_descriptors(20):
+                drcr.register_component(spec)
+        skipped_before = metrics.get("components_skipped_total").value
+        drcr.register_component(descriptor(
+            "XTRA00", cpuusage=0.001, frequency=100, priority=201,
+            inports=[("P00019", "RTAI.SHM", "Integer", 4)]))
+        # The marginal deploy visited the newcomer, not the fleet.
+        assert metrics.get("dirty_set_size").value <= 2
+        assert metrics.get("components_skipped_total").value \
+            > skipped_before
+        assert drcr.component_state("XTRA00") is ComponentState.ACTIVE
+
+    def test_full_sweep_passes_counted(self, platform):
+        metrics = platform.telemetry.registry("drcr")
+        before = metrics.get("full_sweep_passes_total").value
+        platform.drcr.register_component(descriptor("FULL00"))
+        assert metrics.get("full_sweep_passes_total").value == before
+        platform.drcr.reconfigure()
+        assert metrics.get("full_sweep_passes_total").value > before
+
+
+class TestBundleLifecycleUnderBatch:
+    def test_bundle_stop_coalesces(self, platform):
+        drcr = platform.drcr
+        bundles = [
+            deploy(platform, make_descriptor_xml(
+                "BST%03d" % index, cpuusage=0.01))
+            for index in range(4)
+        ]
+        before = drcr.reconfigurations
+        with drcr.batch():
+            for bundle in bundles:
+                bundle.stop()
+        assert drcr.reconfigurations == before + 1
+        assert len(drcr.registry) == 0

@@ -1,0 +1,90 @@
+"""Per-interface index, filter cache, and min-based best-match lookup."""
+
+from repro.osgi.ldap import FilterCache
+from repro.osgi.registry import ServiceRegistry
+from repro.osgi.services import SERVICE_RANKING
+from repro.telemetry.metrics import Telemetry
+
+
+class TestInterfaceIndex:
+    def test_lookup_by_class_matches_full_scan(self):
+        registry = ServiceRegistry()
+        regs = []
+        for index in range(6):
+            clazz = "com.iface.%d" % (index % 3)
+            regs.append(registry.register([clazz, "com.common"],
+                                          object()))
+        for index in range(3):
+            clazz = "com.iface.%d" % index
+            refs = registry.get_references(clazz)
+            expected = [r._reference for r in regs
+                        if clazz in r.properties["objectClass"]]
+            assert sorted(refs, key=lambda r: r.sort_key()) == refs
+            assert set(refs) == set(expected)
+        assert len(registry.get_references("com.common")) == 6
+        assert len(registry.get_references()) == 6
+
+    def test_index_shrinks_on_unregister(self):
+        registry = ServiceRegistry()
+        first = registry.register("com.x", object())
+        second = registry.register("com.x", object())
+        first.unregister()
+        refs = registry.get_references("com.x")
+        assert refs == [second._reference]
+        second.unregister()
+        assert registry.get_references("com.x") == []
+        assert registry.get_reference("com.x") is None
+
+    def test_get_reference_is_best_by_ranking_then_id(self):
+        registry = ServiceRegistry()
+        registry.register("com.x", "low", {SERVICE_RANKING: 1})
+        best = registry.register("com.x", "high", {SERVICE_RANKING: 9})
+        registry.register("com.x", "tie", {SERVICE_RANKING: 9})
+        reference = registry.get_reference("com.x")
+        # Highest ranking wins; the earlier id breaks the tie.
+        assert reference is best._reference
+
+    def test_filtered_lookup_uses_index_and_filter(self):
+        registry = ServiceRegistry()
+        registry.register("com.x", "a", {"grade": 1})
+        wanted = registry.register("com.x", "b", {"grade": 2})
+        registry.register("com.y", "c", {"grade": 2})
+        refs = registry.get_references("com.x", "(grade=2)")
+        assert refs == [wanted._reference]
+
+
+class TestFilterCache:
+    def test_repeated_filters_compile_once(self):
+        registry = ServiceRegistry()
+        registry.register("com.x", object(), {"grade": 1})
+        for _ in range(5):
+            registry.get_references("com.x", "(grade=1)")
+        assert registry.filter_cache.misses == 1
+        assert registry.filter_cache.hits == 4
+
+    def test_cache_is_bounded_fifo(self):
+        cache = FilterCache(max_size=2)
+        cache.compile("(a=1)")
+        cache.compile("(b=1)")
+        cache.compile("(c=1)")
+        assert len(cache) == 2
+        cache.compile("(a=1)")  # evicted -> recompiles
+        assert cache.misses == 4
+
+    def test_telemetry_counters_wired_through_framework(self):
+        from repro.osgi.framework import Framework
+        telemetry = Telemetry(enabled=True)
+        framework = Framework(telemetry=telemetry)
+        framework.registry.register("com.x", object(), {"grade": 1})
+        framework.registry.get_references("com.x", "(grade=1)")
+        framework.registry.get_references("com.x", "(grade=1)")
+        metrics = telemetry.registry("osgi")
+        assert metrics.get("service_lookups_total").value == 2
+        assert metrics.get("filter_cache_misses_total").value == 1
+        assert metrics.get("filter_cache_hits_total").value == 1
+        assert metrics.get("service_lookup_candidates_total").value == 2
+
+    def test_standalone_registry_needs_no_telemetry(self):
+        registry = ServiceRegistry()
+        registry.register("com.x", object())
+        assert registry.get_reference("com.x") is not None

@@ -1,0 +1,154 @@
+"""Property-based consistency of the ComponentRegistry indexes.
+
+After any sequence of register / unregister / state-change operations,
+every index-backed query must equal the brute-force scan over
+``registry.all()`` it replaced (including ordering).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.component import DRComComponent, LifecycleToken
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.lifecycle import ComponentState
+from repro.core.ports import PortDirection, PortInterface, PortSpec
+from repro.core.registry import ComponentRegistry
+
+from conftest import make_descriptor_xml
+
+_TOKEN = LifecycleToken("prop-test")
+_SIGNATURES = ["SIGA00", "SIGB00", "SIGC00"]
+_ADMITTED = (ComponentState.ACTIVE, ComponentState.SUSPENDED)
+
+# Direct assignment (the tests' force_state shortcut) must keep the
+# state index consistent, so the strategy assigns states freely.
+states = st.sampled_from(list(ComponentState))
+signatures = st.sampled_from(_SIGNATURES)
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        kind = draw(st.sampled_from(["add", "remove", "set_state"]))
+        if kind == "add":
+            ops.append(("add",
+                        draw(st.lists(signatures, max_size=2,
+                                      unique=True)),
+                        draw(st.lists(signatures, max_size=2,
+                                      unique=True)),
+                        draw(st.integers(min_value=0, max_value=1))))
+        else:
+            ops.append((kind, draw(st.integers(min_value=0,
+                                               max_value=30)),
+                        draw(states)))
+    return ops
+
+
+def build_component(name, outports, inports, cpu):
+    xml = make_descriptor_xml(
+        name, cpuusage=0.01, cpu=cpu,
+        outports=[(port, "RTAI.SHM", "Integer", 4) for port in outports],
+        inports=[(port, "RTAI.SHM", "Integer", 4) for port in inports])
+    return DRComComponent(ComponentDescriptor.from_xml(xml), None,
+                          _TOKEN)
+
+
+def apply_ops(ops):
+    registry = ComponentRegistry()
+    counter = 0
+    for op in ops:
+        if op[0] == "add":
+            _, outports, inports, cpu = op
+            registry.add(build_component("N%05d" % counter, outports,
+                                         inports, cpu))
+            counter += 1
+        else:
+            members = registry.all()
+            if not members:
+                continue
+            target = members[op[1] % len(members)]
+            if op[0] == "remove":
+                registry.remove(target)
+            else:
+                target.state = op[2]
+    return registry
+
+
+def probe_inport(signature):
+    return PortSpec(signature, PortDirection.IN, PortInterface.RTAI_SHM,
+                    "Integer", 4)
+
+
+class TestIndexConsistency:
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_state_index_matches_bruteforce(self, ops):
+        registry = apply_ops(ops)
+        members = registry.all()
+        for state in ComponentState:
+            expected = [c for c in members if c.state is state]
+            assert registry.in_state(state) == expected
+        counts = registry.state_counts()
+        for state in ComponentState:
+            assert counts[state] == sum(
+                1 for c in members if c.state is state)
+        assert registry.active() == [
+            c for c in members if c.state in _ADMITTED]
+        assert registry.unsatisfied() == [
+            c for c in members
+            if c.state is ComponentState.UNSATISFIED]
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_provider_index_matches_bruteforce(self, ops):
+        registry = apply_ops(ops)
+        members = registry.all()
+        for signature in _SIGNATURES:
+            inport = probe_inport(signature)
+            expected = [
+                (component, outport)
+                for component in members
+                if component.state in _ADMITTED
+                for outport in component.descriptor.outports
+                if inport.compatible_with(outport)
+            ]
+            assert registry.providers_of(inport) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_consumer_edges_match_bruteforce(self, ops):
+        registry = apply_ops(ops)
+        members = registry.all()
+        for provider in members:
+            provided = {outport.signature()
+                        for outport in provider.descriptor.outports}
+            expected = [
+                component for component in members
+                if component is not provider and any(
+                    inport.signature() in provided
+                    for inport in component.descriptor.inports)
+            ]
+            assert registry.consumers_of(provider) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_utilization_ledger_matches_bruteforce(self, ops):
+        registry = apply_ops(ops)
+        members = registry.all()
+        for cpu in (0, 1):
+            expected = sum(
+                component.contract.cpu_usage
+                for component in members
+                if component.state in _ADMITTED
+                and component.contract.cpu == cpu)
+            assert abs(registry.declared_utilization(cpu)
+                       - expected) < 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations())
+    def test_task_name_index_matches_bruteforce(self, ops):
+        registry = apply_ops(ops)
+        for component in registry.all():
+            assert registry.by_task_name(
+                component.descriptor.task_name) is component
