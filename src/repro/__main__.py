@@ -21,9 +21,17 @@ Observability flags (see ``docs/OBSERVABILITY.md``):
     run a chaos experiment: arm the named fault plan (``examples`` for
     the built-in one, else a JSON plan file) against the pipeline and
     print the injection report (see ``docs/FAULT_INJECTION.md``).
+
+Subcommands:
+
+``python -m repro lint <paths...> [--json] [--fail-on SEVERITY]``
+    run drtlint, the whole-deployment static verifier, over descriptor
+    files / example modules without starting a runtime (see
+    ``docs/STATIC_ANALYSIS.md``).
 """
 
 import argparse
+import sys
 
 from repro import build_platform
 from repro.core.inspection import system_report
@@ -85,7 +93,12 @@ def _parse_args(argv=None):
 
 
 def main(argv=None):
-    """Run the demo pipeline and print the system report."""
+    """Dispatch subcommands, else run the demo pipeline."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+        return lint_main(argv[1:])
     args = _parse_args(argv)
     telemetry = Telemetry(enabled=not args.no_telemetry)
     platform = build_platform(seed=2008, telemetry=telemetry)
@@ -130,4 +143,4 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -200,6 +200,8 @@ class ComponentDescriptor:
                 cpu = int(_first(child.attrib, "runoncup", "runoncpu",
                                  default="0"))
                 priority = int(child.attrib.get("priority", "0"))
+                if "deadline_ns" in child.attrib:
+                    deadline_ns = int(child.attrib["deadline_ns"])
             elif tag == "sporadictask":
                 if task_type is not TaskType.SPORADIC:
                     raise DescriptorError(
@@ -289,8 +291,12 @@ class ComponentDescriptor:
                                        self.contract.cpu,
                                        self.contract.priority, deadline))
         else:
-            lines.append('  <aperiodictask runoncpu="%d" priority="%d"/>'
-                         % (self.contract.cpu, self.contract.priority))
+            deadline = ""
+            if self.contract.deadline_ns is not None:
+                deadline = ' deadline_ns="%d"' % self.contract.deadline_ns
+            lines.append(
+                '  <aperiodictask runoncpu="%d" priority="%d"%s/>'
+                % (self.contract.cpu, self.contract.priority, deadline))
         for port in self.ports:
             lines.append(
                 '  <%s name="%s" interface="%s" type="%s" size="%d"/>'
@@ -312,6 +318,24 @@ class ComponentDescriptor:
 # ----------------------------------------------------------------------
 # parsing helpers
 # ----------------------------------------------------------------------
+def parse_descriptor_tree(text):
+    """Parse descriptor XML to an ElementTree root, tolerating the
+    paper's quirks (stray ``<? xml`` space, undeclared ``drt:``
+    prefix) exactly like :meth:`ComponentDescriptor.from_xml`.
+
+    Raw-tree access is what the static verifier
+    (:mod:`repro.lint`) uses for schema checks the tolerant parser
+    cannot express -- e.g. attributes it would silently ignore.
+    """
+    return _parse_root(text)
+
+
+def local_tag(tag):
+    """Public alias of the namespace-stripping helper (lint uses it to
+    compare element names independent of the ``drt:`` prefix)."""
+    return _local(tag)
+
+
 def _parse_root(text):
     text = text.strip()
     # The paper's own listing starts "<? xml ...?>" (stray space) and

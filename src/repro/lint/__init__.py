@@ -1,0 +1,39 @@
+"""drtlint: whole-deployment static verification for DRCom.
+
+DRCom's real-time aspect is *declarative* -- an XML contract (paper
+section 2.3) -- so an entire deployment set can be verified **before**
+a single task is admitted.  This package is that verifier: four
+analyzer families over descriptors, the port graph, the declared
+schedulability and the implementation AST, each emitting
+:class:`~repro.lint.diagnostics.Diagnostic` records with stable
+``DRTxxx`` codes.
+
+* ``python -m repro lint <paths...>`` -- the CLI;
+* :func:`lint_paths` / :func:`lint_descriptors` -- the library API;
+* :class:`LintResolvingService` -- drtlint as a DRCR pre-admission
+  resolving service (paper section 3's customized resolvers).
+
+See ``docs/STATIC_ANALYSIS.md`` for the full code table.
+"""
+
+from repro.lint.diagnostics import CODE_TABLE, Diagnostic, Severity
+from repro.lint.engine import (
+    FAMILIES,
+    JSON_SCHEMA_VERSION,
+    LintResult,
+    lint_descriptors,
+    lint_paths,
+)
+from repro.lint.resolver import LintResolvingService
+
+__all__ = [
+    "CODE_TABLE",
+    "Diagnostic",
+    "FAMILIES",
+    "JSON_SCHEMA_VERSION",
+    "LintResolvingService",
+    "LintResult",
+    "Severity",
+    "lint_descriptors",
+    "lint_paths",
+]

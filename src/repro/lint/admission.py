@@ -1,0 +1,123 @@
+"""DRT3xx -- admission analyzers.
+
+Statically answers the question the DRCR otherwise answers one
+component at a time at run time: can this declared fleet be
+co-admitted at all?  Reuses :mod:`repro.analysis` (utilization bounds,
+exact response-time analysis) over the contracts of every enabled,
+rate-bound component, grouped by declared CPU.
+"""
+
+from repro.analysis import (
+    TaskSpec,
+    liu_layland_bound,
+    response_time,
+    total_utilization,
+)
+from repro.lint.diagnostics import Diagnostic
+
+_EPSILON = 1e-9
+
+
+def check_admission(entries):
+    """Admission checks over one deployment.
+
+    ``entries`` is a list of ``(descriptor, location)`` pairs.  Only
+    enabled, rate-bound (periodic or sporadic) components take part:
+    aperiodic contracts declare no demand rate to analyse.
+    """
+    by_cpu = {}
+    for descriptor, location in entries:
+        if not descriptor.enabled:
+            continue
+        if not descriptor.contract.is_rate_bound:
+            continue
+        by_cpu.setdefault(descriptor.contract.cpu, []).append(
+            (descriptor, location))
+    diagnostics = []
+    for cpu, members in sorted(by_cpu.items()):
+        diagnostics.extend(_check_cpu(cpu, members))
+    return diagnostics
+
+
+def _check_cpu(cpu, members):
+    diagnostics = []
+    specs = []
+    owner = {}
+    location_of = {}
+    for descriptor, location in members:
+        spec = TaskSpec.from_contract(descriptor.contract)
+        specs.append(spec)
+        owner[spec.name] = descriptor.name
+        location_of[spec.name] = location
+    anchor = location_of[specs[0].name]
+
+    # DRT301: the fleet's declared budget simply does not fit.
+    utilization = total_utilization(specs)
+    if utilization > 1.0 + _EPSILON:
+        top = sorted(specs, key=lambda s: -s.utilization)[:3]
+        claims = ", ".join("%s=%.3f" % (owner[s.name], s.utilization)
+                           for s in top)
+        diagnostics.append(Diagnostic(
+            "DRT301", "", anchor,
+            "CPU %d is over-committed: declared utilization %.3f > "
+            "1.0 across %d components (largest claims: %s); this "
+            "fleet can never be co-admitted"
+            % (cpu, utilization, len(specs), claims)))
+
+    # DRT303: per-priority-band hot spots.  Equal-priority tasks
+    # mutually interfere in this kernel (round-robin within a level),
+    # so a band that alone exceeds the Liu-Layland bound for its size
+    # is a schedulability hot spot even if the total fits.
+    bands = {}
+    for spec in specs:
+        bands.setdefault(spec.priority, []).append(spec)
+    for priority, band in sorted(bands.items()):
+        if len(band) < 2:
+            continue
+        band_utilization = total_utilization(band)
+        bound = liu_layland_bound(len(band))
+        if band_utilization > bound + _EPSILON:
+            names = ", ".join(sorted(owner[s.name] for s in band))
+            diagnostics.append(Diagnostic(
+                "DRT303", "", location_of[band[0].name],
+                "priority band %d on CPU %d holds utilization %.3f "
+                "across %d mutually interfering tasks (%s), above "
+                "the Liu-Layland bound %.3f"
+                % (priority, cpu, band_utilization, len(band), names,
+                   bound)))
+
+    # DRT302: exact response-time analysis of the declared set.
+    for spec in specs:
+        interfering = [other for other in specs
+                       if other is not spec
+                       and other.priority <= spec.priority]
+        response = response_time(spec, interfering)
+        if response is None:
+            diagnostics.append(Diagnostic(
+                "DRT302", owner[spec.name], location_of[spec.name],
+                "declared worst-case response of %s exceeds its "
+                "deadline (%d ns) on CPU %d under response-time "
+                "analysis" % (owner[spec.name], spec.deadline_ns,
+                              cpu)))
+
+    # DRT304: rate-monotonic priority inversions among periodic tasks.
+    # The diagnostic lands on the faster task -- the one wrongly
+    # declared at the lower priority.
+    periodic = [(descriptor, location) for descriptor, location
+                in members if descriptor.contract.is_periodic]
+    for index, first in enumerate(periodic):
+        for second in periodic[index + 1:]:
+            fast, slow = first, second
+            if fast[0].contract.period_ns > slow[0].contract.period_ns:
+                fast, slow = slow, fast
+            a, b = fast[0].contract, slow[0].contract
+            if a.period_ns == b.period_ns or a.priority <= b.priority:
+                continue
+            diagnostics.append(Diagnostic(
+                "DRT304", fast[0].name, fast[1],
+                "%s (%.6g Hz) runs at priority %d below %s (%.6g Hz) "
+                "at priority %d on CPU %d; rate-monotonic order "
+                "would swap them"
+                % (fast[0].name, a.frequency_hz, a.priority,
+                   slow[0].name, b.frequency_hz, b.priority, cpu)))
+    return diagnostics

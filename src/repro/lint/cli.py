@@ -1,0 +1,61 @@
+"""``python -m repro lint``: the drtlint command line.
+
+Usage::
+
+    python -m repro lint <paths...> [--json] [--fail-on SEVERITY]
+
+Paths may be descriptor ``.xml`` files, implementation/example ``.py``
+files, or directories of either.  Exit status: 0 when no diagnostic
+reaches the ``--fail-on`` threshold (default: ``error``), 1 otherwise,
+2 on usage errors.  See ``docs/STATIC_ANALYSIS.md`` for the full
+DRT1xx-DRT4xx code table.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.lint.diagnostics import Severity
+from repro.lint.engine import FAMILIES, lint_paths
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="drtlint: statically verify DRCom descriptor "
+                    "deployments and implementation RT-safety "
+                    "without instantiating a runtime.")
+    parser.add_argument("paths", nargs="+", metavar="PATH",
+                        help="descriptor .xml files, implementation "
+                             ".py files, or directories of either")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the schema-stable JSON document "
+                             "instead of text")
+    parser.add_argument("--fail-on", default="error",
+                        choices=[member.value for member in Severity],
+                        help="minimum severity that fails the run "
+                             "(default: error)")
+    parser.add_argument("--family", action="append",
+                        choices=list(FAMILIES), default=None,
+                        metavar="FAMILY",
+                        help="restrict to analyzer families "
+                             "(repeatable; default: all of %s)"
+                             % ", ".join(FAMILIES))
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    """Entry point; returns the process exit status."""
+    args = _parse_args(sys.argv[2:] if argv is None else argv)
+    families = tuple(args.family) if args.family else FAMILIES
+    threshold = Severity.parse(args.fail_on)
+    try:
+        result = lint_paths(args.paths, families=families)
+    except FileNotFoundError as error:
+        print("drtlint: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=False))
+    else:
+        print(result.format_text())
+    return 1 if result.at_or_above(threshold) else 0

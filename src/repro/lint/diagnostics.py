@@ -1,0 +1,231 @@
+"""The diagnostic model of drtlint.
+
+Every analyzer emits :class:`Diagnostic` records with a **stable code**
+drawn from :data:`CODE_TABLE`.  Codes are grouped into four families
+mirroring the layers of a DRCom deployment:
+
+* **DRT1xx** -- contract analyzers: per-descriptor schema and
+  real-time-contract problems (section 2.3's declarative XML);
+* **DRT2xx** -- wiring-graph analyzers: whole-deployment port-graph
+  problems built purely from :class:`~repro.core.ports.PortSpec`
+  signatures (section 2.3's port-compatibility rule);
+* **DRT3xx** -- admission analyzers: schedulability problems derived
+  from the declared contracts via :mod:`repro.analysis`;
+* **DRT4xx** -- RT-safety AST analyzers: implementation classes whose
+  real-time callbacks re-enter the non-real-time side (section 3.1's
+  rule that the RT part must never call back into the OSGi/JVM world).
+
+The table is the single source of truth: the documentation
+(``docs/STATIC_ANALYSIS.md``), the JSON output and the tests all read
+it, so adding an analyzer means adding exactly one row here.
+"""
+
+import enum
+import functools
+
+
+@functools.total_ordering
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered (INFO < WARNING < ERROR)."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self):
+        """Numeric rank for threshold comparisons."""
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other):
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    @classmethod
+    def parse(cls, text):
+        """Parse a severity name (``--fail-on`` argument)."""
+        for member in cls:
+            if member.value == text:
+                return member
+        raise ValueError(
+            "unknown severity %r (expected one of %s)"
+            % (text, ", ".join(m.value for m in cls)))
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1,
+                  Severity.ERROR: 2}
+
+
+#: code -> (default severity, one-line trigger description, fix hint).
+#: The authoritative registry of every diagnostic drtlint can emit;
+#: ``docs/STATIC_ANALYSIS.md`` renders this table one row per code.
+CODE_TABLE = {
+    # ----- DRT1xx: contract analyzers --------------------------------
+    "DRT100": (Severity.ERROR,
+               "descriptor fails to parse or validate",
+               "fix the reported XML/contract problem; the runtime "
+               "would reject this descriptor at deploy time"),
+    "DRT101": (Severity.ERROR,
+               "duplicate component name inside one deployment",
+               "component names must be globally unique (section 2.3); "
+               "rename one of the components"),
+    "DRT102": (Severity.ERROR,
+               "RTAI task-name collision: two components derive the "
+               "same six-character kernel name (nam2num)",
+               "rename a component so the derived RTAI names differ; "
+               "the kernel can only register one task per name"),
+    "DRT103": (Severity.WARNING,
+               "component name longer than six characters; the RTAI "
+               "task name is derived by truncation",
+               "prefer names of at most six RTAI characters so the "
+               "kernel task name equals the component name"),
+    "DRT104": (Severity.WARNING,
+               "non-periodic task element declares a frequency "
+               "attribute the runtime ignores",
+               "remove the frequency attribute, or declare the "
+               "component type=\"periodic\""),
+    "DRT105": (Severity.ERROR,
+               "priority outside the scheduler range",
+               "use a priority in [0, 0x3FFFFFFF] (RTAI convention: "
+               "smaller number = higher priority)"),
+    "DRT106": (Severity.WARNING,
+               "rate-bound component declares a zero CPU claim",
+               "declare a positive cpuusage so admission control can "
+               "account for the task (0 admits it for free)"),
+    "DRT107": (Severity.WARNING,
+               "unknown attribute the parser silently ignores",
+               "remove or fix the attribute; a typo here (e.g. "
+               "'frequencyy') silently drops the declared value"),
+    "DRT108": (Severity.INFO,
+               "component is disabled (enabled=\"false\")",
+               "disabled components are excluded from wiring and "
+               "admission analysis; enable it or remove it from the "
+               "deployment"),
+    # ----- DRT2xx: wiring-graph analyzers ----------------------------
+    "DRT201": (Severity.ERROR,
+               "inport has no port-compatible provider in the "
+               "deployment",
+               "add a component with a matching outport (same name, "
+               "interface, type and size) or drop the inport; the "
+               "component would sit UNSATISFIED forever"),
+    "DRT202": (Severity.ERROR,
+               "provider/consumer ports share a name but disagree on "
+               "interface, type or size",
+               "make the inport and outport signatures identical; "
+               "port compatibility requires all four attributes to "
+               "agree (section 2.3)"),
+    "DRT203": (Severity.WARNING,
+               "ambiguous providers: several outports share one "
+               "signature",
+               "give the outports distinct port names; otherwise "
+               "resolution picks a provider nondeterministically"),
+    "DRT204": (Severity.ERROR,
+               "dependency cycle through port wiring",
+               "break the cycle (e.g. make one port connection "
+               "optional); a cycle can never bootstrap because every "
+               "member waits for another"),
+    "DRT205": (Severity.INFO,
+               "outport has no consumer in the deployment",
+               "remove the outport or add a consumer (RTAI.FIFO "
+               "outports are exempt: they export to user space)"),
+    # ----- DRT3xx: admission analyzers -------------------------------
+    "DRT301": (Severity.ERROR,
+               "declared utilization exceeds 1.0 on one CPU: the "
+               "fleet can never be co-admitted",
+               "lower cpuusage claims or spread components across "
+               "CPUs (runoncpu); the admission policy will reject "
+               "part of this fleet no matter the deployment order"),
+    "DRT302": (Severity.WARNING,
+               "declared task set fails exact response-time analysis",
+               "some declared deadline is missed in the worst case; "
+               "lower utilization, raise the deadline, or rely on an "
+               "adaptation policy to shed load at run time"),
+    "DRT303": (Severity.WARNING,
+               "priority-band utilization hot spot: the cumulative "
+               "utilization at some priority level exceeds the "
+               "Liu-Layland bound",
+               "rebalance cpuusage across priority bands; the "
+               "sufficient RM test already fails at this band"),
+    "DRT304": (Severity.WARNING,
+               "rate-monotonic priority inversion: a higher-frequency "
+               "periodic task is declared at a lower priority",
+               "swap the declared priorities; under fixed-priority "
+               "scheduling RM ordering is optimal for periodic tasks"),
+    # ----- DRT4xx: RT-safety AST analyzers ---------------------------
+    "DRT400": (Severity.ERROR,
+               "implementation source fails to parse",
+               "fix the Python syntax error; the RT-safety checks "
+               "cannot run on an unparseable module"),
+    "DRT401": (Severity.ERROR,
+               "RT callback calls a blocking sleep (time.sleep)",
+               "never block inside the RT part; model the cost via "
+               "compute_ns and let the kernel schedule the delay"),
+    "DRT402": (Severity.ERROR,
+               "RT callback performs file/socket/process I/O",
+               "move the I/O to the non-real-time part and ship the "
+               "data through a port (SHM, mailbox or FIFO)"),
+    "DRT403": (Severity.ERROR,
+               "RT callback re-enters the OSGi service registry",
+               "the RT part must never call back into the framework "
+               "(section 3.1); resolve services in the NRT part and "
+               "pass plain data across the bridge"),
+    "DRT404": (Severity.WARNING,
+               "RT callback grows instance state every job (unbounded "
+               "allocation in the periodic body)",
+               "use a bounded buffer or aggregate in place; per-job "
+               "growth of self-attached containers accumulates "
+               "without limit"),
+}
+
+
+class Diagnostic:
+    """One finding of the static verifier.
+
+    ``location`` is a free-form "where" string -- ``path``,
+    ``path:line`` or ``<memory>`` -- and ``component`` is the component
+    (or implementation class) the finding is about, empty for
+    deployment-wide findings.
+    """
+
+    __slots__ = ("code", "severity", "component", "location", "message",
+                 "fix_hint")
+
+    def __init__(self, code, component, location, message,
+                 severity=None, fix_hint=None):
+        if code not in CODE_TABLE:
+            raise ValueError("unknown diagnostic code %r" % (code,))
+        default_severity, _, default_hint = CODE_TABLE[code]
+        self.code = code
+        self.severity = severity or default_severity
+        self.component = component or ""
+        self.location = location or "<memory>"
+        self.message = message
+        self.fix_hint = fix_hint or default_hint
+
+    def sort_key(self):
+        """Deterministic ordering: location, then code, then subject."""
+        return (self.location, self.code, self.component, self.message)
+
+    def as_dict(self):
+        """Plain-data (JSON-safe) view, schema-stable."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "component": self.component,
+            "location": self.location,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    def format(self):
+        """One-line human-readable rendering."""
+        subject = (" %s:" % self.component) if self.component else ""
+        return "%s:%s [%s] %s: %s" % (
+            self.location, subject, self.code,
+            self.severity.value.upper(), self.message)
+
+    def __repr__(self):
+        return "Diagnostic(%s %s %s @ %s)" % (
+            self.code, self.severity.value, self.component,
+            self.location)

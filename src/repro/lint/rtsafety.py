@@ -1,0 +1,207 @@
+"""DRT4xx -- RT-safety AST analyzers.
+
+The hybrid component model's hard rule (paper section 3.1): the
+real-time part is "an independent concurrent process" that must never
+re-enter the OSGi/JVM side.  In the reproduction the RT part is the
+set of :class:`~repro.hybrid.implementation.RTImplementation` callbacks
+the kernel drives every job -- ``compute_ns``, ``execute`` and
+``on_command``.  This module walks implementation modules with
+:mod:`ast` and flags RT callbacks that
+
+* block (``time.sleep``) -- DRT401,
+* perform file/socket/process I/O -- DRT402,
+* look up or register OSGi services -- DRT403,
+* grow instance state on every job (unbounded allocation in the
+  periodic body) -- DRT404.
+
+Activation-time hooks (``init``/``uninit``) run on the OSGi side of
+the bridge and are deliberately *not* checked.
+"""
+
+import ast
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+#: Methods that execute inside the RT task body every job.
+RT_CALLBACKS = ("compute_ns", "execute", "on_command")
+
+#: Base class names that mark a class as an RT implementation.
+_RT_BASES = {"RTImplementation", "SyntheticImplementation"}
+
+#: Exact dotted calls that block the RT task (DRT401).
+_BLOCKING_CALLS = {"time.sleep"}
+
+#: Dotted-prefix roots whose calls are I/O (DRT402).  ``os`` is listed
+#: per-function (``os.path.join`` & co. are pure).
+_IO_CALLS = {"io.open", "os.open", "os.read", "os.write", "os.system",
+             "os.popen", "os.remove", "os.unlink"}
+_IO_ROOTS = ("socket", "subprocess", "requests", "urllib", "http")
+_IO_BUILTINS = {"open"}
+
+#: Method names that re-enter the OSGi service layer (DRT403).
+_SERVICE_METHODS = {"get_service", "get_reference",
+                    "get_service_references", "register_service",
+                    "install_bundle"}
+
+#: Container-growing method names on ``self``-rooted state (DRT404).
+_GROWTH_METHODS = {"append", "extend", "insert", "add", "appendleft"}
+
+
+def check_python_source(text, path):
+    """Run the DRT4xx checks over one implementation module."""
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as error:
+        return [Diagnostic(
+            "DRT400", "", "%s:%s" % (path, error.lineno or 0),
+            "implementation source fails to parse: %s" % error.msg)]
+    imports = _import_table(tree)
+    diagnostics = []
+    for cls in _rt_classes(tree):
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name not in RT_CALLBACKS:
+                continue
+            diagnostics.extend(
+                _check_callback(cls, method, imports, path))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# module-level discovery
+# ----------------------------------------------------------------------
+def _import_table(tree):
+    """Map local names to the dotted names they import.
+
+    ``import time as t`` -> ``{"t": "time"}``;
+    ``from time import sleep`` -> ``{"sleep": "time.sleep"}``.
+    """
+    table = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and not node.level:
+            for alias in node.names:
+                table[alias.asname or alias.name] = \
+                    "%s.%s" % (node.module, alias.name)
+    return table
+
+
+def _rt_classes(tree):
+    """Classes (transitively) deriving from RTImplementation."""
+    classes = [node for node in ast.walk(tree)
+               if isinstance(node, ast.ClassDef)]
+    rt_names = set(_RT_BASES)
+    found = {}
+    # Fixpoint over local inheritance chains: a class whose base is a
+    # module-local RT class is an RT class too.
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in found:
+                continue
+            for base in cls.bases:
+                base_name = _dotted(base)
+                if base_name is None:
+                    continue
+                leaf = base_name.split(".")[-1]
+                if leaf in rt_names:
+                    found[cls.name] = cls
+                    rt_names.add(cls.name)
+                    changed = True
+                    break
+    return [found[name] for name in sorted(found)]
+
+
+def _dotted(node):
+    """Render a Name/Attribute chain as ``a.b.c`` (None otherwise)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ----------------------------------------------------------------------
+# per-callback checks
+# ----------------------------------------------------------------------
+def _check_callback(cls, method, imports, path):
+    diagnostics = []
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        location = "%s:%d" % (path, node.lineno)
+        where = "%s.%s" % (cls.name, method.name)
+        resolved = _resolve(dotted, imports)
+        if resolved in _BLOCKING_CALLS:
+            diagnostics.append(Diagnostic(
+                "DRT401", cls.name, location,
+                "%s calls %s: the RT part must never block"
+                % (where, resolved)))
+            continue
+        if _is_io_call(dotted, resolved):
+            diagnostics.append(Diagnostic(
+                "DRT402", cls.name, location,
+                "%s performs I/O via %s" % (where, resolved or dotted)))
+            continue
+        if dotted == "print":
+            diagnostics.append(Diagnostic(
+                "DRT402", cls.name, location,
+                "%s performs console I/O (print)" % where,
+                severity=Severity.WARNING))
+            continue
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _SERVICE_METHODS:
+            diagnostics.append(Diagnostic(
+                "DRT403", cls.name, location,
+                "%s re-enters the OSGi service layer via .%s()"
+                % (where, node.func.attr)))
+            continue
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _GROWTH_METHODS \
+                and _rooted_at_self(node.func.value):
+            diagnostics.append(Diagnostic(
+                "DRT404", cls.name, location,
+                "%s grows instance state every job via %s.%s(); "
+                "bound the buffer or aggregate in place"
+                % (where, _dotted(node.func.value) or "self",
+                   node.func.attr)))
+    return diagnostics
+
+
+def _resolve(dotted, imports):
+    """Resolve a call's dotted name through the import table."""
+    if not dotted:
+        return dotted
+    head, _, rest = dotted.partition(".")
+    target = imports.get(head)
+    if target is None:
+        return dotted
+    return "%s.%s" % (target, rest) if rest else target
+
+
+def _is_io_call(dotted, resolved):
+    if dotted in _IO_BUILTINS:
+        return True
+    name = resolved or dotted
+    if not name:
+        return False
+    if name in _IO_CALLS:
+        return True
+    return name.split(".")[0] in _IO_ROOTS
+
+
+def _rooted_at_self(node):
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"

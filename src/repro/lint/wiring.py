@@ -1,0 +1,187 @@
+"""DRT2xx -- wiring-graph analyzers.
+
+Builds the deployment's port graph purely from
+:class:`~repro.core.ports.PortSpec` signatures -- the same
+``(name, interface, type, size)`` compatibility rule the DRCR resolves
+at run time (paper section 2.3) -- and flags unsatisfiable inports,
+near-miss signature mismatches, ambiguous providers and dependency
+cycles, all without instantiating anything.
+"""
+
+from repro.core.ports import PortInterface
+from repro.lint.diagnostics import Diagnostic
+
+
+def check_wiring(entries):
+    """Wiring checks over one deployment.
+
+    ``entries`` is a list of ``(descriptor, location)`` pairs; disabled
+    components do not participate (the runtime never wires them).
+    """
+    active = [(d, loc) for d, loc in entries if d.enabled]
+    providers = {}   # signature -> [(descriptor, port, location)]
+    consumers = {}   # signature -> [(descriptor, port, location)]
+    by_port_name = {}  # port name -> [(descriptor, outport)]
+    for descriptor, location in active:
+        for port in descriptor.outports:
+            providers.setdefault(port.signature(), []).append(
+                (descriptor, port, location))
+            by_port_name.setdefault(port.name, []).append(
+                (descriptor, port))
+        for port in descriptor.inports:
+            consumers.setdefault(port.signature(), []).append(
+                (descriptor, port, location))
+
+    diagnostics = []
+    diagnostics.extend(_check_inports(providers, consumers,
+                                      by_port_name))
+    diagnostics.extend(_check_ambiguity(providers, consumers))
+    diagnostics.extend(_check_dangling(providers, consumers))
+    diagnostics.extend(_check_cycles(active, providers))
+    return diagnostics
+
+
+def _describe(port):
+    return "%s %s %s[%d]" % (port.name, port.interface.value,
+                             port.data_type, port.size)
+
+
+def _check_inports(providers, consumers, by_port_name):
+    """DRT201 (no provider) / DRT202 (near-miss signature)."""
+    diagnostics = []
+    for signature, demand in sorted(consumers.items()):
+        if signature in providers:
+            continue
+        for descriptor, port, location in demand:
+            near = by_port_name.get(port.name, [])
+            if near:
+                details = "; ".join(
+                    "%s offers %s" % (d.name, _describe(p))
+                    for d, p in near)
+                diagnostics.append(Diagnostic(
+                    "DRT202", descriptor.name, location,
+                    "inport %s has no exact provider: %s"
+                    % (_describe(port), details)))
+            else:
+                diagnostics.append(Diagnostic(
+                    "DRT201", descriptor.name, location,
+                    "inport %s has no provider in this deployment; "
+                    "the component can never leave UNSATISFIED"
+                    % _describe(port)))
+    return diagnostics
+
+
+def _check_ambiguity(providers, consumers):
+    """DRT203: several outports share a consumed signature."""
+    diagnostics = []
+    for signature, supply in sorted(providers.items()):
+        if len(supply) < 2 or signature not in consumers:
+            continue
+        descriptor, port, location = supply[0]
+        names = ", ".join(sorted(d.name for d, _, _ in supply))
+        diagnostics.append(Diagnostic(
+            "DRT203", descriptor.name, location,
+            "outport %s is offered by %d components (%s); resolution "
+            "picks a provider nondeterministically"
+            % (_describe(port), len(supply), names)))
+    return diagnostics
+
+
+def _check_dangling(providers, consumers):
+    """DRT205: outports nothing consumes (FIFO exempt)."""
+    diagnostics = []
+    for signature, supply in sorted(providers.items()):
+        if signature in consumers:
+            continue
+        for descriptor, port, location in supply:
+            if port.interface is PortInterface.RTAI_FIFO:
+                continue  # RT -> user-space export channel
+            diagnostics.append(Diagnostic(
+                "DRT205", descriptor.name, location,
+                "outport %s has no consumer in this deployment"
+                % _describe(port)))
+    return diagnostics
+
+
+def _check_cycles(active, providers):
+    """DRT204: SCCs of the component dependency graph.
+
+    Edge ``A -> B`` when A declares an inport some outport of B
+    satisfies (A depends on B).  Any strongly connected component with
+    more than one member -- or a self-loop -- can never bootstrap:
+    activation requires an *active* provider, and every member waits
+    for another.
+    """
+    locations = {}
+    edges = {}
+    for descriptor, location in active:
+        locations.setdefault(descriptor.name, location)
+        edges.setdefault(descriptor.name, set())
+        for port in descriptor.inports:
+            for provider, _, _ in providers.get(port.signature(), []):
+                edges[descriptor.name].add(provider.name)
+    diagnostics = []
+    for scc in _tarjan(edges):
+        cycle = sorted(scc)
+        if len(cycle) == 1:
+            name = cycle[0]
+            if name not in edges.get(name, ()):
+                continue  # trivial SCC, no self-loop
+        diagnostics.append(Diagnostic(
+            "DRT204", cycle[0], locations[cycle[0]],
+            "dependency cycle through port wiring: %s"
+            % " -> ".join(cycle + [cycle[0]])))
+    return diagnostics
+
+
+def _tarjan(edges):
+    """Tarjan's SCC algorithm, iterative (lint may see deep chains)."""
+    index_counter = [0]
+    indexes, lowlinks = {}, {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    for root in sorted(edges):
+        if root in indexes:
+            continue
+        work = [(root, iter(sorted(edges[root])))]
+        indexes[root] = lowlinks[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in edges:
+                    continue
+                if successor not in indexes:
+                    indexes[successor] = lowlinks[successor] = \
+                        index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter(sorted(edges[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(lowlinks[node],
+                                         indexes[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent],
+                                       lowlinks[node])
+            if lowlinks[node] == indexes[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs

@@ -170,6 +170,94 @@ def deploy_component_set(drcr, descriptors):
                 for descriptor in descriptors]
 
 
+#: Defects :func:`generate_defective_fleet` can plant, with the
+#: drtlint diagnostic code each one must trigger.
+DEFECT_CODES = {
+    "cycle": "DRT204",
+    "size_mismatch": "DRT202",
+    "duplicate_task": "DRT102",
+    "overutilization": "DRT301",
+}
+
+
+def generate_defective_fleet(seed, count=8, defects=None,
+                             total_utilization=0.3):
+    """A seed-deterministic fleet with *known planted defects*.
+
+    Builds a healthy chained fleet of ``count`` components (see
+    :func:`generate_component_set`), then plants each requested defect
+    as extra components:
+
+    * ``"cycle"`` -- two components consuming each other's outports
+      (drtlint DRT204);
+    * ``"size_mismatch"`` -- a provider/consumer pair agreeing on the
+      port name but not the size (DRT202);
+    * ``"duplicate_task"`` -- two distinct component names that derive
+      the same six-character RTAI task name (DRT102);
+    * ``"overutilization"`` -- three half-CPU claims pinned to CPU 1
+      (DRT301).
+
+    Returns ``(descriptors, expected_codes)`` where ``expected_codes``
+    is the sorted list of diagnostic codes the planted defects must
+    produce -- the lint tests and the chaos suite assert the
+    error-level findings match it exactly.
+    """
+    from repro.sim.rng import RandomStreams
+    if defects is None:
+        defects = tuple(sorted(DEFECT_CODES))
+    unknown = [d for d in defects if d not in DEFECT_CODES]
+    if unknown:
+        raise ValueError("unknown defects: %s (known: %s)"
+                         % (", ".join(unknown),
+                            ", ".join(sorted(DEFECT_CODES))))
+    rng = RandomStreams(seed)
+    descriptors = generate_component_set(
+        rng, "df", count, total_utilization, chained=True)
+
+    # Planted components run slower than the slowest base-fleet task
+    # and at lower priority, so they stay rate-monotonically
+    # consistent: the only diagnostics they trigger are the planted
+    # ones (plus the admission warnings over-utilization implies).
+    def _component(name, frequency_hz=5.0, cpu_usage=0.01, cpu=0,
+                   priority=10, ports=()):
+        return ComponentDescriptor(
+            name=name, implementation="defect.%s" % name,
+            task_type=TaskType.PERIODIC, cpu_usage=cpu_usage,
+            frequency_hz=frequency_hz, priority=priority, cpu=cpu,
+            description="planted defect component", ports=ports)
+
+    if "cycle" in defects:
+        descriptors.append(_component("CYCA00", ports=[
+            PortSpec("CYCPA0", PortDirection.OUT, "RTAI.SHM",
+                     "Integer", 2),
+            PortSpec("CYCPB0", PortDirection.IN, "RTAI.SHM",
+                     "Integer", 2)]))
+        descriptors.append(_component("CYCB00", ports=[
+            PortSpec("CYCPB0", PortDirection.OUT, "RTAI.SHM",
+                     "Integer", 2),
+            PortSpec("CYCPA0", PortDirection.IN, "RTAI.SHM",
+                     "Integer", 2)]))
+    if "size_mismatch" in defects:
+        descriptors.append(_component("MISA00", ports=[
+            PortSpec("MISP00", PortDirection.OUT, "RTAI.SHM",
+                     "Integer", 4)]))
+        descriptors.append(_component("MISB00", ports=[
+            PortSpec("MISP00", PortDirection.IN, "RTAI.SHM",
+                     "Integer", 8)]))
+    if "duplicate_task" in defects:
+        # Distinct component names, same canonical RTAI task name
+        # (nam2num case-folds) -- the kernel can only register one.
+        descriptors.append(_component("DUPT00"))
+        descriptors.append(_component("dupt00"))
+    if "overutilization" in defects:
+        for index in range(3):
+            descriptors.append(_component(
+                "OVR%03d" % index, cpu_usage=0.5, cpu=1,
+                priority=20 + index))
+    expected_codes = sorted(DEFECT_CODES[d] for d in defects)
+    return descriptors, expected_codes
+
+
 def generate_fault_plan(rng, name, descriptors, horizon_ns=1_000_000_000,
                         crash_fraction=0.25, overrun_fraction=0.25,
                         overrun_factor=50.0):

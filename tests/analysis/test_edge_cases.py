@@ -1,0 +1,111 @@
+"""Edge cases of :mod:`repro.analysis` that drtlint's admission
+analyzers (DRT3xx) rely on: empty task sets, a single task at exactly
+U = 1.0, and the RTA non-convergence guard.  Bounds are asserted as
+exact values, not just booleans."""
+
+import math
+
+from repro.analysis import (
+    TaskSpec,
+    hyperbolic_bound_test,
+    liu_layland_bound,
+    liu_layland_test,
+    response_time,
+    rta_schedulable,
+    total_utilization,
+)
+
+MS = 1_000_000
+
+
+class TestEmptyTaskSet:
+    def test_total_utilization_is_exactly_zero(self):
+        assert total_utilization([]) == 0.0
+
+    def test_liu_layland_bound_of_zero_tasks_is_zero(self):
+        assert liu_layland_bound(0) == 0.0
+        assert liu_layland_bound(-3) == 0.0
+
+    def test_empty_set_passes_every_test(self):
+        # U = 0 <= bound(0) = 0: vacuously schedulable.
+        assert liu_layland_test([]) is True
+        # Hyperbolic product over nothing is exactly 1.0 <= 2.
+        assert hyperbolic_bound_test([]) is True
+        ok, responses = rta_schedulable([])
+        assert ok is True
+        assert responses == {}
+
+
+class TestSingleTaskAtFullUtilization:
+    def _spec(self):
+        return TaskSpec("FULL00", period_ns=10 * MS, wcet_ns=10 * MS,
+                        priority=0)
+
+    def test_bound_values_are_exact(self):
+        assert liu_layland_bound(1) == 1.0
+        assert liu_layland_bound(2) == 2 * (math.sqrt(2.0) - 1.0)
+        assert abs(liu_layland_bound(1000) - math.log(2.0)) < 1e-3
+
+    def test_single_task_at_u_1_is_schedulable(self):
+        spec = self._spec()
+        assert total_utilization([spec]) == 1.0
+        assert liu_layland_test([spec]) is True      # U == bound(1)
+        assert hyperbolic_bound_test([spec]) is True  # product == 2.0
+        ok, responses = rta_schedulable([spec])
+        assert ok is True
+        # Alone on the CPU the response is exactly the WCET == period.
+        assert responses == {"FULL00": 10 * MS}
+
+    def test_epsilon_past_full_utilization_fails(self):
+        over = TaskSpec("OVER00", period_ns=10 * MS,
+                        wcet_ns=10 * MS + 1, priority=0)
+        assert liu_layland_test([over]) is False
+        ok, responses = rta_schedulable([over])
+        assert ok is False
+        # Guarded: the iteration stops at the deadline, it never spins.
+        assert responses == {"OVER00": None}
+
+
+class TestRTAConvergence:
+    def test_textbook_response_time_is_exact(self):
+        # Classic three-task example: R3 = 255 for (T,C) =
+        # (100,25), (150,40), (350,100) under RM priorities.
+        t1 = TaskSpec("T1", 100, 25, priority=0)
+        t2 = TaskSpec("T2", 150, 40, priority=1)
+        t3 = TaskSpec("T3", 350, 100, priority=2)
+        assert response_time(t1, []) == 25
+        assert response_time(t2, [t1]) == 65
+        assert response_time(t3, [t1, t2]) == 255
+        ok, responses = rta_schedulable([t1, t2, t3])
+        assert ok is True
+        assert responses == {"T1": 25, "T2": 65, "T3": 255}
+
+    def test_non_convergence_returns_none_not_a_hang(self):
+        # hp demand alone exceeds the CPU: the fixpoint iteration
+        # diverges and must bail out at the limit.
+        hp = TaskSpec("HOG000", period_ns=1000, wcet_ns=900,
+                      priority=0)
+        low = TaskSpec("LOW000", period_ns=100_000, wcet_ns=50_000,
+                       priority=1)
+        assert response_time(low, [hp]) is None
+        ok, responses = rta_schedulable([hp, low])
+        assert ok is False
+        assert responses == {"HOG000": 900, "LOW000": None}
+
+    def test_explicit_limit_is_respected(self):
+        # Even a convergent iteration reports None when the caller's
+        # limit cuts it off first (drtlint uses the deadline).
+        t1 = TaskSpec("T1", 100, 25, priority=0)
+        t3 = TaskSpec("T3", 350, 100, priority=2)
+        assert response_time(t3, [t1], limit=100) is None
+        # With only T1 interfering: R = 100 + ceil(150/100)*25 = 150.
+        assert response_time(t3, [t1], limit=1_000) == 150
+
+    def test_equal_priority_tasks_mutually_interfere(self):
+        # The kernel round-robins within a level, so RTA treats equal
+        # priorities as interfering both ways (conservative).
+        a = TaskSpec("EQA000", 100, 30, priority=5)
+        b = TaskSpec("EQB000", 100, 30, priority=5)
+        ok, responses = rta_schedulable([a, b])
+        assert ok is True
+        assert responses == {"EQA000": 60, "EQB000": 60}

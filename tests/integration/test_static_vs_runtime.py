@@ -1,0 +1,117 @@
+"""Experiment C2: static defect detection vs runtime discovery.
+
+One defective fleet (four planted defects, seed 2008) examined two
+ways.  drtlint names every defect with a stable code and a fix hint
+before any framework exists; the live runtime discovers the same
+defects only piecemeal -- one as a deploy-time exception, two as
+components that silently sit UNSATISFIED forever, and one as an
+admission veto.  EXPERIMENTS.md section C2 documents the comparison
+this test asserts."""
+
+import pytest
+
+from repro.core import ComponentState, DuplicateComponentError
+from repro.core.policies import UtilizationBoundPolicy
+from repro.lint import Severity, lint_descriptors
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+from repro.workloads import generate_defective_fleet
+
+SEED = 2008
+
+
+@pytest.fixture
+def fleet():
+    return generate_defective_fleet(SEED)
+
+
+@pytest.fixture
+def platform():
+    p = build_platform(
+        seed=SEED,
+        kernel_config=KernelConfig(num_cpus=2,
+                                   latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=1.0),
+    )
+    p.start_timer(1 * MSEC)
+    return p
+
+
+class TestStaticSide:
+    def test_drtlint_names_every_defect_up_front(self, fleet):
+        descriptors, expected = fleet
+        diagnostics = lint_descriptors(descriptors)
+        found = sorted({d.code for d in diagnostics
+                        if d.severity is Severity.ERROR})
+        assert found == expected
+        # Every finding is actionable: code, culprit and a fix hint.
+        for diagnostic in diagnostics:
+            assert diagnostic.fix_hint
+
+    def test_static_analysis_needs_no_runtime(self, fleet):
+        # The whole point of C2: the analysis above ran against plain
+        # descriptor objects -- no simulator, kernel, framework or
+        # DRCR was ever constructed in TestStaticSide.
+        descriptors, _ = fleet
+        assert all(type(d).__module__ == "repro.core.descriptor"
+                   for d in descriptors)
+
+
+class TestRuntimeSide:
+    def deploy(self, platform, descriptors):
+        deploy_errors = []
+        for descriptor in descriptors:
+            try:
+                platform.drcr.register_component(descriptor)
+            except DuplicateComponentError as error:
+                deploy_errors.append((descriptor.name, str(error)))
+        return deploy_errors
+
+    def test_runtime_discovers_the_defects_only_piecemeal(
+            self, platform, fleet):
+        descriptors, _ = fleet
+        deploy_errors = self.deploy(platform, descriptors)
+
+        # Defect "duplicate_task": surfaces as a deploy-time
+        # exception -- the second colliding registration blows up.
+        assert len(deploy_errors) == 1
+        assert deploy_errors[0][0] == "dupt00"
+
+        # Defect "cycle": both members wait for the other to activate
+        # first; they sit UNSATISFIED forever, with no cycle report.
+        state = platform.drcr.component_state
+        assert state("CYCA00") is ComponentState.UNSATISFIED
+        assert state("CYCB00") is ComponentState.UNSATISFIED
+
+        # Defect "size_mismatch": the consumer's inport never finds a
+        # compatible provider -- again just UNSATISFIED, no diagnosis.
+        assert state("MISB00") is ComponentState.UNSATISFIED
+
+        # Defect "overutilization": the third half-CPU claim on CPU 1
+        # is vetoed by admission control; the first two run.
+        over_states = [state("OVR%03d" % index) for index in range(3)]
+        active = [s for s in over_states
+                  if s is ComponentState.ACTIVE]
+        unsatisfied = [s for s in over_states
+                       if s is ComponentState.UNSATISFIED]
+        assert len(active) == 2 and len(unsatisfied) == 1
+
+        # Time passes; nothing self-heals.  The planted defects are
+        # permanent, which is exactly why catching them before
+        # deployment is worth a static pass.
+        platform.run_for(200 * MSEC)
+        assert state("CYCA00") is ComponentState.UNSATISFIED
+        assert state("MISB00") is ComponentState.UNSATISFIED
+
+    def test_healthy_members_still_run(self, platform, fleet):
+        descriptors, _ = fleet
+        self.deploy(platform, descriptors)
+        # The defects do not take the healthy chained base fleet down.
+        base = [d.name for d in descriptors
+                if d.name.startswith("DF")]
+        platform.run_for(50 * MSEC)
+        for name in base:
+            assert platform.drcr.component_state(name) \
+                is ComponentState.ACTIVE

@@ -1,0 +1,128 @@
+"""DRT3xx admission analyzers: static schedulability over declared
+contracts, per CPU, reusing repro.analysis bounds."""
+
+from repro.core.descriptor import ComponentDescriptor
+from repro.lint import Severity, lint_descriptors
+from repro.rtos.task import TaskType
+
+
+def component(name, cpu_usage, frequency_hz=100.0, priority=2, cpu=0,
+              enabled=True, task_type=TaskType.PERIODIC):
+    kwargs = {}
+    if task_type is TaskType.PERIODIC:
+        kwargs["frequency_hz"] = frequency_hz
+    return ComponentDescriptor(
+        name=name, implementation="adm.%s" % name, task_type=task_type,
+        cpu_usage=cpu_usage, priority=priority, cpu=cpu,
+        enabled=enabled, **kwargs)
+
+
+def admission(diagnostics):
+    return [d for d in diagnostics if d.code.startswith("DRT3")]
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in admission(diagnostics))
+
+
+class TestOverAdmission:
+    def test_under_committed_cpu_is_clean(self):
+        diags = lint_descriptors([
+            component("LOAD%02d" % i, 0.2, priority=i)
+            for i in range(4)])
+        assert "DRT301" not in codes(diags)
+
+    def test_total_claims_past_one_cpu_is_drt301(self):
+        diags = lint_descriptors([
+            component("LOAD%02d" % i, 0.4, priority=i)
+            for i in range(3)])
+        assert "DRT301" in codes(diags)
+        over = [d for d in diags if d.code == "DRT301"][0]
+        assert over.severity is Severity.ERROR
+        assert "1.20" in over.message
+
+    def test_claims_are_summed_per_cpu_not_globally(self):
+        # 0.6 on CPU 0 plus 0.6 on CPU 1: each core is fine.
+        diags = lint_descriptors([
+            component("CPUA00", 0.6, cpu=0, priority=1),
+            component("CPUB00", 0.6, cpu=1, priority=1),
+        ])
+        assert "DRT301" not in codes(diags)
+
+    def test_disabled_components_do_not_count(self):
+        diags = lint_descriptors([
+            component("LOAD%02d" % i, 0.4, priority=i,
+                      enabled=(i < 2))
+            for i in range(3)])
+        assert "DRT301" not in codes(diags)
+
+
+class TestResponseTimes:
+    def test_rta_failure_is_drt302_on_the_victim(self):
+        # The hog leaves no room: the slow task's RTA diverges.
+        diags = lint_descriptors([
+            component("HOG000", 0.9, frequency_hz=1000.0, priority=0),
+            component("SLOW00", 0.5, frequency_hz=10.0, priority=1),
+        ])
+        assert "DRT302" in codes(diags)
+        victim = [d for d in diags if d.code == "DRT302"][0]
+        assert victim.component == "SLOW00"
+
+    def test_schedulable_set_has_no_drt302(self):
+        diags = lint_descriptors([
+            component("FAST00", 0.25, frequency_hz=100.0, priority=0),
+            component("SLOW00", 0.25, frequency_hz=10.0, priority=1),
+        ])
+        assert "DRT302" not in codes(diags)
+
+
+class TestPriorityBands:
+    def test_hot_equal_priority_band_is_drt303(self):
+        # Two tasks sharing one priority at a combined 0.9 > bound(2).
+        diags = lint_descriptors([
+            component("BANDA0", 0.45, priority=5),
+            component("BANDB0", 0.45, priority=5),
+        ])
+        assert "DRT303" in codes(diags)
+
+    def test_cool_band_is_clean(self):
+        diags = lint_descriptors([
+            component("BANDA0", 0.2, priority=5),
+            component("BANDB0", 0.2, priority=5),
+        ])
+        assert "DRT303" not in codes(diags)
+
+    def test_single_member_band_never_fires(self):
+        diags = lint_descriptors([component("ALONE0", 0.95,
+                                            priority=5)])
+        assert "DRT303" not in codes(diags)
+
+
+class TestRateMonotonicInversions:
+    def test_slow_task_above_fast_task_is_drt304(self):
+        # 10 Hz at priority 0 beats 100 Hz at priority 9: inverted.
+        diags = lint_descriptors([
+            component("SLOW00", 0.05, frequency_hz=10.0, priority=0),
+            component("FAST00", 0.05, frequency_hz=100.0, priority=9),
+        ])
+        assert "DRT304" in codes(diags)
+        inversion = [d for d in diags if d.code == "DRT304"][0]
+        # The warning lands on the wrongly de-prioritized fast task.
+        assert inversion.component == "FAST00"
+        assert inversion.severity is Severity.WARNING
+
+    def test_rm_consistent_order_is_clean(self):
+        diags = lint_descriptors([
+            component("FAST00", 0.05, frequency_hz=100.0, priority=0),
+            component("SLOW00", 0.05, frequency_hz=10.0, priority=9),
+        ])
+        assert "DRT304" not in codes(diags)
+
+    def test_aperiodic_tasks_are_ignored(self):
+        # No period, no RM ordering to violate.
+        diags = lint_descriptors([
+            component("SLOW00", 0.05, frequency_hz=10.0, priority=0),
+            component("APER00", 0.0, priority=9,
+                      task_type=TaskType.APERIODIC),
+        ])
+        assert "DRT304" not in codes(diags)

@@ -1,0 +1,115 @@
+"""DRT1xx contract analyzers: schema, names, priorities, CPU claims."""
+
+from repro.core.descriptor import ComponentDescriptor
+from repro.lint import Severity, lint_descriptors
+from repro.lint.contracts import MAX_SCHEDULER_PRIORITY
+from repro.lint.engine import lint_descriptor_texts
+from repro.rtos.task import TaskType
+
+
+def xml(name="GOOD00", task="periodictask", attrs="frequence=\"100\"",
+        extra="", type_name="periodic", cpuusage="0.1", priority=2):
+    return """<?xml version="1.0" encoding="UTF-8"?>
+<drt:component name="%s" type="%s" enabled="true" cpuusage="%s">
+  <implementation bincode="test.Impl"/>
+  <%s %s runoncpu="0" priority="%d"/>
+  %s
+</drt:component>""" % (name, type_name, cpuusage, task, attrs,
+                       priority, extra)
+
+
+def lint_xml(*texts):
+    return lint_descriptor_texts(
+        [("test.xml", text) for text in texts])
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+class TestParseFailures:
+    def test_unparseable_xml_is_drt100(self):
+        diags = lint_xml("<drt:component name='broken'")
+        assert codes(diags) == ["DRT100"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_contract_violation_is_drt100(self):
+        # cpuusage out of [0, 1] fails descriptor validation.
+        diags = lint_xml(xml(cpuusage="1.5"))
+        assert "DRT100" in codes(diags)
+
+    def test_clean_descriptor_has_no_findings(self):
+        assert lint_xml(xml()) == []
+
+
+class TestSchemaBeyondParse:
+    def test_unknown_attribute_is_drt107(self):
+        diags = lint_xml(xml(attrs='frequence="100" frequencyy="9"'))
+        assert codes(diags) == ["DRT107"]
+        assert "frequencyy" in diags[0].message
+
+    def test_papers_runoncup_spelling_is_not_flagged(self):
+        assert lint_xml(xml(attrs='frequence="100" runoncup="0"')) \
+            == []
+
+    def test_frequency_on_aperiodic_task_is_drt104(self):
+        diags = lint_xml(xml(task="aperiodictask",
+                             attrs='frequence="100"',
+                             type_name="aperiodic", cpuusage="0"))
+        assert codes(diags) == ["DRT104"]
+
+    def test_frequency_on_sporadic_task_is_drt104(self):
+        diags = lint_xml(xml(
+            task="sporadictask",
+            attrs='mininterarrival_ns="1000000" frequency="10"',
+            type_name="sporadic"))
+        assert codes(diags) == ["DRT104"]
+
+
+class TestNameChecks:
+    def test_duplicate_component_name_is_drt101(self):
+        diags = lint_xml(xml(), xml())
+        assert "DRT101" in codes(diags)
+
+    def test_nam2num_collision_is_drt102(self):
+        # Distinct names, same canonical RTAI name (case folds).
+        diags = lint_xml(xml(name="TASK01"), xml(name="task01"))
+        assert "DRT102" in codes(diags)
+        assert "DRT101" not in codes(diags)
+
+    def test_long_name_truncation_is_drt103(self):
+        diags = lint_xml(xml(name="calculation"))
+        drt103 = [d for d in diags if d.code == "DRT103"]
+        assert len(drt103) == 1
+        assert drt103[0].severity is Severity.WARNING
+        # The derived kernel name is spelled out in the message.
+        assert "CALCAL" in drt103[0].message
+
+    def test_derived_name_collision_is_drt102(self):
+        # Both names derive the same 3+3 RTAI name.
+        diags = lint_xml(xml(name="calculation"),
+                         xml(name="calcatrix"))
+        assert "DRT102" in codes(diags)
+
+
+class TestContractValues:
+    def test_priority_beyond_scheduler_range_is_drt105(self):
+        diags = lint_xml(xml(priority=MAX_SCHEDULER_PRIORITY + 1))
+        assert codes(diags) == ["DRT105"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_priority_at_scheduler_limit_is_clean(self):
+        assert lint_xml(xml(priority=MAX_SCHEDULER_PRIORITY)) == []
+
+    def test_zero_cpu_claim_is_drt106(self):
+        diags = lint_xml(xml(cpuusage="0"))
+        assert codes(diags) == ["DRT106"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_disabled_component_is_drt108_info(self):
+        descriptor = ComponentDescriptor(
+            "OFF000", "x.Off", TaskType.PERIODIC, enabled=False,
+            cpu_usage=0.1, frequency_hz=100.0)
+        diags = lint_descriptors([descriptor])
+        assert codes(diags) == ["DRT108"]
+        assert diags[0].severity is Severity.INFO

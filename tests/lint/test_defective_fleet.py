@@ -1,0 +1,43 @@
+"""Acceptance: linting a generated defective fleet reports every
+planted defect with its expected DRT code -- exact-match on the
+error-level findings."""
+
+import pytest
+
+from repro.lint import Severity, lint_descriptors
+from repro.workloads import DEFECT_CODES, generate_defective_fleet
+
+
+def error_codes(diagnostics):
+    return sorted({d.code for d in diagnostics
+                   if d.severity is Severity.ERROR})
+
+
+class TestDefectiveFleet:
+    @pytest.mark.parametrize("seed", [1, 7, 2008, 424242])
+    def test_all_planted_defects_are_found_exactly(self, seed):
+        descriptors, expected = generate_defective_fleet(seed)
+        assert expected == sorted(DEFECT_CODES.values())
+        diags = lint_descriptors(descriptors)
+        assert error_codes(diags) == expected
+
+    def test_single_defect_subset(self):
+        descriptors, expected = generate_defective_fleet(
+            3, defects=("cycle",))
+        assert expected == ["DRT204"]
+        assert error_codes(lint_descriptors(descriptors)) == expected
+
+    def test_healthy_base_fleet_has_no_errors(self):
+        descriptors, expected = generate_defective_fleet(3, defects=())
+        assert expected == []
+        assert error_codes(lint_descriptors(descriptors)) == []
+
+    def test_unknown_defect_is_rejected(self):
+        with pytest.raises(ValueError):
+            generate_defective_fleet(3, defects=("gremlins",))
+
+    def test_fleet_is_seed_deterministic(self):
+        first, _ = generate_defective_fleet(99)
+        second, _ = generate_defective_fleet(99)
+        assert [d.to_xml() for d in first] \
+            == [d.to_xml() for d in second]

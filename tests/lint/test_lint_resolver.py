@@ -1,0 +1,99 @@
+"""LintResolvingService plugged into a live DRCR: drtlint vetoes
+defective admissions through the paper's customized-resolving-service
+hook, and counts what it did in ``lint.*`` telemetry."""
+
+import pytest
+from conftest import deploy, make_descriptor_xml
+
+from repro.core import ComponentState
+from repro.core.policies import AlwaysAcceptPolicy
+from repro.core.resolving import RESOLVING_SERVICE_INTERFACE
+from repro.lint import LintResolvingService, Severity
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+
+
+@pytest.fixture
+def linted_platform():
+    # A permissive internal policy, so any veto observed in these
+    # tests is attributable to drtlint alone.
+    p = build_platform(
+        seed=7,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        internal_policy=AlwaysAcceptPolicy(),
+    )
+    p.start_timer(1 * MSEC)
+    p.framework.registry.register(RESOLVING_SERVICE_INTERFACE,
+                                  LintResolvingService())
+    return p
+
+
+def lint_counter(platform, name):
+    metric = platform.telemetry.registry("lint").get(name)
+    return metric.value if metric is not None else 0
+
+
+class TestAdmissionVeto:
+    def test_clean_candidate_is_admitted(self, linted_platform):
+        deploy(linted_platform,
+               make_descriptor_xml("CLEAN0", cpuusage=0.4))
+        assert linted_platform.drcr.component_state("CLEAN0") \
+            is ComponentState.ACTIVE
+        assert lint_counter(linted_platform,
+                            "resolver_consults_total") >= 1
+        assert lint_counter(linted_platform,
+                            "resolver_rejections_total") == 0
+
+    def test_over_admission_is_vetoed_with_drt301(self,
+                                                  linted_platform):
+        deploy(linted_platform,
+               make_descriptor_xml("CLEAN0", cpuusage=0.4))
+        deploy(linted_platform,
+               make_descriptor_xml("HOGGY0", cpuusage=0.8,
+                                   priority=3))
+        assert linted_platform.drcr.component_state("HOGGY0") \
+            is ComponentState.UNSATISFIED
+        # The healthy component must stay up: differential blame
+        # charges the newcomer, not the fleet.
+        assert linted_platform.drcr.component_state("CLEAN0") \
+            is ComponentState.ACTIVE
+        assert lint_counter(linted_platform,
+                            "resolver_rejections_total") >= 1
+        assert lint_counter(linted_platform,
+                            "resolver_code.DRT301") >= 1
+
+    def test_veto_is_attributed_to_drtlint(self, linted_platform):
+        deploy(linted_platform,
+               make_descriptor_xml("CLEAN0", cpuusage=0.4))
+        deploy(linted_platform,
+               make_descriptor_xml("HOGGY0", cpuusage=0.8,
+                                   priority=3))
+        attributed = linted_platform.telemetry.registry("drcr").get(
+            "rejected_by.drtlint")
+        assert attributed is not None and attributed.value >= 1
+
+    def test_warnings_do_not_veto_at_default_threshold(
+            self, linted_platform):
+        # A zero CPU claim is only DRT106 (warning): below the
+        # default ERROR threshold the candidate sails through.
+        deploy(linted_platform,
+               make_descriptor_xml("FREE00", cpuusage=0))
+        assert linted_platform.drcr.component_state("FREE00") \
+            is ComponentState.ACTIVE
+
+    def test_warning_threshold_can_be_tightened(self):
+        p = build_platform(
+            seed=7,
+            kernel_config=KernelConfig(
+                latency_model=NullLatencyModel()),
+            internal_policy=AlwaysAcceptPolicy(),
+        )
+        p.start_timer(1 * MSEC)
+        p.framework.registry.register(
+            RESOLVING_SERVICE_INTERFACE,
+            LintResolvingService(fail_on=Severity.WARNING))
+        deploy(p, make_descriptor_xml("FREE00", cpuusage=0))
+        assert p.drcr.component_state("FREE00") \
+            is ComponentState.UNSATISFIED

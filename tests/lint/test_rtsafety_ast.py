@@ -1,0 +1,147 @@
+"""DRT4xx RT-safety AST checks over implementation classes.
+
+Purely syntactic: the sources are never imported, only parsed."""
+
+import textwrap
+
+from repro.lint import Severity
+from repro.lint.rtsafety import check_python_source
+
+
+def lint_source(body):
+    source = textwrap.dedent(body)
+    return check_python_source(source, "impl.py")
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+RT_CLASS = """\
+    import time
+    import socket
+    from repro.core.implementation import RTImplementation
+
+    class Impl(RTImplementation):
+        def compute_ns(self, now_ns):
+%s
+            return 1000
+"""
+
+
+def rt_body(*lines):
+    return RT_CLASS % "\n".join("            " + line
+                                for line in lines)
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_rt_callback_is_drt401(self):
+        diags = lint_source(rt_body("time.sleep(0.01)"))
+        assert codes(diags) == ["DRT401"]
+        assert diags[0].severity is Severity.ERROR
+        assert "compute_ns" in diags[0].message
+
+    def test_aliased_import_is_still_caught(self):
+        diags = lint_source("""\
+            import time as t
+            from repro.core.implementation import RTImplementation
+
+            class Impl(RTImplementation):
+                def execute(self):
+                    t.sleep(1)
+        """)
+        assert codes(diags) == ["DRT401"]
+
+    def test_from_import_sleep_is_caught(self):
+        diags = lint_source("""\
+            from time import sleep
+            from repro.core.implementation import RTImplementation
+
+            class Impl(RTImplementation):
+                def compute_ns(self, now_ns):
+                    sleep(1)
+        """)
+        assert codes(diags) == ["DRT401"]
+
+    def test_sleep_outside_rt_callback_is_allowed(self):
+        diags = lint_source("""\
+            import time
+            from repro.core.implementation import RTImplementation
+
+            class Impl(RTImplementation):
+                def init(self, context):
+                    time.sleep(0.1)
+
+                def compute_ns(self, now_ns):
+                    return 1000
+        """)
+        assert codes(diags) == []
+
+    def test_sleep_in_plain_class_is_allowed(self):
+        diags = lint_source("""\
+            import time
+
+            class NotAComponent:
+                def compute_ns(self, now_ns):
+                    time.sleep(1)
+        """)
+        assert codes(diags) == []
+
+
+class TestIOCalls:
+    def test_open_in_rt_callback_is_drt402(self):
+        diags = lint_source(rt_body("open('/tmp/x')"))
+        assert codes(diags) == ["DRT402"]
+
+    def test_socket_use_is_drt402(self):
+        diags = lint_source(rt_body("socket.socket()"))
+        assert codes(diags) == ["DRT402"]
+
+    def test_print_is_a_drt402_warning_only(self):
+        diags = lint_source(rt_body("print('tick')"))
+        assert codes(diags) == ["DRT402"]
+        assert diags[0].severity is Severity.WARNING
+
+
+class TestServiceLookups:
+    def test_get_service_in_rt_callback_is_drt403(self):
+        diags = lint_source(rt_body(
+            "svc = self.context.get_service(ref)"))
+        assert codes(diags) == ["DRT403"]
+
+    def test_register_service_is_drt403(self):
+        diags = lint_source(rt_body(
+            "self.context.register_service('x', self)"))
+        assert codes(diags) == ["DRT403"]
+
+
+class TestUnboundedGrowth:
+    def test_self_list_append_is_drt404(self):
+        diags = lint_source(rt_body("self.history.append(now_ns)"))
+        assert codes(diags) == ["DRT404"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_local_list_append_is_allowed(self):
+        diags = lint_source(rt_body("local = []",
+                                    "local.append(now_ns)"))
+        assert codes(diags) == []
+
+
+class TestInheritanceDiscovery:
+    def test_indirect_subclass_is_checked(self):
+        diags = lint_source("""\
+            import time
+            from repro.core.implementation import RTImplementation
+
+            class Base(RTImplementation):
+                pass
+
+            class Leaf(Base):
+                def compute_ns(self, now_ns):
+                    time.sleep(1)
+        """)
+        assert codes(diags) == ["DRT401"]
+
+    def test_syntax_error_is_drt400(self):
+        diags = check_python_source("def broken(:\n", "impl.py")
+        assert codes(diags) == ["DRT400"]

@@ -1,0 +1,152 @@
+"""DRT2xx wiring-graph analyzers: satisfaction, mismatches, ambiguity,
+cycles -- all from PortSpec signatures, no runtime involved."""
+
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.ports import PortDirection, PortSpec
+from repro.lint import Severity, lint_descriptors
+from repro.rtos.task import TaskType
+
+
+def component(name, outs=(), ins=(), enabled=True, interface="RTAI.SHM",
+              cpu_usage=0.01):
+    ports = []
+    for spec in outs:
+        ports.append(_port(spec, PortDirection.OUT, interface))
+    for spec in ins:
+        ports.append(_port(spec, PortDirection.IN, interface))
+    return ComponentDescriptor(
+        name=name, implementation="wire.%s" % name,
+        task_type=TaskType.PERIODIC, cpu_usage=cpu_usage,
+        frequency_hz=100.0, priority=2, enabled=enabled, ports=ports)
+
+
+def _port(spec, direction, interface):
+    if isinstance(spec, str):
+        spec = (spec, "Integer", 4)
+    name, data_type, size = spec
+    return PortSpec(name, direction, interface, data_type, size)
+
+
+def wiring(diagnostics):
+    return [d for d in diagnostics if d.code.startswith("DRT2")]
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in wiring(diagnostics))
+
+
+class TestSatisfaction:
+    def test_satisfied_chain_is_clean(self):
+        diags = lint_descriptors([
+            component("PROD00", outs=["DATA00"]),
+            component("CONS00", ins=["DATA00"]),
+        ])
+        assert wiring(diags) == []
+
+    def test_missing_provider_is_drt201(self):
+        diags = lint_descriptors([component("CONS00", ins=["DATA00"])])
+        assert codes(diags) == ["DRT201"]
+        assert wiring(diags)[0].component == "CONS00"
+        assert wiring(diags)[0].severity is Severity.ERROR
+
+    def test_disabled_provider_does_not_satisfy(self):
+        diags = lint_descriptors([
+            component("PROD00", outs=["DATA00"], enabled=False),
+            component("CONS00", ins=["DATA00"]),
+        ])
+        assert "DRT201" in codes(diags)
+
+    def test_size_mismatch_is_drt202_not_drt201(self):
+        diags = lint_descriptors([
+            component("PROD00", outs=[("DATA00", "Integer", 4)]),
+            component("CONS00", ins=[("DATA00", "Integer", 8)]),
+        ])
+        assert "DRT202" in codes(diags)
+        assert "DRT201" not in codes(diags)
+        mismatch = [d for d in diags if d.code == "DRT202"][0]
+        assert "PROD00" in mismatch.message
+
+    def test_type_and_interface_mismatches_are_drt202(self):
+        diags = lint_descriptors([
+            component("PROD00", outs=[("DATA00", "Byte", 4)]),
+            component("CONS00", ins=[("DATA00", "Integer", 4)]),
+        ])
+        assert "DRT202" in codes(diags)
+        diags = lint_descriptors([
+            component("PROD00", outs=["DATA00"],
+                      interface="RTAI.Mailbox"),
+            component("CONS00", ins=["DATA00"]),
+        ])
+        assert "DRT202" in codes(diags)
+
+
+class TestAmbiguityAndDangling:
+    def test_two_providers_one_consumer_is_drt203(self):
+        diags = lint_descriptors([
+            component("PRODA0", outs=["DATA00"]),
+            component("PRODB0", outs=["DATA00"]),
+            component("CONS00", ins=["DATA00"]),
+        ])
+        assert "DRT203" in codes(diags)
+
+    def test_two_providers_no_consumer_is_not_ambiguous(self):
+        diags = lint_descriptors([
+            component("PRODA0", outs=["DATA00"]),
+            component("PRODB0", outs=["DATA00"]),
+        ])
+        assert "DRT203" not in codes(diags)
+
+    def test_dangling_outport_is_drt205_info(self):
+        diags = lint_descriptors([component("PROD00",
+                                            outs=["DATA00"])])
+        assert codes(diags) == ["DRT205"]
+        assert wiring(diags)[0].severity is Severity.INFO
+
+    def test_fifo_outport_is_exempt_from_drt205(self):
+        diags = lint_descriptors([
+            component("PROD00", outs=["DATA00"],
+                      interface="RTAI.FIFO")])
+        assert wiring(diags) == []
+
+
+class TestCycles:
+    def test_two_cycle_is_drt204(self):
+        diags = lint_descriptors([
+            component("CYCA00", outs=["LINKA0"], ins=["LINKB0"]),
+            component("CYCB00", outs=["LINKB0"], ins=["LINKA0"]),
+        ])
+        assert "DRT204" in codes(diags)
+        cycle = [d for d in diags if d.code == "DRT204"][0]
+        assert "CYCA00" in cycle.message and "CYCB00" in cycle.message
+
+    def test_three_cycle_is_detected_once(self):
+        diags = lint_descriptors([
+            component("CYCA00", outs=["LINKA0"], ins=["LINKC0"]),
+            component("CYCB00", outs=["LINKB0"], ins=["LINKA0"]),
+            component("CYCC00", outs=["LINKC0"], ins=["LINKB0"]),
+        ])
+        assert codes(diags).count("DRT204") == 1
+
+    def test_self_loop_is_drt204(self):
+        diags = lint_descriptors([
+            component("SELF00", outs=["LOOP00"], ins=["LOOP00"]),
+        ])
+        assert "DRT204" in codes(diags)
+
+    def test_linear_chain_is_not_a_cycle(self):
+        diags = lint_descriptors([
+            component("STAGE0", outs=["LINKA0"]),
+            component("STAGE1", outs=["LINKB0"], ins=["LINKA0"]),
+            component("STAGE2", ins=["LINKB0"]),
+        ])
+        assert "DRT204" not in codes(diags)
+
+    def test_deep_chain_does_not_recurse(self):
+        # 500 components in a line: the iterative Tarjan must cope.
+        members = [component("C%05d" % 0, outs=["P%05d" % 0])]
+        for index in range(1, 500):
+            members.append(component(
+                "C%05d" % index, outs=["P%05d" % index],
+                ins=["P%05d" % (index - 1)], cpu_usage=0.0001))
+        diags = lint_descriptors(members)
+        assert "DRT204" not in codes(diags)

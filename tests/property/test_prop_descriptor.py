@@ -57,6 +57,11 @@ def descriptors(draw):
     elif task_type is TaskType.SPORADIC:
         kwargs["min_interarrival_ns"] = draw(st.integers(
             min_value=1_000, max_value=10_000_000_000))
+    # Every task type may declare an explicit deadline; drtlint's
+    # admission analyzers read it, so the round trip must keep it.
+    if draw(st.booleans()):
+        kwargs["deadline_ns"] = draw(st.integers(
+            min_value=1_000, max_value=10_000_000_000))
     return ComponentDescriptor(
         name=draw(component_names),
         implementation="impl.Class",
@@ -81,9 +86,28 @@ class TestDescriptorRoundTrip:
         assert reparsed.name == descriptor.name
         assert reparsed.enabled == descriptor.enabled
         assert reparsed.implementation == descriptor.implementation
+        assert reparsed.description == descriptor.description
         assert reparsed.contract == descriptor.contract
+        assert reparsed.contract.deadline_ns \
+            == descriptor.contract.deadline_ns
+        assert reparsed.contract.cpu == descriptor.contract.cpu
         assert reparsed.ports == descriptor.ports
+        assert [p.size for p in reparsed.ports] \
+            == [p.size for p in descriptor.ports]
         assert reparsed.property_dict() == descriptor.property_dict()
+        assert {name: prop.type_name
+                for name, prop in reparsed.properties.items()} \
+            == {name: prop.type_name
+                for name, prop in descriptor.properties.items()}
+
+    @given(descriptors())
+    def test_to_xml_is_idempotent(self, descriptor):
+        # Serialise -> parse -> serialise must be a fixpoint: drtlint
+        # diagnostics reference descriptor text, so a drifting
+        # serialisation would move every location on each rewrite.
+        once = descriptor.to_xml()
+        again = ComponentDescriptor.from_xml(once).to_xml()
+        assert once == again
 
     @given(descriptors())
     def test_task_name_always_valid_rtai_name(self, descriptor):
