@@ -1,22 +1,29 @@
 #!/usr/bin/env python3
-"""A3 scaling guardrail: fail if marginal-deploy cost regressed >2x.
+"""Scaling guardrails: fail if a benchmark regressed >2x.
 
 Usage::
 
     python benchmarks/check_scaling_guardrail.py \
         BENCH_scaling_drcr.json benchmarks/baselines/BENCH_scaling_drcr.json
+    python benchmarks/check_scaling_guardrail.py \
+        BENCH_cluster.json benchmarks/baselines/BENCH_cluster.json
 
-Compares a fresh ``BENCH_scaling_drcr.json`` (written by
-``benchmarks/test_scaling_drcr.py``) against the committed baseline.
+Compares a fresh benchmark document against the committed baseline;
+the document's ``benchmark`` field picks the check set.
 Machine-independent shape ratios carry the regression signal:
 
-* ``marginal_growth_per_fleet_growth`` -- how fast the marginal deploy
-  grows relative to the fleet (the ~O(affected) promise);
-* ``incremental_speedup_at_max`` -- incremental vs full-sweep marginal
-  deploy on the same machine/process;
-* absolute ``marginal_deploy_ms`` at the largest fleet, compared only
-  when both runs used the same ladder (CI baseline is recorded on the
-  CI ladder, so this check is live there).
+* A3 (``scaling_drcr``): ``marginal_growth_per_fleet_growth`` (the
+  ~O(affected) promise), ``incremental_speedup_at_max`` (incremental
+  vs full sweep on the same machine/process), and the absolute
+  ``marginal_deploy_ms`` at the largest fleet when both runs used the
+  same ladder (CI baseline is recorded on the CI ladder, so this check
+  is live there).
+* C3 (``cluster``): ``max_failover_over_deadline`` (failover must stay
+  detection-dominated) and ``migration_latency_spread`` (moving one
+  component must not scale with the fleet) -- both simulated-time, so
+  any drift is a protocol change, not machine noise -- plus the
+  absolute ``migration_latency_ms`` at the largest fleet on matching
+  ladders.
 
 A metric regresses when it is more than ``TOLERANCE`` (2x) worse than
 the baseline.  Exit status 1 on any regression.
@@ -33,21 +40,7 @@ def load(path):
         return json.load(handle)
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__)
-        return 2
-    current = load(argv[1])
-    baseline = load(argv[2])
-    failures = []
-
-    def check_at_most(label, value, limit):
-        verdict = "ok" if value <= limit else "REGRESSED"
-        print("%-42s %10.3f (limit %10.3f)  %s"
-              % (label, value, limit, verdict))
-        if value > limit:
-            failures.append(label)
-
+def check_drcr(current, baseline, check_at_most):
     check_at_most(
         "marginal_growth_per_fleet_growth",
         current["marginal_growth_per_fleet_growth"],
@@ -66,6 +59,58 @@ def main(argv):
         print("fleet ladders differ (%s vs %s): skipping the absolute "
               "marginal-deploy comparison"
               % (current["fleet_sizes"], baseline["fleet_sizes"]))
+
+
+def check_cluster(current, baseline, check_at_most):
+    check_at_most(
+        "max_failover_over_deadline",
+        current["max_failover_over_deadline"],
+        TOLERANCE * baseline["max_failover_over_deadline"])
+    check_at_most(
+        "migration_latency_spread",
+        current["migration_latency_spread"],
+        TOLERANCE * baseline["migration_latency_spread"])
+    if current["fleet_sizes"] == baseline["fleet_sizes"]:
+        check_at_most(
+            "migration_latency_ms at max fleet",
+            current["rows"][-1]["migration_latency_ms"],
+            TOLERANCE * baseline["rows"][-1]["migration_latency_ms"])
+    else:
+        print("fleet ladders differ (%s vs %s): skipping the absolute "
+              "migration-latency comparison"
+              % (current["fleet_sizes"], baseline["fleet_sizes"]))
+
+
+CHECKS = {
+    "scaling_drcr": check_drcr,
+    "cluster": check_cluster,
+}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+    kind = current.get("benchmark", "scaling_drcr")
+    if kind != baseline.get("benchmark", "scaling_drcr"):
+        print("benchmark kinds differ: %r vs %r"
+              % (kind, baseline.get("benchmark")))
+        return 2
+    if kind not in CHECKS:
+        print("no guardrail for benchmark %r" % (kind,))
+        return 2
+    failures = []
+
+    def check_at_most(label, value, limit):
+        verdict = "ok" if value <= limit else "REGRESSED"
+        print("%-42s %10.3f (limit %10.3f)  %s"
+              % (label, value, limit, verdict))
+        if value > limit:
+            failures.append(label)
+
+    CHECKS[kind](current, baseline, check_at_most)
 
     if failures:
         print("guardrail FAILED: %s regressed more than %.0fx vs the "

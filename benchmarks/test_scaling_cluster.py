@@ -1,0 +1,142 @@
+"""Experiment C3 -- cluster scaling: migration latency and failover
+time vs fleet size.
+
+A three-node federation hosts fleets of 8..64 components on one node
+(override the ladder with ``C3_FLEET_SIZES=8,16``).  Per fleet size the
+benchmark measures, in *simulated* time (deterministic, so the shape
+assertions are machine-independent):
+
+* snapshot-based migration latency for one component (initiation to
+  ack over the default 500us links),
+* failover time: node crash to the coordinator's failover round
+  (detection by missed heartbeats dominates -- the C3 claim),
+* how many of the dead node's components the failover re-homed, and
+  that every one of them is ACTIVE on a survivor afterwards.
+
+Shape asserted: migration latency is fleet-size independent (one
+component moves, not the fleet); failover time sits in
+``[deadline, deadline + 3 intervals]`` at every size (detection
+dominates, the redeploy itself is one batch round); failover re-homes
+the whole fleet.  The rows land in ``BENCH_cluster.json`` for the
+guardrail in ``benchmarks/check_scaling_guardrail.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import ComponentState
+from repro.sim.engine import MSEC
+
+from conftest import make_descriptor_xml, run_once
+
+DEFAULT_FLEET_SIZES = (8, 16, 32, 64)
+HEARTBEAT_INTERVAL_NS = 10 * MSEC
+MISS_LIMIT = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_cluster.json"
+
+
+def fleet_sizes():
+    override = os.environ.get("C3_FLEET_SIZES")
+    if not override:
+        return DEFAULT_FLEET_SIZES
+    return tuple(int(part) for part in override.split(",") if part)
+
+
+def measure_fleet(size):
+    cluster = Cluster(("node0", "node1", "node2"), seed=size,
+                      heartbeat_interval_ns=HEARTBEAT_INTERVAL_NS,
+                      miss_limit=MISS_LIMIT)
+    try:
+        # The whole fleet on node0: the node we will kill.
+        for index in range(size):
+            cluster.deploy(make_descriptor_xml(
+                "F%05d" % index, cpuusage=0.008, frequency=100,
+                priority=min(200, index + 1)), node="node0")
+        cluster.run_for(50 * MSEC)
+
+        # One snapshot-based migration, timed initiation-to-ack.
+        migration_id = cluster.migrate("F00000", dst="node1")
+        cluster.run_for(50 * MSEC)
+        migration = cluster.migration(migration_id)
+        assert migration["outcome"] == "restored", migration
+
+        # Crash the host; failover fires when detection declares it.
+        crash_at = cluster.sim.now
+        cluster.crash_node("node0")
+        cluster.run_for(10 * MISS_LIMIT * HEARTBEAT_INTERVAL_NS)
+        assert len(cluster.failovers) == 1
+        failover = cluster.failovers[0]
+        rehomed = len(failover["moved"])
+        active = sum(
+            1 for name, home in failover["moved"].items()
+            if cluster.node(home).drcr.component_state(name)
+            is ComponentState.ACTIVE)
+        return {
+            "size": size,
+            "migration_latency_ms":
+                migration["latency_ns"] / 1e6,
+            "failover_time_ms":
+                (failover["at_ns"] - crash_at) / 1e6,
+            "rehomed": rehomed,
+            "rehomed_active": active,
+            "unplaced": len(failover["unplaced"]),
+        }
+    finally:
+        cluster.shutdown()
+
+
+def write_results(document):
+    RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_cluster_scaling(benchmark):
+    sizes = fleet_sizes()
+    rows = run_once(benchmark,
+                    lambda: [measure_fleet(size) for size in sizes])
+
+    deadline_ms = MISS_LIMIT * HEARTBEAT_INTERVAL_NS / 1e6
+    interval_ms = HEARTBEAT_INTERVAL_NS / 1e6
+    print("\nC3 -- cluster scaling (3 nodes, fleet on the victim):")
+    print("%6s %15s %15s %8s %8s"
+          % ("size", "migration[ms]", "failover[ms]", "rehomed",
+             "active"))
+    for row in rows:
+        print("%6d %15.3f %15.1f %8d %8d"
+              % (row["size"], row["migration_latency_ms"],
+                 row["failover_time_ms"], row["rehomed"],
+                 row["rehomed_active"]))
+
+    latencies = [row["migration_latency_ms"] for row in rows]
+    document = {
+        "benchmark": "cluster",
+        "fleet_sizes": list(sizes),
+        "heartbeat_interval_ms": interval_ms,
+        "miss_limit": MISS_LIMIT,
+        "detection_deadline_ms": deadline_ms,
+        "rows": rows,
+        "migration_latency_spread": max(latencies) / min(latencies),
+        "max_failover_over_deadline":
+            max(row["failover_time_ms"] for row in rows) / deadline_ms,
+    }
+    write_results(document)
+    benchmark.extra_info["rows"] = rows
+
+    for row in rows:
+        # The failover re-homed the whole fleet (minus the migrated
+        # component, which already lives on node1), all ACTIVE.
+        assert row["rehomed"] == row["size"] - 1
+        assert row["rehomed_active"] == row["rehomed"]
+        assert row["unplaced"] == 0
+        # Detection dominates: crash-to-failover within the staleness
+        # deadline plus a few beat/latency grace intervals.
+        assert deadline_ms <= row["failover_time_ms"] \
+            <= deadline_ms + 3 * interval_ms
+
+    # Moving one component costs the same whatever the fleet size.
+    assert document["migration_latency_spread"] < 3.0

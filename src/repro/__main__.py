@@ -28,6 +28,12 @@ Subcommands:
     run drtlint, the whole-deployment static verifier, over descriptor
     files / example modules without starting a runtime (see
     ``docs/STATIC_ANALYSIS.md``).
+
+``python -m repro cluster [--nodes N] [--components K] ...``
+    run the multi-node federation demo: deploy a workload across a
+    simulated cluster, migrate a component, crash a node and watch
+    heartbeat detection plus automatic failover re-home its components
+    (see ``docs/ARCHITECTURE.md``, Federation section).
 """
 
 import argparse
@@ -99,6 +105,9 @@ def main(argv=None):
     if argv and argv[0] == "lint":
         from repro.lint.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cli import main as cluster_main
+        return cluster_main(argv[1:])
     args = _parse_args(argv)
     telemetry = Telemetry(enabled=not args.no_telemetry)
     platform = build_platform(seed=2008, telemetry=telemetry)

@@ -1,0 +1,52 @@
+"""Multi-node DRCR federation.
+
+The paper's runtime manages one platform.  This package federates N of
+them: each :class:`~repro.cluster.node.ClusterNode` runs its own
+kernel + OSGi framework + DRCR on a *shared* simulator, connected by a
+:class:`~repro.cluster.transport.MessageTransport` with configurable
+per-link latency, jitter and loss.  On top sit heartbeat membership
+with failure detection (:mod:`~repro.cluster.membership`), a remote
+deployment/management protocol routed through the paper's §2.4
+management services (:mod:`~repro.cluster.node`), cluster-level
+(node, CPU) placement (:mod:`~repro.cluster.placement`), and
+snapshot-based migration plus automatic failover
+(:mod:`~repro.cluster.federation`).
+
+Entry points::
+
+    from repro.cluster import Cluster, LinkSpec
+
+    cluster = Cluster(("node0", "node1", "node2"), seed=7)
+    cluster.deploy(descriptor_xml)            # placement picks a node
+    cluster.run_for(100 * MSEC)
+    cluster.migrate("SENS00", dst="node2")    # state travels along
+    cluster.crash_node("node1")               # heartbeats go silent...
+    cluster.run_for(100 * MSEC)               # ...failover re-homes it
+    cluster.report()
+
+``python -m repro cluster`` runs a scripted demo of exactly that
+sequence.
+"""
+
+from repro.cluster.federation import Cluster, ClusterError
+from repro.cluster.membership import MembershipService
+from repro.cluster.node import (
+    NODE_MANAGEMENT_INTERFACE,
+    ClusterNode,
+    NodeManagementService,
+)
+from repro.cluster.placement import ClusterPlacementService
+from repro.cluster.transport import LinkSpec, Message, MessageTransport
+
+__all__ = [
+    "Cluster",
+    "ClusterError",
+    "ClusterNode",
+    "ClusterPlacementService",
+    "LinkSpec",
+    "MembershipService",
+    "Message",
+    "MessageTransport",
+    "NodeManagementService",
+    "NODE_MANAGEMENT_INTERFACE",
+]

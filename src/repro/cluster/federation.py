@@ -1,0 +1,696 @@
+"""The cluster: multi-node DRCR federation on one simulator.
+
+:class:`Cluster` assembles N :class:`~repro.cluster.node.ClusterNode`
+platforms on a shared :class:`~repro.sim.engine.Simulator`, wires them
+through a :class:`~repro.cluster.transport.MessageTransport`, starts
+the heartbeat :class:`~repro.cluster.membership.MembershipService`,
+and acts as the management plane: it owns the home map (component ->
+node), the descriptor catalog, and the per-node state replicas the
+heartbeats carry.
+
+The coordinator is itself a transport endpoint (``control``): every
+deployment, migration and §2.4 management call it issues is a message
+subject to the same link model as node-to-node traffic, and the
+replies (`deploy_ack`, `migrate_ack`, `mgmt_reply`, ...) come back the
+same way.  It is intentionally a *centralised* management plane -- the
+paper's runtime has exactly one management interface per platform, and
+this lifts that shape to fleet scope without inventing a consensus
+protocol the paper does not have.
+
+Migration (snapshot-based, at-most-once wire + coordinator retries):
+
+1. coordinator -> source: ``migrate_out`` (name, target, id);
+2. source exports the entry (:func:`repro.core.snapshot
+   .export_component_entry` -- live properties included), copies it to
+   the coordinator (``migrate_begun``, the retry ledger), undeploys
+   locally, and forwards ``migrate_in`` to the target;
+3. target re-deploys through its own resolving services (admission is
+   *re-decided*; saved properties stash for late admission) and acks;
+4. the coordinator measures initiation-to-ack latency; a missing ack
+   retries ``migrate_in`` from the ledger under a
+   :class:`~repro.faults.recovery.BackoffPolicy`, re-choosing the
+   target when the original died; exhausted retries fall back to a
+   local failover-style redeploy so the component is never lost.
+
+Failover: when membership declares a node dead, every component from
+the dead node's last replica is re-planned across the survivors by the
+:class:`~repro.cluster.placement.ClusterPlacementService` and
+re-deployed **in one ``drcr.batch()`` round per target**
+(:func:`repro.core.snapshot.restore_entries`), so each survivor runs a
+single coalesced reconfiguration.  Application groupings are re-declared
+through the public :meth:`~repro.core.drcr.DRCR.define_application`.
+"""
+
+import itertools
+
+from repro.cluster.membership import MembershipService
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import ClusterPlacementService
+from repro.cluster.transport import MessageTransport
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.lifecycle import ComponentState
+from repro.core.snapshot import restore_entries
+from repro.faults.recovery import BackoffPolicy
+from repro.rtos.kernel import KernelConfig
+from repro.sim.engine import MSEC, Simulator
+
+#: Migration initiation-to-ack latency buckets (ns).
+MIGRATION_LATENCY_BOUNDS_NS = (
+    1_000_000, 2_000_000, 5_000_000, 10_000_000, 20_000_000,
+    50_000_000, 100_000_000, 500_000_000,
+)
+
+#: Crash-to-declaration detection latency buckets (ns).
+FAILOVER_DETECT_BOUNDS_NS = (
+    5_000_000, 10_000_000, 20_000_000, 50_000_000, 100_000_000,
+    200_000_000, 500_000_000, 1_000_000_000,
+)
+
+#: Entry outcomes that mean "the target now owns the component".
+_PLACED_OUTCOMES = frozenset(
+    ("restored", "suspended", "disabled", "unsatisfied"))
+
+
+class ClusterError(Exception):
+    """A cluster-level operation could not be carried out."""
+
+
+def _group_entries(entries, applications):
+    """Partition entries into co-location groups.
+
+    Members of one application (transitively, when applications
+    overlap) form one group -- their wiring only resolves on a single
+    node.  Everything else is a singleton group."""
+    group_of = {}  # component name -> group id
+    merged = {}    # group id -> set of names
+    next_id = itertools.count()
+    for members in applications.values():
+        ids = {group_of[m] for m in members if m in group_of}
+        target = min(ids) if ids else next(next_id)
+        names = merged.setdefault(target, set())
+        for gid in ids:
+            if gid != target:
+                names |= merged.pop(gid)
+        names.update(members)
+        for name in names:
+            group_of[name] = target
+    groups = {}
+    singles = []
+    for entry in entries:
+        gid = group_of.get(entry["name"])
+        if gid is None:
+            singles.append([entry])
+        else:
+            groups.setdefault(gid, []).append(entry)
+    return list(groups.values()) + singles
+
+
+class _Migration:
+    """Coordinator-side state of one in-flight migration."""
+
+    __slots__ = ("id", "name", "src", "dst", "entry", "initiated_ns",
+                 "completed_ns", "attempts", "done", "outcome")
+
+    def __init__(self, migration_id, name, src, dst, initiated_ns):
+        self.id = migration_id
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.entry = None       # filled by migrate_begun (the ledger)
+        self.initiated_ns = initiated_ns
+        self.completed_ns = None
+        self.attempts = 0
+        self.done = False
+        self.outcome = None
+
+
+class Cluster:
+    """N federated DRCR platforms plus their management plane."""
+
+    #: The coordinator's transport endpoint name.
+    coordinator_name = "control"
+
+    def __init__(self, node_names=("node0", "node1", "node2"), seed=0,
+                 num_cpus=1, kernel_config_factory=None,
+                 internal_policy_factory=None, container_factory=None,
+                 link=None, heartbeat_interval_ns=10 * MSEC,
+                 miss_limit=3, placement_cap=1.0,
+                 timer_period_ns=MSEC, migration_timeout_ns=5 * MSEC,
+                 backoff=None, telemetry=None):
+        node_names = list(node_names)
+        if len(set(node_names)) != len(node_names) or not node_names:
+            raise ValueError("node names must be unique and non-empty")
+        if self.coordinator_name in node_names:
+            raise ValueError("%r is reserved for the coordinator"
+                             % (self.coordinator_name,))
+        self.sim = Simulator(seed=seed, telemetry=telemetry)
+        self.transport = MessageTransport(self.sim, default_link=link)
+        if kernel_config_factory is None:
+            kernel_config_factory = lambda: KernelConfig(  # noqa: E731
+                num_cpus=num_cpus)
+        self.nodes = {}
+        for name in node_names:
+            policy = internal_policy_factory() \
+                if internal_policy_factory is not None else None
+            node = ClusterNode(name, self.sim, self.transport,
+                               kernel_config=kernel_config_factory(),
+                               internal_policy=policy,
+                               container_factory=container_factory)
+            node.start_timer(timer_period_ns)
+            self.nodes[name] = node
+        self.membership = MembershipService(
+            self, heartbeat_interval_ns=heartbeat_interval_ns,
+            miss_limit=miss_limit)
+        for node in self.nodes.values():
+            node.membership = self.membership
+        self.placement = ClusterPlacementService(self,
+                                                 cap=placement_cap)
+        self.transport.register(self.coordinator_name,
+                                self._on_message)
+        self.backoff = backoff or BackoffPolicy(
+            initial_ns=migration_timeout_ns, factor=2.0,
+            max_delay_ns=20 * migration_timeout_ns, max_attempts=4)
+        self.deployments = {}   # component name -> home node name
+        self.catalog = {}       # component name -> last known entry
+        self.failovers = []     # completed failover reports
+        self.mgmt_replies = {}  # request id -> mgmt_reply payload
+        self._replicas = {}     # node name -> last heartbeat snapshot
+        self._tombstones = {}   # undeployed name -> former home node
+        self._migrations = {}
+        self._seq = itertools.count(1)
+        metrics = self.sim.telemetry.registry("cluster")
+        self._m_deployments = metrics.counter("deployments_total")
+        self._m_migrations = metrics.counter("migrations_total")
+        self._m_migration_retries = metrics.counter(
+            "migration_retries_total")
+        self._m_migration_failures = metrics.counter(
+            "migration_failures_total")
+        self._m_migration_latency = metrics.histogram(
+            "migration_latency_ns", MIGRATION_LATENCY_BOUNDS_NS)
+        self._m_failovers = metrics.counter("failovers_total")
+        self._m_failover_components = metrics.counter(
+            "failover_components_total")
+        self._m_failover_detect = metrics.histogram(
+            "failover_detect_ns", FAILOVER_DETECT_BOUNDS_NS)
+        self.membership.start()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def node(self, name):
+        """The named :class:`~repro.cluster.node.ClusterNode`."""
+        return self.nodes[name]
+
+    def alive_nodes(self):
+        """Nodes that are up *and* still in membership."""
+        return [node for node in self.nodes.values()
+                if node.alive
+                and not self.membership.is_dead(node.name)]
+
+    def run_for(self, duration_ns):
+        """Advance the shared simulator."""
+        return self.sim.run_for(duration_ns)
+
+    def crash_node(self, name):
+        """Fail-stop one node (the NODE_CRASH injector's entry point).
+
+        Failover does *not* run here -- it runs when the membership
+        detector notices the silence, heartbeats later."""
+        self.sim.trace.record(self.sim.now, "cluster",
+                              action="node_crash", node=name)
+        self.nodes[name].crash()
+
+    def shutdown(self):
+        """Stop heartbeats and tear every node down."""
+        self.membership.stop()
+        for node in self.nodes.values():
+            node.crash()
+        self.transport.unregister(self.coordinator_name)
+
+    # ------------------------------------------------------------------
+    # the management plane
+    # ------------------------------------------------------------------
+    def deploy(self, descriptor_xml, node=None, properties=None):
+        """Deploy one descriptor onto the fleet.
+
+        The target is ``node`` or the placement service's (node, CPU)
+        choice; the descriptor travels as a ``deploy`` message and the
+        target's resolving services decide admission.  Returns the
+        target node name."""
+        descriptor = ComponentDescriptor.from_xml(descriptor_xml)
+        name = descriptor.name
+        if name in self.deployments:
+            raise ClusterError("component %r already deployed on %s"
+                               % (name, self.deployments[name]))
+        if node is None:
+            node = self.placement.choose_node_for_group(
+                descriptor.contract.cpu_usage,
+                extra_node_load=self._pending_load())
+            if node is None:
+                raise ClusterError(
+                    "no (node, CPU) slot fits %r (usage %.2f)"
+                    % (name, descriptor.contract.cpu_usage))
+        elif node not in self.nodes:
+            raise ClusterError("unknown node %r" % (node,))
+        entry = {
+            "name": name,
+            "descriptor_xml": descriptor_xml,
+            "state": ComponentState.ACTIVE.value,
+            "bundle": None,
+        }
+        if properties:
+            entry["properties"] = dict(properties)
+        self._tombstones.pop(name, None)
+        self.catalog[name] = entry
+        self.deployments[name] = node
+        self._m_deployments.inc()
+        self.transport.send(self.coordinator_name, node, "deploy", {
+            "entry": entry,
+            "reply_to": self.coordinator_name,
+        })
+        return node
+
+    def deploy_application(self, app_name, descriptor_xmls,
+                           node=None, properties=None):
+        """Deploy a wired application whole onto one node.
+
+        Port wiring resolves inside a single node's kernel, so the
+        members must be co-located; the placement service picks the
+        node with enough *total* headroom and the target deploys the
+        group in one batch round, then records the grouping via
+        ``define_application``.  ``properties`` maps component name to
+        saved property dicts.  Returns the target node name."""
+        descriptors = [ComponentDescriptor.from_xml(xml)
+                       for xml in descriptor_xmls]
+        members = [descriptor.name for descriptor in descriptors]
+        for member in members:
+            if member in self.deployments:
+                raise ClusterError(
+                    "component %r already deployed on %s"
+                    % (member, self.deployments[member]))
+        if node is None:
+            total = sum(descriptor.contract.cpu_usage
+                        for descriptor in descriptors)
+            node = self.placement.choose_node_for_group(
+                total, extra_node_load=self._pending_load())
+            if node is None:
+                raise ClusterError(
+                    "no node fits application %r (usage %.2f)"
+                    % (app_name, total))
+        elif node not in self.nodes:
+            raise ClusterError("unknown node %r" % (node,))
+        properties = properties or {}
+        entries = []
+        for descriptor, xml in zip(descriptors, descriptor_xmls):
+            entry = {
+                "name": descriptor.name,
+                "descriptor_xml": xml,
+                "state": ComponentState.ACTIVE.value,
+                "bundle": None,
+            }
+            if descriptor.name in properties:
+                entry["properties"] = dict(
+                    properties[descriptor.name])
+            entries.append(entry)
+            self._tombstones.pop(descriptor.name, None)
+            self.catalog[descriptor.name] = entry
+            self.deployments[descriptor.name] = node
+            self._m_deployments.inc()
+        self.transport.send(self.coordinator_name, node,
+                            "deploy_app", {
+                                "entries": entries,
+                                "application": app_name,
+                                "members": members,
+                                "reply_to": self.coordinator_name,
+                            })
+        return node
+
+    def undeploy(self, name):
+        """Remove a component from its home node."""
+        node = self.deployments.pop(name, None)
+        if node is None:
+            raise ClusterError("component %r is not deployed"
+                               % (name,))
+        self.catalog.pop(name, None)
+        # A heartbeat exported before the undeploy lands would re-add
+        # the component; the tombstone blocks that until a snapshot
+        # from the former home confirms it is gone.
+        self._tombstones[name] = node
+        self.transport.send(self.coordinator_name, node, "undeploy", {
+            "name": name,
+            "reply_to": self.coordinator_name,
+        })
+        return node
+
+    def manage(self, name, op, *args):
+        """Invoke a §2.4 management operation on a remote component.
+
+        Routed as a ``mgmt`` message to the home node, which resolves
+        the component's registered management service via the OSGi
+        registry.  Returns a request id; the reply lands in
+        ``mgmt_replies[request_id]`` once the simulator has run the
+        round-trip."""
+        node = self.deployments.get(name)
+        if node is None:
+            raise ClusterError("component %r is not deployed"
+                               % (name,))
+        request_id = "req%05d" % next(self._seq)
+        self.transport.send(self.coordinator_name, node, "mgmt", {
+            "component": name,
+            "op": op,
+            "args": list(args),
+            "request_id": request_id,
+            "reply_to": self.coordinator_name,
+        })
+        return request_id
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def migrate(self, name, dst=None):
+        """Move a component to another node, state included.
+
+        Returns the migration id; progress is visible in
+        ``migration(migration_id)`` and the ``cluster`` telemetry."""
+        src = self.deployments.get(name)
+        if src is None:
+            raise ClusterError("component %r is not deployed"
+                               % (name,))
+        if dst is None:
+            entry = self.catalog.get(name)
+            usage = ComponentDescriptor.from_xml(
+                entry["descriptor_xml"]).contract.cpu_usage \
+                if entry else 0.0
+            dst = self.placement.choose_node(usage, exclude={src})
+            if dst is None:
+                raise ClusterError(
+                    "no migration target fits %r" % (name,))
+        if dst == src or dst not in self.nodes:
+            raise ClusterError("bad migration target %r" % (dst,))
+        migration_id = "mig%05d" % next(self._seq)
+        migration = _Migration(migration_id, name, src, dst,
+                               self.sim.now)
+        self._migrations[migration_id] = migration
+        self.sim.trace.record(self.sim.now, "cluster",
+                              action="migrate", component=name,
+                              src=src, dst=dst, id=migration_id)
+        self.transport.send(self.coordinator_name, src,
+                            "migrate_out", {
+                                "name": name,
+                                "dst": dst,
+                                "migration_id": migration_id,
+                                "reply_to": self.coordinator_name,
+                            })
+        self._arm_migration_check(migration)
+        return migration_id
+
+    def migration(self, migration_id):
+        """Status dict of one migration."""
+        migration = self._migrations[migration_id]
+        return {
+            "id": migration.id,
+            "component": migration.name,
+            "src": migration.src,
+            "dst": migration.dst,
+            "done": migration.done,
+            "outcome": migration.outcome,
+            "attempts": migration.attempts,
+            "latency_ns": (migration.completed_ns
+                           - migration.initiated_ns)
+            if migration.completed_ns is not None else None,
+        }
+
+    def _arm_migration_check(self, migration):
+        stream = self.sim.rng.stream("cluster/migration")
+        delay = self.backoff.delay_ns(migration.attempts + 1, stream)
+        self.sim.schedule(delay, self._check_migration, migration.id,
+                          label="cluster:migration-check")
+
+    def _check_migration(self, migration_id):
+        migration = self._migrations.get(migration_id)
+        if migration is None or migration.done:
+            return
+        migration.attempts += 1
+        if migration.attempts >= self.backoff.max_attempts:
+            self._fail_migration(migration)
+            return
+        self._m_migration_retries.inc()
+        if migration.entry is not None:
+            # Ledger holds the state: retry delivery to the target,
+            # re-choosing it if the original left membership.
+            if self.membership.is_dead(migration.dst) \
+                    or not self.nodes[migration.dst].alive:
+                usage = ComponentDescriptor.from_xml(
+                    migration.entry["descriptor_xml"]) \
+                    .contract.cpu_usage
+                dst = self.placement.choose_node(
+                    usage, exclude={migration.src, migration.dst})
+                if dst is None:
+                    self._fail_migration(migration)
+                    return
+                migration.dst = dst
+            self.transport.send(self.coordinator_name, migration.dst,
+                                "migrate_in", {
+                                    "migration_id": migration.id,
+                                    "entry": migration.entry,
+                                    "reply_to": self.coordinator_name,
+                                })
+        elif self.nodes[migration.src].alive \
+                and not self.membership.is_dead(migration.src):
+            # migrate_out (or migrate_begun) was lost; ask again.
+            self.transport.send(self.coordinator_name, migration.src,
+                                "migrate_out", {
+                                    "name": migration.name,
+                                    "dst": migration.dst,
+                                    "migration_id": migration.id,
+                                    "reply_to": self.coordinator_name,
+                                })
+        else:
+            # No ledger and the source is gone: the component's fate
+            # is the failover path's job (catalog fallback).
+            self._fail_migration(migration)
+            return
+        self._arm_migration_check(migration)
+
+    def _fail_migration(self, migration):
+        """Give up on the wire; place the component locally so it is
+        not lost."""
+        migration.done = True
+        migration.outcome = "failed"
+        self._m_migration_failures.inc()
+        entry = migration.entry or self.catalog.get(migration.name)
+        placed = None
+        if entry is not None \
+                and not self._component_lives_somewhere(
+                    migration.name):
+            placed = self._place_groups(
+                [[entry]], exclude=(), reason="migration-fallback")
+        self.sim.trace.record(self.sim.now, "cluster",
+                              action="migration_failed",
+                              component=migration.name,
+                              id=migration.id,
+                              fallback=bool(placed))
+
+    def _component_lives_somewhere(self, name):
+        return any(name in node.drcr.registry
+                   for node in self.alive_nodes())
+
+    def _pending_load(self):
+        """Budget promised to nodes but not yet visible in their
+        registries (deploy messages still in flight): placement must
+        count it, or a burst of deploys piles onto one node."""
+        pending = {}
+        for name, home in self.deployments.items():
+            node = self.nodes.get(home)
+            if node is None or name in node.drcr.registry:
+                continue
+            entry = self.catalog.get(name)
+            if entry is None:
+                continue
+            usage = ComponentDescriptor.from_xml(
+                entry["descriptor_xml"]).contract.cpu_usage
+            pending[home] = pending.get(home, 0.0) + usage
+        return pending
+
+    # ------------------------------------------------------------------
+    # replica bookkeeping and failover
+    # ------------------------------------------------------------------
+    def note_replica(self, src, snapshot):
+        """Record a node's heartbeat-carried state snapshot.
+
+        Also reconciles the home map and catalog -- last writer wins,
+        which converges within one heartbeat interval of any move."""
+        self._replicas[src] = snapshot
+        carried = set()
+        for entry in snapshot.get("components", ()):
+            name = entry["name"]
+            carried.add(name)
+            if self._tombstones.get(name) == src:
+                continue  # stale beat from before the undeploy landed
+            self.catalog[name] = entry
+            self.deployments[name] = src
+        for name, home in list(self._tombstones.items()):
+            if home == src and name not in carried:
+                del self._tombstones[name]
+
+    def _on_node_dead(self, name, last_seen):
+        """Failover: re-deploy the dead node's components across the
+        survivors, one batch round per target node."""
+        now = self.sim.now
+        self._m_failover_detect.observe(now - last_seen)
+        replica = self._replicas.pop(name, None)
+        if replica is not None:
+            entries = list(replica.get("components", ()))
+            applications = dict(replica.get("applications", {}))
+        else:
+            # Died before the first beat: fall back to the catalog.
+            entries = [self.catalog[comp]
+                       for comp, home in self.deployments.items()
+                       if home == name and comp in self.catalog]
+            applications = {}
+        orphans = [entry for entry in entries
+                   if not self._component_lives_somewhere(
+                       entry["name"])]
+        moved = self._place_groups(
+            _group_entries(orphans, applications), exclude={name},
+            reason="failover")
+        unplaced = sorted(set(entry["name"] for entry in orphans)
+                          - set(moved))
+        for comp in unplaced:
+            self.deployments.pop(comp, None)
+        for app_name, members in applications.items():
+            for target in set(moved.values()):
+                if any(member in moved for member in members):
+                    self.nodes[target].drcr.define_application(
+                        app_name, members)
+        self._m_failovers.inc()
+        self._m_failover_components.inc(len(moved))
+        report = {
+            "node": name,
+            "at_ns": now,
+            "last_seen_ns": last_seen,
+            "moved": moved,
+            "unplaced": unplaced,
+        }
+        self.failovers.append(report)
+        self.sim.trace.record(now, "cluster", action="failover",
+                              node=name, moved=len(moved),
+                              unplaced=len(unplaced))
+        return report
+
+    def _place_groups(self, groups, exclude, reason):
+        """Plan nodes for co-location groups, then deploy each
+        target's share in one ``drcr.batch()`` round.
+
+        A group is a list of entries that must land together (a wired
+        application); singletons are one-element groups and effectively
+        get the per-slot best fit.  In-process on purpose: failover is
+        the coordinator restoring from *its* replica -- the dead node
+        is unreachable, so there is no remote hop to model.  Returns
+        ``{component: target node}`` for every entry that found a
+        home."""
+        plan = {}
+        extra_node_load = {}
+        for group in groups:
+            total = sum(ComponentDescriptor.from_xml(
+                entry["descriptor_xml"]).contract.cpu_usage
+                for entry in group)
+            node_name = self.placement.choose_node_for_group(
+                total, exclude=exclude,
+                extra_node_load=extra_node_load)
+            if node_name is None:
+                continue
+            extra_node_load[node_name] = \
+                extra_node_load.get(node_name, 0.0) + total
+            plan.setdefault(node_name, []).extend(group)
+        moved = {}
+        for node_name, group in plan.items():
+            node = self.nodes[node_name]
+            report = restore_entries(node.drcr, group,
+                                     stash=node.stash)
+            for outcome in _PLACED_OUTCOMES:
+                for comp in report[outcome]:
+                    moved[comp] = node_name
+                    self.deployments[comp] = node_name
+            self.sim.trace.record(self.sim.now, "cluster",
+                                  action="redeploy", node=node_name,
+                                  reason=reason, count=len(group))
+        return moved
+
+    # ------------------------------------------------------------------
+    # coordinator inbox
+    # ------------------------------------------------------------------
+    def _on_message(self, message):
+        kind = message.kind
+        payload = message.payload
+        if kind == "deploy_ack":
+            if payload["outcome"] in _PLACED_OUTCOMES:
+                self.deployments[payload["name"]] = payload["node"]
+        elif kind == "undeploy_ack":
+            pass  # home map already updated optimistically
+        elif kind == "migrate_begun":
+            migration = self._migrations.get(payload["migration_id"])
+            if migration is not None and migration.entry is None:
+                migration.entry = payload["entry"]
+                self.catalog[migration.name] = payload["entry"]
+        elif kind == "migrate_ack":
+            self._on_migrate_ack(payload)
+        elif kind == "mgmt_reply":
+            self.mgmt_replies[payload["request_id"]] = payload
+        elif kind == "fence_ack":
+            self.sim.trace.record(self.sim.now, "cluster",
+                                  action="fence_ack",
+                                  node=payload["node"],
+                                  count=len(payload["undeployed"]))
+
+    def _on_migrate_ack(self, payload):
+        migration = self._migrations.get(payload["migration_id"])
+        if migration is None or migration.done:
+            return
+        migration.done = True
+        migration.outcome = payload["outcome"]
+        migration.completed_ns = self.sim.now
+        if payload["outcome"] in _PLACED_OUTCOMES:
+            self.deployments[migration.name] = payload["node"]
+            self._m_migrations.inc()
+            self._m_migration_latency.observe(
+                self.sim.now - migration.initiated_ns)
+            self.sim.trace.record(self.sim.now, "cluster",
+                                  action="migrated",
+                                  component=migration.name,
+                                  dst=payload["node"],
+                                  outcome=payload["outcome"],
+                                  latency_ns=self.sim.now
+                                  - migration.initiated_ns)
+        else:
+            # "absent"/"skipped": nothing moved on the target.  If the
+            # source already let go (its migrate_begun and migrate_in
+            # were both lost) the component is homeless -- place it
+            # from the ledger or catalog so it is not lost.
+            self._m_migration_failures.inc()
+            entry = migration.entry or self.catalog.get(migration.name)
+            if entry is not None \
+                    and not self._component_lives_somewhere(
+                        migration.name):
+                self._place_groups([[entry]], exclude=(),
+                                   reason="migration-fallback")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self):
+        """Plain-data summary of the whole federation."""
+        return {
+            "time_ns": self.sim.now,
+            "members": self.membership.members(),
+            "dead": sorted(self.membership.declared_dead),
+            "deployments": dict(self.deployments),
+            "utilization": self.placement.utilization_map(),
+            "failovers": list(self.failovers),
+            "migrations": [self.migration(mid)
+                           for mid in self._migrations],
+        }
+
+    def __repr__(self):
+        return "Cluster(%d nodes, %d components, t=%dns)" % (
+            len(self.nodes), len(self.deployments), self.sim.now)

@@ -1,0 +1,176 @@
+"""Heartbeat-based membership and failure detection.
+
+The cluster learns about node death the only way a distributed system
+can: silence.  Every heartbeat interval each live node beats to every
+peer over the transport (so heartbeats are subject to the same
+latency, jitter, drops and partitions as any other traffic); a peer
+that receives a beat notes the sender as seen.  The detector -- one
+periodic check in the :class:`~repro.rtos.watchdog.Watchdog` arm/check
+style -- declares a node dead when *no* surviving peer has heard it
+for ``miss_limit`` intervals, then hands the name to the cluster's
+failover path.
+
+Heartbeats double as the replication channel for snapshot-based
+failover: each beat carries the sender's exported component entries
+(:func:`repro.core.snapshot.export_component_entry` format) plus its
+application groupings, so at declaration time the cluster holds a
+recent copy of everything the dead node ran -- live property drift
+included.  One export per node per beat; peers share the same payload
+object.
+
+A node declared dead that is heard again (a healed partition, i.e. a
+false positive) is *fenced*: the cluster has already re-deployed its
+components elsewhere, so the returnee is told to drop everything it
+runs (``fence`` message -> :meth:`NodeManagementService.undeploy_all`)
+and stays out of membership until an operator re-admits it
+(:meth:`MembershipService.readmit`).
+"""
+
+from repro.sim.engine import MSEC
+
+
+class MembershipService:
+    """The cluster-level heartbeat emitter and failure detector."""
+
+    def __init__(self, cluster, heartbeat_interval_ns=10 * MSEC,
+                 miss_limit=3):
+        if heartbeat_interval_ns <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_limit < 1:
+            raise ValueError("miss limit must be >= 1")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.heartbeat_interval_ns = int(heartbeat_interval_ns)
+        self.miss_limit = int(miss_limit)
+        self.last_seen = {}
+        self.declared_dead = set()
+        self._fenced = set()
+        self._started = False
+        metrics = self.sim.telemetry.registry("cluster")
+        self._m_sent = metrics.counter("heartbeats_sent_total")
+        self._m_received = metrics.counter("heartbeats_received_total")
+        self._m_dead = metrics.counter("nodes_declared_dead_total")
+        self._m_fenced = metrics.counter("nodes_fenced_total")
+        self._m_alive = metrics.gauge("alive_nodes")
+
+    @property
+    def deadline_ns(self):
+        """Silence longer than this is death."""
+        return self.miss_limit * self.heartbeat_interval_ns
+
+    def start(self):
+        """Seed everyone as just-seen and start beating."""
+        if self._started:
+            return self
+        self._started = True
+        now = self.sim.now
+        for name in self.cluster.nodes:
+            self.last_seen.setdefault(name, now)
+        self._refresh_alive_gauge()
+        self.sim.schedule(self.heartbeat_interval_ns, self._beat,
+                          label="cluster:heartbeat")
+        return self
+
+    def stop(self):
+        """Stop beating and checking (pending beat becomes a no-op)."""
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def is_dead(self, name):
+        """Whether the detector has declared ``name`` dead."""
+        return name in self.declared_dead
+
+    def members(self):
+        """Names currently in membership (not declared dead)."""
+        return [name for name in self.cluster.nodes
+                if name not in self.declared_dead]
+
+    def note_heartbeat(self, src, observer, payload):
+        """A peer (``observer``) received ``src``'s heartbeat."""
+        self._m_received.inc()
+        self.last_seen[src] = self.sim.now
+        if src in self.declared_dead:
+            self._fence(src)
+            return  # a fenced node's snapshot is stale by definition
+        snapshot = payload.get("snapshot")
+        if snapshot is not None:
+            self.cluster.note_replica(src, snapshot)
+
+    def readmit(self, name):
+        """Operator override: let a fenced node back into membership
+        (it starts empty; the failed-over components stay put)."""
+        self.declared_dead.discard(name)
+        self._fenced.discard(name)
+        self.last_seen[name] = self.sim.now
+        self._refresh_alive_gauge()
+
+    # ------------------------------------------------------------------
+    # the periodic beat (watchdog arm/check idiom)
+    # ------------------------------------------------------------------
+    def _beat(self):
+        if not self._started:
+            return
+        transport = self.cluster.transport
+        for node in self.cluster.nodes.values():
+            # A declared-dead node that is actually still running does
+            # not know it was declared dead -- it keeps beating, which
+            # is exactly how a false positive gets noticed and fenced.
+            if not node.alive:
+                continue
+            payload = {"snapshot": {
+                "components": node.export_entries(),
+                "applications": node.drcr.applications(),
+            }}
+            for peer_name in self.cluster.nodes:
+                if peer_name == node.name:
+                    continue
+                transport.send(node.name, peer_name, "heartbeat",
+                               payload)
+                self._m_sent.inc()
+        self._check()
+        self.sim.schedule(self.heartbeat_interval_ns, self._beat,
+                          label="cluster:heartbeat")
+
+    def _check(self):
+        now = self.sim.now
+        observers = [name for name, node in self.cluster.nodes.items()
+                     if node.alive and name not in self.declared_dead]
+        for name in list(self.cluster.nodes):
+            if name in self.declared_dead:
+                continue
+            if not any(peer != name for peer in observers):
+                continue  # nobody left who could have heard it
+            if now - self.last_seen.get(name, 0) > self.deadline_ns:
+                self.declare_dead(name)
+
+    def declare_dead(self, name):
+        """Declare a node dead and trigger the cluster failover path."""
+        if name in self.declared_dead:
+            return
+        self.declared_dead.add(name)
+        self._m_dead.inc()
+        self._refresh_alive_gauge()
+        self.sim.trace.record(self.sim.now, "cluster",
+                              action="node_dead", node=name,
+                              last_seen=self.last_seen.get(name, 0))
+        self.cluster._on_node_dead(name, self.last_seen.get(name, 0))
+
+    def _fence(self, name):
+        if name in self._fenced:
+            return
+        self._fenced.add(name)
+        self._m_fenced.inc()
+        self.sim.trace.record(self.sim.now, "cluster",
+                              action="node_fenced", node=name)
+        self.cluster.transport.send(
+            self.cluster.coordinator_name, name, "fence",
+            {"reply_to": self.cluster.coordinator_name})
+
+    def _refresh_alive_gauge(self):
+        self._m_alive.set(len(self.members()))
+
+    def __repr__(self):
+        return "MembershipService(%d members, %d dead)" % (
+            len(self.members()), len(self.declared_dead))

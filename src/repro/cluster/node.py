@@ -1,0 +1,295 @@
+"""One federation member: a full DRCom platform behind a network name.
+
+A :class:`ClusterNode` owns the same stack :func:`repro.platform
+.build_platform` assembles -- an :class:`~repro.rtos.kernel.RTKernel`,
+an OSGi :class:`~repro.osgi.framework.Framework` and a
+:class:`~repro.core.drcr.DRCR` -- but on a *shared* simulator, so any
+number of nodes advance in lock-step on one timeline.  It duck-types
+:class:`~repro.platform.Platform` (``sim``/``kernel``/``framework``/
+``drcr``/``telemetry``), which is what lets the fault engine
+(:mod:`repro.faults`) arm its per-platform injectors against a single
+node unchanged.
+
+Remote operations follow the paper's §2.4 shape, lifted one level: the
+node registers a :class:`NodeManagementService` in its *own* OSGi
+service registry, and every remote per-component operation is routed
+through the component's registered
+:class:`~repro.core.management.ComponentManagementService`, located
+with an LDAP filter on ``drcom.name`` -- exactly how a local §2.4
+client would find it.  The transport handler is a thin parser that
+ends in those service calls.
+"""
+
+from repro.core.drcr import DRCR
+from repro.core.management import MANAGEMENT_SERVICE_INTERFACE
+from repro.core.placement import BestFitPlacement
+from repro.core.snapshot import (
+    PendingPropertyStash,
+    export_component_entry,
+    restore_component_entry,
+    restore_entries,
+)
+from repro.osgi.framework import Framework
+from repro.rtos.kernel import KernelConfig, RTKernel
+from repro.sim.engine import MSEC
+
+#: OSGi service interface the node management service registers under.
+NODE_MANAGEMENT_INTERFACE = "drcom.cluster.NodeManagement"
+
+#: The §2.4 operations a remote ``mgmt`` message may invoke.
+MANAGEMENT_OPS = frozenset(
+    ("suspend", "resume", "get_property", "set_property", "get_status"))
+
+
+class NodeManagementService:
+    """Node-scope management: deploy/undeploy entries, route §2.4 ops.
+
+    Registered in the node's own service registry (under
+    :data:`NODE_MANAGEMENT_INTERFACE`), so local bundles and the remote
+    deployment protocol share one entry point.
+    """
+
+    def __init__(self, node):
+        self._node = node
+
+    def deploy_entry(self, entry):
+        """Deploy one exported snapshot entry; admission is re-decided
+        by this node's resolving services.  Returns the outcome bucket
+        (see :func:`repro.core.snapshot.restore_component_entry`)."""
+        return restore_component_entry(self._node.drcr, entry,
+                                       stash=self._node.stash)
+
+    def deploy_entries(self, entries):
+        """Deploy a co-located group in one coalesced reconfiguration
+        round (:func:`repro.core.snapshot.restore_entries`): wired
+        applications arrive whole, so their ports resolve here."""
+        return restore_entries(self._node.drcr, entries,
+                               stash=self._node.stash)
+
+    def undeploy(self, name):
+        """Remove one component; returns ``"undeployed"`` or
+        ``"absent"``."""
+        drcr = self._node.drcr
+        if name not in drcr.registry:
+            return "absent"
+        self._node.stash.discard(name)
+        drcr.unregister_component(name)
+        return "undeployed"
+
+    def undeploy_all(self):
+        """Remove every managed component (fencing); returns the
+        undeployed names."""
+        drcr = self._node.drcr
+        names = [component.name for component in drcr.registry.all()]
+        with drcr.batch():
+            for name in names:
+                self._node.stash.discard(name)
+                drcr.unregister_component(name)
+        return names
+
+    def component_management(self, name):
+        """Locate a component's §2.4 management service through the
+        OSGi registry (LDAP filter on ``drcom.name``)."""
+        registry = self._node.framework.registry
+        reference = registry.get_reference(
+            MANAGEMENT_SERVICE_INTERFACE, "(drcom.name=%s)" % name)
+        if reference is None:
+            raise LookupError("no management service for %r on %s"
+                              % (name, self._node.name))
+        return registry.get_service(reference)
+
+    def manage(self, name, op, *args):
+        """Invoke one §2.4 operation on a component's management
+        service."""
+        if op not in MANAGEMENT_OPS:
+            raise ValueError("unknown management op %r" % (op,))
+        return getattr(self.component_management(name), op)(*args)
+
+    def get_status(self):
+        """Node status: liveness plus the component state map."""
+        drcr = self._node.drcr
+        return {
+            "node": self._node.name,
+            "alive": self._node.alive,
+            "components": {component.name: component.state.value
+                           for component in drcr.registry.all()},
+        }
+
+    def __repr__(self):
+        return "NodeManagementService(%s)" % self._node.name
+
+
+class ClusterNode:
+    """A federation member: kernel + framework + DRCR on a shared sim."""
+
+    def __init__(self, name, sim, transport, kernel_config=None,
+                 internal_policy=None, container_factory=None,
+                 placement=None):
+        self.name = name
+        self.sim = sim
+        self.transport = transport
+        self.kernel = RTKernel(sim, kernel_config or KernelConfig())
+        self.framework = Framework(telemetry=sim.telemetry)
+        self.drcr = DRCR(self.framework, self.kernel,
+                         internal_policy=internal_policy,
+                         container_factory=container_factory)
+        self.drcr.attach()
+        # Node-local CPU choice; the cluster layer picks the node.
+        self.drcr.set_placement_service(
+            placement if placement is not None else BestFitPlacement())
+        self.stash = PendingPropertyStash(self.drcr)
+        self.management = NodeManagementService(self)
+        self.framework.registry.register(
+            NODE_MANAGEMENT_INTERFACE, self.management,
+            properties={"drcom.node": name})
+        self.membership = None  # wired by the Cluster
+        self.alive = True
+        transport.register(name, self.handle_message)
+
+    # ------------------------------------------------------------------
+    # Platform duck-typing (fault engine, telemetry helpers)
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulated time (ns)."""
+        return self.sim.now
+
+    @property
+    def telemetry(self):
+        """The shared :class:`~repro.telemetry.metrics.Telemetry`."""
+        return self.sim.telemetry
+
+    def run_for(self, duration_ns):
+        """Advance the *shared* simulator (every node advances)."""
+        return self.sim.run_for(duration_ns)
+
+    def start_timer(self, period_ns=MSEC):
+        """Start this node's hardware timer."""
+        self.kernel.start_timer(period_ns)
+
+    # ------------------------------------------------------------------
+    # state export / liveness
+    # ------------------------------------------------------------------
+    def export_entries(self):
+        """Snapshot entries for every component this node manages."""
+        return [export_component_entry(component)
+                for component in self.drcr.registry.all()]
+
+    def crash(self):
+        """Fail-stop the node: off the wire, stack torn down.
+
+        Survivors only learn of this through missed heartbeats -- the
+        transport drops undelivered messages, it does not notify."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.transport.unregister(self.name)
+        self.kernel.stop_timer()
+        self.drcr.detach()
+        self.framework.shutdown()
+
+    # ------------------------------------------------------------------
+    # the remote protocol
+    # ------------------------------------------------------------------
+    def handle_message(self, message):
+        """Dispatch one delivered transport message."""
+        if not self.alive:
+            return
+        kind = message.kind
+        payload = message.payload
+        reply_to = payload.get("reply_to", message.src)
+        if kind == "heartbeat":
+            if self.membership is not None:
+                self.membership.note_heartbeat(
+                    message.src, self.name, payload)
+        elif kind == "deploy":
+            outcome = self.management.deploy_entry(payload["entry"])
+            self.transport.send(self.name, reply_to, "deploy_ack", {
+                "name": payload["entry"]["name"],
+                "node": self.name,
+                "outcome": outcome,
+            })
+        elif kind == "deploy_app":
+            report = self.management.deploy_entries(payload["entries"])
+            if payload.get("application"):
+                self.drcr.define_application(payload["application"],
+                                             payload["members"])
+            self.transport.send(self.name, reply_to, "deploy_app_ack", {
+                "application": payload.get("application"),
+                "node": self.name,
+                "report": report,
+            })
+        elif kind == "undeploy":
+            outcome = self.management.undeploy(payload["name"])
+            self.transport.send(self.name, reply_to, "undeploy_ack", {
+                "name": payload["name"],
+                "node": self.name,
+                "outcome": outcome,
+            })
+        elif kind == "migrate_out":
+            self._handle_migrate_out(payload, reply_to)
+        elif kind == "migrate_in":
+            outcome = self.management.deploy_entry(payload["entry"])
+            self.transport.send(self.name, reply_to, "migrate_ack", {
+                "migration_id": payload["migration_id"],
+                "name": payload["entry"]["name"],
+                "node": self.name,
+                "outcome": outcome,
+            })
+        elif kind == "mgmt":
+            self._handle_mgmt(payload, reply_to)
+        elif kind == "fence":
+            names = self.management.undeploy_all()
+            self.transport.send(self.name, reply_to, "fence_ack", {
+                "node": self.name,
+                "undeployed": names,
+            })
+
+    def _handle_migrate_out(self, payload, reply_to):
+        """Source side of a migration: export, hand off, withdraw.
+
+        The entry is exported *before* the local undeploy (the live
+        properties must survive the teardown), shipped to the target,
+        and copied to the coordinator as its retry ledger."""
+        name = payload["name"]
+        migration_id = payload["migration_id"]
+        if name not in self.drcr.registry:
+            self.transport.send(self.name, reply_to, "migrate_ack", {
+                "migration_id": migration_id,
+                "name": name,
+                "node": self.name,
+                "outcome": "absent",
+            })
+            return
+        entry = export_component_entry(
+            self.drcr.registry.maybe_get(name))
+        self.transport.send(self.name, reply_to, "migrate_begun", {
+            "migration_id": migration_id,
+            "entry": entry,
+        })
+        self.management.undeploy(name)
+        self.transport.send(self.name, payload["dst"], "migrate_in", {
+            "migration_id": migration_id,
+            "entry": entry,
+            "reply_to": reply_to,
+        })
+
+    def _handle_mgmt(self, payload, reply_to):
+        """Remote §2.4 operation: parse, route through the registered
+        management service, reply with result or error."""
+        request_id = payload.get("request_id")
+        try:
+            result = self.management.manage(
+                payload["component"], payload["op"],
+                *payload.get("args", ()))
+            reply = {"request_id": request_id, "node": self.name,
+                     "ok": True, "result": result}
+        except Exception as error:
+            reply = {"request_id": request_id, "node": self.name,
+                     "ok": False, "error": str(error)}
+        self.transport.send(self.name, reply_to, "mgmt_reply", reply)
+
+    def __repr__(self):
+        return "ClusterNode(%s, %s, %d components)" % (
+            self.name, "alive" if self.alive else "down",
+            len(self.drcr.registry))

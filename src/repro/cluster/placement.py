@@ -1,0 +1,108 @@
+"""Cluster-level placement: from "which CPU" to "(node, CPU)".
+
+:mod:`repro.core.placement` answers *which CPU* on one node; the
+federation needs the outer question first: *which node*.  The
+:class:`ClusterPlacementService` extends the same best-fit shape to
+two dimensions -- it scans every (node, CPU) slot across the
+membership, using each node's
+:meth:`~repro.core.registry.ComponentRegistry.declared_utilization`
+exactly like the single-node policies do, and returns the least-loaded
+slot that still fits the candidate's declared budget.
+
+The split of authority mirrors the single-node design: the cluster
+picks the node (and *predicts* the CPU for reporting and capacity
+math), then the chosen node's own placement service
+(:class:`~repro.core.placement.BestFitPlacement` by default) re-pins
+the CPU at admission, and its resolving services re-decide admission.
+A placement choice here is a routing decision, never an admission
+bypass.
+"""
+
+from repro.core.placement import component_is_pinned  # noqa: F401  (re-export)
+
+
+class ClusterPlacementService:
+    """Best-fit over every (node, CPU) slot in the membership."""
+
+    #: Policy name for traces and reports.
+    name = "cluster-best-fit"
+
+    def __init__(self, cluster, cap=1.0):
+        self.cluster = cluster
+        self.cap = cap
+
+    def choose(self, cpu_usage, exclude=(), extra_load=None):
+        """The least-loaded ``(node_name, cpu)`` that fits
+        ``cpu_usage``, or ``None`` when nothing does.
+
+        ``exclude`` names nodes not to consider (the dead node during
+        failover, the source during migration target choice).
+        ``extra_load`` maps ``(node_name, cpu)`` to budget already
+        promised but not yet visible in the registries -- failover
+        plans a whole group before deploying any of it, and tallies
+        its own choices there so the group spreads instead of piling
+        onto one slot.
+        """
+        best = None
+        best_load = None
+        extra_load = extra_load or {}
+        for node in self.cluster.alive_nodes():
+            if node.name in exclude:
+                continue
+            registry = node.drcr.registry
+            for cpu in range(node.kernel.config.num_cpus):
+                load = registry.declared_utilization(cpu) \
+                    + extra_load.get((node.name, cpu), 0.0)
+                if load + cpu_usage > self.cap + 1e-12:
+                    continue
+                if best_load is None or load < best_load:
+                    best = (node.name, cpu)
+                    best_load = load
+        return best
+
+    def choose_node(self, cpu_usage, exclude=(), extra_load=None):
+        """Node-name half of :meth:`choose` (or ``None``)."""
+        slot = self.choose(cpu_usage, exclude=exclude,
+                           extra_load=extra_load)
+        return slot[0] if slot is not None else None
+
+    def choose_node_for_group(self, total_usage, exclude=(),
+                              extra_node_load=None):
+        """The node with the most total headroom that fits a whole
+        co-located group (a wired application: its ports resolve in
+        one node's kernel, so the members must land together).
+
+        Node capacity is ``num_cpus * cap``; the node's own placement
+        service spreads the members over its CPUs at admission.
+        ``extra_node_load`` maps node name to budget already promised
+        to earlier groups in the same plan."""
+        best = None
+        best_load = None
+        extra_node_load = extra_node_load or {}
+        for node in self.cluster.alive_nodes():
+            if node.name in exclude:
+                continue
+            registry = node.drcr.registry
+            num_cpus = node.kernel.config.num_cpus
+            load = sum(registry.declared_utilization(cpu)
+                       for cpu in range(num_cpus)) \
+                + extra_node_load.get(node.name, 0.0)
+            if load + total_usage > num_cpus * self.cap + 1e-12:
+                continue
+            if best_load is None or load < best_load:
+                best = node.name
+                best_load = load
+        return best
+
+    def utilization_map(self):
+        """Declared utilization per (node, CPU), for reports."""
+        return {
+            node.name: {
+                cpu: node.drcr.registry.declared_utilization(cpu)
+                for cpu in range(node.kernel.config.num_cpus)
+            }
+            for node in self.cluster.alive_nodes()
+        }
+
+    def __repr__(self):
+        return "ClusterPlacementService(cap=%.2f)" % self.cap

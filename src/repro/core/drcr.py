@@ -439,6 +439,26 @@ class DRCR:
                               "application %s undeployed" % name)
         self._reconfigure(dirty=())
 
+    def define_application(self, name, members):
+        """Record an application grouping without the atomic-deployment
+        path: ``name`` groups the ``members`` component names as
+        intent.
+
+        This is the public write API for callers that re-establish
+        groupings from exported state -- snapshot restore
+        (:func:`repro.core.snapshot.restore_state`) and cluster
+        failover -- where the members deploy through their own
+        admission decisions and the grouping is bookkeeping, not an
+        all-or-nothing transaction (that is
+        :meth:`register_application`).  Members need not be deployed
+        yet.  Returns the recorded member list.
+        """
+        if not name:
+            raise LifecycleError("application name must be non-empty")
+        members = [str(member) for member in members]
+        self._applications[name] = members
+        return list(members)
+
     def applications(self):
         """Deployed applications: name -> member component names."""
         return {name: list(members)

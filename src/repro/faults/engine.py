@@ -28,8 +28,12 @@ from repro.sim.rng import RandomStreams
 class FaultEngine:
     """Arms and tracks one fault plan on one platform."""
 
-    def __init__(self, platform, plan):
+    def __init__(self, platform, plan, cluster=None):
         self.platform = platform
+        #: The :class:`~repro.cluster.federation.Cluster` for
+        #: federation-scope faults (``node_crash``/``partition``);
+        #: ``platform`` is then typically one of its nodes.
+        self.cluster = cluster
         self.plan = load_plan(plan)
         self.sim = platform.sim
         self.kernel = platform.kernel

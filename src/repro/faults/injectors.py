@@ -13,7 +13,11 @@ what a chaos run exercises is exactly what production runs.
 """
 
 from repro.core.resolving import ResolvingService
-from repro.faults.plan import FaultInjectionError, FaultKind
+from repro.faults.plan import (
+    FaultInjectionError,
+    FaultKind,
+    FaultPlanError,
+)
 from repro.hybrid.protocol import CommandKind
 
 
@@ -320,6 +324,68 @@ class ResolverTimeoutInjector(Injector):
             registration.unregister()
 
 
+class ClusterInjector(Injector):
+    """Base for federation-scope faults: needs ``engine.cluster``."""
+
+    def _cluster(self, engine):
+        if engine.cluster is None:
+            raise FaultPlanError(
+                "%s targets the cluster; arm the FaultEngine with "
+                "cluster=..." % self.spec.kind.value)
+        return engine.cluster
+
+
+class NodeCrashInjector(ClusterInjector):
+    """``node_crash``: fail-stop the target node at ``at_ns``.
+
+    The node drops off the transport and its stack is torn down;
+    survivors only find out through missed heartbeats, so detection
+    and failover latency are part of what the experiment measures."""
+
+    def arm(self, engine):
+        self._cluster(engine)
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:node_crash")
+
+    def _fire(self, engine):
+        cluster = self._cluster(engine)
+        node = cluster.nodes.get(self.spec.target)
+        if node is None or not node.alive:
+            engine.record_skip(self.spec, "no such live node")
+            return
+        if not self._gate(engine):
+            engine.record_skip(self.spec, "probability gate")
+            return
+        engine.record_injection(self.spec, target=self.spec.target)
+        cluster.crash_node(self.spec.target)
+
+
+class PartitionInjector(ClusterInjector):
+    """``partition``: sever the ``nodeA|nodeB`` pair for the window.
+
+    Both directions block (in-flight messages included) until
+    ``duration_ns`` elapses and the pair heals."""
+
+    def arm(self, engine):
+        self._cluster(engine)
+        engine.sim.schedule_at(self.spec.at_ns, self._fire, engine,
+                               label="fault:partition")
+
+    def _fire(self, engine):
+        cluster = self._cluster(engine)
+        a, b = self.spec.target.split("|")
+        if not self._gate(engine):
+            engine.record_skip(self.spec, "probability gate")
+            return
+        engine.record_injection(self.spec, target=self.spec.target)
+        cluster.transport.partition(a, b)
+        engine.sim.schedule(self.spec.duration_ns, self._heal,
+                            engine, a, b, label="fault:partition-heal")
+
+    def _heal(self, engine, a, b):
+        self._cluster(engine).transport.heal(a, b)
+
+
 #: FaultKind -> injector class.
 INJECTOR_CLASSES = {
     FaultKind.CRASH: CrashInjector,
@@ -330,6 +396,8 @@ INJECTOR_CLASSES = {
     FaultKind.MAILBOX_FLOOD: MailboxFloodInjector,
     FaultKind.DESCRIPTOR_CORRUPT: DescriptorCorruptInjector,
     FaultKind.RESOLVER_TIMEOUT: ResolverTimeoutInjector,
+    FaultKind.NODE_CRASH: NodeCrashInjector,
+    FaultKind.PARTITION: PartitionInjector,
 }
 
 

@@ -53,12 +53,23 @@ class FaultKind(enum.Enum):
     DESCRIPTOR_CORRUPT = "descriptor_corrupt"
     #: Register a resolving service that raises (hung resolver).
     RESOLVER_TIMEOUT = "resolver_timeout"
+    #: Fail-stop one cluster node (federation runs only).
+    NODE_CRASH = "node_crash"
+    #: Sever a node pair's links for a window (federation runs only).
+    PARTITION = "partition"
 
 
 #: Kinds that perturb a time window and need ``duration_ns``.
 WINDOW_KINDS = frozenset({
     FaultKind.OVERRUN, FaultKind.MAILBOX_DROP,
-    FaultKind.RESOLVER_TIMEOUT,
+    FaultKind.RESOLVER_TIMEOUT, FaultKind.PARTITION,
+})
+
+#: Kinds that target the cluster rather than one platform; the
+#: :class:`~repro.faults.engine.FaultEngine` must be armed with a
+#: ``cluster=`` to use them.
+CLUSTER_KINDS = frozenset({
+    FaultKind.NODE_CRASH, FaultKind.PARTITION,
 })
 
 #: Kinds that fire a bounded number of times and honour ``count``.
@@ -118,6 +129,15 @@ class FaultSpec:
             raise FaultPlanError(
                 "probability must be in (0, 1], got %r"
                 % self.probability)
+        if self.kind is FaultKind.NODE_CRASH and self.target == "*":
+            raise FaultPlanError(
+                "node_crash needs a specific node name, not '*'")
+        if self.kind is FaultKind.PARTITION:
+            parts = self.target.split("|")
+            if len(parts) != 2 or not all(parts):
+                raise FaultPlanError(
+                    "partition target must be 'nodeA|nodeB', got %r"
+                    % self.target)
 
     def matches(self, name):
         """Whether this spec targets component/bundle ``name``."""

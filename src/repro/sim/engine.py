@@ -184,3 +184,5 @@ class Simulator:
         self._trace.clear()
         self._now = 0
         self._processed = 0
+        self._running = False
+        self._m_pending.set(len(self._queue))

@@ -1,0 +1,117 @@
+"""Tests for heartbeat membership and failure detection."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.sim.engine import MSEC
+
+from conftest import make_descriptor_xml
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(("node0", "node1", "node2"), seed=17,
+                heartbeat_interval_ns=10 * MSEC, miss_limit=3)
+    yield c
+    c.shutdown()
+
+
+class TestHealthy:
+    def test_no_false_positives(self, cluster):
+        cluster.run_for(500 * MSEC)
+        assert cluster.membership.declared_dead == set()
+        assert sorted(cluster.membership.members()) == [
+            "node0", "node1", "node2"]
+
+    def test_heartbeats_flow(self, cluster):
+        cluster.run_for(100 * MSEC)
+        metrics = cluster.sim.telemetry.registry("cluster")
+        assert metrics.get("heartbeats_sent_total").value > 0
+        assert metrics.get("heartbeats_received_total").value > 0
+        assert metrics.get("alive_nodes").value == 3
+
+    def test_replicas_follow_deployments(self, cluster):
+        cluster.deploy(make_descriptor_xml("COMP00", cpuusage=0.1),
+                       node="node1")
+        cluster.run_for(50 * MSEC)
+        assert cluster.deployments["COMP00"] == "node1"
+        assert cluster.catalog["COMP00"]["name"] == "COMP00"
+
+
+class TestDetection:
+    def test_crashed_node_declared_dead(self, cluster):
+        cluster.run_for(50 * MSEC)
+        cluster.crash_node("node1")
+        cluster.run_for(100 * MSEC)
+        assert cluster.membership.is_dead("node1")
+        metrics = cluster.sim.telemetry.registry("cluster")
+        assert metrics.get("nodes_declared_dead_total").value == 1
+        assert metrics.get("alive_nodes").value == 2
+
+    def test_detection_latency_bounded(self, cluster):
+        cluster.run_for(50 * MSEC)
+        crash_at = cluster.sim.now
+        cluster.crash_node("node2")
+        deadline = cluster.membership.deadline_ns
+        interval = cluster.membership.heartbeat_interval_ns
+        # Declared within the staleness deadline plus two beat/latency
+        # grace intervals, never sooner than the deadline itself.
+        while not cluster.membership.is_dead("node2") \
+                and cluster.sim.now < crash_at + deadline \
+                + 3 * interval:
+            cluster.run_for(interval)
+        assert cluster.membership.is_dead("node2")
+        detect_ns = cluster.sim.now - crash_at
+        assert detect_ns >= deadline
+        assert detect_ns <= deadline + 3 * interval
+
+    def test_last_survivor_is_not_declared_dead(self, cluster):
+        cluster.run_for(50 * MSEC)
+        cluster.crash_node("node0")
+        cluster.crash_node("node1")
+        cluster.run_for(300 * MSEC)
+        # With no peer left to hear it, node2 must not be declared
+        # dead by mere silence.
+        assert not cluster.membership.is_dead("node2")
+
+
+class TestPartitionAndFencing:
+    def test_isolated_node_declared_dead_then_fenced_on_heal(
+            self, cluster):
+        cluster.deploy(make_descriptor_xml("COMP00", cpuusage=0.1),
+                       node="node2")
+        cluster.run_for(50 * MSEC)
+        # Fully isolate node2 from both peers.
+        cluster.transport.partition("node2", "node0")
+        cluster.transport.partition("node2", "node1")
+        cluster.run_for(100 * MSEC)
+        assert cluster.membership.is_dead("node2")
+        # Its component was failed over to a majority-side node.
+        home = cluster.deployments["COMP00"]
+        assert home in ("node0", "node1")
+        # Heal: the returnee is heard again, and must be fenced --
+        # told to drop everything it still runs.
+        cluster.transport.heal("node2", "node0")
+        cluster.transport.heal("node2", "node1")
+        cluster.run_for(100 * MSEC)
+        metrics = cluster.sim.telemetry.registry("cluster")
+        assert metrics.get("nodes_fenced_total").value == 1
+        assert len(cluster.node("node2").drcr.registry) == 0
+        # Exactly one copy remains, on the majority side.
+        holders = [n.name for n in cluster.nodes.values()
+                   if n.alive and "COMP00" in n.drcr.registry]
+        assert holders == [home]
+
+    def test_readmit_restores_membership(self, cluster):
+        cluster.run_for(50 * MSEC)
+        cluster.transport.partition("node2", "node0")
+        cluster.transport.partition("node2", "node1")
+        cluster.run_for(100 * MSEC)
+        assert cluster.membership.is_dead("node2")
+        cluster.transport.heal("node2", "node0")
+        cluster.transport.heal("node2", "node1")
+        cluster.run_for(50 * MSEC)
+        cluster.membership.readmit("node2")
+        cluster.run_for(100 * MSEC)
+        assert not cluster.membership.is_dead("node2")
+        assert "node2" in cluster.membership.members()

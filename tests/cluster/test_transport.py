@@ -1,0 +1,146 @@
+"""Tests for the simulated inter-node message transport."""
+
+import pytest
+
+from repro.cluster.transport import LinkSpec, MessageTransport
+from repro.sim.engine import MSEC, USEC, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=99)
+
+
+def collector(received):
+    return received.append
+
+
+class TestLinkSpec:
+    def test_defaults(self):
+        link = LinkSpec()
+        assert link.latency_ns == 500 * USEC
+        assert link.jitter_ns == 0
+        assert link.drop_probability == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency_ns=-1)
+        with pytest.raises(ValueError):
+            LinkSpec(latency_ns=100, jitter_ns=200)
+        with pytest.raises(ValueError):
+            LinkSpec(drop_probability=1.0)
+
+
+class TestDelivery:
+    def test_delivered_one_link_latency_later(self, sim):
+        transport = MessageTransport(
+            sim, default_link=LinkSpec(latency_ns=2 * MSEC))
+        received = []
+        transport.register("b", lambda m: received.append(
+            (sim.now, m.kind, m.payload)))
+        transport.send("a", "b", "ping", {"n": 1})
+        sim.run_for(10 * MSEC)
+        assert received == [(2 * MSEC, "ping", {"n": 1})]
+
+    def test_per_link_override_beats_default(self, sim):
+        transport = MessageTransport(
+            sim, default_link=LinkSpec(latency_ns=1 * MSEC))
+        transport.connect("a", "b", LinkSpec(latency_ns=5 * MSEC))
+        times = []
+        transport.register("b", lambda m: times.append(sim.now))
+        transport.send("a", "b", "ping")
+        sim.run_for(10 * MSEC)
+        assert times == [5 * MSEC]
+
+    def test_jitter_bounded_and_deterministic(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            transport = MessageTransport(sim, default_link=LinkSpec(
+                latency_ns=1 * MSEC, jitter_ns=500 * USEC))
+            times = []
+            transport.register("b", lambda m: times.append(sim.now))
+            for _ in range(20):
+                transport.send("a", "b", "ping")
+            sim.run_for(10 * MSEC)
+            return times
+
+        times = run(5)
+        assert all(500 * USEC <= t <= 1500 * USEC for t in times)
+        assert len(set(times)) > 1  # jitter actually varies
+        assert times == run(5)      # ...deterministically
+
+    def test_unregistered_destination_drops(self, sim):
+        transport = MessageTransport(sim)
+        transport.send("a", "ghost", "ping")
+        sim.run_for(10 * MSEC)
+        metrics = sim.telemetry.registry("cluster")
+        assert metrics.get("messages_dropped_total").value == 1
+        assert metrics.get("messages_delivered_total").value == 0
+
+    def test_drop_probability_loses_messages(self, sim):
+        transport = MessageTransport(sim, default_link=LinkSpec(
+            drop_probability=0.5))
+        received = []
+        transport.register("b", collector(received))
+        for _ in range(100):
+            transport.send("a", "b", "ping")
+        sim.run_for(10 * MSEC)
+        metrics = sim.telemetry.registry("cluster")
+        assert 0 < len(received) < 100
+        assert metrics.get("messages_dropped_total").value \
+            == 100 - len(received)
+
+    def test_latency_histograms_aggregate_and_per_link(self, sim):
+        transport = MessageTransport(
+            sim, default_link=LinkSpec(latency_ns=2 * MSEC))
+        transport.register("b", lambda m: None)
+        transport.send("a", "b", "ping")
+        sim.run_for(10 * MSEC)
+        metrics = sim.telemetry.registry("cluster")
+        assert metrics.get("link_latency_ns").count == 1
+        assert metrics.get("link_latency_ns.a_to_b").count == 1
+
+
+class TestPartition:
+    def test_blocks_both_directions(self, sim):
+        transport = MessageTransport(sim)
+        received = []
+        transport.register("a", collector(received))
+        transport.register("b", collector(received))
+        transport.partition("a", "b")
+        transport.send("a", "b", "ping")
+        transport.send("b", "a", "ping")
+        sim.run_for(10 * MSEC)
+        assert received == []
+        metrics = sim.telemetry.registry("cluster")
+        assert metrics.get("messages_partitioned_total").value == 2
+
+    def test_kills_in_flight_messages(self, sim):
+        transport = MessageTransport(
+            sim, default_link=LinkSpec(latency_ns=2 * MSEC))
+        received = []
+        transport.register("b", collector(received))
+        transport.send("a", "b", "ping")
+        sim.schedule(1 * MSEC, transport.partition, "a", "b")
+        sim.run_for(10 * MSEC)
+        assert received == []
+
+    def test_heal_restores_traffic(self, sim):
+        transport = MessageTransport(sim)
+        received = []
+        transport.register("b", collector(received))
+        transport.partition("a", "b")
+        transport.send("a", "b", "lost")
+        transport.heal("a", "b")
+        transport.send("a", "b", "found")
+        sim.run_for(10 * MSEC)
+        assert [m.kind for m in received] == ["found"]
+
+    def test_third_parties_unaffected(self, sim):
+        transport = MessageTransport(sim)
+        received = []
+        transport.register("c", collector(received))
+        transport.partition("a", "b")
+        transport.send("a", "c", "ping")
+        sim.run_for(10 * MSEC)
+        assert len(received) == 1

@@ -121,6 +121,10 @@ class TestRestore:
         state = export_state(source.drcr)
         target = fresh_platform()
         restore_state(target.drcr, state)
+        # Restore routes through container.set_property (the §3.2
+        # command path), so the value lands at the RT task's next
+        # command poll rather than instantaneously.
+        target.run_for(5 * MSEC)
         component = target.drcr.component("TUNED0")
         assert component.container.get_property("gain") == 42
 
@@ -139,12 +143,40 @@ class TestRestore:
     def test_applications_remembered(self):
         source = fresh_platform()
         populate(source)
-        source.drcr._applications["grp"] = ["PROV00", "CONS00"]
+        source.drcr.define_application("grp", ["PROV00", "CONS00"])
         state = export_state(source.drcr)
         target = fresh_platform()
         restore_state(target.drcr, state)
         assert target.drcr.applications() == {
             "grp": ["PROV00", "CONS00"]}
+
+    def test_pending_properties_apply_on_late_admission(self):
+        # Regression: entries that stay UNSATISFIED after the restore
+        # pass used to silently drop their saved live properties.
+        source = fresh_platform()
+        deploy(source, make_descriptor_xml(
+            "PROV00", cpuusage=0.2, outports=[PORT]))
+        deploy(source, make_descriptor_xml(
+            "CONS00", cpuusage=0.1, frequency=250, priority=3,
+            inports=[PORT], properties=[("gain", "Integer", "1")]))
+        source.drcr.component("CONS00").container.set_property(
+            "gain", 77)
+        source.run_for(10 * MSEC)
+        state = export_state(source.drcr)
+        consumer = next(e for e in state["components"]
+                        if e["name"] == "CONS00")
+        target = fresh_platform()
+        report = restore_state(target.drcr, {
+            "version": state["version"], "components": [consumer]})
+        assert report["deferred"] == ["CONS00"]
+        # The provider arrives later; admission resolves and the
+        # stashed value must be applied through the command path.
+        deploy(target, make_descriptor_xml(
+            "PROV00", cpuusage=0.2, outports=[PORT]))
+        target.run_for(10 * MSEC)
+        component = target.drcr.component("CONS00")
+        assert component.state is ComponentState.ACTIVE
+        assert component.container.get_property("gain") == 77
 
     def test_wrong_version_rejected(self):
         target = fresh_platform()
@@ -159,3 +191,29 @@ class TestRestore:
         target = fresh_platform()
         report = restore_state(target.drcr, json.loads(text))
         assert report["restored"]
+
+
+class TestDefineApplication:
+    """The public application-intent API snapshot restore and cluster
+    failover write through (regression: restore used to poke the
+    private ``_applications`` dict)."""
+
+    def test_records_and_copies_members(self):
+        platform = fresh_platform()
+        members = ["A00000", "B00000"]
+        recorded = platform.drcr.define_application("grp", members)
+        members.append("C00000")  # caller's list must not alias
+        assert platform.drcr.applications() == {
+            "grp": ["A00000", "B00000"]}
+        assert recorded == ["A00000", "B00000"]
+
+    def test_members_need_not_be_deployed(self):
+        platform = fresh_platform()
+        platform.drcr.define_application("grp", ["NOTYET"])
+        assert platform.drcr.applications()["grp"] == ["NOTYET"]
+
+    def test_empty_name_rejected(self):
+        from repro.core.errors import LifecycleError
+        platform = fresh_platform()
+        with pytest.raises(LifecycleError):
+            platform.drcr.define_application("", ["A00000"])

@@ -11,8 +11,12 @@ from repro.sim.engine import MSEC
 class TestFaultSpec:
     def test_dict_round_trip_every_kind(self):
         for kind in FaultKind:
+            # The cluster kinds target nodes (a pair for partition),
+            # not components.
+            target = "nodeA|nodeB" \
+                if kind is FaultKind.PARTITION else "TGT000"
             spec = FaultSpec(
-                kind, target="TGT000", at_ns=5 * MSEC,
+                kind, target=target, at_ns=5 * MSEC,
                 duration_ns=2 * MSEC if kind in WINDOW_KINDS else None,
                 count=3 if kind in COUNT_KINDS else 1,
                 factor=4.0, probability=0.5)

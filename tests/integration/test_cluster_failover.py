@@ -1,0 +1,184 @@
+"""Cluster failover end to end: the issue's acceptance scenario.
+
+A three-node federation runs a wired application plus standalone
+components with drifted live properties.  One node is then killed
+through the ``node_crash`` fault injector -- not by calling into the
+cluster directly -- and the claims under test are:
+
+* every component from the dead node is re-admitted on a survivor,
+  ACTIVE, with its live property drift intact (the heartbeat-carried
+  snapshot is the replication channel);
+* components already admitted on the survivors never leave ACTIVE --
+  failover is additive, the §3.3 batch round on each target must not
+  disturb the running population;
+* a migration that races the crash of its target still places the
+  component exactly once.
+
+Also pins the C3 experiment's premise: failover time is governed by
+the heartbeat interval (detection dominates; redeploy is one batch
+round).
+"""
+
+from repro.cluster import Cluster
+from repro.core import ComponentState
+from repro.core.events import ComponentEventType
+from repro.faults import FaultEngine, FaultKind, FaultPlan, FaultSpec
+from repro.sim.engine import MSEC, USEC
+
+from conftest import make_descriptor_xml
+
+PORT = ("WIRE00", "RTAI.SHM", "Integer", 2)
+
+DISRUPTIVE = (
+    ComponentEventType.DEACTIVATED,
+    ComponentEventType.SUSPENDED,
+    ComponentEventType.UNSATISFIED,
+    ComponentEventType.DISPOSED,
+)
+
+
+def wired_app_xmls():
+    return [
+        make_descriptor_xml("PROV00", cpuusage=0.2, outports=[PORT]),
+        make_descriptor_xml("CONS00", cpuusage=0.1, frequency=250,
+                            priority=3, inports=[PORT],
+                            properties=[("gain", "Integer", "1")]),
+    ]
+
+
+def test_node_crash_failover_end_to_end():
+    cluster = Cluster(("node0", "node1", "node2"), seed=42,
+                      heartbeat_interval_ns=10 * MSEC, miss_limit=3)
+    try:
+        victim = cluster.deploy_application("pipe", wired_app_xmls())
+        standalone_home = cluster.deploy(make_descriptor_xml(
+            "SOLO00", cpuusage=0.1, priority=4,
+            properties=[("level", "Integer", "0")]), node=victim)
+        assert standalone_home == victim
+        survivors = [n for n in cluster.nodes if n != victim]
+        bystanders = []
+        for i, home in enumerate(survivors):
+            name = "BYST0%d" % i
+            cluster.deploy(make_descriptor_xml(
+                name, cpuusage=0.1, priority=5 + i), node=home)
+            bystanders.append((name, home))
+        cluster.run_for(30 * MSEC)
+
+        # Drift live properties on the victim's components, then give
+        # the command path and a heartbeat time to carry the values.
+        cluster.manage("CONS00", "set_property", "gain", 42)
+        cluster.manage("SOLO00", "set_property", "level", 7)
+        cluster.run_for(40 * MSEC)
+
+        # Kill the node through the fault subsystem, not the cluster.
+        plan = FaultPlan("kill-%s" % victim, seed=3, faults=[
+            FaultSpec(FaultKind.NODE_CRASH, victim,
+                      at_ns=cluster.sim.now + 5 * MSEC)])
+        FaultEngine(cluster.node(survivors[0]), plan,
+                    cluster=cluster).arm()
+        crash_at = cluster.sim.now + 5 * MSEC
+        cluster.run_for(200 * MSEC)
+
+        assert cluster.membership.is_dead(victim)
+        assert len(cluster.failovers) == 1
+        moved = cluster.failovers[0]["moved"]
+        assert sorted(moved) == ["CONS00", "PROV00", "SOLO00"]
+
+        # Every dead-node component is ACTIVE on a survivor, live
+        # property drift intact.
+        for name in moved:
+            home = cluster.deployments[name]
+            assert home in survivors
+            component = cluster.node(home).drcr.component(name)
+            assert component.state is ComponentState.ACTIVE, name
+        cons_home = cluster.node(cluster.deployments["CONS00"])
+        assert cons_home.drcr.component("CONS00") \
+            .container.get_property("gain") == 42
+        solo_home = cluster.node(cluster.deployments["SOLO00"])
+        assert solo_home.drcr.component("SOLO00") \
+            .container.get_property("level") == 7
+        # The wired pair stayed co-located and grouped.
+        assert cluster.deployments["PROV00"] \
+            == cluster.deployments["CONS00"]
+        assert cons_home.drcr.applications()["pipe"] == [
+            "PROV00", "CONS00"]
+
+        # Bystanders never left ACTIVE: no disruptive lifecycle event
+        # for them after the crash instant.
+        for name, home in bystanders:
+            drcr = cluster.node(home).drcr
+            assert drcr.component_state(name) is ComponentState.ACTIVE
+            disruptions = [event for event in
+                           drcr.events.for_component(name)
+                           if event.time >= crash_at
+                           and event.event_type in DISRUPTIVE]
+            assert disruptions == [], disruptions
+    finally:
+        cluster.shutdown()
+
+
+def test_migration_races_node_crash():
+    """Chaos: the migration target dies mid-protocol.  The coordinator
+    must re-route from its ledger and the component must end up on
+    exactly one node, state intact."""
+    cluster = Cluster(("node0", "node1", "node2"), seed=77,
+                      heartbeat_interval_ns=10 * MSEC,
+                      migration_timeout_ns=5 * MSEC)
+    try:
+        cluster.deploy(make_descriptor_xml(
+            "TUNED0", cpuusage=0.1,
+            properties=[("gain", "Integer", "1")]), node="node0")
+        cluster.run_for(30 * MSEC)
+        cluster.manage("TUNED0", "set_property", "gain", 99)
+        cluster.run_for(40 * MSEC)
+
+        # Crash the target 700us after the migration starts: after
+        # migrate_out is in flight, before the ack can return.
+        plan = FaultPlan("kill-dst", seed=5, faults=[
+            FaultSpec(FaultKind.NODE_CRASH, "node1",
+                      at_ns=cluster.sim.now + 700 * USEC)])
+        FaultEngine(cluster.node("node0"), plan,
+                    cluster=cluster).arm()
+        migration_id = cluster.migrate("TUNED0", dst="node1")
+        cluster.run_for(300 * MSEC)
+
+        status = cluster.migration(migration_id)
+        assert status["done"]
+        holders = [node.name for node in cluster.nodes.values()
+                   if node.alive and "TUNED0" in node.drcr.registry]
+        assert len(holders) == 1, holders
+        assert holders[0] != "node1"
+        component = cluster.node(holders[0]).drcr.component("TUNED0")
+        assert component.state is ComponentState.ACTIVE
+        assert component.container.get_property("gain") == 99
+        assert cluster.deployments["TUNED0"] == holders[0]
+    finally:
+        cluster.shutdown()
+
+
+def test_failover_time_tracks_heartbeat_interval():
+    """EXPERIMENTS C3: detection dominates failover, so failover time
+    scales with the heartbeat interval (deadline = miss_limit *
+    interval)."""
+    times = {}
+    for interval_ms in (5, 20):
+        cluster = Cluster(("node0", "node1", "node2"), seed=11,
+                          heartbeat_interval_ns=interval_ms * MSEC,
+                          miss_limit=3)
+        try:
+            cluster.deploy(make_descriptor_xml(
+                "COMP00", cpuusage=0.1), node="node0")
+            cluster.run_for(10 * interval_ms * MSEC)
+            crash_at = cluster.sim.now
+            cluster.crash_node("node0")
+            cluster.run_for(20 * interval_ms * MSEC)
+            assert len(cluster.failovers) == 1
+            times[interval_ms] = \
+                cluster.failovers[0]["at_ns"] - crash_at
+            deadline = cluster.membership.deadline_ns
+            assert times[interval_ms] >= deadline
+            assert times[interval_ms] \
+                <= deadline + 3 * interval_ms * MSEC
+        finally:
+            cluster.shutdown()
+    assert times[20] > times[5]

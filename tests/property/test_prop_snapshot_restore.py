@@ -1,0 +1,121 @@
+"""Property-based test: saved properties survive *late* admission.
+
+Regression for the snapshot-restore stash: a snapshot may contain a
+consumer whose provider is not in the restore set (it arrives in a
+later deployment).  The first restore pass leaves it UNSATISFIED; the
+old code silently dropped its saved live properties, so a late-
+resolving component came back with descriptor defaults.  With the
+:class:`~repro.core.snapshot.PendingPropertyStash` the saved values
+must be applied the moment the DRCR admits it -- for any saved
+values, any pre-admission delay, and repeated restores alike.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComponentState, UtilizationBoundPolicy
+from repro.core.snapshot import export_state, restore_state
+from repro.platform import build_platform
+from repro.rtos.kernel import KernelConfig
+from repro.rtos.latency import NullLatencyModel
+from repro.sim.engine import MSEC
+
+from conftest import deploy, make_descriptor_xml
+
+PORT = ("WIRE00", "RTAI.SHM", "Integer", 2)
+
+
+def fresh_platform():
+    platform = build_platform(
+        seed=31,
+        kernel_config=KernelConfig(latency_model=NullLatencyModel()),
+        internal_policy=UtilizationBoundPolicy(cap=1.0))
+    platform.start_timer(1 * MSEC)
+    return platform
+
+
+def provider_xml():
+    return make_descriptor_xml("PROV00", cpuusage=0.2,
+                               outports=[PORT])
+
+
+def consumer_xml():
+    return make_descriptor_xml(
+        "CONS00", cpuusage=0.1, frequency=250, priority=3,
+        inports=[PORT],
+        properties=[("gain", "Integer", "1"),
+                    ("level", "Integer", "0")])
+
+
+@given(gain=st.integers(-10_000, 10_000),
+       level=st.integers(0, 1_000_000),
+       delay_ms=st.integers(0, 25))
+@settings(max_examples=20, deadline=None)
+def test_late_admission_applies_saved_properties(gain, level,
+                                                 delay_ms):
+    # Source: a wired pair whose consumer's properties have drifted.
+    source = fresh_platform()
+    deploy(source, provider_xml())
+    deploy(source, consumer_xml())
+    container = source.drcr.component("CONS00").container
+    container.set_property("gain", gain)
+    container.set_property("level", level)
+    source.run_for(10 * MSEC)
+    state = export_state(source.drcr)
+    consumer_entry = next(e for e in state["components"]
+                          if e["name"] == "CONS00")
+    assert consumer_entry["properties"]["gain"] == gain
+
+    # Target: restore the consumer alone -- its provider is missing,
+    # so admission is deferred and the properties must be stashed.
+    target = fresh_platform()
+    report = restore_state(target.drcr, {
+        "version": state["version"],
+        "components": [consumer_entry],
+    })
+    assert report["unsatisfied"] == ["CONS00"]
+    assert report["deferred"] == ["CONS00"]
+    assert target.drcr.component_state("CONS00") \
+        is ComponentState.UNSATISFIED
+
+    # An arbitrary quiet period before the provider shows up.
+    target.run_for(delay_ms * MSEC)
+
+    # Late provider: the consumer resolves, and the stash must apply
+    # the saved values through the §3.2 command path.
+    deploy(target, provider_xml())
+    target.run_for(10 * MSEC)
+    component = target.drcr.component("CONS00")
+    assert component.state is ComponentState.ACTIVE
+    assert component.container.get_property("gain") == gain
+    assert component.container.get_property("level") == level
+
+
+@given(values=st.lists(st.integers(-1_000, 1_000), min_size=1,
+                       max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_stash_applies_last_saved_value_once(values):
+    # Drifting the property several times before export must restore
+    # exactly the final value (the stash holds one dict per name, not
+    # a history).
+    source = fresh_platform()
+    deploy(source, provider_xml())
+    deploy(source, consumer_xml())
+    container = source.drcr.component("CONS00").container
+    for value in values:
+        container.set_property("gain", value)
+        source.run_for(2 * MSEC)
+    # Let the RT task's command poll apply the final write (§3.2: the
+    # value lands at the next job, 4 ms period here).
+    source.run_for(10 * MSEC)
+    state = export_state(source.drcr)
+    consumer_entry = next(e for e in state["components"]
+                          if e["name"] == "CONS00")
+
+    target = fresh_platform()
+    restore_state(target.drcr, {"version": state["version"],
+                                "components": [consumer_entry]})
+    deploy(target, provider_xml())
+    target.run_for(10 * MSEC)
+    assert target.drcr.component("CONS00").container \
+        .get_property("gain") == values[-1]

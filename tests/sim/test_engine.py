@@ -141,6 +141,31 @@ class TestSafetyAndReset:
         second = sim.rng.random("x")
         assert first != second  # stream continued, not reseeded
 
+    def test_reset_clears_pending_events_gauge(self, sim):
+        # Regression: reset() used to leave the sim.pending_events
+        # gauge at the pre-reset count.
+        gauge = sim.telemetry.registry("sim").get("pending_events")
+        sim.schedule_at(10, lambda: None)
+        sim.schedule_at(20, lambda: None)
+        sim.run(until=5)  # window ends with both events still queued
+        assert gauge.value == 2
+        sim.reset()
+        assert gauge.value == 0
+
+    def test_reset_inside_run_stops_the_loop(self, sim):
+        # Regression: reset() used to leave _running set, so a reset
+        # issued from inside a callback did not terminate the window.
+        fired = []
+        sim.schedule_at(10, sim.reset)
+        sim.schedule_at(20, fired.append, "after-reset")
+        sim.run()
+        assert fired == []
+        assert sim.now == 0
+        # The simulator is immediately reusable.
+        sim.schedule_at(5, fired.append, "fresh")
+        sim.run()
+        assert fired == ["fresh"]
+
 
 class TestDeterminism:
     def test_identical_seeds_identical_draws(self):
