@@ -7,6 +7,8 @@ Usage::
         BENCH_scaling_drcr.json benchmarks/baselines/BENCH_scaling_drcr.json
     python benchmarks/check_scaling_guardrail.py \
         BENCH_cluster.json benchmarks/baselines/BENCH_cluster.json
+    python benchmarks/check_scaling_guardrail.py \
+        BENCH_throughput.json benchmarks/baselines/BENCH_throughput.json
 
 Compares a fresh benchmark document against the committed baseline;
 the document's ``benchmark`` field picks the check set.
@@ -24,6 +26,11 @@ Machine-independent shape ratios carry the regression signal:
   any drift is a protocol change, not machine noise -- plus the
   absolute ``migration_latency_ms`` at the largest fleet on matching
   ladders.
+* Engine speed (``throughput``): ``run_vs_step_speedup`` (the sorted-run
+  drain against the legacy per-event API, measured in one process, so
+  machine-independent), ``fleet_overhead_growth`` (per-event overhead
+  across the fleet ladder), and the absolute events/s of every ladder
+  row -- each must stay within ``TOLERANCE`` of the committed baseline.
 
 A metric regresses when it is more than ``TOLERANCE`` (2x) worse than
 the baseline.  Exit status 1 on any regression.
@@ -81,9 +88,38 @@ def check_cluster(current, baseline, check_at_most):
               % (current["fleet_sizes"], baseline["fleet_sizes"]))
 
 
+def check_throughput(current, baseline, check_at_most):
+    # A speedup ratio shrinking by >2x is the regression signal; both
+    # legs of each ratio come from the same process, so the comparison
+    # survives machine changes.
+    check_at_most(
+        "run_vs_step_speedup shrink factor",
+        baseline["run_vs_step_speedup"]
+        / max(current["run_vs_step_speedup"], 1e-9),
+        TOLERANCE)
+    check_at_most(
+        "fleet_overhead_growth",
+        current["fleet_overhead_growth"],
+        TOLERANCE * baseline["fleet_overhead_growth"])
+    baseline_rates = {row["workload"]: row["events_per_s"]
+                      for row in baseline["rows"]}
+    for row in current["rows"]:
+        reference = baseline_rates.get(row["workload"])
+        if reference is None:
+            print("no baseline row for workload %r: skipping"
+                  % row["workload"])
+            continue
+        # Rates are "bigger is better": bound the slowdown factor.
+        check_at_most(
+            "slowdown [%s]" % row["workload"],
+            reference / max(row["events_per_s"], 1e-9),
+            TOLERANCE)
+
+
 CHECKS = {
     "scaling_drcr": check_drcr,
     "cluster": check_cluster,
+    "throughput": check_throughput,
 }
 
 

@@ -23,6 +23,18 @@ Matching follows the OSGi framework rules: attribute names are
 case-insensitive; values coerce to the attribute's type (numbers compare
 numerically, :class:`~repro.osgi.version.Version` values compare as
 versions, lists match if any element matches).
+
+Performance notes (see docs/PERFORMANCE.md)
+-------------------------------------------
+Beyond the :class:`FilterCache` text->filter memo, every
+:class:`LDAPFilter` is **compiled to a closure tree** at construction:
+each node becomes one ``props -> bool`` function with its attribute
+name, lowered fallback key and comparison bound as locals, so a
+``matches`` call is a chain of direct calls with no per-call attribute
+dispatch, no ``_lookup`` helper frame, and an exact-key ``dict.get``
+fast path (the case-insensitive scan only runs when the exact key is
+absent).  The node classes keep their ``matches`` methods as the
+reference semantics; the compiled form must behave identically.
 """
 
 from repro.osgi.errors import InvalidFilterError
@@ -230,6 +242,63 @@ def _approx(value):
     return "".join(str(value).split()).lower()
 
 
+def _compile(node):
+    """Compile a parsed node tree into a ``props -> bool`` closure.
+
+    Mirrors the ``matches`` methods exactly; two-child and/or gets a
+    short-circuit special case because ``(&(a=b)(c=d))`` dominates real
+    registry queries.
+    """
+    if isinstance(node, AndNode):
+        parts = [_compile(child) for child in node.children]
+        if len(parts) == 2:
+            first, second = parts
+            return lambda props: first(props) and second(props)
+        return lambda props: all(part(props) for part in parts)
+    if isinstance(node, OrNode):
+        parts = [_compile(child) for child in node.children]
+        if len(parts) == 2:
+            first, second = parts
+            return lambda props: first(props) or second(props)
+        return lambda props: any(part(props) for part in parts)
+    if isinstance(node, NotNode):
+        inner = _compile(node.child)
+        return lambda props: not inner(props)
+    if isinstance(node, PresentNode):
+        attr = node.attr
+        lowered = attr.lower()
+
+        def present(props):
+            if attr in props:
+                return True
+            for key in props:
+                if isinstance(key, str) and key.lower() == lowered:
+                    return True
+            return False
+
+        return present
+    # Leaf comparison (CompareNode / SubstringNode): exact-key fast
+    # path, case-insensitive fallback, OSGi any-element list rule.
+    attr = node.attr
+    lowered = attr.lower()
+    match_one = node._match_one
+
+    def leaf(props):
+        actual = props.get(attr, _MISSING)
+        if actual is _MISSING:
+            for key, value in props.items():
+                if isinstance(key, str) and key.lower() == lowered:
+                    actual = value
+                    break
+            else:
+                return False
+        if isinstance(actual, (list, tuple, set, frozenset)):
+            return any(match_one(item) for item in actual)
+        return match_one(actual)
+
+    return leaf
+
+
 class _Parser:
     """Recursive-descent RFC 1960 parser."""
 
@@ -361,17 +430,20 @@ class LDAPFilter:
     ``LDAPFilter("(&(objectclass=camera)(cpuusage<=0.2))").matches(props)``
     """
 
+    __slots__ = ("text", "root", "matches")
+
     def __init__(self, text):
         if isinstance(text, LDAPFilter):
             self.text = text.text
             self.root = text.root
+            self.matches = text.matches
             return
         self.text = text
         self.root = _Parser(text).parse()
-
-    def matches(self, props):
-        """Evaluate the filter against a properties mapping."""
-        return self.root.matches(props)
+        #: Evaluate the filter against a properties mapping.  Bound to
+        #: the compiled closure tree (module performance notes), so a
+        #: call costs no method dispatch through the node objects.
+        self.matches = _compile(self.root)
 
     def __eq__(self, other):
         if not isinstance(other, LDAPFilter):

@@ -39,6 +39,8 @@ from repro.rtos.task import (
     TaskState,
     TaskType,
 )
+from repro.sim.events import PRIORITY_INTERRUPT, PRIORITY_LATE, \
+    PRIORITY_NORMAL
 
 TIMER_PERIODIC = "periodic"
 TIMER_ONESHOT = "oneshot"
@@ -103,7 +105,23 @@ class RTKernel:
         # Object registry (single RTAI-style namespace).
         self._registry = {}
         self.tasks = []
+        # Hot-path caches: dispatch cost is a property sum, the latency
+        # model's sample entry is a bound method, and the zero-offset
+        # flag lets the null model skip the whole sampling path (no RNG
+        # stream touch, no Linux-demand aggregation) per release.
+        self._dispatch_cost = self.config.dispatch_cost_ns
+        self._irq_entry = self.config.irq_entry_ns
+        self._sample_offset = self.config.latency_model.sample_release_offset
+        self._zero_offset = getattr(self.config.latency_model,
+                                    "zero_offset", False)
+        # Round-robin is off by default; when it is, _begin_compute can
+        # skip the quantum-arming helper entirely.
+        self._rr_enabled = bool(self.config.rr_quantum_ns)
         # Telemetry instruments (cached; no-ops when telemetry is off).
+        # The counters touched per dispatch/release cache the bound
+        # ``inc`` method itself -- when telemetry is disabled these are
+        # the shared null singletons' no-ops, so there is no enabled/
+        # disabled branch anywhere on the hot path.
         metrics = sim.telemetry.registry("rtos")
         self._m_dispatches = metrics.counter("dispatches_total")
         self._m_context_switches = metrics.counter(
@@ -114,6 +132,9 @@ class RTKernel:
         self._m_deadline_misses = metrics.counter("deadline_misses_total")
         self._m_faults = metrics.counter("task_faults_total")
         self._m_latency = metrics.histogram("dispatch_latency_ns")
+        self._inc_dispatches = self._m_dispatches.inc
+        self._inc_releases = self._m_releases.inc
+        self._observe_latency = self._m_latency.observe
         ready_enqueues = metrics.counter("ready_enqueues_total")
         ready_dequeues = metrics.counter("ready_dequeues_total")
         for scheduler in self._schedulers.values():
@@ -579,40 +600,75 @@ class RTKernel:
         if not self._timer_started:
             return
         nominal = task._next_release
-        offset = self.config.latency_model.sample_release_offset(
-            self.sim.rng, task.name, self.linux_demand,
-            getattr(task, "hybrid", False))
-        fire = max(self.sim.now + 1,
-                   nominal + offset + self.config.irq_entry_ns)
+        if self._zero_offset:
+            # Null latency model: skip RNG/demand sampling entirely.
+            fire = nominal + self._irq_entry
+        else:
+            offset = self._sample_offset(
+                self.sim.rng, task.name, self.linux_demand, task.hybrid)
+            fire = nominal + offset + self._irq_entry
+        floor = self.sim.now + 1
+        if fire < floor:
+            fire = floor
         task._release_event = self.sim.schedule_interrupt(
             fire, self._on_release, task, nominal,
-            label="release:%s" % task.name)
+            label=task._label_release)
 
     def _on_release(self, task, nominal):
-        """A periodic release interrupt reached the scheduler."""
+        """A periodic release interrupt reached the scheduler.
+
+        This is the hottest kernel callback: the bodies of
+        ``_arm_release``, ``_make_ready`` and ``_request_resched`` are
+        inlined on its fast branch (docs/PERFORMANCE.md); the named
+        helpers remain the canonical copies for every other caller.
+        """
         task._release_event = None
-        if task.state in (TaskState.DELETED, TaskState.FAULTED) \
+        state = task.state
+        if state in (TaskState.DELETED, TaskState.FAULTED) \
                 or not self._timer_started:
             return
         # Chain the next release immediately: the hardware timer keeps
         # ticking regardless of what the task is doing.
-        task._next_release = nominal + task.period_ns
-        self._arm_release(task)
+        # (inline _arm_release)
+        sim = self.sim
+        task._next_release = chained = nominal + task.period_ns
+        if self._zero_offset:
+            fire = chained + self._irq_entry
+        else:
+            fire = chained + self._irq_entry + self._sample_offset(
+                sim.rng, task.name, self.linux_demand, task.hybrid)
+        floor = sim._now + 1
+        if fire < floor:
+            fire = floor
+        task._release_event = sim._push(
+            fire, PRIORITY_INTERRUPT, self._on_release, (task, chained),
+            task._label_release)
         task.stats.activations += 1
-        self._m_releases.inc()
-        if task.state is TaskState.SUSPENDED:
+        self._inc_releases()
+        if state is TaskState.SUSPENDED:
             # Releases are skipped (not queued) while suspended: on
             # resume the task waits for the next fresh release instead
             # of burning through stale catch-up jobs.
             task.stats.skipped_releases += 1
             self._trace("release_while_suspended", task=task.name)
             return
-        if task.state is TaskState.WAITING_PERIOD:
+        if state is TaskState.WAITING_PERIOD:
             task._pending_kind = "period"
             task._pending_nominals.append(nominal)
             task._needs_advance = True
-            self._trace("release", task=task.name, nominal=nominal)
-            self._make_ready(task)
+            if self.config.trace_kernel:
+                self._trace("release", task=task.name, nominal=nominal)
+            # (inline _make_ready + _request_resched)
+            task.state = TaskState.READY
+            cpu = task.cpu
+            self._schedulers[cpu].add(task)
+            running = self._running[cpu]
+            if running is not None and running.priority == task.priority:
+                self._arm_quantum(running)
+            if not self._resched_pending[cpu]:
+                self._resched_pending[cpu] = True
+                sim._push(sim._now, PRIORITY_LATE, self._do_resched,
+                          (cpu,), "resched")
         else:
             # Task has not finished its previous job yet: overrun.  The
             # pending nominal makes the next WaitPeriod return at once.
@@ -637,72 +693,72 @@ class RTKernel:
         self.sim.call_soon(self._do_resched, cpu, label="resched")
 
     def _do_resched(self, cpu):
+        """Pick-and-dispatch for one CPU (the coalesced resched event).
+
+        Dispatch is inlined here rather than split into a ``_dispatch``
+        helper: this event runs once per job in steady state, and the
+        period-resume bookkeeping of ``_consume_pending_value`` is
+        folded into the common branch (docs/PERFORMANCE.md).
+        """
         self._resched_pending[cpu] = False
         scheduler = self._schedulers[cpu]
         current = self._running[cpu]
-        best = scheduler.pick()
-        if current is None:
-            if best is not None:
-                self._dispatch(cpu, best)
-            return
-        if best is not None and scheduler.would_preempt(best, current):
+        task = scheduler.pick()
+        if current is not None:
+            if task is None or not scheduler.would_preempt(task, current):
+                return
             self._preempt(cpu, current)
-            self._dispatch(cpu, best)
-
-    def _dispatch(self, cpu, task):
-        scheduler = self._schedulers[cpu]
+        elif task is None:
+            return
         scheduler.remove(task)
         task.state = TaskState.RUNNING
         self._running[cpu] = task
+        now = self.sim._now
         if self._segment_start[cpu] is None:
-            self._segment_start[cpu] = self.sim.now
-        self._m_dispatches.inc()
+            self._segment_start[cpu] = now
+        self._inc_dispatches()
         if self._last_ran[cpu] is not task:
             self._m_context_switches.inc()
             self._last_ran[cpu] = task
-        self._trace("dispatch", task=task.name, cpu=cpu)
+        if self.config.trace_kernel:
+            self._trace("dispatch", task=task.name, cpu=cpu)
         if task._needs_advance:
             task._needs_advance = False
-            value = self._consume_pending_value(task)
+            # (inline _consume_pending_value)
+            if task._pending_kind == "period":
+                nominal = task._pending_nominals.popleft()
+                task._release_nominal = nominal
+                task._pending_kind = None
+                value = now + self._dispatch_cost - nominal
+                if task.stats.latency is not None:
+                    task.stats.latency.add(value)
+                self._observe_latency(value)
+                if self.config.trace_kernel:
+                    self._trace("period_resume", task=task.name,
+                                nominal=nominal, latency=value)
+            else:
+                value = task._pending_value
+                task._pending_value = None
             outcome = self._advance(task, value)
             if outcome != "compute":
                 return  # the task left the CPU again (blocked/ended)
-            self._begin_compute(cpu, task)
-        elif task._remaining_ns > 0:
-            self._begin_compute(cpu, task)
-        else:
+        elif task._remaining_ns <= 0:
             # Preempted exactly at a compute boundary: the completion
             # event was cancelled, so finish the segment now.
             outcome = self._advance(task, None)
-            if outcome == "compute":
-                self._begin_compute(cpu, task)
-
-    def _consume_pending_value(self, task):
-        if task._pending_kind == "period":
-            # Consume exactly one release here; further queued releases
-            # are overrun catch-ups, consumed by the next WaitPeriod.
-            nominal = task._pending_nominals.popleft()
-            task._release_nominal = nominal
-            task._pending_kind = None
-            latency = (self.sim.now + self.config.dispatch_cost_ns
-                       - nominal)
-            if task.stats.latency is not None:
-                task.stats.latency.add(latency)
-            self._m_latency.observe(latency)
-            self._trace("period_resume", task=task.name, nominal=nominal,
-                        latency=latency)
-            return latency
-        value = task._pending_value
-        task._pending_value = None
-        return value
+            if outcome != "compute":
+                return
+        self._begin_compute(cpu, task)
 
     def _begin_compute(self, cpu, task):
-        start = self.sim.now + self.config.dispatch_cost_ns
+        sim = self.sim
+        start = sim._now + self._dispatch_cost
         task._compute_started = start
-        task._completion_event = self.sim.schedule_at(
-            start + task._remaining_ns, self._on_compute_complete, task,
-            label="complete:%s" % task.name)
-        self._arm_quantum(task)
+        task._completion_event = sim._push(
+            start + task._remaining_ns, PRIORITY_NORMAL,
+            self._on_compute_complete, (task,), task._label_complete)
+        if self._rr_enabled:
+            self._arm_quantum(task)
 
     def _arm_quantum(self, task):
         """Arm round-robin rotation if equal-priority peers are ready."""
@@ -714,7 +770,7 @@ class RTKernel:
             return
         task._quantum_event = self.sim.schedule(
             quantum + self.config.dispatch_cost_ns, self._on_quantum, task,
-            label="quantum:%s" % task.name)
+            label=task._label_quantum)
 
     def _on_quantum(self, task):
         task._quantum_event = None
@@ -734,7 +790,8 @@ class RTKernel:
         task.stats.preemptions += 1
         self._m_preemptions.inc()
         self._schedulers[cpu].add(task)
-        self._trace("preempt", task=task.name, cpu=cpu)
+        if self.config.trace_kernel:
+            self._trace("preempt", task=task.name, cpu=cpu)
 
     def _take_off_cpu(self, task):
         """Account the partial compute segment and free the CPU."""
@@ -758,7 +815,8 @@ class RTKernel:
         if self._segment_start[cpu] is not None:
             self._rt_busy_ns[cpu] += self.sim.now - self._segment_start[cpu]
             self._segment_start[cpu] = None
-        self._trace("off_cpu", task=task.name, cpu=cpu)
+        if self.config.trace_kernel:
+            self._trace("off_cpu", task=task.name, cpu=cpu)
 
     def _on_compute_complete(self, task):
         """The current Compute segment finished; advance the body."""
@@ -794,7 +852,7 @@ class RTKernel:
                 task._remaining_ns = request.ns
                 return "compute"
             if isinstance(request, rq.WaitPeriod):
-                if not task.is_periodic:
+                if task.task_type is not TaskType.PERIODIC:
                     self._fault_task(task, TaskStateError(
                         "aperiodic task %s called WaitPeriod"
                         % task.name))
@@ -807,7 +865,7 @@ class RTKernel:
             if isinstance(request, rq.Sleep):
                 self._park(task, None)
                 self.sim.schedule(request.ns, self._on_sleep_done, task,
-                                  label="sleep:%s" % task.name)
+                                  label=task._label_sleep)
                 return "parked"
             if isinstance(request, rq.Receive):
                 completed, result = request.mailbox._task_receive(
@@ -874,11 +932,18 @@ class RTKernel:
             latency = self.sim.now - nominal
             if task.stats.latency is not None:
                 task.stats.latency.add(latency)
-            self._m_latency.observe(latency)
+            self._observe_latency(latency)
             return latency
-        self._release_cpu_if_running(task)
+        if task.state is TaskState.RUNNING:
+            self._take_off_cpu(task)
         task.state = TaskState.WAITING_PERIOD
-        self._request_resched(task.cpu)
+        # (inline _request_resched)
+        cpu = task.cpu
+        if not self._resched_pending[cpu]:
+            self._resched_pending[cpu] = True
+            sim = self.sim
+            sim._push(sim._now, PRIORITY_LATE, self._do_resched, (cpu,),
+                      "resched")
         return None
 
     def _release_cpu_if_running(self, task):
@@ -893,9 +958,10 @@ class RTKernel:
         if timeout_ns is not None:
             task._timeout_event = self.sim.schedule(
                 timeout_ns, self._on_ipc_timeout, task,
-                label="timeout:%s" % task.name)
-        self._trace("block", task=task.name,
-                    on=getattr(blocked_on, "name", "sleep"))
+                label=task._label_timeout)
+        if self.config.trace_kernel:
+            self._trace("block", task=task.name,
+                        on=getattr(blocked_on, "name", "sleep"))
         self._request_resched(task.cpu)
 
     def _on_sleep_done(self, task):
@@ -931,7 +997,8 @@ class RTKernel:
             task._timeout_event = None
         task._needs_advance = True
         task._pending_value = value
-        self._trace("wake", task=task.name)
+        if self.config.trace_kernel:
+            self._trace("wake", task=task.name)
         self._make_ready(task)
 
     def _fault_task(self, task, error):

@@ -112,6 +112,12 @@ class LatencyModel:
         used.
     """
 
+    #: Class-level fast-path flag: when true, the kernel skips sampling
+    #: entirely and fires releases exactly on the timer grid (plus IRQ
+    #: entry).  Overridden by :class:`NullLatencyModel`; checked once at
+    #: kernel construction (docs/PERFORMANCE.md).
+    zero_offset = False
+
     def __init__(self, hybrid_shift_light_ns=-700,
                  hybrid_shift_stress_ns=100, busy_threshold=0.75):
         self.busy_threshold = busy_threshold
@@ -147,6 +153,8 @@ class NullLatencyModel(LatencyModel):
     Used by tests and by the analysis benchmarks, where scheduling
     behaviour should be exact rather than jittered.
     """
+
+    zero_offset = True
 
     def __init__(self):
         super().__init__()

@@ -24,7 +24,18 @@ from repro.rtos.errors import MailboxEmptyError
 
 
 class Mailbox:
-    """A bounded FIFO message queue identified by a 6-character name."""
+    """A bounded FIFO message queue identified by a 6-character name.
+
+    The kernel-side entry points are hot (one per Send/Receive request):
+    they test ``self._messages``/waiter deques directly instead of going
+    through the ``full``/``empty`` properties, and only call the waiter
+    hand-off helpers when the relevant deque is non-empty, so the
+    uncontended fast path stays a single frame (docs/PERFORMANCE.md).
+    """
+
+    __slots__ = ("_kernel", "name", "capacity", "_messages",
+                 "_recv_waiters", "_send_waiters", "sent_count",
+                 "received_count", "dropped_count")
 
     def __init__(self, kernel, name, capacity=16):
         if capacity <= 0:
@@ -93,9 +104,9 @@ class Mailbox:
         (the caller decides whether to retry; the management bridge
         counts the drop).
         """
-        if self._try_hand_to_waiter(message):
+        if self._recv_waiters and self._try_hand_to_waiter(message):
             return True
-        if self.full:
+        if len(self._messages) >= self.capacity:
             self.dropped_count += 1
             return False
         self._messages.append(message)
@@ -107,7 +118,8 @@ class Mailbox:
         if self._messages:
             message = self._messages.popleft()
             self.received_count += 1
-            self._refill_from_send_waiters()
+            if self._send_waiters:
+                self._refill_from_send_waiters()
             return message
         return None
 
@@ -135,7 +147,7 @@ class Mailbox:
 
     def _refill_from_send_waiters(self):
         """After space opened up, admit a blocked sender's message."""
-        while self._send_waiters and not self.full:
+        while self._send_waiters and len(self._messages) < self.capacity:
             task, message = self._send_waiters.popleft()
             if task._blocked_on is not self:
                 continue
@@ -149,9 +161,9 @@ class Mailbox:
         Returns ``(completed, result)``; when ``completed`` is False the
         task has been parked and will be woken later.
         """
-        if self._try_hand_to_waiter(message):
+        if self._recv_waiters and self._try_hand_to_waiter(message):
             return True, True
-        if not self.full:
+        if len(self._messages) < self.capacity:
             self._messages.append(message)
             self.sent_count += 1
             return True, True
@@ -166,7 +178,8 @@ class Mailbox:
         if self._messages:
             message = self._messages.popleft()
             self.received_count += 1
-            self._refill_from_send_waiters()
+            if self._send_waiters:
+                self._refill_from_send_waiters()
             return True, message
         if not blocking:
             return True, None

@@ -37,7 +37,17 @@ class SharedMemory:
 
     Created via :meth:`repro.rtos.kernel.RTKernel.shm_alloc`; the kernel
     keyes the segment by its 6-character RTAI name.
+
+    Whole-segment :meth:`write`/:meth:`read` are the data-plane hot path
+    (every DRCom SHM port transfer).  ``write`` validates in one pass
+    with the validator bound to a local, and ``read`` copies with
+    ``list.copy`` instead of re-materialising through the iterator
+    protocol (docs/PERFORMANCE.md).
     """
+
+    __slots__ = ("_clock", "name", "dtype", "size", "_validator", "_data",
+                 "write_count", "last_write_time", "last_writer",
+                 "_attached")
 
     def __init__(self, clock, name, dtype, size):
         if dtype not in _TYPE_INFO:
@@ -91,20 +101,31 @@ class SharedMemory:
             raise ShmTypeError(
                 "segment %s holds %d elements, got %d"
                 % (self.name, self.size, len(values)))
+        validator = self._validator
         for value in values:
-            self._check_value(value)
+            if not validator(value):
+                raise ShmTypeError(
+                    "value %r invalid for %s segment %s"
+                    % (value, self.dtype, self.name))
         self._data[:] = values
-        self._note_write(writer)
+        self.write_count += 1
+        self.last_write_time = self._clock()
+        self.last_writer = writer
 
     def write_at(self, index, value, writer=None):
         """Write one element."""
-        self._check_value(value)
+        if not self._validator(value):
+            raise ShmTypeError(
+                "value %r invalid for %s segment %s"
+                % (value, self.dtype, self.name))
         self._data[index] = value
-        self._note_write(writer)
+        self.write_count += 1
+        self.last_write_time = self._clock()
+        self.last_writer = writer
 
     def read(self):
         """Return a copy of the whole segment."""
-        return list(self._data)
+        return self._data.copy()
 
     def read_at(self, index):
         """Return one element."""

@@ -58,6 +58,11 @@ SUSPENDABLE_STATES = frozenset({
 class TaskStats:
     """Per-task counters and (optional) latency series."""
 
+    __slots__ = ("activations", "completions", "deadline_misses",
+                 "overruns", "preemptions", "suspensions",
+                 "skipped_releases", "throttled_releases", "cpu_time_ns",
+                 "latency")
+
     def __init__(self, collect_latency=False):
         self.activations = 0
         self.completions = 0
@@ -89,7 +94,28 @@ class TaskStats:
 
 
 class RTTask:
-    """A simulated RTAI task.  Construct via ``RTKernel.create_task``."""
+    """A simulated RTAI task.  Construct via ``RTKernel.create_task``.
+
+    ``__slots__`` keeps task records compact and attribute access flat:
+    the kernel touches a dozen of these fields per dispatch, and the
+    slotted layout both removes the per-instance ``__dict__`` and makes
+    every load a fixed-offset read (docs/PERFORMANCE.md).  The
+    ``_label_*`` fields precompute the event-label strings the kernel
+    would otherwise format once per release/compute/timeout event.
+    """
+
+    __slots__ = (
+        "kernel", "name", "num", "body", "priority", "cpu", "task_type",
+        "period_ns", "deadline_ns", "state", "stats", "fault", "hybrid",
+        "_gen", "_remaining_ns", "_compute_started", "_completion_event",
+        "_quantum_event", "_timeout_event", "_release_event",
+        "_release_nominal", "_next_release", "_pending_nominals",
+        "_pending_kind", "_pending_value", "_needs_advance",
+        "_deferred_wake", "_last_release_time", "_deferred_release_event",
+        "_suspend_depth", "_resume_state", "_started", "_blocked_on",
+        "_label_release", "_label_complete", "_label_quantum",
+        "_label_timeout", "_label_sleep",
+    )
 
     def __init__(self, kernel, name, body, priority, cpu=0,
                  task_type=TaskType.PERIODIC, period_ns=None,
@@ -147,6 +173,13 @@ class RTTask:
         self._resume_state = None       # state to restore after suspend
         self._started = False
         self._blocked_on = None         # IPC object currently blocked on
+
+        # Precomputed event labels (kernel hot path; see class docstring).
+        self._label_release = "release:" + self.name
+        self._label_complete = "complete:" + self.name
+        self._label_quantum = "quantum:" + self.name
+        self._label_timeout = "timeout:" + self.name
+        self._label_sleep = "sleep:" + self.name
 
     # ------------------------------------------------------------------
     # introspection

@@ -3,15 +3,43 @@
 Time is an integer number of **nanoseconds** throughout the repository;
 this matches the resolution RTAI reports scheduling latency in (the paper's
 Table 1 is in nanoseconds) and avoids floating-point drift in long runs.
+
+Performance notes (see docs/PERFORMANCE.md)
+-------------------------------------------
+:meth:`Simulator.run` drains events as a **sorted run**: at window
+start the whole backlog is lifted out of the queue and sorted once
+(Timsort over C-compared tuples), then consumed by a plain cursor --
+O(1) per event instead of an O(log n) ``heappop`` against a large
+heap.  Events scheduled *during* the window land in a fresh (small)
+side heap; each iteration takes whichever of cursor-head and heap-head
+is earlier with a single tuple comparison, so the fired order is
+identical to the seed's pop-per-event order -- ``seq`` strictly
+increases, ties resolve FIFO.  The loop also folds the per-event
+``sim.events_total`` increment into one batched add per run window.
+The scheduling entry points (:meth:`schedule`, :meth:`schedule_at`,
+:meth:`schedule_interrupt`, :meth:`call_soon`) delegate to one shared
+``_push`` that builds the heap entry and the :class:`Event` record
+inline -- two frames per scheduled event where the seed chained
+through ``schedule_at`` + ``EventQueue.push`` + ``Event.__init__``.
+:meth:`step` keeps the original one-event-at-a-time contract for
+callers that need it; both paths fire events in the identical
+``(time, priority, seq)`` order.
 """
+
+from heapq import heapify as _heapify
+from heapq import heappop as _heappop
+from heapq import heappush as _heappush
 
 from repro.sim.errors import SchedulingInPastError, SimulationLimitError
 from repro.sim.events import (
     PRIORITY_INTERRUPT,
     PRIORITY_LATE,
     PRIORITY_NORMAL,
+    Event,
     EventQueue,
 )
+
+_new_event = Event.__new__
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import TraceRecorder
 from repro.telemetry.metrics import Telemetry
@@ -93,30 +121,51 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    # Each entry point builds its heap entry inline (single frame, no
+    # ``push`` delegation) -- see the module performance notes.
+    def _push(self, when, priority, callback, args, label):
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        event = _new_event(Event)
+        event.when = when
+        event.priority = priority
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.label = label
+        event._queue = queue
+        event._cancelled = False
+        event._fired = False
+        _heappush(queue._heap, (when, priority, seq, event))
+        queue._live += 1
+        return event
+
     def schedule(self, delay, callback, *args, priority=PRIORITY_NORMAL,
                  label=""):
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
-        return self.schedule_at(self._now + delay, callback, *args,
-                                priority=priority, label=label)
+        when = self._now + delay
+        if when < self._now:
+            raise SchedulingInPastError(self._now, when)
+        return self._push(when, priority, callback, args, label)
 
     def schedule_at(self, when, callback, *args, priority=PRIORITY_NORMAL,
                     label=""):
         """Schedule ``callback(*args)`` at absolute time ``when`` ns."""
         if when < self._now:
             raise SchedulingInPastError(self._now, when)
-        return self._queue.push(when, callback, args, priority=priority,
-                                label=label)
+        return self._push(when, priority, callback, args, label)
 
     def schedule_interrupt(self, when, callback, *args, label=""):
         """Schedule a hardware-priority event at absolute time ``when``."""
-        return self.schedule_at(when, callback, *args,
-                                priority=PRIORITY_INTERRUPT, label=label)
+        if when < self._now:
+            raise SchedulingInPastError(self._now, when)
+        return self._push(when, PRIORITY_INTERRUPT, callback, args, label)
 
     def call_soon(self, callback, *args, label=""):
         """Run ``callback`` at the current instant, after pending
         same-instant events of lower or equal priority already queued."""
-        return self.schedule_at(self._now, callback, *args,
-                                priority=PRIORITY_LATE, label=label)
+        return self._push(self._now, PRIORITY_LATE, callback, args, label)
 
     # ------------------------------------------------------------------
     # execution
@@ -150,17 +199,75 @@ class Simulator:
         """
         self._running = True
         self._m_windows.inc()
+        # Hot loop: sorted-run drain (module performance notes).  The
+        # backlog is sorted once and consumed by cursor; events pushed
+        # during the window go to a fresh side heap and are merged in
+        # order with one tuple comparison per event.  Heap entries are
+        # (when, priority, seq, event) tuples -- see repro.sim.events.
+        queue = self._queue
+        epoch = queue._epoch
+        backlog = queue._heap
+        backlog.sort()
+        queue._heap = heap = []
+        cursor = 0
+        n_backlog = len(backlog)
+        heappop = _heappop
+        bound = float("inf") if until is None else until
+        max_events = self._max_events
+        fired = 0
         try:
             while self._running:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                if cursor < n_backlog:
+                    entry = backlog[cursor]
+                    if heap and heap[0] < entry:
+                        entry = heap[0]
+                        if entry[0] > bound:
+                            break
+                        heappop(heap)
+                    else:
+                        if entry[0] > bound:
+                            break
+                        cursor += 1
+                elif heap:
+                    entry = heap[0]
+                    if entry[0] > bound:
+                        break
+                    heappop(heap)
+                else:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                event = entry[3]
+                if event._cancelled:
+                    continue
+                queue._live -= 1
+                self._now = entry[0]
+                event._fired = True
+                fired += 1
+                self._processed += 1
+                if self._processed > max_events:
+                    raise SimulationLimitError(
+                        "exceeded max_events=%d at t=%d ns" %
+                        (max_events, self._now))
+                event.callback(*event.args)
         finally:
             self._running = False
-            self._m_pending.set(len(self._queue))
+            if queue._epoch == epoch:
+                # Fold the unfired backlog tail back into the queue.
+                if cursor < n_backlog:
+                    if cursor:
+                        del backlog[:cursor]
+                    if heap:
+                        backlog.extend(heap)
+                        _heapify(backlog)
+                    queue._heap = backlog
+            else:
+                # reset() ran inside a callback: the queue was cleared
+                # while we held the backlog, so drop the tail the same
+                # way clear() would have.
+                for index in range(cursor, n_backlog):
+                    backlog[index][3]._queue = None
+            if fired:
+                self._m_events.inc(fired)
+            self._m_pending.set(queue._live)
         if until is not None and until > self._now:
             self._now = until
         return self._now

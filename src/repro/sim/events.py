@@ -4,10 +4,23 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence number
 makes ordering of same-time, same-priority events deterministic (FIFO in
 scheduling order), which keeps every simulation run bit-reproducible for a
 given seed.
+
+Performance notes (see docs/PERFORMANCE.md)
+-------------------------------------------
+The heap stores ``(when, priority, seq, event)`` **tuples**, not the
+:class:`Event` objects themselves.  Tuple comparison is a single C-level
+operation, whereas comparing ``Event`` objects calls ``__lt__`` (and a
+key-building helper) in Python for every sift step -- which profiling
+showed was the single largest cost of the whole simulator (~1.7 million
+``_sort_key`` calls for a 90k-event run).  ``seq`` is unique, so the
+comparison never reaches the trailing event object, and the event class
+needs no ordering methods at all on the hot path.  The tuple layout is
+part of the internal contract with :meth:`repro.sim.engine.Simulator.run`,
+which drains the heap in place instead of paying ``peek``/``pop`` method
+pairs per event.
 """
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 
 from repro.sim.errors import EventAlreadyCancelledError
 
@@ -87,7 +100,10 @@ class Event:
         return (self.when, self.priority, self.seq)
 
     def __lt__(self, other):
-        return self._sort_key() < other._sort_key()
+        # Not used by the queue (the heap compares tuples); kept so
+        # explicitly sorting Event collections in tests keeps working.
+        return (self.when, self.priority, self.seq) < \
+            (other.when, other.priority, other.seq)
 
     def __repr__(self):
         state = ("cancelled" if self._cancelled
@@ -97,7 +113,7 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` objects with lazy deletion.
+    """Min-heap of ``(when, priority, seq, event)`` tuples, lazy deletion.
 
     Cancelled events stay in the heap and are skipped on pop; this is the
     standard O(log n) cancellation strategy and keeps `cancel` cheap for
@@ -105,10 +121,15 @@ class EventQueue:
     RT kernel.
     """
 
+    __slots__ = ("_heap", "_seq", "_live", "_epoch")
+
     def __init__(self):
         self._heap = []
-        self._counter = itertools.count()
+        self._seq = 0
         self._live = 0
+        # Bumped by clear(); lets an in-flight run() window detect a
+        # reset and discard its drained-but-unfired backlog.
+        self._epoch = 0
 
     def __len__(self):
         return self._live
@@ -119,19 +140,44 @@ class EventQueue:
     def push(self, when, callback, args=(), priority=PRIORITY_NORMAL,
              label=""):
         """Create, enqueue and return a new :class:`Event`."""
-        event = Event(when, priority, next(self._counter), callback, args,
-                      label, queue=self)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, priority, seq, callback, args, label,
+                      queue=self)
+        heappush(self._heap, (when, priority, seq, event))
         self._live += 1
         return event
+
+    def push_batch(self, entries):
+        """Enqueue many ``(when, callback, args, priority, label)`` rows.
+
+        Returns the created events in input order.  Batching amortizes the
+        attribute lookups of :meth:`push`; bulk schedule paths (fleet
+        construction, fault plans) use it to keep per-event setup cost off
+        the measured window.
+        """
+        heap = self._heap
+        seq = self._seq
+        events = []
+        append = events.append
+        for when, callback, args, priority, label in entries:
+            event = Event(when, priority, seq, callback, args, label,
+                          queue=self)
+            heappush(heap, (when, priority, seq, event))
+            seq += 1
+            append(event)
+        self._seq = seq
+        self._live += len(events)
+        return events
 
     def pop(self):
         """Remove and return the earliest live event.
 
         Returns ``None`` when the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
             if event._cancelled:
                 continue
             self._live -= 1
@@ -140,15 +186,17 @@ class EventQueue:
 
     def peek_time(self):
         """Return the timestamp of the earliest live event, or ``None``."""
-        while self._heap and self._heap[0]._cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].when
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
     def clear(self):
         """Drop every event (used for simulator reset)."""
-        for event in self._heap:
-            event._queue = None
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0
+        self._epoch += 1

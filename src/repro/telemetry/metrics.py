@@ -27,6 +27,15 @@ instrument is created.  Creating instruments *is* a dict lookup
 construction time.  ``Telemetry(enabled=False)`` swaps every instrument
 for a shared null object whose methods do nothing, which is the single
 switch that turns the whole layer off.
+
+Two further conventions keep the hot paths branch-free (see
+docs/PERFORMANCE.md): callers that fire an instrument per event cache
+the **bound method** (``counter.inc``, ``histogram.observe``) in an
+attribute -- with telemetry disabled that attribute *is* the null
+singleton's no-op, so there is no enabled/disabled test anywhere on the
+path -- and per-event counters that admit batching are folded into one
+``inc(n)`` per run window (``sim.events_total`` does this inside
+``Simulator.run``).
 """
 
 import bisect
