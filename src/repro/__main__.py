@@ -34,6 +34,11 @@ Subcommands:
     simulated cluster, migrate a component, crash a node and watch
     heartbeat detection plus automatic failover re-home its components
     (see ``docs/ARCHITECTURE.md``, Federation section).
+
+``python -m repro adapt [--rules RULES.json] [--compare] ...``
+    run the C5 load-spike experiment: declarative adaptation rules
+    shed load when the deadline-miss rate spikes, while the identical
+    static deployment degrades (see ``docs/ADAPTATION.md``).
 """
 
 import argparse
@@ -108,6 +113,9 @@ def main(argv=None):
     if argv and argv[0] == "cluster":
         from repro.cluster.cli import main as cluster_main
         return cluster_main(argv[1:])
+    if argv and argv[0] == "adapt":
+        from repro.adapt.cli import main as adapt_main
+        return adapt_main(argv[1:])
     args = _parse_args(argv)
     telemetry = Telemetry(enabled=not args.no_telemetry)
     platform = build_platform(seed=2008, telemetry=telemetry)

@@ -1,0 +1,166 @@
+"""The action catalog: what a fired rule may do, and to whom.
+
+Every action routes through a *public* platform API -- the §2.4
+management service, the DRCR's lifecycle/reconfiguration methods, the
+graceful-degradation resolver, or the cluster coordinator.  The
+catalog below is the single source of truth three consumers share: the
+rule validator (:func:`validate_action`), drtlint's DRT502/DRT503
+checks, and the controller's executor
+(:meth:`repro.adapt.controller.AdaptationController.execute`).
+
+``target_key`` gives the conflict-resolution identity of one action
+instance: two firings whose actions map to the same key contend for
+the same resource in the same epoch, and only the highest-priority
+rule's firing survives (see :mod:`repro.adapt.evaluator`).
+"""
+
+_NUMBER = (int, float)
+
+#: kind -> {description, scope, required, optional}.  ``required`` /
+#: ``optional`` map argument name to the accepted Python types (or a
+#: validation callable); ``scope`` is ``"drcr"`` for single-platform
+#: actions and ``"cluster"`` for federation-only ones.
+ACTIONS = {
+    "suspend": {
+        "description": "suspend a component via §2.4 management",
+        "scope": "drcr",
+        "required": {"component": str},
+        "optional": {},
+    },
+    "resume": {
+        "description": "resume a suspended component",
+        "scope": "drcr",
+        "required": {"component": str},
+        "optional": {},
+    },
+    "disable": {
+        "description": "disable (operator-quarantine) a component",
+        "scope": "drcr",
+        "required": {"component": str},
+        "optional": {},
+    },
+    "enable": {
+        "description": "re-enable a disabled component",
+        "scope": "drcr",
+        "required": {"component": str},
+        "optional": {},
+    },
+    "set_property": {
+        "description": "set a component property via §2.4 management",
+        "scope": "drcr",
+        "required": {"component": str, "property": str,
+                     "value": (str, int, float, bool)},
+        "optional": {},
+    },
+    "shed_lowest_priority": {
+        "description": "disable the least-important admitted "
+                       "component(s)",
+        "scope": "drcr",
+        "required": {},
+        "optional": {"cpu": int, "count": int},
+    },
+    "set_degradation_cap": {
+        "description": "lower/raise the graceful-degradation "
+                       "utilization cap and reconfigure",
+        "scope": "drcr",
+        "required": {"cap": _NUMBER},
+        "optional": {},
+    },
+    "reconfigure": {
+        "description": "force a reconfiguration pass",
+        "scope": "drcr",
+        "required": {},
+        "optional": {"full": bool},
+    },
+    "migrate": {
+        "description": "migrate a component to another node "
+                       "(placement decides when no dst is given)",
+        "scope": "cluster",
+        "required": {"component": str},
+        "optional": {"dst": str},
+    },
+    "rebalance": {
+        "description": "migrate the least-important component away "
+                       "from a node (placement picks the destination)",
+        "scope": "cluster",
+        "required": {},
+        "optional": {"node": str, "count": int},
+    },
+}
+
+#: Action pairs that undo each other -- drtlint's DRT503 flags two
+#: simultaneously-satisfiable rules commanding both on one target.
+OPPOSITES = {
+    "suspend": "resume",
+    "resume": "suspend",
+    "disable": "enable",
+    "enable": "disable",
+}
+
+
+def _type_ok(value, types):
+    """Type check that refuses ``bool`` where a number is expected."""
+    if not isinstance(types, tuple):
+        types = (types,)
+    if isinstance(value, bool):
+        return bool in types
+    return isinstance(value, types)
+
+
+def validate_action(action):
+    """Problems with one ``then`` entry; an empty list means valid."""
+    if not isinstance(action, dict):
+        return ["action must be an object, got %r"
+                % type(action).__name__]
+    kind = action.get("action")
+    if not isinstance(kind, str):
+        return ["missing 'action' kind"]
+    spec = ACTIONS.get(kind)
+    if spec is None:
+        return ["unknown action %r (known: %s)"
+                % (kind, ", ".join(sorted(ACTIONS)))]
+    problems = []
+    for arg, types in spec["required"].items():
+        if arg not in action:
+            problems.append("action %r missing argument %r"
+                            % (kind, arg))
+        elif not _type_ok(action[arg], types):
+            problems.append("action %r argument %r has wrong type"
+                            % (kind, arg))
+    for arg, types in spec["optional"].items():
+        if arg in action and not _type_ok(action[arg], types):
+            problems.append("action %r argument %r has wrong type"
+                            % (kind, arg))
+    known = {"action"} | set(spec["required"]) | set(spec["optional"])
+    extra = set(action) - known
+    if extra:
+        problems.append("action %r unknown arguments %s"
+                        % (kind, sorted(extra)))
+    for arg in ("count",):
+        if arg in action and isinstance(action.get(arg), int) \
+                and action[arg] < 1:
+            problems.append("action %r argument %r must be >= 1"
+                            % (kind, arg))
+    if kind == "set_degradation_cap" and "cap" in action \
+            and isinstance(action["cap"], _NUMBER) \
+            and action["cap"] <= 0:
+        problems.append("action 'set_degradation_cap' cap must be "
+                        "positive")
+    return problems
+
+
+def target_key(action):
+    """Conflict-resolution identity of one action instance.
+
+    Actions naming a component contend per component; shedding
+    contends per CPU; rebalancing contends per node; cap changes and
+    forced reconfigurations contend globally.
+    """
+    kind = action["action"]
+    if "component" in action:
+        return "component:%s" % action["component"]
+    if kind == "shed_lowest_priority":
+        return "shed:cpu%s" % action.get("cpu", "*")
+    if kind == "rebalance":
+        return "rebalance:%s" % action.get("node", "*")
+    return "global:%s" % kind

@@ -1,0 +1,123 @@
+"""``python -m repro adapt``: the C5 load-spike experiment, runnable.
+
+Runs the rule-driven arm of the load-spike scenario
+(:mod:`repro.adapt.scenario`) -- and, with ``--compare``, the static
+arm on the identical seed -- then prints windowed deadline-miss rates
+and the ``adapt.*`` counters behind the EXPERIMENTS.md C5 claim.
+
+Examples::
+
+    python -m repro adapt
+    python -m repro adapt --rules examples/settopbox.rules.json
+    python -m repro adapt --compare --seconds 2 --seed 11
+    python -m repro adapt --static --json spike.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.adapt.rules import RuleSchemaError, load_rule_file
+from repro.adapt.scenario import (
+    default_rules,
+    run_comparison,
+    run_load_spike,
+)
+from repro.sim.engine import MSEC
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro adapt",
+        description="Run the C5 load-spike scenario: declarative "
+                    "rules shed load while a static deployment "
+                    "degrades.")
+    parser.add_argument("--rules", metavar="RULES.json", default=None,
+                        help="rule file to drive the adaptive arm "
+                             "(default: the stock miss-rate guard "
+                             "from workloads.generate_rule_set)")
+    parser.add_argument("--seconds", type=float, default=2.0,
+                        metavar="S",
+                        help="simulated seconds (default 2)")
+    parser.add_argument("--epoch-ms", type=int, default=20,
+                        metavar="MS",
+                        help="adaptation epoch (default 20 ms)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default 7)")
+    parser.add_argument("--static", action="store_true",
+                        help="run only the static (rule-free) arm")
+    parser.add_argument("--compare", action="store_true",
+                        help="run both arms and print them side by "
+                             "side")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the report(s) as JSON")
+    return parser.parse_args(argv)
+
+
+def _print_arm(report):
+    print("== %s arm (seed %d, %.2f s) =="
+          % (report["arm"], report["seed"], report["seconds"]))
+    for window in ("pre", "post"):
+        stats = report[window]
+        print("  %-4s spike: miss rate %6.2f%%  (%d misses / %d "
+              "releases)" % (window, 100.0 * stats["miss_rate"],
+                             stats["deadline_misses"],
+                             stats["releases"]))
+    print("  protected %s misses: %s"
+          % (report["protected"]["component"],
+             report["protected"]["deadline_misses"]))
+    print("  active components: %s"
+          % (", ".join(report["active"]) or "-"))
+    adapt = report.get("adapt")
+    if adapt:
+        counters = adapt["counters"]
+        print("  adapt: %d epochs, %d fired, %d suppressed, %d "
+              "actions (%d errors)"
+              % (counters["epochs_total"],
+                 counters["rules_fired_total"],
+                 counters["rules_suppressed_total"],
+                 counters["actions_executed_total"],
+                 counters["action_errors_total"]))
+        for entry in adapt["history"]:
+            print("    %8.3f s  %-18s %s"
+                  % (entry["at_ns"] / 1e9, entry["rule"],
+                     entry["outcome"]))
+
+
+def main(argv=None):
+    """Run the scenario; returns a process exit code."""
+    args = _parse_args(sys.argv[2:] if argv is None else argv)
+    epoch_ns = args.epoch_ms * MSEC
+    try:
+        rules = (load_rule_file(args.rules)
+                 if args.rules else default_rules(epoch_ns))
+    except (RuleSchemaError, OSError) as error:
+        print("adapt: %s" % error, file=sys.stderr)
+        return 2
+    kwargs = {"seed": args.seed, "seconds": args.seconds,
+              "epoch_ns": epoch_ns}
+    if args.compare:
+        reports = run_comparison(rules=rules, **kwargs)
+        _print_arm(reports["static"])
+        _print_arm(reports["rules"])
+        degradation = (reports["static"]["post"]["miss_rate"]
+                       / max(reports["rules"]["post"]["miss_rate"],
+                             1e-9))
+        print("static post-spike miss rate is %.1fx the rule-driven "
+              "one" % degradation)
+        document = reports
+    elif args.static:
+        document = run_load_spike(rules=None, **kwargs)
+        _print_arm(document)
+    else:
+        document = run_load_spike(rules=rules, **kwargs)
+        _print_arm(document)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print("wrote report to %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""The C5 load-spike scenario (EXPERIMENTS.md).
+
+One CPU under :class:`~repro.core.policies.AlwaysAcceptPolicy` (the
+operator has turned admission off -- the same premise as phase 2 of
+``examples/adaptive_settopbox.py``): a well-behaved baseline fleet
+runs for a while, then a flash-crowd of extra components lands
+mid-run and pushes declared demand far past 1.0.  A *static*
+deployment just misses deadlines from then on.  A *rule-driven*
+deployment runs the same timeline with an
+:class:`~repro.adapt.controller.AdaptationController` whose rules
+shed the least-important components as soon as the windowed miss rate
+crosses a threshold -- the deadline-miss rate recovers within a few
+epochs and stays flat.
+
+:func:`run_load_spike` runs one arm and reports windowed miss rates
+before and after the spike; :func:`run_comparison` runs both arms on
+identical seeds and returns them side by side.  The CLI
+(``python -m repro adapt``), the integration test
+(``tests/integration/test_adaptation_scenario.py``) and the CI
+``adapt-smoke`` job all call these two functions, so the experiment
+cannot drift from what ships.
+"""
+
+from repro.adapt.controller import AdaptationController
+from repro.core.policies import AlwaysAcceptPolicy
+from repro.platform import build_platform
+from repro.sim.engine import MSEC, SEC
+from repro.sim.rng import RandomStreams
+from repro.workloads import (
+    deploy_component_set,
+    generate_component_set,
+    generate_rule_set,
+)
+
+#: Priority offset of spike components: far less important than any
+#: baseline component, so shedding eats the spike first.
+SPIKE_PRIORITY_OFFSET = 100
+
+
+def _rtos_window(telemetry):
+    """Cumulative ``(deadline misses, releases)`` right now."""
+    rtos = telemetry.registry("rtos")
+    return (rtos.counter("deadline_misses_total").value,
+            rtos.counter("releases_total").value)
+
+
+def _rate(misses, releases):
+    return misses / releases if releases > 0 else 0.0
+
+
+def run_load_spike(rules=None, seed=7, seconds=2.0,
+                   epoch_ns=20 * MSEC, base_count=4,
+                   base_utilization=0.55, spike_count=6,
+                   spike_utilization=0.90, spike_at_fraction=1 / 3):
+    """Run one arm of the experiment; returns a report dict.
+
+    With ``rules`` (already-parsed :class:`AdaptationRule` list) the
+    controller runs at ``epoch_ns``; with ``rules=None`` the
+    deployment is static.  The report carries ``pre``/``post``
+    windowed miss rates, the surviving component states, and (for the
+    adaptive arm) the controller's own report.
+    """
+    platform = build_platform(seed=seed,
+                              internal_policy=AlwaysAcceptPolicy())
+    platform.start_timer(1 * MSEC)
+    rng = RandomStreams(seed)
+    base = generate_component_set(rng, "base", base_count,
+                                  total_utilization=base_utilization)
+    spike = generate_component_set(
+        rng, "spike", spike_count,
+        total_utilization=spike_utilization,
+        priority_offset=SPIKE_PRIORITY_OFFSET)
+    deploy_component_set(platform.drcr, base)
+    controller = None
+    if rules is not None:
+        controller = AdaptationController(
+            platform, epoch_ns=epoch_ns, rules=rules).start()
+    total_ns = int(seconds * SEC)
+    spike_at_ns = int(total_ns * spike_at_fraction)
+    platform.run_for(spike_at_ns)
+    pre_misses, pre_releases = _rtos_window(platform.telemetry)
+    deploy_component_set(platform.drcr, spike)
+    platform.run_for(total_ns - spike_at_ns)
+    end_misses, end_releases = _rtos_window(platform.telemetry)
+    post_misses = end_misses - pre_misses
+    post_releases = end_releases - pre_releases
+    protected = base[0].name
+    protected_task = platform.kernel.lookup(protected)
+    states = {descriptor.name:
+              platform.drcr.component_state(descriptor.name).value
+              for descriptor in base + spike}
+    report = {
+        "arm": "static" if controller is None else "rules",
+        "seed": seed,
+        "seconds": seconds,
+        "pre": {
+            "deadline_misses": pre_misses,
+            "releases": pre_releases,
+            "miss_rate": _rate(pre_misses, pre_releases),
+        },
+        "post": {
+            "deadline_misses": post_misses,
+            "releases": post_releases,
+            "miss_rate": _rate(post_misses, post_releases),
+        },
+        "protected": {
+            "component": protected,
+            "deadline_misses":
+                protected_task.stats.deadline_misses
+                if protected_task is not None else None,
+        },
+        "states": states,
+        "active": sorted(name for name, state in states.items()
+                         if state == "active"),
+        "adapt": None,
+    }
+    if controller is not None:
+        controller.stop()
+        report["adapt"] = controller.report()
+        report["adapt"]["rules_fired_total"] = (
+            platform.telemetry.registry("adapt")
+            .counter("rules_fired_total").value)
+    platform.shutdown()
+    return report
+
+
+def default_rules(epoch_ns=20 * MSEC):
+    """The stock C5 rule set: a miss-rate guard that sheds hard."""
+    from repro.adapt.rules import parse_rule_document
+    return parse_rule_document(generate_rule_set(
+        "miss-rate-guard", threshold=0.02, count=2, cooldown_ns=0))
+
+
+def run_comparison(rules=None, **kwargs):
+    """Both arms on identical seeds; returns ``{static, rules}``."""
+    if rules is None:
+        rules = default_rules()
+    return {
+        "static": run_load_spike(rules=None, **kwargs),
+        "rules": run_load_spike(rules=rules, **kwargs),
+    }

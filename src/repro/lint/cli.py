@@ -8,7 +8,7 @@ Paths may be descriptor ``.xml`` files, implementation/example ``.py``
 files, or directories of either.  Exit status: 0 when no diagnostic
 reaches the ``--fail-on`` threshold (default: ``error``), 1 otherwise,
 2 on usage errors.  See ``docs/STATIC_ANALYSIS.md`` for the full
-DRT1xx-DRT4xx code table.
+DRT1xx-DRT5xx code table.
 """
 
 import argparse
@@ -16,7 +16,7 @@ import json
 import sys
 
 from repro.lint.diagnostics import Severity
-from repro.lint.engine import FAMILIES, lint_paths
+from repro.lint.engine import FAMILIES, lint_paths, resolve_family
 
 
 def _parse_args(argv):
@@ -35,13 +35,20 @@ def _parse_args(argv):
                         choices=[member.value for member in Severity],
                         help="minimum severity that fails the run "
                              "(default: error)")
-    parser.add_argument("--family", action="append",
-                        choices=list(FAMILIES), default=None,
+    parser.add_argument("--family", action="append", default=None,
                         metavar="FAMILY",
                         help="restrict to analyzer families "
-                             "(repeatable; default: all of %s)"
+                             "(repeatable; a family name or a DRTn "
+                             "code prefix; default: all of %s)"
                              % ", ".join(FAMILIES))
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.family is not None:
+        try:
+            args.family = [resolve_family(name)
+                           for name in args.family]
+        except ValueError as error:
+            parser.error(str(error))
+    return args
 
 
 def main(argv=None):

@@ -13,7 +13,10 @@ mirroring the layers of a DRCom deployment:
   from the declared contracts via :mod:`repro.analysis`;
 * **DRT4xx** -- RT-safety AST analyzers: implementation classes whose
   real-time callbacks re-enter the non-real-time side (section 3.1's
-  rule that the RT part must never call back into the OSGi/JVM world).
+  rule that the RT part must never call back into the OSGi/JVM world);
+* **DRT5xx** -- adaptation-rule analyzers: JSON rule files for
+  :mod:`repro.adapt` (schema violations, unknown context parameters
+  or actions, contradictory or unreachable rules, thrash hazards).
 
 The table is the single source of truth: the documentation
 (``docs/STATIC_ANALYSIS.md``), the JSON output and the tests all read
@@ -176,6 +179,45 @@ CODE_TABLE = {
                "use a bounded buffer or aggregate in place; per-job "
                "growth of self-attached containers accumulates "
                "without limit"),
+    # ----- DRT5xx: adaptation-rule analyzers -------------------------
+    "DRT500": (Severity.ERROR,
+               "rule file fails to parse or validate against the "
+               "adaptation-rule schema",
+               "fix the JSON / schema problems listed in the message; "
+               "docs/ADAPTATION.md documents the rule schema"),
+    "DRT501": (Severity.ERROR,
+               "rule predicates over an unknown context parameter",
+               "use a parameter from the catalog in "
+               "repro.adapt.context.CONTEXT_PARAMS "
+               "(docs/ADAPTATION.md) or register a context provider "
+               "that publishes it"),
+    "DRT502": (Severity.ERROR,
+               "rule invokes an unknown action or passes bad action "
+               "arguments",
+               "use an action from the catalog in "
+               "repro.adapt.actions.ACTIONS with the documented "
+               "arguments (docs/ADAPTATION.md)"),
+    "DRT503": (Severity.WARNING,
+               "contradictory rules: two simultaneously-satisfiable "
+               "rules command opposing actions on one target",
+               "tighten the predicates so the conditions are "
+               "mutually exclusive, or rely on priorities knowingly "
+               "-- only the higher-priority rule's action will ever "
+               "execute"),
+    "DRT504": (Severity.WARNING,
+               "unreachable predicate: the condition can never hold "
+               "given the parameter's documented range",
+               "compare against a value inside the parameter's range "
+               "(see the catalog in docs/ADAPTATION.md); an 'all' "
+               "group must not demand disjoint ranges of one "
+               "parameter"),
+    "DRT505": (Severity.INFO,
+               "rule has no damping (no cooldown, no clear "
+               "predicate, no for_epochs) and will fire every epoch "
+               "while its condition holds",
+               "add cooldown_ns, a clear predicate, or for_epochs "
+               "unless per-epoch firing is intended (idempotent "
+               "actions only)"),
 }
 
 

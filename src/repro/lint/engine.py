@@ -16,7 +16,11 @@ Unit model
   embedded descriptor XML literals (any string constant containing a
   ``drt:component`` element) are linted together, and the module source
   runs through the DRT4xx AST checks.  Literals with ``%``-format
-  placeholders are templates, not descriptors, and are skipped.
+  placeholders are templates, not descriptors, and are skipped;
+* every ``.json`` file that is an adaptation *rule file* (a JSON
+  object with a top-level ``rules`` list, docs/ADAPTATION.md) is its
+  own unit and runs through the DRT5xx checks; other JSON files
+  (fault plans, benchmark baselines) pass through unexamined.
 """
 
 import ast
@@ -25,13 +29,37 @@ import re
 
 from repro.core.descriptor import ComponentDescriptor
 from repro.core.errors import DRComError
-from repro.lint import admission, contracts, rtsafety, wiring
+from repro.lint import admission, adaptrules, contracts, rtsafety, \
+    wiring
 from repro.lint.diagnostics import Diagnostic, Severity
 
 #: Families selectable by callers (the resolver disables wiring: the
 #: DRCR's own functional resolution handles unsatisfied inports by
 #: keeping components UNSATISFIED rather than by vetoing admission).
-FAMILIES = ("contract", "wiring", "admission", "rtsafety")
+FAMILIES = ("contract", "wiring", "admission", "rtsafety", "rules")
+
+#: Code-prefix spellings accepted wherever a family name is (the CI
+#: smoke job says ``--family DRT5``; both forms resolve identically).
+FAMILY_ALIASES = {
+    "DRT1": "contract",
+    "DRT2": "wiring",
+    "DRT3": "admission",
+    "DRT4": "rtsafety",
+    "DRT5": "rules",
+}
+
+
+def resolve_family(name):
+    """Canonical family for ``name`` (a family or a ``DRTn`` prefix,
+    case-insensitive); raises ``ValueError`` on anything else."""
+    if name in FAMILIES:
+        return name
+    canonical = FAMILY_ALIASES.get(name.upper())
+    if canonical is None:
+        raise ValueError(
+            "unknown analyzer family %r (expected one of %s)"
+            % (name, ", ".join(FAMILIES + tuple(FAMILY_ALIASES))))
+    return canonical
 
 _DESCRIPTOR_MARKER = re.compile(r"<\s*(?:drt:)?component[\s>]")
 _TEMPLATE_MARKER = re.compile(r"%[sdrfi(]")
@@ -181,7 +209,7 @@ def collect_files(paths):
             for root, dirs, names in os.walk(path):
                 dirs.sort()
                 for name in sorted(names):
-                    if name.endswith((".xml", ".py")):
+                    if name.endswith((".xml", ".py", ".json")):
                         files.append(os.path.join(root, name))
         elif os.path.isfile(path):
             files.append(path)
@@ -236,6 +264,14 @@ def lint_paths(paths, families=FAMILIES, telemetry=None):
         if path.endswith(".xml"):
             xml_texts.append((path, text))
             sources += 1
+            continue
+        if path.endswith(".json"):
+            if adaptrules.looks_like_rule_file(text):
+                if "rules" in families:
+                    diagnostics.extend(
+                        adaptrules.check_rule_source(text, path))
+                units += 1
+                sources += 1
             continue
         literals = extract_descriptor_literals(text)
         unit = [("%s:%d" % (path, line), xml)

@@ -117,12 +117,18 @@ def generate_taskset(rng, name, count, total_utilization,
 def generate_component_set(rng, name, count, total_utilization,
                            chained=False, cpu=0,
                            min_period_ns=1_000_000,
-                           max_period_ns=100_000_000):
+                           max_period_ns=100_000_000,
+                           priority_offset=0):
     """Random DRCom descriptors (optionally a dependency chain).
 
     Returns a list of :class:`ComponentDescriptor`.  Frequencies derive
     from the generated periods; declared ``cpuusage`` equals each
     task's generated utilization (i.e. the descriptors tell the truth).
+    ``priority_offset`` shifts every generated priority, which is how
+    a second population is made strictly less important than a first
+    (lower number = more important throughout the repository) -- the
+    C5 load-spike scenario marks its flash-crowd this way so shedding
+    eats the spike before the baseline.
     """
     specs = generate_taskset(rng, name, count, total_utilization,
                              min_period_ns, max_period_ns)
@@ -149,7 +155,7 @@ def generate_component_set(rng, name, count, total_utilization,
             description="generated workload component",
             cpu_usage=min(1.0, spec.utilization),
             frequency_hz=frequency,
-            priority=spec.priority,
+            priority=spec.priority + priority_offset,
             cpu=cpu,
             ports=ports,
         ))
@@ -296,3 +302,80 @@ def generate_fault_plan(rng, name, descriptors, horizon_ns=1_000_000_000,
             factor=overrun_factor))
     return FaultPlan(name, seed=rng.randint(stream, 0, 2**31 - 1),
                      faults=sorted(faults, key=lambda s: s.at_ns))
+
+
+#: Rule-set kinds :func:`generate_rule_set` can emit.
+RULE_SET_KINDS = ("latency-guard", "miss-rate-guard",
+                  "migration-rebalance")
+
+
+def generate_rule_set(kind, name=None, threshold=None, priority=10,
+                      cooldown_ns=100_000_000, for_epochs=1,
+                      clear_fraction=0.5, count=1, cpu=None,
+                      node=None):
+    """A parameterized adaptation rule document (a plain dict).
+
+    The emitted document validates against the schema in
+    :mod:`repro.adapt.rules` (docs/ADAPTATION.md has the reference)
+    and is what the C5 scenario, ``examples/adaptive_rules.py`` and
+    the CI ``adapt-smoke`` job feed the controller:
+
+    * ``latency-guard`` -- shed the least-important component(s) while
+      the windowed ``dispatch_latency_p99`` exceeds ``threshold`` ns
+      (default 50 us), re-arming below ``clear_fraction`` of it;
+    * ``miss-rate-guard`` -- shed while the windowed
+      ``deadline_miss_rate`` exceeds ``threshold`` (default 0.02);
+    * ``migration-rebalance`` -- in a federation, migrate the
+      least-important component away from ``node`` (or the busiest
+      node) while that node's miss rate exceeds ``threshold``
+      (default 0.05).
+
+    ``json.dump`` the result to get a rule *file*; pass it to
+    :func:`repro.adapt.rules.parse_rule_document` to get runnable
+    rules.  Seedless on purpose: rule emission is a template
+    instantiation, not a random draw.
+    """
+    if kind not in RULE_SET_KINDS:
+        raise ValueError("unknown rule-set kind %r (known: %s)"
+                         % (kind, ", ".join(RULE_SET_KINDS)))
+    shed = {"action": "shed_lowest_priority", "count": count}
+    if cpu is not None:
+        shed["cpu"] = cpu
+    if kind == "latency-guard":
+        threshold = 50_000 if threshold is None else threshold
+        rule = {
+            "name": name or "latency-guard",
+            "priority": priority,
+            "when": {"param": "dispatch_latency_p99", "op": ">",
+                     "value": threshold, "for_epochs": for_epochs},
+            "clear": {"op": "<=",
+                      "value": threshold * clear_fraction},
+            "then": [shed],
+            "cooldown_ns": cooldown_ns,
+        }
+    elif kind == "miss-rate-guard":
+        threshold = 0.02 if threshold is None else threshold
+        rule = {
+            "name": name or "miss-rate-guard",
+            "priority": priority,
+            "when": {"param": "deadline_miss_rate", "op": ">",
+                     "value": threshold, "for_epochs": for_epochs},
+            "then": [shed],
+            "cooldown_ns": cooldown_ns,
+        }
+    else:
+        threshold = 0.05 if threshold is None else threshold
+        when = {"param": "deadline_miss_rate", "op": ">",
+                "value": threshold, "for_epochs": for_epochs}
+        rebalance = {"action": "rebalance", "count": count}
+        if node is not None:
+            when["node"] = node
+            rebalance["node"] = node
+        rule = {
+            "name": name or "migration-rebalance",
+            "priority": priority,
+            "when": when,
+            "then": [rebalance],
+            "cooldown_ns": cooldown_ns,
+        }
+    return {"schema_version": 1, "rules": [rule]}

@@ -1,0 +1,175 @@
+"""Evaluator damping: hysteresis, cooldown, latch, conflicts."""
+
+from repro.adapt.evaluator import RuleEvaluator
+from repro.adapt.rules import parse_rule_document
+
+
+def _rules(*rule_dicts):
+    return parse_rule_document({"rules": list(rule_dicts)})
+
+
+def _names(firings):
+    return [firing.rule.name for firing in firings]
+
+
+HIGH = {"deadline_miss_rate": 0.5}
+LOW = {"deadline_miss_rate": 0.0}
+
+
+def test_arming_hysteresis_needs_consecutive_epochs():
+    rules = _rules({
+        "name": "slow-trigger",
+        "when": {"param": "deadline_miss_rate", "op": ">",
+                 "value": 0.1, "for_epochs": 3},
+        "then": {"action": "reconfigure"},
+    })
+    evaluator = RuleEvaluator()
+    fired_1, sup_1 = evaluator.evaluate(rules, dict(HIGH), 0)
+    fired_2, sup_2 = evaluator.evaluate(rules, dict(HIGH), 1)
+    assert not fired_1 and not fired_2
+    assert sup_1["hysteresis"] == 1 and sup_2["hysteresis"] == 1
+    # a false epoch resets the streak
+    evaluator.evaluate(rules, dict(LOW), 2)
+    fired_3, _ = evaluator.evaluate(rules, dict(HIGH), 3)
+    fired_4, _ = evaluator.evaluate(rules, dict(HIGH), 4)
+    assert not fired_3 and not fired_4
+    fired_5, _ = evaluator.evaluate(rules, dict(HIGH), 5)
+    assert _names(fired_5) == ["slow-trigger"]
+
+
+def test_cooldown_suppresses_by_sim_time():
+    rules = _rules({
+        "name": "cooled",
+        "when": {"param": "deadline_miss_rate", "op": ">",
+                 "value": 0.1},
+        "then": {"action": "reconfigure"},
+        "cooldown_ns": 100,
+    })
+    evaluator = RuleEvaluator()
+    fired, _ = evaluator.evaluate(rules, dict(HIGH), 1_000)
+    assert _names(fired) == ["cooled"]
+    fired, suppressed = evaluator.evaluate(rules, dict(HIGH), 1_050)
+    assert not fired
+    assert suppressed["cooldown"] == 1
+    fired, _ = evaluator.evaluate(rules, dict(HIGH), 1_100)
+    assert _names(fired) == ["cooled"]
+
+
+def test_clear_predicate_latches_until_released():
+    rules = _rules({
+        "name": "banded",
+        "when": {"param": "deadline_miss_rate", "op": ">",
+                 "value": 0.1},
+        "clear": {"op": "<=", "value": 0.01},
+        "then": {"action": "reconfigure"},
+    })
+    evaluator = RuleEvaluator()
+    fired, _ = evaluator.evaluate(rules, dict(HIGH), 0)
+    assert _names(fired) == ["banded"]
+    # condition still high: latched, counted as hysteresis suppression
+    fired, suppressed = evaluator.evaluate(rules, dict(HIGH), 1)
+    assert not fired and suppressed["hysteresis"] == 1
+    # the clear condition releases the latch ...
+    evaluator.evaluate(rules, dict(LOW), 2)
+    # ... so the next breach fires again
+    fired, _ = evaluator.evaluate(rules, dict(HIGH), 3)
+    assert _names(fired) == ["banded"]
+
+
+def test_max_firings_exhausts():
+    rules = _rules({
+        "name": "one-shot",
+        "when": {"param": "deadline_miss_rate", "op": ">",
+                 "value": 0.1},
+        "then": {"action": "reconfigure"},
+        "max_firings": 1,
+    })
+    evaluator = RuleEvaluator()
+    fired, _ = evaluator.evaluate(rules, dict(HIGH), 0)
+    assert len(fired) == 1
+    fired, suppressed = evaluator.evaluate(rules, dict(HIGH), 1)
+    assert not fired
+    assert suppressed["exhausted"] == 1
+
+
+def test_conflict_resolution_prefers_lower_priority_number():
+    rules = _rules(
+        {"name": "lenient", "priority": 20,
+         "when": {"param": "deadline_miss_rate", "op": ">",
+                  "value": 0.1},
+         "then": {"action": "suspend", "component": "CAM"}},
+        {"name": "strict", "priority": 5,
+         "when": {"param": "deadline_miss_rate", "op": ">",
+                  "value": 0.1},
+         "then": {"action": "resume", "component": "CAM"}},
+    )
+    evaluator = RuleEvaluator()
+    fired, suppressed = evaluator.evaluate(rules, dict(HIGH), 0)
+    assert _names(fired) == ["strict"]
+    assert suppressed["conflict"] == 1
+
+
+def test_max_actions_per_epoch_budget():
+    rule_dicts = [
+        {"name": "r%d" % index, "priority": index,
+         "when": {"param": "deadline_miss_rate", "op": ">",
+                  "value": 0.1},
+         "then": {"action": "suspend", "component": "C%d" % index}}
+        for index in range(4)
+    ]
+    evaluator = RuleEvaluator(max_actions_per_epoch=2)
+    fired, suppressed = evaluator.evaluate(
+        _rules(*rule_dicts), dict(HIGH), 0)
+    assert _names(fired) == ["r0", "r1"]
+    assert suppressed["conflict"] == 2
+
+
+def test_missing_parameter_is_false_not_error():
+    rules = _rules({
+        "name": "about-a-ghost",
+        "when": {"param": "deadline_miss_rate", "node": "gone",
+                 "op": ">", "value": 0.1},
+        "then": {"action": "reconfigure"},
+    })
+    evaluator = RuleEvaluator()
+    fired, suppressed = evaluator.evaluate(rules, dict(HIGH), 0)
+    assert not fired
+    assert not any(suppressed.values())
+
+
+def test_trend_predicate_over_history():
+    rules = _rules({
+        "name": "worsening",
+        "when": {"param": "deadline_miss_rate", "trend": "rising",
+                 "epochs": 3},
+        "then": {"action": "reconfigure"},
+    })
+    evaluator = RuleEvaluator()
+    for epoch, rate in enumerate((0.1, 0.2)):
+        fired, _ = evaluator.evaluate(
+            rules, {"deadline_miss_rate": rate}, epoch)
+        assert not fired  # not enough history yet
+    fired, _ = evaluator.evaluate(
+        rules, {"deadline_miss_rate": 0.3}, 2)
+    assert _names(fired) == ["worsening"]
+    # a plateau breaks strict monotonicity
+    fired, _ = evaluator.evaluate(
+        rules, {"deadline_miss_rate": 0.3}, 3)
+    assert not fired
+
+
+def test_state_survives_provider_reload():
+    rules = _rules({
+        "name": "sticky",
+        "when": {"param": "deadline_miss_rate", "op": ">",
+                 "value": 0.1},
+        "then": {"action": "reconfigure"},
+        "cooldown_ns": 1_000,
+    })
+    evaluator = RuleEvaluator()
+    evaluator.evaluate(rules, dict(HIGH), 0)
+    # the same rule re-parsed (hot reload) keeps its cooldown clock
+    reloaded = _rules(rules[0].as_dict())
+    fired, suppressed = evaluator.evaluate(reloaded, dict(HIGH), 500)
+    assert not fired
+    assert suppressed["cooldown"] == 1

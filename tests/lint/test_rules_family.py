@@ -1,0 +1,148 @@
+"""DRT5xx: the adaptation-rule analyzer family."""
+
+import json
+
+import pytest
+
+from repro.lint.adaptrules import check_rule_source, looks_like_rule_file
+from repro.lint.diagnostics import CODE_TABLE, Severity
+from repro.lint.engine import (
+    FAMILIES,
+    FAMILY_ALIASES,
+    lint_paths,
+    resolve_family,
+)
+from repro.workloads import RULE_SET_KINDS, generate_rule_set
+
+
+def _codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def test_code_table_has_the_family():
+    for code in ("DRT500", "DRT501", "DRT502", "DRT503", "DRT504",
+                 "DRT505"):
+        severity, trigger, hint = CODE_TABLE[code]
+        assert trigger and hint
+    assert CODE_TABLE["DRT501"][0] is Severity.ERROR
+    assert CODE_TABLE["DRT503"][0] is Severity.WARNING
+    assert CODE_TABLE["DRT505"][0] is Severity.INFO
+
+
+def test_family_aliases_resolve():
+    assert "rules" in FAMILIES
+    assert resolve_family("rules") == "rules"
+    assert resolve_family("DRT5") == "rules"
+    assert resolve_family("drt5") == "rules"
+    assert FAMILY_ALIASES["DRT1"] == "contract"
+    with pytest.raises(ValueError, match="unknown analyzer family"):
+        resolve_family("DRT9")
+
+
+def test_rule_file_sniffing():
+    assert looks_like_rule_file('{"rules": []}')
+    assert not looks_like_rule_file('{"plan": []}')
+    assert not looks_like_rule_file("[1, 2]")
+    assert not looks_like_rule_file("not json")
+
+
+@pytest.mark.parametrize("kind", RULE_SET_KINDS)
+def test_generated_rule_sets_lint_clean(kind):
+    text = json.dumps(generate_rule_set(kind))
+    assert check_rule_source(text, "<%s>" % kind) == []
+
+
+def test_invalid_json_is_drt500():
+    diagnostics = check_rule_source("{broken", "<x>")
+    assert _codes(diagnostics) == ["DRT500"]
+
+
+def test_schema_and_semantic_codes_coexist():
+    """One malformed rule must not mask findings about valid ones."""
+    document = {"rules": [
+        {"name": "r1",
+         "when": {"param": "nope", "op": ">", "value": 1},
+         "then": [{"action": "frobnicate"}]},
+        {"name": "r2",  # unreachable: miss rate is in [0, 1]
+         "when": {"param": "deadline_miss_rate", "op": ">", "value": 2},
+         "then": [{"action": "reconfigure"}], "cooldown_ns": 1000},
+        {"name": "r3",
+         "when": {"param": "deadline_miss_rate", "op": ">",
+                  "value": 0.5},
+         "then": [{"action": "suspend", "component": "B"}],
+         "cooldown_ns": 1000},
+        {"name": "r4",  # overlaps r3: (0.5, 0.9) satisfies both
+         "when": {"param": "deadline_miss_rate", "op": "<",
+                  "value": 0.9},
+         "then": [{"action": "resume", "component": "B"}],
+         "cooldown_ns": 1000},
+        {"name": "r5",  # fires every epoch: no damping at all
+         "when": {"param": "overruns", "op": ">", "value": 10},
+         "then": [{"action": "reconfigure"}]},
+    ]}
+    diagnostics = check_rule_source(json.dumps(document), "<x>")
+    assert _codes(diagnostics) == ["DRT501", "DRT502", "DRT503",
+                                   "DRT504", "DRT505"]
+
+
+def test_disjoint_all_group_is_unreachable():
+    document = {"rules": [{
+        "name": "impossible",
+        "when": {"all": [
+            {"param": "overruns", "op": ">", "value": 10},
+            {"param": "overruns", "op": "<", "value": 5},
+        ]},
+        "then": [{"action": "reconfigure"}], "cooldown_ns": 1,
+    }]}
+    diagnostics = check_rule_source(json.dumps(document), "<x>")
+    assert _codes(diagnostics) == ["DRT504"]
+
+
+def test_exclusive_bands_are_not_contradictory():
+    document = {"rules": [
+        {"name": "off",
+         "when": {"param": "deadline_miss_rate", "op": ">",
+                  "value": 0.5},
+         "then": [{"action": "suspend", "component": "C"}],
+         "cooldown_ns": 1000},
+        {"name": "on",
+         "when": {"param": "deadline_miss_rate", "op": "<",
+                  "value": 0.1},
+         "then": [{"action": "resume", "component": "C"}],
+         "cooldown_ns": 1000},
+    ]}
+    assert check_rule_source(json.dumps(document), "<x>") == []
+
+
+def test_lint_paths_picks_up_rule_files(tmp_path):
+    rule_path = tmp_path / "guard.rules.json"
+    rule_path.write_text(json.dumps(generate_rule_set("latency-guard")),
+                         encoding="utf-8")
+    other_json = tmp_path / "baseline.json"
+    other_json.write_text('{"samples": [1, 2, 3]}', encoding="utf-8")
+    result = lint_paths([str(tmp_path)])
+    assert result.units == 1  # the non-rule JSON passes unexamined
+    assert result.diagnostics == []
+
+    bad = tmp_path / "bad.rules.json"
+    bad.write_text(json.dumps({"rules": [{
+        "name": "r",
+        "when": {"param": "nope", "op": ">", "value": 1},
+        "then": [{"action": "reconfigure"}],
+    }]}), encoding="utf-8")
+    result = lint_paths([str(tmp_path)], families=("rules",))
+    assert result.codes() == ["DRT501"]
+    # family filtering: the rules family off means no rule diagnostics
+    result = lint_paths([str(tmp_path)], families=("contract",))
+    assert result.diagnostics == []
+
+
+def test_cli_accepts_drt5_alias(tmp_path, capsys):
+    from repro.lint.cli import main
+    rule_path = tmp_path / "guard.rules.json"
+    rule_path.write_text(json.dumps(generate_rule_set("miss-rate-guard")),
+                         encoding="utf-8")
+    status = main(["--family", "DRT5", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "0 error" in out
