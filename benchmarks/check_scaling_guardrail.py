@@ -25,7 +25,11 @@ Machine-independent shape ratios carry the regression signal:
   component must not scale with the fleet) -- both simulated-time, so
   any drift is a protocol change, not machine noise -- plus the
   absolute ``migration_latency_ms`` at the largest fleet on matching
-  ladders.
+  ladders.  The ``gossip`` section adds membership traffic shape:
+  ``growth_exponent`` is hard-capped below 2.0 (sub-quadratic, the
+  SWIM promise) and, with baseline, bounded relatively along with
+  ``nlogn_fit_ratio`` (the O(n log n) envelope) and the absolute
+  per-interval message count at the largest fleet on matching ladders.
 * Engine speed (``throughput``): ``run_vs_step_speedup`` (the sorted-run
   drain against the legacy per-event API, measured in one process, so
   machine-independent), ``fleet_overhead_growth`` (per-event overhead
@@ -86,6 +90,39 @@ def check_cluster(current, baseline, check_at_most):
         print("fleet ladders differ (%s vs %s): skipping the absolute "
               "migration-latency comparison"
               % (current["fleet_sizes"], baseline["fleet_sizes"]))
+    gossip = current.get("gossip")
+    if gossip is None:
+        print("no gossip section in the current document: skipping "
+              "the gossip traffic checks")
+        return
+    # Hard cap regardless of baseline: membership traffic going
+    # quadratic is exactly the regression the SWIM protocol exists to
+    # prevent (exponent ~1.0 when healthy, 2.0 for a full mesh).
+    check_at_most("gossip growth_exponent (hard cap)",
+                  gossip["growth_exponent"], 2.0)
+    reference = baseline.get("gossip")
+    if reference is None:
+        print("baseline has no gossip section: skipping the relative "
+              "gossip comparisons")
+        return
+    check_at_most(
+        "gossip growth_exponent",
+        gossip["growth_exponent"],
+        TOLERANCE * reference["growth_exponent"])
+    check_at_most(
+        "gossip nlogn_fit_ratio",
+        gossip["nlogn_fit_ratio"],
+        TOLERANCE * reference["nlogn_fit_ratio"])
+    if gossip["node_sizes"] == reference["node_sizes"]:
+        check_at_most(
+            "gossip messages_per_interval at max nodes",
+            gossip["rows"][-1]["messages_per_interval"],
+            TOLERANCE
+            * reference["rows"][-1]["messages_per_interval"])
+    else:
+        print("gossip ladders differ (%s vs %s): skipping the "
+              "absolute traffic comparison"
+              % (gossip["node_sizes"], reference["node_sizes"]))
 
 
 def check_throughput(current, baseline, check_at_most):

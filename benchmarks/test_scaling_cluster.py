@@ -1,27 +1,36 @@
-"""Experiment C3 -- cluster scaling: migration latency and failover
-time vs fleet size.
+"""Experiment C3 -- cluster scaling: migration latency, failover time
+vs fleet size, and gossip traffic vs node count.
 
-A three-node federation hosts fleets of 8..64 components on one node
-(override the ladder with ``C3_FLEET_SIZES=8,16``).  Per fleet size the
-benchmark measures, in *simulated* time (deterministic, so the shape
-assertions are machine-independent):
+Part one: a three-node federation hosts fleets of 8..64 components on
+one node (override the ladder with ``C3_FLEET_SIZES=8,16``).  Per
+fleet size the benchmark measures, in *simulated* time (deterministic,
+so the shape assertions are machine-independent):
 
 * snapshot-based migration latency for one component (initiation to
   ack over the default 500us links),
 * failover time: node crash to the coordinator's failover round
-  (detection by missed heartbeats dominates -- the C3 claim),
+  (detection by missed probes dominates -- the C3 claim),
 * how many of the dead node's components the failover re-homed, and
   that every one of them is ACTIVE on a survivor afterwards.
 
-Shape asserted: migration latency is fleet-size independent (one
-component moves, not the fleet); failover time sits in
-``[deadline, deadline + 3 intervals]`` at every size (detection
-dominates, the redeploy itself is one batch round); failover re-homes
-the whole fleet.  The rows land in ``BENCH_cluster.json`` for the
-guardrail in ``benchmarks/check_scaling_guardrail.py``.
+Part two: idle federations of 64..256 *nodes* (override with
+``C3_GOSSIP_SIZES=32,64``) measure steady-state cluster messages per
+probe interval.  SWIM's per-node probe budget is constant, so the
+fleet-wide rate must grow ~linearly -- the old full heartbeat mesh
+grew O(n^2) and made fleets this size unaffordable.  At the largest
+size one node is crashed to show detection time does not grow with
+the fleet.
+
+Shape asserted: migration latency is fleet-size independent; failover
+time sits in ``[deadline, deadline + 3 intervals]`` at every size;
+failover re-homes the whole fleet; gossip traffic's log-log growth
+exponent stays below 2 (sub-quadratic) and within an O(n log n)
+envelope.  Both tests merge their sections into ``BENCH_cluster.json``
+for the guardrail in ``benchmarks/check_scaling_guardrail.py``.
 """
 
 import json
+import math
 import os
 from pathlib import Path
 
@@ -34,17 +43,26 @@ from repro.sim.engine import MSEC
 from conftest import make_descriptor_xml, run_once
 
 DEFAULT_FLEET_SIZES = (8, 16, 32, 64)
+DEFAULT_GOSSIP_SIZES = (64, 128, 256)
 HEARTBEAT_INTERVAL_NS = 10 * MSEC
 MISS_LIMIT = 3
 RESULT_PATH = Path(__file__).resolve().parent.parent \
     / "BENCH_cluster.json"
 
 
-def fleet_sizes():
-    override = os.environ.get("C3_FLEET_SIZES")
+def _sizes_from_env(variable, default):
+    override = os.environ.get(variable)
     if not override:
-        return DEFAULT_FLEET_SIZES
+        return default
     return tuple(int(part) for part in override.split(",") if part)
+
+
+def fleet_sizes():
+    return _sizes_from_env("C3_FLEET_SIZES", DEFAULT_FLEET_SIZES)
+
+
+def gossip_sizes():
+    return _sizes_from_env("C3_GOSSIP_SIZES", DEFAULT_GOSSIP_SIZES)
 
 
 def measure_fleet(size):
@@ -90,7 +108,21 @@ def measure_fleet(size):
         cluster.shutdown()
 
 
-def write_results(document):
+def write_results(section):
+    """Merge one test's section into the shared BENCH_cluster.json.
+
+    The failover and gossip tests run independently (and either may be
+    skipped via its ladder env var), so each merges its keys instead of
+    clobbering the other's."""
+    document = {"benchmark": "cluster"}
+    if RESULT_PATH.exists():
+        try:
+            previous = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            previous = {}
+        if previous.get("benchmark") == "cluster":
+            document.update(previous)
+    document.update(section)
     RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
 
 
@@ -140,3 +172,95 @@ def test_cluster_scaling(benchmark):
 
     # Moving one component costs the same whatever the fleet size.
     assert document["migration_latency_spread"] < 3.0
+
+
+def measure_gossip(nodes):
+    """Steady-state gossip traffic for an idle ``nodes``-node fleet.
+
+    Kernel timers are muted (one long period) so the message counters
+    see only membership traffic: probes, acks, indirect pings, digest
+    announcements and the anti-entropy sweep."""
+    names = ["n%03d" % index for index in range(nodes)]
+    cluster = Cluster(names, seed=nodes,
+                      heartbeat_interval_ns=HEARTBEAT_INTERVAL_NS,
+                      miss_limit=MISS_LIMIT,
+                      timer_period_ns=10_000 * MSEC)
+    try:
+        # Let join gossip, digests and the first pulls converge.
+        cluster.run_for(100 * MSEC)
+        metrics = cluster.sim.telemetry.registry("cluster")
+        before = metrics.get("messages_sent_total").value
+        intervals = 20
+        cluster.run_for(intervals * HEARTBEAT_INTERVAL_NS)
+        sent = metrics.get("messages_sent_total").value - before
+        rate = sent / float(intervals)
+
+        # Crash one node: detection must not scale with the fleet.
+        victim = names[nodes // 2]
+        crash_at = cluster.sim.now
+        cluster.crash_node(victim)
+        deadline = cluster.membership.deadline_ns
+        interval = cluster.membership.heartbeat_interval_ns
+        while not cluster.membership.is_dead(victim) \
+                and cluster.sim.now < crash_at + deadline \
+                + 8 * interval:
+            cluster.run_for(interval)
+        assert cluster.membership.is_dead(victim)
+        return {
+            "nodes": nodes,
+            "messages_per_interval": rate,
+            "detection_ms": (cluster.sim.now - crash_at) / 1e6,
+        }
+    finally:
+        cluster.shutdown()
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_gossip_scaling(benchmark):
+    sizes = gossip_sizes()
+    rows = run_once(benchmark,
+                    lambda: [measure_gossip(size) for size in sizes])
+
+    deadline_ms = MISS_LIMIT * HEARTBEAT_INTERVAL_NS / 1e6
+    interval_ms = HEARTBEAT_INTERVAL_NS / 1e6
+    print("\nC3 -- gossip scaling (idle fleet, SWIM traffic only):")
+    print("%6s %18s %14s" % ("nodes", "msgs/interval", "detect[ms]"))
+    for row in rows:
+        print("%6d %18.1f %14.1f"
+              % (row["nodes"], row["messages_per_interval"],
+                 row["detection_ms"]))
+
+    small, large = rows[0], rows[-1]
+    growth_exponent = (
+        math.log(large["messages_per_interval"]
+                 / small["messages_per_interval"])
+        / math.log(large["nodes"] / small["nodes"]))
+    # Rate divided by n*log2(n) is ~flat when growth is within the
+    # O(n log n) envelope; the ladder-ends ratio of that quotient is
+    # the machine-independent fit signal (1.0 = perfect fit, ~n ratio
+    # when the mesh is back to quadratic).
+
+    def nlogn_quotient(row):
+        return row["messages_per_interval"] \
+            / (row["nodes"] * math.log2(row["nodes"]))
+
+    nlogn_fit_ratio = nlogn_quotient(large) / nlogn_quotient(small)
+    write_results({
+        "gossip": {
+            "node_sizes": list(sizes),
+            "rows": rows,
+            "growth_exponent": growth_exponent,
+            "nlogn_fit_ratio": nlogn_fit_ratio,
+        },
+    })
+    benchmark.extra_info["gossip_rows"] = rows
+
+    # Sub-quadratic by a wide margin: the old full mesh had exponent
+    # 2.0, SWIM's constant per-node budget gives ~1.0.
+    assert growth_exponent < 2.0
+    # Within the O(n log n) envelope (quotient shrinking is fine).
+    assert nlogn_fit_ratio <= 1.5
+    for row in rows:
+        # Detection stays deadline-dominated at every fleet size.
+        assert deadline_ms <= row["detection_ms"] \
+            <= deadline_ms + 8 * interval_ms

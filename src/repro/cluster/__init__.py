@@ -4,8 +4,9 @@ The paper's runtime manages one platform.  This package federates N of
 them: each :class:`~repro.cluster.node.ClusterNode` runs its own
 kernel + OSGi framework + DRCR on a *shared* simulator, connected by a
 :class:`~repro.cluster.transport.MessageTransport` with configurable
-per-link latency, jitter and loss.  On top sit heartbeat membership
-with failure detection (:mod:`~repro.cluster.membership`), a remote
+per-link latency, jitter and loss.  On top sit SWIM-style gossip
+membership with probe/suspect/refute failure detection
+(:mod:`~repro.cluster.membership`), a remote
 deployment/management protocol routed through the paper's §2.4
 management services (:mod:`~repro.cluster.node`), cluster-level
 (node, CPU) placement (:mod:`~repro.cluster.placement`), and
@@ -20,7 +21,7 @@ Entry points::
     cluster.deploy(descriptor_xml)            # placement picks a node
     cluster.run_for(100 * MSEC)
     cluster.migrate("SENS00", dst="node2")    # state travels along
-    cluster.crash_node("node1")               # heartbeats go silent...
+    cluster.crash_node("node1")               # probes go unanswered...
     cluster.run_for(100 * MSEC)               # ...failover re-homes it
     cluster.report()
 

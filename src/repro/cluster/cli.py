@@ -2,7 +2,7 @@
 
 Builds an N-node cluster on one simulator, spreads a generated
 workload over it via cluster placement, migrates one component
-mid-run, then crashes a node and lets heartbeat detection plus
+mid-run, then crashes a node and lets SWIM probe detection plus
 automatic failover re-home everything.  Prints a fleet report and the
 ``cluster.*`` telemetry that backs it.
 
@@ -45,7 +45,7 @@ def _parse_args(argv):
                         help="simulated seconds to run (default 1)")
     parser.add_argument("--heartbeat-ms", type=int, default=10,
                         metavar="MS",
-                        help="heartbeat interval (default 10 ms)")
+                        help="probe interval (default 10 ms)")
     parser.add_argument("--latency-us", type=int, default=500,
                         metavar="US",
                         help="link latency (default 500 us)")
@@ -102,7 +102,7 @@ def main(argv=None):
     if not args.no_crash:
         victims = [home for home in cluster.deployments.values()]
         victim_node = victims[0] if victims else "node1"
-        print("== crash: %s (heartbeats go silent) ==" % victim_node)
+        print("== crash: %s (probes go unanswered) ==" % victim_node)
         cluster.crash_node(victim_node)
     cluster.run_for(args.seconds * SEC - 2 * third)
 
@@ -120,9 +120,11 @@ def main(argv=None):
     metrics = cluster.sim.telemetry.registry("cluster")
     print("== cluster telemetry ==")
     for name in ("messages_sent_total", "messages_delivered_total",
-                 "messages_dropped_total", "heartbeats_sent_total",
-                 "nodes_declared_dead_total", "migrations_total",
-                 "failovers_total", "failover_components_total"):
+                 "messages_dropped_total", "probes_sent_total",
+                 "indirect_probes_total", "suspicions_total",
+                 "refutations_total", "nodes_declared_dead_total",
+                 "migrations_total", "failovers_total",
+                 "failover_components_total"):
         instrument = metrics.get(name)
         if instrument is not None:
             print("  %-28s %d" % (name, instrument.value))

@@ -3,10 +3,13 @@
 :class:`Cluster` assembles N :class:`~repro.cluster.node.ClusterNode`
 platforms on a shared :class:`~repro.sim.engine.Simulator`, wires them
 through a :class:`~repro.cluster.transport.MessageTransport`, starts
-the heartbeat :class:`~repro.cluster.membership.MembershipService`,
+the SWIM-style :class:`~repro.cluster.membership.MembershipService`,
 and acts as the management plane: it owns the home map (component ->
-node), the descriptor catalog, and the per-node state replicas the
-heartbeats carry.
+node), the descriptor catalog, and the per-node state replicas it
+pulls on demand (nodes announce export-version changes in tiny
+``digest`` messages; the coordinator answers with ``snapshot_pull``
+and a rotating anti-entropy sweep recovers lost digests -- full
+snapshots never ride the n² heartbeat mesh anymore).
 
 The coordinator is itself a transport endpoint (``control``): every
 deployment, migration and §2.4 management call it issues is a message
@@ -134,9 +137,11 @@ class Cluster:
                  num_cpus=1, kernel_config_factory=None,
                  internal_policy_factory=None, container_factory=None,
                  link=None, heartbeat_interval_ns=10 * MSEC,
-                 miss_limit=3, placement_cap=1.0,
+                 miss_limit=3, probe_fanout=2, indirect_fanout=2,
+                 placement_cap=1.0,
                  timer_period_ns=MSEC, migration_timeout_ns=5 * MSEC,
-                 backoff=None, telemetry=None):
+                 backoff=None, telemetry=None,
+                 per_link_histograms=None):
         node_names = list(node_names)
         if len(set(node_names)) != len(node_names) or not node_names:
             raise ValueError("node names must be unique and non-empty")
@@ -144,23 +149,23 @@ class Cluster:
             raise ValueError("%r is reserved for the coordinator"
                              % (self.coordinator_name,))
         self.sim = Simulator(seed=seed, telemetry=telemetry)
-        self.transport = MessageTransport(self.sim, default_link=link)
+        self.transport = MessageTransport(
+            self.sim, default_link=link,
+            per_link_histograms=per_link_histograms)
         if kernel_config_factory is None:
             kernel_config_factory = lambda: KernelConfig(  # noqa: E731
                 num_cpus=num_cpus)
+        self._kernel_config_factory = kernel_config_factory
+        self._internal_policy_factory = internal_policy_factory
+        self._container_factory = container_factory
+        self._timer_period_ns = int(timer_period_ns)
         self.nodes = {}
         for name in node_names:
-            policy = internal_policy_factory() \
-                if internal_policy_factory is not None else None
-            node = ClusterNode(name, self.sim, self.transport,
-                               kernel_config=kernel_config_factory(),
-                               internal_policy=policy,
-                               container_factory=container_factory)
-            node.start_timer(timer_period_ns)
-            self.nodes[name] = node
+            self._build_node(name)
         self.membership = MembershipService(
             self, heartbeat_interval_ns=heartbeat_interval_ns,
-            miss_limit=miss_limit)
+            miss_limit=miss_limit, probe_fanout=probe_fanout,
+            indirect_fanout=indirect_fanout)
         for node in self.nodes.values():
             node.membership = self.membership
         self.placement = ClusterPlacementService(self,
@@ -174,7 +179,8 @@ class Cluster:
         self.catalog = {}       # component name -> last known entry
         self.failovers = []     # completed failover reports
         self.mgmt_replies = {}  # request id -> mgmt_reply payload
-        self._replicas = {}     # node name -> last heartbeat snapshot
+        self._replicas = {}     # node name -> last pulled snapshot
+        self._replica_versions = {}  # node name -> pulled version
         self._tombstones = {}   # undeployed name -> former home node
         self._migrations = {}
         self._seq = itertools.count(1)
@@ -192,7 +198,23 @@ class Cluster:
             "failover_components_total")
         self._m_failover_detect = metrics.histogram(
             "failover_detect_ns", FAILOVER_DETECT_BOUNDS_NS)
+        self._m_snapshot_pulls = metrics.counter(
+            "snapshot_pulls_total")
+        self._m_snapshot_pushes = metrics.counter(
+            "snapshot_pushes_total")
         self.membership.start()
+
+    def _build_node(self, name):
+        policy = self._internal_policy_factory() \
+            if self._internal_policy_factory is not None else None
+        node = ClusterNode(
+            name, self.sim, self.transport,
+            kernel_config=self._kernel_config_factory(),
+            internal_policy=policy,
+            container_factory=self._container_factory)
+        node.start_timer(self._timer_period_ns)
+        self.nodes[name] = node
+        return node
 
     # ------------------------------------------------------------------
     # topology
@@ -210,6 +232,22 @@ class Cluster:
     def run_for(self, duration_ns):
         """Advance the shared simulator."""
         return self.sim.run_for(duration_ns)
+
+    def add_node(self, name):
+        """Join a node to a running federation.
+
+        Builds the full platform stack, wires it to the transport and
+        seeds its membership entry as just-seen -- without the seeding
+        a late joiner would read as silent-since-t0 and be declared
+        dead at the next check.  Returns the new node."""
+        if name in self.nodes or name == self.coordinator_name:
+            raise ClusterError("node name %r is taken" % (name,))
+        node = self._build_node(name)
+        node.membership = self.membership
+        self.membership.note_join(name)
+        self.sim.trace.record(self.sim.now, "cluster",
+                              action="node_join", node=name)
+        return node
 
     def crash_node(self, name):
         """Fail-stop one node (the NODE_CRASH injector's entry point).
@@ -515,11 +553,22 @@ class Cluster:
     # ------------------------------------------------------------------
     # replica bookkeeping and failover
     # ------------------------------------------------------------------
+    def pull_snapshot(self, name):
+        """Ask ``name`` for its snapshot if ours is stale
+        (anti-entropy; the node only replies when the version moved)."""
+        self._m_snapshot_pulls.inc()
+        self.transport.send(self.coordinator_name, name,
+                            "snapshot_pull", {
+                                "have": self._replica_versions.get(
+                                    name),
+                                "reply_to": self.coordinator_name,
+                            })
+
     def note_replica(self, src, snapshot):
-        """Record a node's heartbeat-carried state snapshot.
+        """Record a node's pulled state snapshot.
 
         Also reconciles the home map and catalog -- last writer wins,
-        which converges within one heartbeat interval of any move."""
+        which converges within a pull round-trip of any move."""
         self._replicas[src] = snapshot
         carried = set()
         for entry in snapshot.get("components", ()):
@@ -538,6 +587,7 @@ class Cluster:
         survivors, one batch round per target node."""
         now = self.sim.now
         self._m_failover_detect.observe(now - last_seen)
+        self._replica_versions.pop(name, None)
         replica = self._replicas.pop(name, None)
         if replica is not None:
             entries = list(replica.get("components", ()))
@@ -637,7 +687,20 @@ class Cluster:
             self._on_migrate_ack(payload)
         elif kind == "mgmt_reply":
             self.mgmt_replies[payload["request_id"]] = payload
+        elif kind == "digest":
+            node = payload["node"]
+            if not self.membership.is_dead(node) \
+                    and self._replica_versions.get(node) \
+                    != payload["version"]:
+                self.pull_snapshot(node)
+        elif kind == "snapshot_push":
+            node = payload["node"]
+            if not self.membership.is_dead(node):
+                self._m_snapshot_pushes.inc()
+                self._replica_versions[node] = payload["version"]
+                self.note_replica(node, payload["snapshot"])
         elif kind == "fence_ack":
+            self.membership.note_fence_ack(payload["node"])
             self.sim.trace.record(self.sim.now, "cluster",
                                   action="fence_ack",
                                   node=payload["node"],

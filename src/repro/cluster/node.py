@@ -144,6 +144,8 @@ class ClusterNode:
             properties={"drcom.node": name})
         self.membership = None  # wired by the Cluster
         self.alive = True
+        self._snapshot_cache = None
+        self._snapshot_version = 0
         transport.register(name, self.handle_message)
 
     # ------------------------------------------------------------------
@@ -175,6 +177,28 @@ class ClusterNode:
         return [export_component_entry(component)
                 for component in self.drcr.registry.all()]
 
+    def snapshot_version(self):
+        """Version counter over this node's exportable state.
+
+        Bumped whenever the export (components, live properties,
+        application groupings) differs from the cached copy -- the
+        membership layer announces version changes to the coordinator
+        in a tiny ``digest`` instead of shipping the full snapshot to
+        every peer every beat."""
+        snapshot = {
+            "components": self.export_entries(),
+            "applications": self.drcr.applications(),
+        }
+        if snapshot != self._snapshot_cache:
+            self._snapshot_cache = snapshot
+            self._snapshot_version += 1
+        return self._snapshot_version
+
+    def snapshot(self):
+        """``(version, snapshot)`` of the current exportable state."""
+        version = self.snapshot_version()
+        return version, self._snapshot_cache
+
     def crash(self):
         """Fail-stop the node: off the wire, stack torn down.
 
@@ -198,10 +222,19 @@ class ClusterNode:
         kind = message.kind
         payload = message.payload
         reply_to = payload.get("reply_to", message.src)
-        if kind == "heartbeat":
+        if kind in ("probe", "probe_ack", "ping_req", "ping",
+                    "ping_ack"):
             if self.membership is not None:
-                self.membership.note_heartbeat(
-                    message.src, self.name, payload)
+                self.membership.on_wire(self.name, message)
+        elif kind == "snapshot_pull":
+            version, snapshot = self.snapshot()
+            if version != payload.get("have"):
+                self.transport.send(self.name, reply_to,
+                                    "snapshot_push", {
+                                        "node": self.name,
+                                        "version": version,
+                                        "snapshot": snapshot,
+                                    })
         elif kind == "deploy":
             outcome = self.management.deploy_entry(payload["entry"])
             self.transport.send(self.name, reply_to, "deploy_ack", {

@@ -21,8 +21,17 @@ Telemetry lands in the ``cluster`` registry: ``messages_sent_total``,
 ``messages_delivered_total``, ``messages_dropped_total``,
 ``messages_partitioned_total``, the aggregate ``link_latency_ns``
 histogram and one ``link_latency_ns.<src>_to_<dst>`` histogram per
-link that carried traffic (see ``docs/OBSERVABILITY.md``).
+link that carried traffic (see ``docs/OBSERVABILITY.md``).  Per-link
+histograms are gated at scale: beyond
+:data:`PER_LINK_HISTOGRAM_MAX_ENDPOINTS` registered endpoints a fleet
+has O(n²) links, so only the aggregate histogram is kept (override
+with ``per_link_histograms=True/False``).
 """
+
+#: Above this many registered endpoints, per-link histograms default
+#: off -- a gossip-scale fleet has O(n²) directed links and the
+#: registry would drown in instruments.
+PER_LINK_HISTOGRAM_MAX_ENDPOINTS = 32
 
 #: Link-latency histogram buckets (ns): LAN-ish 100 us to a stalled
 #: 100 ms.
@@ -83,9 +92,14 @@ class MessageTransport:
     :class:`~repro.faults.recovery.BackoffPolicy` idiom.
     """
 
-    def __init__(self, sim, default_link=None):
+    def __init__(self, sim, default_link=None,
+                 per_link_histograms=None):
         self.sim = sim
         self.default_link = default_link or LinkSpec()
+        # None = decide from the fleet size at first delivery; the
+        # verdict is latched so a mid-run crash cannot flip it.
+        self.per_link_histograms = per_link_histograms
+        self._per_link_enabled = per_link_histograms
         self._handlers = {}
         self._links = {}
         self._partitioned = set()
@@ -189,7 +203,14 @@ class MessageTransport:
         latency = self.sim.now - message.sent_at_ns
         self._m_delivered.inc()
         self._m_latency.observe(latency)
-        self._link_histogram(message.src, message.dst).observe(latency)
+        enabled = self._per_link_enabled
+        if enabled is None:
+            enabled = self._per_link_enabled = (
+                len(self._handlers)
+                <= PER_LINK_HISTOGRAM_MAX_ENDPOINTS)
+        if enabled:
+            self._link_histogram(message.src,
+                                 message.dst).observe(latency)
         handler(message)
 
     def _link_histogram(self, src, dst):

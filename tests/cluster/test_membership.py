@@ -1,8 +1,9 @@
-"""Tests for heartbeat membership and failure detection."""
+"""Tests for SWIM membership and failure detection."""
 
 import pytest
 
-from repro.cluster import Cluster
+from repro.cluster import Cluster, LinkSpec
+from repro.cluster.node import ClusterNode
 from repro.sim.engine import MSEC
 
 from conftest import make_descriptor_xml
@@ -115,3 +116,100 @@ class TestPartitionAndFencing:
         cluster.run_for(100 * MSEC)
         assert not cluster.membership.is_dead("node2")
         assert "node2" in cluster.membership.members()
+
+    def test_fence_retries_until_acked_over_lossy_link(self):
+        """Regression: fencing used to be one fire-and-forget message
+        over the lossy transport -- a false positive that missed it
+        kept running stale components forever.  It must now retry
+        under the backoff policy until the undeploy-all ack lands."""
+        cluster = Cluster(("node0", "node1", "node2"), seed=1,
+                          heartbeat_interval_ns=10 * MSEC,
+                          miss_limit=3)
+        try:
+            cluster.deploy(make_descriptor_xml(
+                "COMP00", cpuusage=0.1), node="node2")
+            cluster.run_for(50 * MSEC)
+            cluster.transport.partition("node2", "node0")
+            cluster.transport.partition("node2", "node1")
+            cluster.run_for(100 * MSEC)
+            assert cluster.membership.is_dead("node2")
+            # The returnee comes back behind a very lossy fence path.
+            cluster.transport.set_link(
+                "control", "node2", LinkSpec(drop_probability=0.8))
+            cluster.transport.heal("node2", "node0")
+            cluster.transport.heal("node2", "node1")
+            cluster.run_for(600 * MSEC)
+            metrics = cluster.sim.telemetry.registry("cluster")
+            # With this seed the first sends are eaten by the drop
+            # gate: only the retry chain gets the fence through.
+            assert metrics.get("fence_attempts_total").value >= 2
+            assert cluster.membership.fence_acked("node2")
+            assert len(cluster.node("node2").drcr.registry) == 0
+            assert metrics.get("nodes_fenced_total").value == 1
+        finally:
+            cluster.shutdown()
+
+
+class TestRestartEpoch:
+    def test_stop_start_leaves_one_beat_chain(self, cluster):
+        """Regression: stop() then start() before the pending tick
+        fired used to leave two live beat chains (the no-op guard only
+        checked ``_started``, not which chain scheduled the tick).
+        The epoch token kills the stale chain."""
+        cluster.run_for(50 * MSEC)
+        cluster.membership.stop()
+        cluster.membership.start()  # pending tick still queued
+        metrics = cluster.sim.telemetry.registry("cluster")
+        before = metrics.get("gossip_rounds_total").value
+        cluster.run_for(100 * MSEC)
+        rounds = metrics.get("gossip_rounds_total").value - before
+        # One protocol round per interval -- the double-chain bug
+        # would count ~2x.
+        assert rounds == 10
+
+    def test_stopped_service_goes_quiet(self, cluster):
+        cluster.run_for(50 * MSEC)
+        cluster.membership.stop()
+        metrics = cluster.sim.telemetry.registry("cluster")
+        before = metrics.get("gossip_rounds_total").value
+        cluster.run_for(100 * MSEC)
+        assert metrics.get("gossip_rounds_total").value == before
+
+
+class TestLateJoin:
+    def test_direct_insert_is_not_declared_dead(self, cluster):
+        """Regression: a node added to ``cluster.nodes`` after start()
+        had no ``last_seen`` entry, so the next check read
+        silence-since-t0 and declared it dead on arrival."""
+        cluster.run_for(50 * MSEC)
+        node = ClusterNode("node3", cluster.sim, cluster.transport)
+        node.start_timer(MSEC)
+        node.membership = cluster.membership
+        cluster.nodes["node3"] = node
+        cluster.run_for(100 * MSEC)
+        assert not cluster.membership.is_dead("node3")
+        assert "node3" in cluster.membership.members()
+
+    def test_add_node_joins_and_hosts_components(self):
+        cluster = Cluster(("node0", "node1"), seed=5)
+        try:
+            cluster.run_for(30 * MSEC)
+            cluster.add_node("node2")
+            cluster.run_for(60 * MSEC)
+            assert not cluster.membership.is_dead("node2")
+            target = cluster.deploy(make_descriptor_xml(
+                "LATE00", cpuusage=0.1), node="node2")
+            assert target == "node2"
+            cluster.run_for(30 * MSEC)
+            from repro.core import ComponentState
+            assert cluster.node("node2").drcr.component_state(
+                "LATE00") is ComponentState.ACTIVE
+        finally:
+            cluster.shutdown()
+
+    def test_add_node_rejects_taken_names(self, cluster):
+        from repro.cluster import ClusterError
+        with pytest.raises(ClusterError):
+            cluster.add_node("node1")
+        with pytest.raises(ClusterError):
+            cluster.add_node("control")
