@@ -30,6 +30,12 @@ Machine-independent shape ratios carry the regression signal:
   SWIM promise) and, with baseline, bounded relatively along with
   ``nlogn_fit_ratio`` (the O(n log n) envelope) and the absolute
   per-interval message count at the largest fleet on matching ladders.
+* Plan lint (``lint``): ``growth_exponent`` of a full six-family
+  ``lint_plan`` pass across the component ladder is hard-capped below
+  2.0 (the DRT6xx analyzers must stay sub-quadratic -- the PlanGuard
+  runs them on the deploy path) and, with baseline, bounded relatively
+  along with the absolute lint time at the largest plan on matching
+  ladders.
 * Engine speed (``throughput``): ``run_vs_step_speedup`` (the sorted-run
   drain against the legacy per-event API, measured in one process, so
   machine-independent), ``fleet_overhead_growth`` (per-event overhead
@@ -153,9 +159,34 @@ def check_throughput(current, baseline, check_at_most):
             TOLERANCE)
 
 
+def check_lint(current, baseline, check_at_most):
+    # Hard cap regardless of baseline: the DRT6xx pass going
+    # quadratic is exactly what would make plan-gated deployment
+    # stop scaling.
+    check_at_most("plan lint growth_exponent (hard cap)",
+                  current["growth_exponent"], 2.0)
+    # Small ladders time noisily, so floor the relative reference:
+    # a healthy run sits around 1.0 (linear).
+    check_at_most(
+        "plan lint growth_exponent",
+        current["growth_exponent"],
+        TOLERANCE * max(baseline["growth_exponent"], 0.5))
+    if current["component_sizes"] == baseline["component_sizes"]:
+        check_at_most(
+            "plan lint_ms at max components",
+            current["rows"][-1]["lint_ms"],
+            TOLERANCE * baseline["rows"][-1]["lint_ms"])
+    else:
+        print("component ladders differ (%s vs %s): skipping the "
+              "absolute lint-time comparison"
+              % (current["component_sizes"],
+                 baseline["component_sizes"]))
+
+
 CHECKS = {
     "scaling_drcr": check_drcr,
     "cluster": check_cluster,
+    "lint": check_lint,
     "throughput": check_throughput,
 }
 

@@ -6,8 +6,6 @@ result -- who wins, by what rough factor, where the crossovers are --
 rather than absolute numbers.
 """
 
-import pytest
-
 from repro.platform import build_platform
 from repro.rtos.kernel import KernelConfig
 from repro.rtos.latency import NullLatencyModel

@@ -21,7 +21,7 @@ This benchmark quantifies that design:
 import pytest
 
 from repro.hybrid.protocol import CommandKind
-from repro.sim.engine import MSEC, SEC
+from repro.sim.engine import MSEC
 
 from conftest import deploy, make_descriptor_xml, quiet_platform, run_once
 

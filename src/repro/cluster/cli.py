@@ -60,6 +60,10 @@ def _parse_args(argv):
                         help="skip the node crash / failover act")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the fleet report as JSON")
+    parser.add_argument("--export-plan", metavar="PATH", default=None,
+                        help="write the live fleet's deployment plan "
+                             "(lintable with python -m repro lint "
+                             "--family DRT6)")
     args = parser.parse_args(argv)
     if args.nodes < 2:
         parser.error("--nodes must be >= 2 (a federation)")
@@ -132,6 +136,10 @@ def main(argv=None):
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
         print("wrote fleet report to %s" % args.json)
+    if args.export_plan:
+        with open(args.export_plan, "w") as handle:
+            json.dump(cluster.export_plan(), handle, indent=2)
+        print("wrote deployment plan to %s" % args.export_plan)
     cluster.shutdown()
     return 0
 

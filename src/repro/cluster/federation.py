@@ -54,6 +54,7 @@ from repro.core.descriptor import ComponentDescriptor
 from repro.core.lifecycle import ComponentState
 from repro.core.snapshot import restore_entries
 from repro.faults.recovery import BackoffPolicy
+from repro.lint.diagnostics import Severity
 from repro.rtos.kernel import KernelConfig
 from repro.sim.engine import MSEC, Simulator
 
@@ -106,6 +107,106 @@ def _group_entries(entries, applications):
         else:
             groups.setdefault(gid, []).append(entry)
     return list(groups.values()) + singles
+
+
+class PlanGuard:
+    """Pre-deploy gate: lint the fleet's would-be plan first.
+
+    The fleet-scope mirror of
+    :class:`~repro.lint.resolver.LintResolvingService`'s differential
+    blame: the current :meth:`Cluster.export_plan` baseline is linted
+    and fingerprinted, the candidate plan (baseline plus the requested
+    deployment) is linted, and the deployment is vetoed only for *new*
+    findings at or above ``fail_on`` -- pre-existing fleet debt never
+    blocks unrelated work.  Unlike the resolver, findings are
+    fingerprinted by ``(code, component)`` without the message: plan
+    messages quote fleet-wide load numbers that legitimately drift
+    when anything deploys, and a drifted number is not a new defect.
+    Failover re-homing is mandatory and is never blocked;
+    :meth:`note_failover` runs an advisory lint of the post-failover
+    plan and records what it finds.
+
+    Telemetry lands in the ``lint`` registry:
+    ``plan_checks_total``, ``plan_rejections_total``,
+    ``plan_failover_checks_total`` and one ``plan_code.<code>``
+    counter per reported code (``docs/OBSERVABILITY.md``).
+    """
+
+    def __init__(self, cluster, fail_on=Severity.ERROR,
+                 families=None):
+        self.cluster = cluster
+        self.fail_on = Severity.parse(fail_on) \
+            if isinstance(fail_on, str) else fail_on
+        self.families = tuple(families) if families else None
+        metrics = cluster.sim.telemetry.registry("lint")
+        self._metrics = metrics
+        self._m_checks = metrics.counter("plan_checks_total")
+        self._m_rejections = metrics.counter("plan_rejections_total")
+        self._m_failover_checks = metrics.counter(
+            "plan_failover_checks_total")
+
+    def _lint(self, document):
+        # Lazy: repro.lint.engine transitively imports this package.
+        from repro.lint.engine import lint_plan
+        if self.families is None:
+            return lint_plan(document, location="<plan-guard>")
+        return lint_plan(document, location="<plan-guard>",
+                         families=self.families)
+
+    @staticmethod
+    def _fingerprints(result):
+        return {(d.code, d.component) for d in result.diagnostics}
+
+    def check_deploy(self, descriptor_xmls, node, application=None,
+                     members=None):
+        """New findings a deployment would introduce.
+
+        Builds the candidate plan (the live fleet's exported plan plus
+        ``descriptor_xmls`` homed on ``node``, and the application
+        grouping when given), lints both, and returns the candidate's
+        findings at or above ``fail_on`` that the baseline does not
+        already carry.  Empty list = the deployment may proceed."""
+        self._m_checks.inc()
+        baseline = self._lint(self.cluster.export_plan())
+        candidate = self.cluster.export_plan()
+        for deployment in candidate["deployments"]:
+            if deployment["node"] == node:
+                target = deployment
+                break
+        else:
+            target = {"node": node, "components": []}
+            candidate["deployments"].append(target)
+        target["components"].extend(
+            {"xml": xml} for xml in descriptor_xmls)
+        if application is not None and members is not None:
+            candidate["applications"][application] = list(members)
+        result = self._lint(candidate)
+        known = self._fingerprints(baseline)
+        new = [diagnostic
+               for diagnostic in result.at_or_above(self.fail_on)
+               if (diagnostic.code, diagnostic.component)
+               not in known]
+        if new:
+            self._m_rejections.inc()
+            for diagnostic in new:
+                self._metrics.counter(
+                    "plan_code.%s" % diagnostic.code).inc()
+        return new
+
+    def note_failover(self, dead_node):
+        """Advisory lint after failover re-homed ``dead_node``.
+
+        Failover is never vetoed -- the components are already
+        homeless -- but the resulting fleet shape is linted so the
+        telemetry (and the returned findings) say whether the fleet
+        is still one crash away from stranding work."""
+        self._m_failover_checks.inc()
+        result = self._lint(self.cluster.export_plan())
+        findings = result.at_or_above(self.fail_on)
+        for diagnostic in findings:
+            self._metrics.counter(
+                "plan_code.%s" % diagnostic.code).inc()
+        return findings
 
 
 class _Migration:
@@ -170,6 +271,7 @@ class Cluster:
             node.membership = self.membership
         self.placement = ClusterPlacementService(self,
                                                  cap=placement_cap)
+        self.plan_guard = None  # armed via install_plan_guard()
         self.transport.register(self.coordinator_name,
                                 self._on_message)
         self.backoff = backoff or BackoffPolicy(
@@ -266,6 +368,102 @@ class Cluster:
         self.transport.unregister(self.coordinator_name)
 
     # ------------------------------------------------------------------
+    # the deployment plan (static analysis round-trip)
+    # ------------------------------------------------------------------
+    def export_plan(self, rules=None):
+        """The live fleet as a deployment-plan document.
+
+        A plain-data JSON document in the :mod:`repro.lint.deployment`
+        plan schema: the alive nodes (CPU count, placement cap), the
+        transport's default and explicit links, every deployed
+        component's descriptor inlined under its home node, and the
+        application groupings -- so ``drtlint`` can statically verify
+        the *running* fleet (``python -m repro cluster --export-plan``
+        and the CI cluster-smoke job do exactly that).  ``rules``
+        optionally lists rule-file paths to carry along."""
+        from repro.lint.deployment import PLAN_SCHEMA_VERSION
+        alive = {node.name for node in self.alive_nodes()}
+        nodes = []
+        deployments = []
+        for name in sorted(self.nodes):
+            if name not in alive:
+                continue
+            node = self.nodes[name]
+            nodes.append({
+                "name": name,
+                "num_cpus": node.kernel.config.num_cpus,
+                "cap": self.placement.cap,
+            })
+            components = [
+                {"xml": self.catalog[comp]["descriptor_xml"]}
+                for comp, home in sorted(self.deployments.items())
+                if home == name and comp in self.catalog]
+            if components:
+                deployments.append({"node": name,
+                                    "components": components})
+        default = self.transport.default_link
+        links = [
+            {"src": src, "dst": dst,
+             "latency_ns": link.latency_ns,
+             "jitter_ns": link.jitter_ns,
+             "drop_probability": link.drop_probability}
+            for (src, dst), link
+            in sorted(self.transport.links().items())
+            if src in alive | {self.coordinator_name}
+            and dst in alive | {self.coordinator_name}]
+        applications = {}
+        for name in sorted(alive):
+            for app, members \
+                    in self.nodes[name].drcr.applications().items():
+                deployed = [member for member in members
+                            if self.deployments.get(member) in alive]
+                if deployed:
+                    applications.setdefault(app, deployed)
+        plan = {
+            "plan_version": PLAN_SCHEMA_VERSION,
+            "name": "cluster",
+            "cap": self.placement.cap,
+            "default_link": {
+                "latency_ns": default.latency_ns,
+                "jitter_ns": default.jitter_ns,
+                "drop_probability": default.drop_probability,
+            },
+            "nodes": nodes,
+            "links": links,
+            "deployments": deployments,
+            "applications": applications,
+        }
+        if rules is not None:
+            plan["rules"] = list(rules)
+        return plan
+
+    def install_plan_guard(self, fail_on=Severity.ERROR,
+                           families=None):
+        """Arm the :class:`PlanGuard` pre-deploy gate.
+
+        From then on :meth:`deploy` / :meth:`deploy_application` lint
+        the candidate plan first and raise :class:`ClusterError` on
+        new findings at or above ``fail_on``; failover re-homing runs
+        an advisory post-lint.  Returns the guard."""
+        self.plan_guard = PlanGuard(self, fail_on=fail_on,
+                                    families=families)
+        return self.plan_guard
+
+    def _consult_plan_guard(self, descriptor_xmls, node, subject,
+                            application=None, members=None):
+        if self.plan_guard is None:
+            return
+        findings = self.plan_guard.check_deploy(
+            descriptor_xmls, node, application=application,
+            members=members)
+        if findings:
+            raise ClusterError(
+                "plan guard vetoed deploying %s onto %s: %s"
+                % (subject, node,
+                   "; ".join(diagnostic.format()
+                             for diagnostic in findings)))
+
+    # ------------------------------------------------------------------
     # the management plane
     # ------------------------------------------------------------------
     def deploy(self, descriptor_xml, node=None, properties=None):
@@ -290,6 +488,8 @@ class Cluster:
                     % (name, descriptor.contract.cpu_usage))
         elif node not in self.nodes:
             raise ClusterError("unknown node %r" % (node,))
+        self._consult_plan_guard([descriptor_xml], node,
+                                 "component %r" % (name,))
         entry = {
             "name": name,
             "descriptor_xml": descriptor_xml,
@@ -337,6 +537,10 @@ class Cluster:
                     % (app_name, total))
         elif node not in self.nodes:
             raise ClusterError("unknown node %r" % (node,))
+        self._consult_plan_guard(list(descriptor_xmls), node,
+                                 "application %r" % (app_name,),
+                                 application=app_name,
+                                 members=members)
         properties = properties or {}
         entries = []
         for descriptor, xml in zip(descriptors, descriptor_xmls):
@@ -626,6 +830,8 @@ class Cluster:
         self.sim.trace.record(now, "cluster", action="failover",
                               node=name, moved=len(moved),
                               unplaced=len(unplaced))
+        if self.plan_guard is not None:
+            self.plan_guard.note_failover(name)
         return report
 
     def _place_groups(self, groups, exclude, reason):

@@ -146,6 +146,14 @@ class MessageTransport:
         """The effective :class:`LinkSpec` of ``src -> dst``."""
         return self._links.get((src, dst), self.default_link)
 
+    def links(self):
+        """The explicitly-configured links: ``{(src, dst): LinkSpec}``.
+
+        A copy -- configure links through :meth:`set_link` /
+        :meth:`connect`.  Pairs absent here use :attr:`default_link`
+        (``Cluster.export_plan()`` serializes exactly this split)."""
+        return dict(self._links)
+
     def partition(self, a, b):
         """Sever the ``a <-> b`` pair (both directions, in-flight
         messages included)."""

@@ -2,14 +2,16 @@
 
 DRCom's real-time aspect is *declarative* -- an XML contract (paper
 section 2.3) -- so an entire deployment set can be verified **before**
-a single task is admitted.  This package is that verifier: four
+a single task is admitted.  This package is that verifier: six
 analyzer families over descriptors, the port graph, the declared
-schedulability and the implementation AST, each emitting
+schedulability, the implementation AST, adaptation-rule files and
+whole-fleet deployment plans, each emitting
 :class:`~repro.lint.diagnostics.Diagnostic` records with stable
 ``DRTxxx`` codes.
 
 * ``python -m repro lint <paths...>`` -- the CLI;
-* :func:`lint_paths` / :func:`lint_descriptors` -- the library API;
+* :func:`lint_paths` / :func:`lint_descriptors` / :func:`lint_plan`
+  -- the library API;
 * :class:`LintResolvingService` -- drtlint as a DRCR pre-admission
   resolving service (paper section 3's customized resolvers).
 
@@ -21,8 +23,10 @@ from repro.lint.engine import (
     FAMILIES,
     JSON_SCHEMA_VERSION,
     LintResult,
+    family_of_code,
     lint_descriptors,
     lint_paths,
+    lint_plan,
 )
 from repro.lint.resolver import LintResolvingService
 
@@ -34,6 +38,8 @@ __all__ = [
     "LintResolvingService",
     "LintResult",
     "Severity",
+    "family_of_code",
     "lint_descriptors",
     "lint_paths",
+    "lint_plan",
 ]

@@ -3,31 +3,36 @@
 Usage::
 
     python -m repro lint <paths...> [--json] [--fail-on SEVERITY]
+    python -m repro lint --list-codes
 
 Paths may be descriptor ``.xml`` files, implementation/example ``.py``
-files, or directories of either.  Exit status: 0 when no diagnostic
-reaches the ``--fail-on`` threshold (default: ``error``), 1 otherwise,
-2 on usage errors.  See ``docs/STATIC_ANALYSIS.md`` for the full
-DRT1xx-DRT5xx code table.
+files, deployment-plan or rule ``.json`` files, or directories of any.
+Exit status: 0 when no diagnostic reaches the ``--fail-on`` threshold
+(default: ``error``), 1 otherwise, 2 on usage errors.
+``--list-codes`` prints the full code table (code, severity, family,
+summary) and exits 0.  See ``docs/STATIC_ANALYSIS.md`` for the full
+DRT1xx-DRT6xx code table.
 """
 
 import argparse
 import json
 import sys
 
-from repro.lint.diagnostics import Severity
-from repro.lint.engine import FAMILIES, lint_paths, resolve_family
+from repro.lint.diagnostics import CODE_TABLE, Severity
+from repro.lint.engine import FAMILIES, family_of_code, lint_paths, \
+    resolve_family
 
 
 def _parse_args(argv):
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="drtlint: statically verify DRCom descriptor "
-                    "deployments and implementation RT-safety "
-                    "without instantiating a runtime.")
-    parser.add_argument("paths", nargs="+", metavar="PATH",
+                    "deployments, deployment plans and implementation "
+                    "RT-safety without instantiating a runtime.")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="descriptor .xml files, implementation "
-                             ".py files, or directories of either")
+                             ".py files, plan/rule .json files, or "
+                             "directories of any")
     parser.add_argument("--json", action="store_true",
                         help="emit the schema-stable JSON document "
                              "instead of text")
@@ -41,6 +46,10 @@ def _parse_args(argv):
                              "(repeatable; a family name or a DRTn "
                              "code prefix; default: all of %s)"
                              % ", ".join(FAMILIES))
+    parser.add_argument("--list-codes", action="store_true",
+                        help="print the full diagnostic code table "
+                             "(code, severity, family, summary) and "
+                             "exit 0")
     args = parser.parse_args(argv)
     if args.family is not None:
         try:
@@ -48,12 +57,31 @@ def _parse_args(argv):
                            for name in args.family]
         except ValueError as error:
             parser.error(str(error))
+    if not args.paths and not args.list_codes:
+        parser.error("at least one PATH is required "
+                     "(or --list-codes)")
     return args
+
+
+def _format_code_table():
+    """The full CODE_TABLE, one aligned line per code."""
+    lines = []
+    for code in sorted(CODE_TABLE):
+        severity, summary, _ = CODE_TABLE[code]
+        lines.append("%s  %-7s  %-10s  %s"
+                     % (code, severity.value,
+                        family_of_code(code), summary))
+    lines.append("drtlint: %d diagnostic codes across %d families"
+                 % (len(CODE_TABLE), len(FAMILIES)))
+    return "\n".join(lines)
 
 
 def main(argv=None):
     """Entry point; returns the process exit status."""
     args = _parse_args(sys.argv[2:] if argv is None else argv)
+    if args.list_codes:
+        print(_format_code_table())
+        return 0
     families = tuple(args.family) if args.family else FAMILIES
     threshold = Severity.parse(args.fail_on)
     try:

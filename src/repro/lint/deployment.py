@@ -1,0 +1,826 @@
+"""DRT6xx -- deployment-plan analyzers.
+
+The other five families verify one deployment *unit*; this family
+verifies a whole *fleet*: a **deployment plan** is a JSON document
+naming the nodes (name, CPU count, utilization cap), the links between
+them (:class:`~repro.cluster.transport.LinkSpec` quality), which
+descriptor goes where, the application co-location groups, and the
+adaptation rule files that will steer the result.  Everything a
+:class:`~repro.cluster.federation.Cluster` decides at run time --
+placement, failover re-homing, cross-node wiring, management routing
+-- is re-derived here statically, with no Cluster, Framework or kernel
+instantiated (the layering rule in ``docs/ARCHITECTURE.md``: lint may
+*model* cluster topology, never build one).
+
+Plan schema (``docs/STATIC_ANALYSIS.md`` renders the reference)::
+
+    {
+      "plan_version": 1,
+      "name": "settop-fleet",
+      "cap": 1.0,
+      "default_link": {"latency_ns": 500000},
+      "links": [{"src": "control", "dst": "edge0",
+                 "latency_ns": 800000, "jitter_ns": 100000}],
+      "nodes": [{"name": "edge0", "num_cpus": 1, "cap": 1.0}, ...],
+      "deployments": [{"node": "edge0",
+                       "components": ["vsrc.xml", {"xml": "<drt:..."}]}],
+      "applications": {"vidpip": ["VSRC00", "VFLT00"]},
+      "rules": ["settopbox.rules.json", {"document": {...}}]
+    }
+
+Relative descriptor/rule paths resolve against the plan file's own
+directory.  The checks:
+
+* **DRT600** -- the plan document itself fails to parse or validate
+  (schema problems, unknown nodes, unreadable sources, duplicate
+  homes, bad link quality);
+* **DRT601** -- a node cannot host its declared components: the same
+  best-fit math as :class:`~repro.core.placement.BestFitPlacement`
+  (which re-pins CPUs at admission) finds no CPU for a claim, or a
+  ``drcom.placement=pinned`` component oversubscribes its pinned CPU;
+* **DRT602** -- no N-1 failover headroom: for each node, simulate its
+  loss and re-place its components group by group over the survivors
+  under :meth:`~repro.cluster.placement.ClusterPlacementService
+  .choose_node_for_group` semantics (node capacity ``num_cpus * cap``,
+  greedy least-loaded, co-location groups move whole); any group left
+  without a home means the fleet is one crash away from stranding it;
+* **DRT603** -- a wired application split across nodes (or an inport
+  whose only signature-compatible providers live on other nodes):
+  ports bind inside one node's kernel, so the runtime can never
+  resolve this wiring;
+* **DRT604** -- the management path from the coordinator (``control``)
+  to a component is slower than the component's deadline: worst-case
+  link latency plus jitter plus the component's exact response time
+  (:func:`repro.analysis.response_time` over its node/CPU task set)
+  exceeds ``deadline_ns``, so a §2.4 command cannot take effect within
+  one deadline window;
+* **DRT605** -- an adaptation rule scoped to (or migrating toward) a
+  node no plan node matches: the predicate can never hold, or the
+  action can never land;
+* **DRT606** -- two rules that can hold in the same epoch migrate one
+  component to *different* nodes: the component ping-pongs between
+  homes for as long as both conditions overlap.
+
+Per-node descriptor sets additionally run through the contract,
+wiring and admission families as their own deployment units (ports
+bind per kernel), so one ``python -m repro lint plan.json`` covers
+both the fleet shape and every node's local deployment.
+"""
+
+import json
+import os
+
+from repro.adapt.rules import parse_rule_document_tolerant
+from repro.analysis import TaskSpec, response_time
+from repro.cluster.transport import LinkSpec
+from repro.core.descriptor import ComponentDescriptor
+from repro.core.errors import DRComError
+# Shared interval arithmetic: DRT606 must agree with DRT503 about
+# when two rule conditions can hold in the same epoch.
+from repro.lint.adaptrules import _compatible, _constraint_map
+from repro.lint.diagnostics import Diagnostic
+
+#: Plan document version this analyzer reads.
+PLAN_SCHEMA_VERSION = 1
+
+#: The management plane's transport endpoint (mirrors
+#: ``Cluster.coordinator_name`` without importing the federation).
+COORDINATOR = "control"
+
+#: Same capacity slack as the runtime placement services.
+_EPSILON = 1e-12
+
+_PLAN_KEYS = frozenset((
+    "plan_version", "name", "cap", "default_link", "links", "nodes",
+    "deployments", "applications", "rules"))
+_NODE_KEYS = frozenset(("name", "num_cpus", "cap"))
+_LINK_KEYS = frozenset(("src", "dst", "latency_ns", "jitter_ns",
+                        "drop_probability"))
+
+
+def looks_like_plan_file(text):
+    """Whether a ``.json`` source is a deployment plan.
+
+    Cheap structural sniff: a JSON object carrying ``plan_version``,
+    or both a ``nodes`` list and a ``deployments`` list.  Checked
+    *before* the rule-file sniff in the engine -- a plan legitimately
+    carries a ``rules`` key of its own.
+    """
+    try:
+        document = json.loads(text)
+    except ValueError:
+        return False
+    if not isinstance(document, dict):
+        return False
+    if "plan_version" in document:
+        return True
+    return isinstance(document.get("nodes"), list) \
+        and isinstance(document.get("deployments"), list)
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) \
+        and not isinstance(value, bool)
+
+
+class PlanNode:
+    """One node of the plan: capacity, never a live platform."""
+
+    __slots__ = ("name", "num_cpus", "cap")
+
+    def __init__(self, name, num_cpus, cap):
+        self.name = name
+        self.num_cpus = num_cpus
+        self.cap = cap
+
+    @property
+    def capacity(self):
+        """Total declared-utilization budget (``num_cpus * cap``)."""
+        return self.num_cpus * self.cap
+
+
+class PlanComponent:
+    """One descriptor assignment: text, parsed form (or None), home."""
+
+    __slots__ = ("xml", "location", "node", "descriptor")
+
+    def __init__(self, xml, location, node, descriptor):
+        self.xml = xml
+        self.location = location
+        self.node = node
+        self.descriptor = descriptor
+
+
+class DeploymentPlan:
+    """Parsed plan: pure data, ready for the DRT6xx checks."""
+
+    def __init__(self, location="<plan>"):
+        self.location = location
+        self.name = "plan"
+        self.nodes = {}          # name -> PlanNode, insertion order
+        self.default_link = LinkSpec()
+        self.links = {}          # (src, dst) -> LinkSpec
+        self.components = []     # PlanComponent, plan order
+        self.applications = {}   # app name -> [member names]
+        self.rule_sources = []   # (location, text)
+
+    def components_of(self, node_name):
+        """This node's components, plan order."""
+        return [comp for comp in self.components
+                if comp.node == node_name]
+
+    def node_of(self):
+        """``{component name: home node}`` for parseable components."""
+        return {comp.descriptor.name: comp.node
+                for comp in self.components
+                if comp.descriptor is not None}
+
+    def link_for(self, src, dst):
+        """The declared link for (src, dst), or the default."""
+        return self.links.get((src, dst), self.default_link)
+
+
+def _parse_link(data, where, problems):
+    """A :class:`LinkSpec` from plan JSON, or None (problem noted)."""
+    if not isinstance(data, dict):
+        problems.append("%s must be an object, got %s"
+                        % (where, type(data).__name__))
+        return None
+    unknown = sorted(set(data) - _LINK_KEYS)
+    if unknown:
+        problems.append("%s has unknown field(s): %s"
+                        % (where, ", ".join(unknown)))
+    kwargs = {}
+    for field in ("latency_ns", "jitter_ns", "drop_probability"):
+        if field in data:
+            if not _is_number(data[field]):
+                problems.append("%s.%s must be a number, got %r"
+                                % (where, field, data[field]))
+                return None
+            kwargs[field] = data[field]
+    try:
+        return LinkSpec(**kwargs)
+    except ValueError as error:
+        problems.append("%s: %s" % (where, error))
+        return None
+
+
+def _parse_nodes(document, plan, default_cap, problems):
+    nodes = document.get("nodes")
+    if not isinstance(nodes, list) or not nodes:
+        problems.append("plan needs a non-empty 'nodes' list")
+        return
+    for index, data in enumerate(nodes):
+        where = "nodes[%d]" % index
+        if not isinstance(data, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        unknown = sorted(set(data) - _NODE_KEYS)
+        if unknown:
+            problems.append("%s has unknown field(s): %s"
+                            % (where, ", ".join(unknown)))
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append("%s needs a non-empty 'name'" % where)
+            continue
+        if name == COORDINATOR:
+            problems.append(
+                "%s: %r is reserved for the coordinator endpoint"
+                % (where, COORDINATOR))
+            continue
+        if name in plan.nodes:
+            problems.append("duplicate node name %r" % name)
+            continue
+        num_cpus = data.get("num_cpus", 1)
+        if not isinstance(num_cpus, int) \
+                or isinstance(num_cpus, bool) or num_cpus < 1:
+            problems.append("%s.num_cpus must be a positive integer"
+                            % where)
+            continue
+        cap = data.get("cap", default_cap)
+        if not _is_number(cap) or cap <= 0:
+            problems.append("%s.cap must be a positive number" % where)
+            continue
+        plan.nodes[name] = PlanNode(name, num_cpus, float(cap))
+
+
+def _read_source(source, base_dir, plan_location, where, problems):
+    """Resolve a path-valued plan source; returns (path, text)."""
+    if os.path.isabs(source):
+        resolved = source
+    elif base_dir is not None:
+        resolved = os.path.join(base_dir, source)
+    else:
+        problems.append(
+            "%s: cannot resolve relative source %r (the plan has no "
+            "on-disk location)" % (where, source))
+        return None
+    try:
+        with open(resolved, "r", encoding="utf-8") as handle:
+            return resolved, handle.read()
+    except OSError as error:
+        problems.append("%s: cannot read source %r: %s"
+                        % (where, source, error))
+        return None
+
+
+def _parse_deployments(document, plan, base_dir, problems):
+    deployments = document.get("deployments", [])
+    if deployments is None:
+        deployments = []
+    if not isinstance(deployments, list):
+        problems.append("'deployments' must be a list")
+        return
+    homes = {}
+    for index, data in enumerate(deployments):
+        where = "deployments[%d]" % index
+        if not isinstance(data, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        node_name = data.get("node")
+        if node_name not in plan.nodes:
+            problems.append("%s targets unknown node %r"
+                            % (where, node_name))
+            continue
+        components = data.get("components")
+        if not isinstance(components, list):
+            problems.append("%s needs a 'components' list" % where)
+            continue
+        for cindex, source in enumerate(components):
+            if isinstance(source, str):
+                read = _read_source(source, base_dir, plan.location,
+                                    where, problems)
+                if read is None:
+                    continue
+                comp_location, text = read
+            elif isinstance(source, dict) \
+                    and isinstance(source.get("xml"), str):
+                text = source["xml"]
+                comp_location = "%s#%s[%d]" % (plan.location,
+                                               node_name, cindex)
+            else:
+                problems.append(
+                    "%s.components[%d] must be a descriptor path or "
+                    "an {\"xml\": ...} object" % (where, cindex))
+                continue
+            try:
+                descriptor = ComponentDescriptor.from_xml(text)
+            except DRComError as error:
+                problems.append(
+                    "%s: descriptor at %s fails to parse and is "
+                    "excluded from the plan analysis: %s"
+                    % (where, comp_location, error))
+                descriptor = None
+            if descriptor is not None:
+                other = homes.get(descriptor.name)
+                if other is not None and other != node_name:
+                    problems.append(
+                        "component %r is deployed on both %r and %r; "
+                        "the fleet home map holds one home per "
+                        "component" % (descriptor.name, other,
+                                       node_name))
+                    continue
+                homes[descriptor.name] = node_name
+            plan.components.append(PlanComponent(
+                text, comp_location, node_name, descriptor))
+
+
+def _parse_applications(document, plan, problems):
+    applications = document.get("applications", {})
+    if applications is None:
+        applications = {}
+    if not isinstance(applications, dict):
+        problems.append("'applications' must be an object")
+        return
+    deployed = {comp.descriptor.name for comp in plan.components
+                if comp.descriptor is not None}
+    for app, members in applications.items():
+        if not isinstance(members, list) \
+                or not all(isinstance(m, str) for m in members):
+            problems.append("application %r must list member names"
+                            % app)
+            continue
+        for member in members:
+            if member not in deployed:
+                problems.append(
+                    "application %r names %r, which no node deploys"
+                    % (app, member))
+        plan.applications[app] = list(members)
+
+
+def _parse_rules(document, plan, base_dir, problems):
+    rules = document.get("rules", [])
+    if rules is None:
+        rules = []
+    if not isinstance(rules, list):
+        problems.append("'rules' must be a list")
+        return
+    for index, source in enumerate(rules):
+        where = "rules[%d]" % index
+        if isinstance(source, str):
+            read = _read_source(source, base_dir, plan.location,
+                                where, problems)
+            if read is not None:
+                plan.rule_sources.append(read)
+        elif isinstance(source, dict) \
+                and isinstance(source.get("document"), dict):
+            plan.rule_sources.append((
+                "%s#rules[%d]" % (plan.location, index),
+                json.dumps(source["document"])))
+        else:
+            problems.append(
+                "%s must be a rule-file path or a {\"document\": ...} "
+                "object" % where)
+
+
+def parse_plan(document, location="<plan>", base_dir=None):
+    """Parse a plan document into a :class:`DeploymentPlan`.
+
+    Returns ``(plan, problems)`` -- ``problems`` is a list of strings,
+    each becoming one DRT600.  Parsing is tolerant: whatever validates
+    is kept, so the topology checks still run on the healthy part of
+    a partially broken plan.
+    """
+    problems = []
+    plan = DeploymentPlan(location)
+    if not isinstance(document, dict):
+        problems.append("plan must be a JSON object, got %s"
+                        % type(document).__name__)
+        return plan, problems
+    if base_dir is None and os.path.isfile(location):
+        base_dir = os.path.dirname(os.path.abspath(location))
+    version = document.get("plan_version", PLAN_SCHEMA_VERSION)
+    if version != PLAN_SCHEMA_VERSION:
+        problems.append(
+            "unsupported plan_version %r (this drtlint reads "
+            "version %d)" % (version, PLAN_SCHEMA_VERSION))
+    unknown = sorted(set(document) - _PLAN_KEYS)
+    if unknown:
+        problems.append("plan has unknown top-level key(s): %s"
+                        % ", ".join(unknown))
+    name = document.get("name", "plan")
+    if isinstance(name, str) and name:
+        plan.name = name
+    default_cap = document.get("cap", 1.0)
+    if not _is_number(default_cap) or default_cap <= 0:
+        problems.append("'cap' must be a positive number")
+        default_cap = 1.0
+    _parse_nodes(document, plan, default_cap, problems)
+    if "default_link" in document:
+        link = _parse_link(document["default_link"], "default_link",
+                           problems)
+        if link is not None:
+            plan.default_link = link
+    links = document.get("links", [])
+    if links is None:
+        links = []
+    if not isinstance(links, list):
+        problems.append("'links' must be a list")
+        links = []
+    endpoints = set(plan.nodes) | {COORDINATOR}
+    for index, data in enumerate(links):
+        where = "links[%d]" % index
+        link = _parse_link(data, where, problems)
+        if link is None:
+            continue
+        src = data.get("src")
+        dst = data.get("dst")
+        if src not in endpoints or dst not in endpoints:
+            problems.append(
+                "%s connects unknown endpoint(s) %r -> %r (known: "
+                "%s)" % (where, src, dst,
+                         ", ".join(sorted(endpoints))))
+            continue
+        plan.links[(src, dst)] = link
+    _parse_deployments(document, plan, base_dir, problems)
+    _parse_applications(document, plan, problems)
+    _parse_rules(document, plan, base_dir, problems)
+    return plan, problems
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+def _enabled_components(plan, node_name):
+    return [comp for comp in plan.components_of(node_name)
+            if comp.descriptor is not None and comp.descriptor.enabled]
+
+
+def _check_hosting(plan):
+    """DRT601: every node must fit its own components.
+
+    Replays the node's admission statically: pinned components
+    (``drcom.placement=pinned``) claim their declared CPU, everything
+    else is best-fit re-pinned exactly like
+    :class:`~repro.core.placement.BestFitPlacement` does at deploy
+    time, in plan order.
+    """
+    diagnostics = []
+    for node_name, node in plan.nodes.items():
+        loads = [0.0] * node.num_cpus
+        for comp in _enabled_components(plan, node_name):
+            contract = comp.descriptor.contract
+            usage = contract.cpu_usage
+            pinned = comp.descriptor.property_value(
+                "drcom.placement") == "pinned"
+            if pinned:
+                cpu = contract.cpu
+                if cpu >= node.num_cpus:
+                    diagnostics.append(Diagnostic(
+                        "DRT601", comp.descriptor.name, comp.location,
+                        "pinned to CPU %d, but node %r declares only "
+                        "%d CPU(s)" % (cpu, node_name, node.num_cpus)))
+                    continue
+                if loads[cpu] + usage > node.cap + _EPSILON:
+                    diagnostics.append(Diagnostic(
+                        "DRT601", comp.descriptor.name, comp.location,
+                        "pinned claim %.3f does not fit CPU %d of "
+                        "node %r (load already %.3f, cap %.2f)"
+                        % (usage, cpu, node_name, loads[cpu],
+                           node.cap)))
+                    continue
+                loads[cpu] += usage
+                continue
+            best = None
+            for cpu in range(node.num_cpus):
+                if loads[cpu] + usage > node.cap + _EPSILON:
+                    continue
+                if best is None or loads[cpu] < loads[best]:
+                    best = cpu
+            if best is None:
+                diagnostics.append(Diagnostic(
+                    "DRT601", comp.descriptor.name, comp.location,
+                    "node %r cannot place %s (claim %.3f): per-CPU "
+                    "loads are %s at cap %.2f; admission on this "
+                    "node would reject it"
+                    % (node_name, comp.descriptor.name, usage,
+                       ["%.3f" % load for load in loads], node.cap)))
+            else:
+                loads[best] += usage
+    return diagnostics
+
+
+def _group_components(members, applications):
+    """Co-location groups of one node's components.
+
+    Mirrors ``repro.cluster.federation._group_entries``: members of
+    one application (transitively, when applications overlap) form one
+    group, everything else is a singleton; application groups come
+    first, exactly the order failover re-homing plans in.
+    """
+    group_of = {}
+    merged = {}
+    next_id = 0
+    for app_members in applications.values():
+        ids = {group_of[m] for m in app_members if m in group_of}
+        target = min(ids) if ids else next_id
+        if not ids:
+            next_id += 1
+        names = merged.setdefault(target, set())
+        for gid in ids:
+            if gid != target:
+                names |= merged.pop(gid)
+        names.update(app_members)
+        for name in names:
+            group_of[name] = target
+    groups = {}
+    singles = []
+    for comp in members:
+        gid = group_of.get(comp.descriptor.name)
+        if gid is None:
+            singles.append([comp])
+        else:
+            groups.setdefault(gid, []).append(comp)
+    return list(groups.values()) + singles
+
+
+def _check_failover_capacity(plan):
+    """DRT602: simulate each node's loss; survivors must absorb it.
+
+    Greedy group placement under ``choose_node_for_group`` semantics:
+    node capacity is ``num_cpus * cap``, the least-loaded survivor
+    that fits takes the group, and earlier groups' budget counts
+    against later ones (``extra_node_load``).  N-1 analysis needs at
+    least two nodes; single-node plans are skipped.
+    """
+    if len(plan.nodes) < 2:
+        return []
+    diagnostics = []
+    base_load = {
+        name: sum(comp.descriptor.contract.cpu_usage
+                  for comp in _enabled_components(plan, name))
+        for name in plan.nodes
+    }
+    for dead in plan.nodes:
+        members = _enabled_components(plan, dead)
+        if not members:
+            continue
+        extra = {}
+        for group in _group_components(members, plan.applications):
+            total = sum(comp.descriptor.contract.cpu_usage
+                        for comp in group)
+            best = None
+            best_load = None
+            for survivor, node in plan.nodes.items():
+                if survivor == dead:
+                    continue
+                load = base_load[survivor] + extra.get(survivor, 0.0)
+                if load + total > node.capacity + _EPSILON:
+                    continue
+                if best_load is None or load < best_load:
+                    best = survivor
+                    best_load = load
+            if best is None:
+                names = ", ".join(sorted(comp.descriptor.name
+                                         for comp in group))
+                headroom = max(
+                    (plan.nodes[s].capacity - base_load[s]
+                     - extra.get(s, 0.0)
+                     for s in plan.nodes if s != dead),
+                    default=0.0)
+                diagnostics.append(Diagnostic(
+                    "DRT602", names, group[0].location,
+                    "losing node %r strands {%s}: the group claims "
+                    "%.3f but the best survivor headroom is %.3f "
+                    "under group placement; the fleet has no N-1 "
+                    "failover capacity"
+                    % (dead, names, total, headroom)))
+            else:
+                extra[best] = extra.get(best, 0.0) + total
+    return diagnostics
+
+
+def _check_cross_node_wiring(plan):
+    """DRT603: applications split across nodes, and inports whose
+    only compatible providers live on other nodes.  Ports bind inside
+    one node's kernel; neither can ever resolve at run time."""
+    diagnostics = []
+    node_of = plan.node_of()
+    flagged_members = set()
+    for app, members in sorted(plan.applications.items()):
+        homes = sorted({node_of[m] for m in members if m in node_of})
+        if len(homes) > 1:
+            flagged_members.update(members)
+            diagnostics.append(Diagnostic(
+                "DRT603", app, plan.location,
+                "application %r is split across nodes %s; port "
+                "wiring resolves inside a single node's kernel, so "
+                "the members must be co-located"
+                % (app, ", ".join(homes))))
+    providers = {}
+    for comp in plan.components:
+        if comp.descriptor is None or not comp.descriptor.enabled:
+            continue
+        for port in comp.descriptor.outports:
+            providers.setdefault(port.signature(), []).append(
+                (comp.node, comp.descriptor.name))
+    for comp in plan.components:
+        if comp.descriptor is None or not comp.descriptor.enabled:
+            continue
+        if comp.descriptor.name in flagged_members:
+            continue  # the split application already covers it
+        for port in comp.descriptor.inports:
+            supply = providers.get(port.signature())
+            if not supply:
+                continue  # no provider anywhere: DRT201 per node
+            if any(node == comp.node for node, _ in supply):
+                continue
+            remote = ", ".join(sorted(
+                "%s on %s" % (name, node) for node, name in supply))
+            diagnostics.append(Diagnostic(
+                "DRT603", comp.descriptor.name, comp.location,
+                "inport %r is only provided across the node boundary "
+                "(%s); this wiring can never resolve"
+                % (port.name, remote)))
+    return diagnostics
+
+
+def _check_management_latency(plan):
+    """DRT604: coordinator-to-component command paths vs deadlines.
+
+    A §2.4 management command rides the ``control -> node`` link and
+    takes effect once the target task next completes; when worst-case
+    link latency (latency + jitter) plus the component's exact
+    response time already exceeds its deadline, no command can land
+    within one deadline window.  Components whose response time
+    analysis diverges are DRT302's finding, not repeated here.
+    """
+    diagnostics = []
+    for node_name in plan.nodes:
+        link = plan.link_for(COORDINATOR, node_name)
+        wire_ns = link.latency_ns + link.jitter_ns
+        by_cpu = {}
+        for comp in _enabled_components(plan, node_name):
+            if not comp.descriptor.contract.is_rate_bound:
+                continue
+            by_cpu.setdefault(comp.descriptor.contract.cpu,
+                              []).append(comp)
+        for cpu, members in sorted(by_cpu.items()):
+            pairs = [(comp, TaskSpec.from_contract(
+                comp.descriptor.contract)) for comp in members]
+            for comp, spec in pairs:
+                interfering = [other for _, other in pairs
+                               if other is not spec
+                               and other.priority <= spec.priority]
+                response = response_time(spec, interfering)
+                if response is None:
+                    continue
+                if wire_ns + response > spec.deadline_ns:
+                    diagnostics.append(Diagnostic(
+                        "DRT604", comp.descriptor.name, comp.location,
+                        "a management command from %r reaches %s no "
+                        "earlier than %.3f ms (link worst case %.3f "
+                        "ms + response %.3f ms), past its %.3f ms "
+                        "deadline"
+                        % (COORDINATOR, comp.descriptor.name,
+                           (wire_ns + response) / 1e6, wire_ns / 1e6,
+                           response / 1e6, spec.deadline_ns / 1e6)))
+    return diagnostics
+
+
+def _check_rules_against_topology(plan):
+    """DRT605 (orphan scopes/targets) and DRT606 (migration
+    ping-pong) over every rule source the plan names."""
+    diagnostics = []
+    node_names = set(plan.nodes)
+    migrations = []  # (rule, location, component, dst)
+    for location, text in plan.rule_sources:
+        try:
+            document = json.loads(text)
+        except ValueError:
+            continue  # DRT500 reports this under the rules family
+        rules, _ = parse_rule_document_tolerant(document)
+        for rule in rules:
+            orphan_nodes = set()
+            predicates = (rule.when,) if rule.clear is None \
+                else (rule.when, rule.clear)
+            for predicate in predicates:
+                for leaf in predicate.leaves():
+                    if leaf.node is not None \
+                            and leaf.node not in node_names \
+                            and leaf.node not in orphan_nodes:
+                        orphan_nodes.add(leaf.node)
+                        diagnostics.append(Diagnostic(
+                            "DRT605", rule.name, location,
+                            "predicate scope %r matches no node of "
+                            "this plan (nodes: %s); the condition "
+                            "can never hold"
+                            % (leaf.node,
+                               ", ".join(sorted(node_names)))))
+            for action in rule.actions:
+                kind = action["action"]
+                target = None
+                if kind == "migrate":
+                    target = action.get("dst")
+                elif kind == "rebalance":
+                    target = action.get("node")
+                if target is not None and target not in node_names:
+                    diagnostics.append(Diagnostic(
+                        "DRT605", rule.name, location,
+                        "action %r targets node %r, which this plan "
+                        "does not declare (nodes: %s)"
+                        % (kind, target,
+                           ", ".join(sorted(node_names)))))
+                if kind == "migrate" \
+                        and action.get("dst") is not None:
+                    migrations.append((rule, location,
+                                       action["component"],
+                                       action["dst"]))
+    reported = set()
+    for index, (first, location, component, dst) \
+            in enumerate(migrations):
+        for second, _, other_component, other_dst \
+                in migrations[index + 1:]:
+            if component != other_component or dst == other_dst:
+                continue
+            pair = tuple(sorted((first.name, second.name))) \
+                + (component,)
+            if pair in reported:
+                continue
+            if not _compatible(_constraint_map(first.when),
+                               _constraint_map(second.when)):
+                continue
+            reported.add(pair)
+            diagnostics.append(Diagnostic(
+                "DRT606", component, location,
+                "rules %r and %r can hold in the same epoch yet "
+                "migrate %r to different nodes (%r vs %r); the "
+                "component ping-pongs between homes while both "
+                "conditions overlap"
+                % (first.name, second.name, component, dst,
+                   other_dst)))
+    return diagnostics
+
+
+def check_plan(plan):
+    """All topology-level DRT60x diagnostics for a parsed plan."""
+    diagnostics = []
+    diagnostics.extend(_check_hosting(plan))
+    diagnostics.extend(_check_failover_capacity(plan))
+    diagnostics.extend(_check_cross_node_wiring(plan))
+    diagnostics.extend(_check_management_latency(plan))
+    diagnostics.extend(_check_rules_against_topology(plan))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# entry points (the engine and the PlanGuard call these)
+# ----------------------------------------------------------------------
+def lint_plan_document(document, location="<plan>", families=None,
+                       base_dir=None):
+    """Lint one plan document (a parsed JSON object).
+
+    Returns ``(diagnostics, units, sources)``: the plan itself is one
+    unit, every node with components is one more (its descriptor set
+    runs the contract/wiring/admission families), and every rule
+    source another (DRT5xx).  ``families`` follows the engine's
+    convention (None = all).
+    """
+    # Local import: the engine imports this module at load time.
+    from repro.lint.engine import FAMILIES, lint_descriptor_texts
+    if families is None:
+        families = FAMILIES
+    plan, problems = parse_plan(document, location, base_dir=base_dir)
+    diagnostics = []
+    units = 1
+    sources = 1
+    if "deployment" in families:
+        for problem in problems:
+            diagnostics.append(Diagnostic("DRT600", "", location,
+                                          problem))
+    node_families = tuple(f for f in families
+                          if f in ("contract", "wiring", "admission"))
+    for node_name in plan.nodes:
+        unit = [(comp.location, comp.xml)
+                for comp in plan.components_of(node_name)]
+        if not unit:
+            continue
+        units += 1
+        sources += len(unit)
+        if node_families:
+            diagnostics.extend(
+                lint_descriptor_texts(unit, node_families))
+    if plan.rule_sources:
+        from repro.lint import adaptrules
+        for rule_location, rule_text in plan.rule_sources:
+            units += 1
+            sources += 1
+            if "rules" in families:
+                diagnostics.extend(adaptrules.check_rule_source(
+                    rule_text, rule_location))
+    if "deployment" in families:
+        diagnostics.extend(check_plan(plan))
+    return diagnostics, units, sources
+
+
+def lint_plan_source(text, location="<plan>", families=None):
+    """Lint a plan file's raw text (the engine's ``.json`` hook)."""
+    try:
+        document = json.loads(text)
+    except ValueError as error:
+        diagnostics = []
+        if families is None or "deployment" in families:
+            diagnostics.append(Diagnostic(
+                "DRT600", "", location, "invalid JSON: %s" % error))
+        return diagnostics, 1, 1
+    return lint_plan_document(document, location, families=families)

@@ -1,7 +1,7 @@
 """The diagnostic model of drtlint.
 
 Every analyzer emits :class:`Diagnostic` records with a **stable code**
-drawn from :data:`CODE_TABLE`.  Codes are grouped into four families
+drawn from :data:`CODE_TABLE`.  Codes are grouped into six families
 mirroring the layers of a DRCom deployment:
 
 * **DRT1xx** -- contract analyzers: per-descriptor schema and
@@ -16,7 +16,11 @@ mirroring the layers of a DRCom deployment:
   rule that the RT part must never call back into the OSGi/JVM world);
 * **DRT5xx** -- adaptation-rule analyzers: JSON rule files for
   :mod:`repro.adapt` (schema violations, unknown context parameters
-  or actions, contradictory or unreachable rules, thrash hazards).
+  or actions, contradictory or unreachable rules, thrash hazards);
+* **DRT6xx** -- deployment-plan analyzers: whole-fleet JSON plans for
+  :mod:`repro.cluster` (per-node over-commitment, N-1 failover
+  headroom, cross-node wiring, management-path latency budgets, rules
+  orphaned by the topology) -- see :mod:`repro.lint.deployment`.
 
 The table is the single source of truth: the documentation
 (``docs/STATIC_ANALYSIS.md``), the JSON output and the tests all read
@@ -218,6 +222,51 @@ CODE_TABLE = {
                "add cooldown_ns, a clear predicate, or for_epochs "
                "unless per-epoch firing is intended (idempotent "
                "actions only)"),
+    # ----- DRT6xx: deployment-plan analyzers -------------------------
+    "DRT600": (Severity.ERROR,
+               "deployment plan fails to parse or validate against "
+               "the plan schema",
+               "fix the listed plan problems (unknown nodes, bad "
+               "links, unreadable sources, duplicate homes); "
+               "docs/STATIC_ANALYSIS.md documents the plan schema"),
+    "DRT601": (Severity.ERROR,
+               "node over-commitment: a declared component does not "
+               "fit any CPU of its node under the best-fit placement "
+               "math",
+               "lower cpuusage claims, unpin the component, add CPUs "
+               "to the node, or move components elsewhere; admission "
+               "on this node would reject the deployment"),
+    "DRT602": (Severity.ERROR,
+               "no N-1 failover capacity: losing one node leaves a "
+               "component group no survivor can absorb",
+               "add headroom (nodes, CPUs, or lower claims) until "
+               "every single-node loss can be re-homed group by "
+               "group; until then one crash strands components"),
+    "DRT603": (Severity.ERROR,
+               "wired application split across nodes (or an inport "
+               "whose only providers live on other nodes)",
+               "co-locate the application's members on one node; "
+               "port wiring resolves inside a single node's kernel "
+               "and can never bind across the transport"),
+    "DRT604": (Severity.WARNING,
+               "management path slower than a component's deadline: "
+               "worst-case link latency plus response time exceeds "
+               "deadline_ns",
+               "improve the control link, raise the deadline, or "
+               "lower the node's interference; a management command "
+               "cannot take effect within one deadline window"),
+    "DRT605": (Severity.WARNING,
+               "adaptation rule scoped to (or targeting) a node the "
+               "plan does not declare",
+               "fix the @node scope / migrate dst / rebalance node "
+               "to name a plan node; as written the rule can never "
+               "match or land"),
+    "DRT606": (Severity.WARNING,
+               "migration ping-pong: two simultaneously-satisfiable "
+               "rules migrate one component to different nodes",
+               "make the two conditions mutually exclusive or agree "
+               "on one destination; otherwise the component bounces "
+               "between homes every epoch both rules hold"),
 }
 
 

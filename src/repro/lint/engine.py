@@ -17,10 +17,21 @@ Unit model
   ``drt:component`` element) are linted together, and the module source
   runs through the DRT4xx AST checks.  Literals with ``%``-format
   placeholders are templates, not descriptors, and are skipped;
-* every ``.json`` file that is an adaptation *rule file* (a JSON
-  object with a top-level ``rules`` list, docs/ADAPTATION.md) is its
-  own unit and runs through the DRT5xx checks; other JSON files
+* every ``.json`` file that is a *deployment plan* (sniffed first:
+  ``plan_version``, or ``nodes`` + ``deployments`` --
+  :func:`repro.lint.deployment.looks_like_plan_file`) contributes one
+  plan unit plus one unit per node with components (contract/wiring/
+  admission run per node, because ports bind per kernel) plus one per
+  referenced rule source, and runs the DRT6xx topology checks;
+* every remaining ``.json`` file that is an adaptation *rule file* (a
+  JSON object with a top-level ``rules`` list, docs/ADAPTATION.md) is
+  its own unit and runs through the DRT5xx checks; other JSON files
   (fault plans, benchmark baselines) pass through unexamined.
+
+Paths reachable more than once in one invocation (a file named
+directly and again under a directory argument, a symlink, a duplicate
+argument) are deduplicated by real path, so no source is ever linted
+-- or counted -- twice.
 """
 
 import ast
@@ -29,14 +40,15 @@ import re
 
 from repro.core.descriptor import ComponentDescriptor
 from repro.core.errors import DRComError
-from repro.lint import admission, adaptrules, contracts, rtsafety, \
-    wiring
+from repro.lint import admission, adaptrules, contracts, deployment, \
+    rtsafety, wiring
 from repro.lint.diagnostics import Diagnostic, Severity
 
 #: Families selectable by callers (the resolver disables wiring: the
 #: DRCR's own functional resolution handles unsatisfied inports by
 #: keeping components UNSATISFIED rather than by vetoing admission).
-FAMILIES = ("contract", "wiring", "admission", "rtsafety", "rules")
+FAMILIES = ("contract", "wiring", "admission", "rtsafety", "rules",
+            "deployment")
 
 #: Code-prefix spellings accepted wherever a family name is (the CI
 #: smoke job says ``--family DRT5``; both forms resolve identically).
@@ -46,6 +58,7 @@ FAMILY_ALIASES = {
     "DRT3": "admission",
     "DRT4": "rtsafety",
     "DRT5": "rules",
+    "DRT6": "deployment",
 }
 
 
@@ -60,6 +73,11 @@ def resolve_family(name):
             "unknown analyzer family %r (expected one of %s)"
             % (name, ", ".join(FAMILIES + tuple(FAMILY_ALIASES))))
     return canonical
+
+
+def family_of_code(code):
+    """The analyzer family a ``DRTnxx`` code belongs to, or None."""
+    return FAMILY_ALIASES.get(code[:4])
 
 _DESCRIPTOR_MARKER = re.compile(r"<\s*(?:drt:)?component[\s>]")
 _TEMPLATE_MARKER = re.compile(r"%[sdrfi(]")
@@ -202,17 +220,30 @@ def lint_descriptors(descriptors, location="<memory>",
 # path walking
 # ----------------------------------------------------------------------
 def collect_files(paths):
-    """Expand files/directories into a sorted list of lintable files."""
+    """Expand files/directories into a list of lintable files.
+
+    Deduplicated by real path, first occurrence wins: a descriptor
+    reachable both as a file argument and under a directory argument
+    is one source, not two.
+    """
     files = []
+    seen = set()
+
+    def add(path):
+        real = os.path.realpath(path)
+        if real not in seen:
+            seen.add(real)
+            files.append(path)
+
     for path in paths:
         if os.path.isdir(path):
             for root, dirs, names in os.walk(path):
                 dirs.sort()
                 for name in sorted(names):
                     if name.endswith((".xml", ".py", ".json")):
-                        files.append(os.path.join(root, name))
+                        add(os.path.join(root, name))
         elif os.path.isfile(path):
-            files.append(path)
+            add(path)
         else:
             raise FileNotFoundError("no such file or directory: %r"
                                     % (path,))
@@ -266,7 +297,13 @@ def lint_paths(paths, families=FAMILIES, telemetry=None):
             sources += 1
             continue
         if path.endswith(".json"):
-            if adaptrules.looks_like_rule_file(text):
+            if deployment.looks_like_plan_file(text):
+                plan_diagnostics, plan_units, plan_sources = \
+                    deployment.lint_plan_source(text, path, families)
+                diagnostics.extend(plan_diagnostics)
+                units += plan_units
+                sources += plan_sources
+            elif adaptrules.looks_like_rule_file(text):
                 if "rules" in families:
                     diagnostics.extend(
                         adaptrules.check_rule_source(text, path))
@@ -285,6 +322,23 @@ def lint_paths(paths, families=FAMILIES, telemetry=None):
     if xml_texts:
         diagnostics.extend(lint_descriptor_texts(xml_texts, families))
         units += 1
+    result = LintResult(diagnostics, units=units, sources=sources)
+    if telemetry is not None:
+        record_metrics(telemetry, result)
+    return result
+
+
+def lint_plan(document, location="<plan>", families=FAMILIES,
+              telemetry=None):
+    """Lint one deployment-plan document (a parsed JSON object).
+
+    The in-memory twin of passing a plan file to :func:`lint_paths`:
+    the :class:`~repro.cluster.federation.Cluster`'s ``PlanGuard``
+    and ``export_plan()`` round-trips call this.  Returns a
+    :class:`LintResult`.
+    """
+    diagnostics, units, sources = deployment.lint_plan_document(
+        document, location, families=families)
     result = LintResult(diagnostics, units=units, sources=sources)
     if telemetry is not None:
         record_metrics(telemetry, result)

@@ -264,6 +264,115 @@ def generate_defective_fleet(seed, count=8, defects=None,
     return descriptors, expected_codes
 
 
+#: Plan defects :func:`generate_defective_plan` can emit, with the
+#: single DRT6xx code each one must trigger.
+PLAN_DEFECT_CODES = {
+    "overcommit": "DRT601",
+    "no_n1_headroom": "DRT602",
+    "split_application": "DRT603",
+    "latency_budget": "DRT604",
+    "orphan_rule": "DRT605",
+}
+
+
+def generate_defective_plan(kind):
+    """A deployment plan with exactly one planted DRT6xx defect.
+
+    The DRT6xx twin of :func:`generate_defective_fleet`: each ``kind``
+    emits a plan document (the :mod:`repro.lint.deployment` schema,
+    descriptors inlined) that trips *exactly* its
+    :data:`PLAN_DEFECT_CODES` code under ``--family DRT6`` and nothing
+    else from that family:
+
+    * ``"overcommit"`` -- three 0.4 claims on a one-CPU node (the
+      third cannot be placed, DRT601); a four-CPU second node keeps
+      the N-1 analysis clean;
+    * ``"no_n1_headroom"`` -- two one-CPU nodes at 0.7 each: both
+      host fine, but neither survives the other's loss (DRT602);
+    * ``"split_application"`` -- a two-member wired application with
+      one member per node (DRT603);
+    * ``"latency_budget"`` -- a 3 ms-deadline component behind a 5 ms
+      control link: schedulable locally, unreachable in time by any
+      management command (DRT604);
+    * ``"orphan_rule"`` -- an adaptation rule scoped to (and
+      rebalancing) a node the plan never declares (DRT605).
+
+    Returns ``(plan_document, expected_code)``.  Seedless on purpose,
+    like :func:`generate_rule_set`: a defective plan is a template
+    instantiation, not a random draw.
+    """
+    if kind not in PLAN_DEFECT_CODES:
+        raise ValueError("unknown plan defect %r (known: %s)"
+                         % (kind,
+                            ", ".join(sorted(PLAN_DEFECT_CODES))))
+
+    def _xml(name, cpu_usage, frequency_hz=10.0, priority=10,
+             deadline_ns=None, ports=()):
+        return ComponentDescriptor(
+            name=name, implementation="plandefect.%s" % name,
+            task_type=TaskType.PERIODIC, cpu_usage=cpu_usage,
+            frequency_hz=frequency_hz, priority=priority,
+            deadline_ns=deadline_ns,
+            description="planted plan defect component",
+            ports=ports).to_xml()
+
+    plan = {
+        "plan_version": 1,
+        "name": "defective-%s" % kind,
+        "nodes": [{"name": "node0", "num_cpus": 1},
+                  {"name": "node1", "num_cpus": 1}],
+        "deployments": [],
+    }
+    if kind == "overcommit":
+        plan["nodes"][1]["num_cpus"] = 4  # N-1 stays absorbable
+        plan["deployments"].append({"node": "node0", "components": [
+            {"xml": _xml("OVC%03d" % index, 0.4,
+                         priority=10 + index)}
+            for index in range(3)]})
+    elif kind == "no_n1_headroom":
+        plan["deployments"] = [
+            {"node": "node0",
+             "components": [{"xml": _xml("HRM000", 0.7)}]},
+            {"node": "node1",
+             "components": [{"xml": _xml("HRM001", 0.7)}]},
+        ]
+    elif kind == "split_application":
+        plan["deployments"] = [
+            {"node": "node0", "components": [
+                {"xml": _xml("SRCA00", 0.1, ports=[
+                    PortSpec("SPLP00", PortDirection.OUT, "RTAI.SHM",
+                             "Integer", 2)])}]},
+            {"node": "node1", "components": [
+                {"xml": _xml("SNKA00", 0.1, ports=[
+                    PortSpec("SPLP00", PortDirection.IN, "RTAI.SHM",
+                             "Integer", 2)])}]},
+        ]
+        plan["applications"] = {"splitp": ["SRCA00", "SNKA00"]}
+    elif kind == "latency_budget":
+        plan["deployments"].append({"node": "node0", "components": [
+            {"xml": _xml("TGT000", 0.2, frequency_hz=100.0,
+                         deadline_ns=3_000_000)}]})
+        plan["links"] = [{"src": "control", "dst": "node0",
+                          "latency_ns": 5_000_000}]
+    else:  # orphan_rule
+        plan["deployments"].append({"node": "node0", "components": [
+            {"xml": _xml("ORP000", 0.1)}]})
+        plan["rules"] = [{"document": {
+            "schema_version": 1,
+            "rules": [{
+                "name": "ghost-drain",
+                "priority": 10,
+                "when": {"param": "deadline_miss_rate", "op": ">",
+                         "value": 0.05, "node": "node9",
+                         "for_epochs": 2},
+                "then": [{"action": "rebalance", "node": "node9",
+                          "count": 1}],
+                "cooldown_ns": 100_000_000,
+            }],
+        }}]
+    return plan, PLAN_DEFECT_CODES[kind]
+
+
 def generate_fault_plan(rng, name, descriptors, horizon_ns=1_000_000_000,
                         crash_fraction=0.25, overrun_fraction=0.25,
                         overrun_factor=50.0):

@@ -1,7 +1,6 @@
 """Tests for the SWIM gossip protocol: suspicion, refutation,
 indirect probing, and message complexity."""
 
-import pytest
 
 from repro.cluster import Cluster, LinkSpec
 from repro.sim.engine import MSEC

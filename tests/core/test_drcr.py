@@ -15,7 +15,7 @@ from repro.core import (
     UtilizationBoundPolicy,
 )
 from repro.core.descriptor import ComponentDescriptor
-from repro.sim.engine import MSEC, SEC
+from repro.sim.engine import MSEC
 
 from conftest import deploy, make_descriptor_xml
 

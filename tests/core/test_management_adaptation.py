@@ -5,7 +5,6 @@ from repro.core import (
     MANAGEMENT_SERVICE_INTERFACE,
     AdaptationManager,
     ComponentState,
-    LifecycleError,
     PropertyTuningRule,
     RTComponentManagement,
     SuspendOnDeadlineMisses,

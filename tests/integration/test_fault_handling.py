@@ -11,7 +11,7 @@ from repro.rtos.kernel import KernelConfig
 from repro.rtos.latency import NullLatencyModel
 from repro.rtos.requests import Compute
 from repro.rtos.task import TaskState, TaskType
-from repro.sim.engine import MSEC, SEC
+from repro.sim.engine import MSEC
 
 from conftest import deploy, make_descriptor_xml
 

@@ -4,7 +4,6 @@ scenarios over simulated time."""
 import pytest
 
 from repro.core import (
-    MANAGEMENT_SERVICE_INTERFACE,
     AdaptationManager,
     ComponentState,
     SuspendOnDeadlineMisses,

@@ -1,0 +1,147 @@
+"""PlanGuard end to end: static veto agrees with runtime stranding.
+
+The EXPERIMENTS C2 extension at fleet scope.  One two-node fleet is
+built twice with identical deployments:
+
+* **static arm** -- the :class:`~repro.cluster.federation.PlanGuard`
+  is armed and asked to admit a wired application that would push the
+  fleet past its N-1 failover capacity; the guard must veto it with a
+  *new* DRT602 finding (the pre-existing fleet lints clean, so the
+  differential blame is exact);
+* **runtime arm** -- no guard: the same application deploys, the node
+  is crashed, and failover strands exactly the component the static
+  finding named.
+
+Static analysis predicting the runtime outcome is the family's whole
+claim; this test pins the agreement.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.federation import ClusterError
+from repro.sim.engine import MSEC
+
+from conftest import make_descriptor_xml
+
+PORT = ("WPT000", "RTAI.SHM", "Integer", 2)
+
+
+def base_fleet(**kwargs):
+    """Two one-CPU nodes carrying one 0.3 component each."""
+    cluster = Cluster(("node0", "node1"), seed=11,
+                      heartbeat_interval_ns=10 * MSEC, **kwargs)
+    cluster.deploy(make_descriptor_xml("BAS000", cpuusage=0.3,
+                                       priority=5), node="node0")
+    cluster.deploy(make_descriptor_xml("BAS001", cpuusage=0.3,
+                                       priority=5), node="node1")
+    return cluster
+
+
+def wired_app_xmls():
+    """A 0.5-claim application: fits node0 live (0.8 total), but
+    afterwards neither node's loss can be absorbed by the other."""
+    return [
+        make_descriptor_xml("WIR000", cpuusage=0.25, frequency=10,
+                            priority=20, outports=[PORT]),
+        make_descriptor_xml("WIR001", cpuusage=0.25, frequency=10,
+                            priority=21, inports=[PORT]),
+    ]
+
+
+def test_plan_guard_vetoes_what_failover_would_strand():
+    # --- static arm: the guard predicts the stranding -------------
+    cluster = base_fleet()
+    try:
+        cluster.run_for(30 * MSEC)
+        guard = cluster.install_plan_guard()
+
+        findings = guard.check_deploy(wired_app_xmls(), "node0",
+                                      application="wapp",
+                                      members=["WIR000", "WIR001"])
+        assert findings, "the guard must flag the capacity loss"
+        assert {f.code for f in findings} == {"DRT602"}
+        static_stranded = {f.component for f in findings}
+        # Losing node0 strands BAS000 (the 0.5 group re-homes first);
+        # losing node1 strands BAS001 against the 0.8-loaded node0.
+        assert static_stranded == {"BAS000", "BAS001"}
+
+        with pytest.raises(ClusterError) as excinfo:
+            cluster.deploy_application("wapp", wired_app_xmls(),
+                                       node="node0")
+        assert "DRT602" in str(excinfo.value)
+        assert "WIR000" not in cluster.deployments
+
+        # Two checks and two rejections: the direct check_deploy
+        # above plus the vetoed deploy_application.
+        registry = cluster.sim.telemetry.registry("lint")
+        assert registry.get("plan_checks_total").value == 2
+        assert registry.get("plan_rejections_total").value == 2
+        assert registry.get("plan_code.DRT602").value >= 2
+    finally:
+        cluster.shutdown()
+
+    # --- runtime arm: no guard, the crash proves it ---------------
+    cluster = base_fleet()
+    try:
+        home = cluster.deploy_application("wapp", wired_app_xmls(),
+                                          node="node0")
+        assert home == "node0"
+        cluster.run_for(50 * MSEC)
+
+        cluster.crash_node("node0")
+        cluster.run_for(500 * MSEC)
+
+        report = cluster.report()
+        assert report["dead"] == ["node0"]
+        failover = report["failovers"][-1]
+        assert failover["node"] == "node0"
+        # The application group re-homed whole; the singleton the
+        # static finding named is exactly what got stranded.
+        moved = set(failover["moved"])
+        assert {"WIR000", "WIR001"} <= moved
+        assert failover["unplaced"] == ["BAS000"]
+        assert "BAS000" in static_stranded
+    finally:
+        cluster.shutdown()
+
+
+def test_plan_guard_never_blocks_failover():
+    cluster = base_fleet()
+    try:
+        cluster.run_for(30 * MSEC)
+        cluster.install_plan_guard()
+        cluster.crash_node("node1")
+        cluster.run_for(500 * MSEC)
+
+        # Failover completed despite the armed guard; the advisory
+        # post-failover lint was recorded.
+        report = cluster.report()
+        assert report["dead"] == ["node1"]
+        assert cluster.deployments["BAS001"] == "node0"
+        registry = cluster.sim.telemetry.registry("lint")
+        assert registry.get("plan_failover_checks_total").value == 1
+    finally:
+        cluster.shutdown()
+
+
+def test_plan_guard_ignores_preexisting_debt():
+    # A fleet that already lints DRT602 (0.7 + 0.7 on one-CPU nodes)
+    # must still accept an unrelated small deployment: differential
+    # blame, not absolute cleanliness.
+    cluster = Cluster(("node0", "node1"), seed=11,
+                      heartbeat_interval_ns=10 * MSEC)
+    try:
+        cluster.deploy(make_descriptor_xml("BIG000", cpuusage=0.7,
+                                           priority=5), node="node0")
+        cluster.deploy(make_descriptor_xml("BIG001", cpuusage=0.7,
+                                           priority=5), node="node1")
+        cluster.run_for(30 * MSEC)
+        cluster.install_plan_guard()
+        home = cluster.deploy(make_descriptor_xml(
+            "TIN000", cpuusage=0.05, priority=9), node="node0")
+        assert home == "node0"
+        registry = cluster.sim.telemetry.registry("lint")
+        assert registry.get("plan_rejections_total").value == 0
+    finally:
+        cluster.shutdown()

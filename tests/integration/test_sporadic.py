@@ -7,7 +7,7 @@ from repro.core.descriptor import ComponentDescriptor
 from repro.core.errors import ContractError, DescriptorError
 from repro.rtos.requests import Compute
 from repro.rtos.task import TaskState, TaskType
-from repro.sim.engine import MSEC, SEC
+from repro.sim.engine import MSEC
 
 SPORADIC_XML = """<?xml version="1.0" encoding="UTF-8"?>
 <drt:component name="ALARM0" desc="event-driven alarm handler"

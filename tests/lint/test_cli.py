@@ -1,6 +1,7 @@
 """drtlint CLI and engine plumbing: exit codes, JSON schema
-stability, and the acceptance check that the shipped examples lint
-clean at error level."""
+stability, the ``--list-codes`` table, source dedupe, and the
+acceptance check that the shipped examples lint clean at error
+level."""
 
 import json
 import os
@@ -10,6 +11,8 @@ import sys
 import pytest
 
 from repro.lint.cli import main
+from repro.lint.diagnostics import CODE_TABLE
+from repro.workloads import generate_defective_plan
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
@@ -32,9 +35,25 @@ BROKEN_XML = """<?xml version="1.0" encoding="UTF-8"?>
 </drt:component>"""
 
 
+WARN_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<drt:component name="WARNING7" type="periodic" enabled="true"
+               cpuusage="0.1">
+  <implementation bincode="test.Warn"/>
+  <periodictask frequence="100" runoncpu="0" priority="2"/>
+</drt:component>"""
+
+
 @pytest.fixture
 def clean_tree(tmp_path):
     (tmp_path / "clean.xml").write_text(CLEAN_XML)
+    return str(tmp_path)
+
+
+@pytest.fixture
+def warning_tree(tmp_path):
+    # An over-long name truncates into the RTAI task name: DRT103,
+    # a warning -- the tree's only finding.
+    (tmp_path / "warn.xml").write_text(WARN_XML)
     return str(tmp_path)
 
 
@@ -63,6 +82,75 @@ class TestExitCodes:
         missing = str(tmp_path / "nosuchdir")
         assert main([missing]) == 2
         assert "nosuchdir" in capsys.readouterr().err
+
+    def test_warning_passes_default_threshold(self, warning_tree,
+                                              capsys):
+        assert main([warning_tree]) == 0
+        assert "DRT103" in capsys.readouterr().out
+
+    def test_warning_fails_warning_threshold(self, warning_tree,
+                                             capsys):
+        assert main([warning_tree, "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_family_exits_two(self, clean_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([clean_tree, "--family", "DRT9"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_no_paths_without_list_codes_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_defective_plan_exits_one(self, tmp_path, capsys):
+        document, expected = generate_defective_plan("overcommit")
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(document))
+        assert main([str(plan), "--family", "DRT6"]) == 1
+        assert expected in capsys.readouterr().out
+
+    def test_warning_grade_plan_needs_the_threshold(self, tmp_path,
+                                                    capsys):
+        # DRT604 is a warning: passes at the default threshold,
+        # fails at --fail-on warning.
+        document, _ = generate_defective_plan("latency_budget")
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps(document))
+        assert main([str(plan), "--family", "DRT6"]) == 0
+        capsys.readouterr()
+        assert main([str(plan), "--family", "DRT6",
+                     "--fail-on", "warning"]) == 1
+        assert "DRT604" in capsys.readouterr().out
+
+
+class TestListCodes:
+    def test_lists_every_code_and_exits_zero(self, capsys):
+        assert main(["--list-codes"]) == 0
+        out = capsys.readouterr().out
+        for code in CODE_TABLE:
+            assert code in out
+        assert "%d diagnostic codes" % len(CODE_TABLE) in out
+
+    def test_table_rows_carry_severity_and_family(self, capsys):
+        main(["--list-codes"])
+        out = capsys.readouterr().out
+        assert "DRT601  error    deployment" in out
+        assert "DRT604  warning  deployment" in out
+
+
+class TestSourceDedupe:
+    def test_file_named_twice_lints_once(self, broken_tree, capsys):
+        # The same file via its path and its parent directory: one
+        # source, one finding -- and no DRT101 name collision from
+        # the phantom duplicate.
+        broken_file = os.path.join(broken_tree, "broken.xml")
+        assert main([broken_file, broken_tree, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["sources"] == 1
+        assert payload["summary"]["by_code"] == {"DRT201": 1}
 
 
 class TestJsonOutput:

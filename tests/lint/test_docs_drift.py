@@ -1,0 +1,44 @@
+"""docs/STATIC_ANALYSIS.md and CODE_TABLE must agree code for code.
+
+The doc renders the authoritative registry; a code added to either
+side without the other is drift this test catches.  ``--list-codes``
+prints the same registry, so the doc, the CLI table and the engine
+can never disagree about what drtlint reports.
+"""
+
+import os
+import re
+
+from repro.lint.diagnostics import CODE_TABLE, Severity
+from repro.lint.engine import FAMILIES, family_of_code
+
+DOC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)))), "docs", "STATIC_ANALYSIS.md")
+
+ROW = re.compile(r"^\|\s*(DRT\d{3})\s*\|\s*(error|warning|info)\s*\|",
+                 re.M)
+
+
+def doc_rows():
+    with open(DOC, encoding="utf-8") as handle:
+        return ROW.findall(handle.read())
+
+
+def test_every_table_code_is_documented_and_vice_versa():
+    documented = {code for code, _ in doc_rows()}
+    assert documented == set(CODE_TABLE)
+
+
+def test_documented_severities_match_the_registry():
+    for code, severity in doc_rows():
+        assert CODE_TABLE[code][0] is Severity.parse(severity), code
+
+
+def test_no_duplicate_doc_rows():
+    codes = [code for code, _ in doc_rows()]
+    assert len(codes) == len(set(codes))
+
+
+def test_every_code_resolves_to_a_known_family():
+    for code in CODE_TABLE:
+        assert family_of_code(code) in FAMILIES, code

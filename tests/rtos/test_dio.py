@@ -4,13 +4,12 @@ import pytest
 
 from repro.rtos.dio import (
     ConstantSignal,
-    DigitalIOModule,
     RandomWalk,
     SineWave,
     SquareWave,
     attach_dio,
 )
-from repro.sim.engine import MSEC, SEC
+from repro.sim.engine import MSEC
 
 
 class TestSignalSources:

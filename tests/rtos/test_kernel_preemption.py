@@ -4,7 +4,7 @@ from repro.rtos.kernel import KernelConfig, RTKernel
 from repro.rtos.latency import NullLatencyModel
 from repro.rtos.requests import Compute, WaitPeriod
 from repro.rtos.task import TaskType
-from repro.sim.engine import MSEC, SEC, USEC, Simulator
+from repro.sim.engine import MSEC, USEC, Simulator
 
 
 def periodic_body(compute_ns):

@@ -5,7 +5,7 @@ import pytest
 from repro.rtos.lxrt import LXRT, PIT_FREQUENCY_HZ
 from repro.rtos.requests import Compute, WaitPeriod
 from repro.rtos.task import TaskState, TaskType
-from repro.sim.engine import MSEC, SEC, USEC
+from repro.sim.engine import MSEC, USEC
 
 
 @pytest.fixture

@@ -14,7 +14,6 @@ from repro.sim.engine import Simulator
 from repro.sim.events import (
     PRIORITY_INTERRUPT,
     PRIORITY_LATE,
-    PRIORITY_NORMAL,
 )
 
 
