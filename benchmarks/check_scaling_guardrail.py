@@ -36,6 +36,11 @@ Machine-independent shape ratios carry the regression signal:
   runs them on the deploy path) and, with baseline, bounded relatively
   along with the absolute lint time at the largest plan on matching
   ladders.
+* C6b (``contracts``): ``overhead_at_max`` (monitored vs bare run of
+  the identical fleet in one process) is hard-capped below 2x and,
+  with baseline, bounded relatively along with ``overhead_growth``
+  (the ratio must not itself grow with the fleet) and the absolute
+  monitored wall clock at the largest fleet on matching ladders.
 * Engine speed (``throughput``): ``run_vs_step_speedup`` (the sorted-run
   drain against the legacy per-event API, measured in one process, so
   machine-independent), ``fleet_overhead_growth`` (per-event overhead
@@ -183,11 +188,40 @@ def check_lint(current, baseline, check_at_most):
                  baseline["component_sizes"]))
 
 
+def check_contracts(current, baseline, check_at_most):
+    # Hard cap regardless of baseline: distribution checking that
+    # doubles the cost of simulation would never be left on in a real
+    # deployment (both legs of the ratio come from one process, so
+    # the cap is machine-independent).
+    check_at_most("monitor overhead_at_max (hard cap)",
+                  current["overhead_at_max"], 2.0)
+    # Ratios near 1.0 time noisily on small ladders: floor the
+    # relative references at the break-even ratio.
+    check_at_most(
+        "monitor overhead_at_max",
+        current["overhead_at_max"],
+        TOLERANCE * max(baseline["overhead_at_max"], 1.0))
+    check_at_most(
+        "monitor overhead_growth",
+        current["overhead_growth"],
+        TOLERANCE * max(baseline["overhead_growth"], 1.0))
+    if current["fleet_sizes"] == baseline["fleet_sizes"]:
+        check_at_most(
+            "monitored_s at max fleet",
+            current["rows"][-1]["monitored_s"],
+            TOLERANCE * baseline["rows"][-1]["monitored_s"])
+    else:
+        print("fleet ladders differ (%s vs %s): skipping the absolute "
+              "monitored-run comparison"
+              % (current["fleet_sizes"], baseline["fleet_sizes"]))
+
+
 CHECKS = {
     "scaling_drcr": check_drcr,
     "cluster": check_cluster,
     "lint": check_lint,
     "throughput": check_throughput,
+    "contracts": check_contracts,
 }
 
 

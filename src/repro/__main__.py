@@ -39,6 +39,13 @@ Subcommands:
     run the C5 load-spike experiment: declarative adaptation rules
     shed load when the deadline-miss rate spikes, while the identical
     static deployment degrades (see ``docs/ADAPTATION.md``).
+
+``python -m repro contracts [--compare] ...``
+    run the C6 bursty-contract experiment: a stochastic-contract
+    monitor quarantines components whose observed timing rejects
+    their declared distributions, while the identical point-estimate
+    deployment degrades (see ``docs/ARCHITECTURE.md``, Stochastic
+    contracts section).
 """
 
 import argparse
@@ -116,6 +123,9 @@ def main(argv=None):
     if argv and argv[0] == "adapt":
         from repro.adapt.cli import main as adapt_main
         return adapt_main(argv[1:])
+    if argv and argv[0] == "contracts":
+        from repro.monitor.cli import main as contracts_main
+        return contracts_main(argv[1:])
     args = _parse_args(argv)
     telemetry = Telemetry(enabled=not args.no_telemetry)
     platform = build_platform(seed=2008, telemetry=telemetry)

@@ -34,11 +34,22 @@ from each node's *public* kernel task list (``kernel.tasks`` /
 
 import math
 
+from repro.telemetry.metrics import DEFAULT_LATENCY_BOUNDS_NS
+
+#: The largest value a grid percentile can report: samples past the
+#: last finite histogram bound clamp to it (see
+#: :func:`percentile_from_buckets` and docs/ADAPTATION.md).
+LATENCY_GRID_MAX_NS = float(DEFAULT_LATENCY_BOUNDS_NS[-1])
+
 #: Catalog of context parameters the built-in providers can publish.
 #: ``range`` is the closed interval of values the parameter can take
 #: (``None`` = unbounded on that side); drtlint's DRT504 unreachable-
 #: predicate check reads it.  ``node_scoped`` marks parameters that are
-#: (also) published per node as ``<param>@<node>``.
+#: (also) published per node as ``<param>@<node>``.  ``clamp_max``
+#: marks parameters whose reported value saturates at that number even
+#: though the underlying quantity is unbounded (histogram-grid
+#: percentiles, see :func:`percentile_from_buckets`); drtlint's DRT506
+#: unreachable-threshold check reads it.
 CONTEXT_PARAMS = {
     "deadline_miss_rate": {
         "description": "deadline misses per release this epoch",
@@ -64,16 +75,19 @@ CONTEXT_PARAMS = {
         "description": "median dispatch latency this epoch (ns, "
                        "bucket upper bound)",
         "range": (None, None), "node_scoped": False,
+        "clamp_max": LATENCY_GRID_MAX_NS,
     },
     "dispatch_latency_p95": {
         "description": "95th-percentile dispatch latency this epoch "
                        "(ns, bucket upper bound)",
         "range": (None, None), "node_scoped": False,
+        "clamp_max": LATENCY_GRID_MAX_NS,
     },
     "dispatch_latency_p99": {
         "description": "99th-percentile dispatch latency this epoch "
                        "(ns, bucket upper bound)",
         "range": (None, None), "node_scoped": False,
+        "clamp_max": LATENCY_GRID_MAX_NS,
     },
     "dispatch_latency_mean": {
         "description": "mean dispatch latency this epoch (ns)",
@@ -111,6 +125,14 @@ CONTEXT_PARAMS = {
         "description": "failovers begun this epoch",
         "range": (0.0, None), "node_scoped": False,
     },
+    "stochastic_violations": {
+        "description": "stochastic-contract violations this epoch",
+        "range": (0.0, None), "node_scoped": True,
+    },
+    "stochastic_checks": {
+        "description": "stochastic-contract checks evaluated this epoch",
+        "range": (0.0, None), "node_scoped": False,
+    },
 }
 
 
@@ -126,6 +148,15 @@ def param_range(param):
     if entry is None:
         return (None, None)
     return entry["range"]
+
+
+def param_clamp_max(param):
+    """The saturation ceiling of a grid-clamped parameter (the largest
+    value it can ever report), or ``None`` for unclamped parameters."""
+    entry = CONTEXT_PARAMS.get(param.split("@", 1)[0])
+    if entry is None:
+        return None
+    return entry.get("clamp_max")
 
 
 class ContextProvider:

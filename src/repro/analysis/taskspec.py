@@ -36,10 +36,11 @@ class TaskSpec:
         """Build a spec from a DRCom real-time contract.
 
         The descriptor declares CPU usage as a fraction (``cpuusage``)
-        and a frequency; WCET is derived as ``cpuusage * period``.
+        and a frequency; WCET is derived as ``cpuusage * period``,
+        rounded up by the contract (a demand bound must not truncate).
         """
         period = contract.period_ns
-        wcet = int(contract.cpu_usage * period)
+        wcet = contract.wcet_ns
         return cls(contract.name, period, wcet,
                    deadline_ns=contract.deadline_ns,
                    priority=contract.priority)

@@ -24,8 +24,9 @@ own listing.
 import re
 import xml.etree.ElementTree as ET
 
-from repro.core.contracts import RealTimeContract
-from repro.core.errors import DescriptorError
+from repro.core.contracts import (DistributionSpec, RealTimeContract,
+                                  StochasticContract)
+from repro.core.errors import ContractError, DescriptorError
 from repro.core.ports import PortDirection, PortSpec
 from repro.rtos import names as rtai_names
 from repro.rtos.errors import InvalidTaskNameError
@@ -77,7 +78,8 @@ class ComponentDescriptor:
     def __init__(self, name, implementation, task_type,
                  description="", enabled=True, cpu_usage=0.0,
                  frequency_hz=None, priority=0, cpu=0, deadline_ns=None,
-                 min_interarrival_ns=None, ports=(), properties=()):
+                 min_interarrival_ns=None, ports=(), properties=(),
+                 stochastic=None):
         if not name:
             raise DescriptorError("component name is required")
         self.name = name
@@ -97,7 +99,8 @@ class ComponentDescriptor:
             self.task_name, task_type, priority=priority,
             cpu_usage=cpu_usage, frequency_hz=frequency_hz,
             deadline_ns=deadline_ns, cpu=cpu,
-            min_interarrival_ns=min_interarrival_ns)
+            min_interarrival_ns=min_interarrival_ns,
+            stochastic=stochastic)
 
     # ------------------------------------------------------------------
     # derived views
@@ -175,6 +178,7 @@ class ComponentDescriptor:
         deadline_ns = None
         ports = []
         properties = []
+        stochastic = None
         for child in root:
             tag = _local(child.tag)
             if tag == "implementation":
@@ -231,6 +235,12 @@ class ComponentDescriptor:
                     child.attrib.get("type", "String"),
                     child.attrib.get("value", ""),
                 ))
+            elif tag == "stochastic":
+                if stochastic is not None:
+                    raise DescriptorError(
+                        "component %r declares a duplicate stochastic "
+                        "clause" % name)
+                stochastic = _parse_stochastic(name, child)
             else:
                 raise DescriptorError(
                     "component %r: unknown element <%s>" % (name, tag))
@@ -257,6 +267,7 @@ class ComponentDescriptor:
             min_interarrival_ns=min_interarrival_ns,
             ports=ports,
             properties=properties,
+            stochastic=stochastic,
         )
 
     def to_xml(self):
@@ -297,6 +308,19 @@ class ComponentDescriptor:
             lines.append(
                 '  <aperiodictask runoncpu="%d" priority="%d"%s/>'
                 % (self.contract.cpu, self.contract.priority, deadline))
+        stochastic = self.contract.stochastic
+        if stochastic is not None:
+            lines.append(
+                '  <stochastic tolerance="%s" min_samples="%d">'
+                % (repr(stochastic.tolerance), stochastic.min_samples))
+            for clause, spec in stochastic.clauses():
+                params = "".join(
+                    ' %s="%s"' % (key, repr(spec.as_dict()[key]))
+                    for key in _DIST_PARAM_KEYS
+                    if key in spec.as_dict())
+                lines.append('    <%s dist="%s"%s/>'
+                             % (clause, spec.family, params))
+            lines.append('  </stochastic>')
         for port in self.ports:
             lines.append(
                 '  <%s name="%s" interface="%s" type="%s" size="%d"/>'
@@ -359,6 +383,53 @@ def _local(tag):
     if ":" in tag:
         tag = tag.rsplit(":", 1)[1]
     return tag
+
+
+_DIST_PARAM_KEYS = ("mean_ns", "min_ns", "max_ns", "std_ns")
+
+
+def _parse_stochastic(component, element):
+    """Parse a ``<stochastic>`` element into a StochasticContract."""
+    clauses = {}
+    for child in element:
+        tag = _local(child.tag)
+        if tag not in ("interarrival", "exectime"):
+            raise DescriptorError(
+                "component %r: unknown stochastic clause <%s>"
+                % (component, tag))
+        if tag in clauses:
+            raise DescriptorError(
+                "component %r declares a duplicate <%s> clause"
+                % (component, tag))
+        attrs = child.attrib
+        family = attrs.get("dist")
+        params = {}
+        for key in _DIST_PARAM_KEYS:
+            if key in attrs:
+                params[key] = _parse_float(attrs[key], key)
+        try:
+            clauses[tag] = DistributionSpec(family, **params)
+        except ContractError as error:
+            raise DescriptorError(
+                "component %r: bad <%s> clause: %s"
+                % (component, tag, error)) from None
+    tolerance = _parse_float(element.attrib.get("tolerance", "0.01"),
+                             "tolerance")
+    try:
+        min_samples = int(element.attrib.get("min_samples", "32"))
+    except ValueError:
+        raise DescriptorError(
+            "component %r: cannot parse min_samples=%r"
+            % (component, element.attrib.get("min_samples"))) from None
+    try:
+        return StochasticContract(
+            interarrival=clauses.get("interarrival"),
+            exectime=clauses.get("exectime"),
+            tolerance=tolerance, min_samples=min_samples)
+    except ContractError as error:
+        raise DescriptorError(
+            "component %r: bad stochastic clause: %s"
+            % (component, error)) from None
 
 
 def _parse_task_type(text):

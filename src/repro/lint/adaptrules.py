@@ -20,13 +20,18 @@ this module checks what only a whole-file view can see:
   demanding disjoint ranges of one parameter;
 * **DRT505** -- a rule with no damping at all (no ``cooldown_ns``, no
   ``clear``, no ``for_epochs``): it will fire every epoch while its
-  condition holds.
+  condition holds;
+* **DRT506** -- a threshold over a *grid-clamped* parameter
+  (histogram percentiles report bucket upper bounds and saturate at
+  the last finite bound, see ``percentile_from_buckets``) that the
+  clamped value can never exceed: ``dispatch_latency_p99 > X`` with X
+  at or above the grid max is silently dead.
 """
 
 import json
 
 from repro.adapt.actions import OPPOSITES, target_key
-from repro.adapt.context import param_range, scoped
+from repro.adapt.context import param_clamp_max, param_range, scoped
 from repro.adapt.rules import parse_rule_document_tolerant
 from repro.lint.diagnostics import Diagnostic
 
@@ -201,6 +206,39 @@ def _check_contradictions(rules, location):
     return diagnostics
 
 
+def _check_clamped_thresholds(rule, location):
+    """DRT506: thresholds a grid-clamped parameter can never exceed.
+
+    DRT504 compares against the parameter's documented *range*;
+    clamped parameters (latency percentiles) have an unbounded range
+    but a bounded *report*: overflow samples saturate at the last
+    finite histogram bound, so strictly-above comparisons at or past
+    that ceiling are dead code no interval over the range can see.
+    """
+    diagnostics = []
+    for predicate in ((rule.when,) if rule.clear is None
+                      else (rule.when, rule.clear)):
+        for leaf in predicate.leaves():
+            if leaf.kind != "threshold":
+                continue
+            ceiling = param_clamp_max(leaf.param)
+            if ceiling is None:
+                continue
+            op, value = leaf.op, leaf.value
+            dead = (op == ">" and value >= ceiling) \
+                or (op == ">=" and value > ceiling) \
+                or (op == "==" and value > ceiling)
+            if not dead:
+                continue
+            key = scoped(leaf.param, leaf.node)
+            diagnostics.append(Diagnostic(
+                "DRT506", rule.name, location,
+                "condition %r %s %g can never hold: the reported "
+                "value saturates at the histogram grid's last finite "
+                "bound (%g ns)" % (key, op, value, ceiling)))
+    return diagnostics
+
+
 def _check_damping(rule, location):
     if rule.cooldown_ns or rule.clear is not None \
             or rule.max_firings is not None:
@@ -227,6 +265,7 @@ def check_rule_source(text, location):
                    for problem in problems]
     for rule in rules:
         diagnostics.extend(_check_reachability(rule, location))
+        diagnostics.extend(_check_clamped_thresholds(rule, location))
         diagnostics.extend(_check_damping(rule, location))
     diagnostics.extend(_check_contradictions(rules, location))
     return diagnostics

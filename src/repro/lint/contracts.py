@@ -33,6 +33,9 @@ _KNOWN_ATTRIBUTES = {
     "inport": {"name", "interface", "type", "size"},
     "outport": {"name", "interface", "type", "size"},
     "property": {"name", "type", "value"},
+    "stochastic": {"tolerance", "min_samples"},
+    "interarrival": {"dist", "mean_ns", "min_ns", "max_ns", "std_ns"},
+    "exectime": {"dist", "mean_ns", "min_ns", "max_ns", "std_ns"},
 }
 
 _FREQUENCY_ATTRIBUTES = ("frequence", "frequency")
@@ -52,7 +55,13 @@ def check_source_xml(text, location):
     except DRComError:
         return diagnostics
     component = root.attrib.get("name", "")
-    for element in [root] + list(root):
+    elements = [root] + list(root)
+    for child in root:
+        if local_tag(child.tag) == "stochastic":
+            # Distribution clauses nest one level deeper; their typo'd
+            # attributes are just as silently dropped.
+            elements.extend(child)
+    for element in elements:
         tag = local_tag(element.tag)
         known = _KNOWN_ATTRIBUTES.get(tag)
         if known is None:

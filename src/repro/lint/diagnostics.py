@@ -1,7 +1,7 @@
 """The diagnostic model of drtlint.
 
 Every analyzer emits :class:`Diagnostic` records with a **stable code**
-drawn from :data:`CODE_TABLE`.  Codes are grouped into six families
+drawn from :data:`CODE_TABLE`.  Codes are grouped into seven families
 mirroring the layers of a DRCom deployment:
 
 * **DRT1xx** -- contract analyzers: per-descriptor schema and
@@ -20,7 +20,12 @@ mirroring the layers of a DRCom deployment:
 * **DRT6xx** -- deployment-plan analyzers: whole-fleet JSON plans for
   :mod:`repro.cluster` (per-node over-commitment, N-1 failover
   headroom, cross-node wiring, management-path latency budgets, rules
-  orphaned by the topology) -- see :mod:`repro.lint.deployment`.
+  orphaned by the topology) -- see :mod:`repro.lint.deployment`;
+* **DRT7xx** -- stochastic-contract analyzers: ``<stochastic>``
+  descriptor clauses whose declared distributions are malformed,
+  inconsistent with the point-estimate contract (period / MIA /
+  derived WCET), or unverifiable at the monitor's epoch length -- see
+  :mod:`repro.lint.stochastic`.
 
 The table is the single source of truth: the documentation
 (``docs/STATIC_ANALYSIS.md``), the JSON output and the tests all read
@@ -222,6 +227,15 @@ CODE_TABLE = {
                "add cooldown_ns, a clear predicate, or for_epochs "
                "unless per-epoch firing is intended (idempotent "
                "actions only)"),
+    "DRT506": (Severity.WARNING,
+               "unreachable threshold: the compared value saturates "
+               "at the histogram grid's last finite bound, below the "
+               "threshold",
+               "compare against a value at or below the parameter's "
+               "clamp ceiling (grid percentiles report bucket upper "
+               "bounds and clamp overflow samples to the last finite "
+               "bound -- docs/ADAPTATION.md), or widen the histogram "
+               "grid"),
     # ----- DRT6xx: deployment-plan analyzers -------------------------
     "DRT600": (Severity.ERROR,
                "deployment plan fails to parse or validate against "
@@ -267,6 +281,28 @@ CODE_TABLE = {
                "make the two conditions mutually exclusive or agree "
                "on one destination; otherwise the component bounces "
                "between homes every epoch both rules hold"),
+    # ----- DRT7xx: stochastic-contract analyzers ---------------------
+    "DRT700": (Severity.ERROR,
+               "malformed stochastic clause: a declared distribution "
+               "cannot be monitored for this task type",
+               "drop the interarrival clause on periodic components "
+               "(their releases ride the timer grid, not an arrival "
+               "process); declare exectime instead"),
+    "DRT701": (Severity.ERROR,
+               "stochastic parameters inconsistent with the declared "
+               "point-estimate contract (period / MIA / derived WCET)",
+               "align the distribution with the contract: exectime "
+               "mass must fit under cpuusage * period, and "
+               "interarrival mass must sit above the sporadic "
+               "minimum inter-arrival time"),
+    "DRT702": (Severity.WARNING,
+               "tolerance unverifiable at the configured epoch: "
+               "fewer than min_samples observations can accrue per "
+               "monitor epoch, so the check never evaluates",
+               "lower min_samples, raise the component's rate, or "
+               "lengthen the monitor epoch "
+               "(ContractMonitor(epoch_ns=...)); as declared the "
+               "contract is never actually checked"),
 }
 
 

@@ -41,14 +41,14 @@ import re
 from repro.core.descriptor import ComponentDescriptor
 from repro.core.errors import DRComError
 from repro.lint import admission, adaptrules, contracts, deployment, \
-    rtsafety, wiring
+    rtsafety, stochastic, wiring
 from repro.lint.diagnostics import Diagnostic, Severity
 
 #: Families selectable by callers (the resolver disables wiring: the
 #: DRCR's own functional resolution handles unsatisfied inports by
 #: keeping components UNSATISFIED rather than by vetoing admission).
 FAMILIES = ("contract", "wiring", "admission", "rtsafety", "rules",
-            "deployment")
+            "deployment", "stochastic")
 
 #: Code-prefix spellings accepted wherever a family name is (the CI
 #: smoke job says ``--family DRT5``; both forms resolve identically).
@@ -59,6 +59,7 @@ FAMILY_ALIASES = {
     "DRT4": "rtsafety",
     "DRT5": "rules",
     "DRT6": "deployment",
+    "DRT7": "stochastic",
 }
 
 
@@ -205,6 +206,8 @@ def lint_descriptor_entries(entries, families=FAMILIES):
         diagnostics.extend(wiring.check_wiring(entries))
     if "admission" in families:
         diagnostics.extend(admission.check_admission(entries))
+    if "stochastic" in families:
+        diagnostics.extend(stochastic.check_stochastic(entries))
     return diagnostics
 
 

@@ -24,7 +24,7 @@ from repro.core.resolving import Decision, ResolvingService
 from repro.lint.diagnostics import Severity
 from repro.lint.engine import lint_descriptors
 
-_DEFAULT_FAMILIES = ("contract", "admission")
+_DEFAULT_FAMILIES = ("contract", "admission", "stochastic")
 
 
 class LintResolvingService(ResolvingService):
@@ -36,7 +36,8 @@ class LintResolvingService(ResolvingService):
         Minimum :class:`~repro.lint.diagnostics.Severity` that vetoes
         an admission (default: ``ERROR``).
     families:
-        Analyzer families to run (default: contract + admission).
+        Analyzer families to run (default: contract + admission +
+        stochastic).
     """
 
     name = "drtlint"

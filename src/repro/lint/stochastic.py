@@ -1,0 +1,135 @@
+"""DRT7xx: static analysis of ``<stochastic>`` descriptor clauses.
+
+The runtime :class:`~repro.monitor.service.ContractMonitor` checks
+declared distributions online; this family catches the declarations
+that are wrong *before* anything runs:
+
+* **DRT700** -- a clause the monitor cannot check: an ``interarrival``
+  distribution on a *periodic* component (releases ride the timer
+  grid, there is no arrival process to test);
+* **DRT701** -- distribution parameters inconsistent with the
+  point-estimate contract: execution-time mass above the derived WCET
+  (``cpuusage * period``), or inter-arrival mass below the sporadic
+  minimum inter-arrival time (such arrivals are throttled by the
+  kernel, so the declared distribution can never be observed);
+* **DRT702** -- a contract that can never actually be *checked*: at
+  the monitor's epoch length, fewer than ``min_samples`` observations
+  can accrue per epoch, so the goodness-of-fit test never evaluates
+  and the declared tolerance is dead weight.
+
+Thresholds: a distribution "has mass" past a bound when more than the
+contract's own ``tolerance`` of its probability lies there -- the same
+significance the runtime test uses, so static and runtime checking
+agree about what counts as negligible.
+"""
+
+from repro.core.contracts import DEFAULT_MONITOR_EPOCH_NS
+from repro.lint.diagnostics import Diagnostic
+from repro.rtos.task import TaskType
+
+
+def _mass_above(spec, bound):
+    """Probability mass of ``spec`` strictly above ``bound``."""
+    return 1.0 - spec.cdf(bound)
+
+
+def _mass_below(spec, bound):
+    """Probability mass of ``spec`` at or below ``bound``."""
+    return spec.cdf(bound)
+
+
+def _expected_interarrival_ns(contract, stochastic):
+    """Expected time between observable samples for rate estimation:
+    the declared arrival mean for event-driven tasks, else the
+    period/MIA."""
+    if stochastic.interarrival is not None \
+            and contract.task_type is not TaskType.PERIODIC:
+        return max(stochastic.interarrival.mean,
+                   float(contract.period_ns or 0))
+    if contract.period_ns is not None:
+        return float(contract.period_ns)
+    return None
+
+
+def check_descriptor(descriptor, location,
+                     epoch_ns=DEFAULT_MONITOR_EPOCH_NS):
+    """All DRT7xx diagnostics for one descriptor."""
+    contract = descriptor.contract
+    stochastic = contract.stochastic
+    if stochastic is None:
+        return []
+    diagnostics = []
+    name = descriptor.name
+    tolerance = stochastic.tolerance
+
+    # DRT700: unmonitorable clause shape.
+    if stochastic.interarrival is not None \
+            and contract.task_type is TaskType.PERIODIC:
+        diagnostics.append(Diagnostic(
+            "DRT700", name, location,
+            "interarrival distribution declared on a periodic "
+            "component: releases are timer-driven, there is no "
+            "arrival process to check"))
+
+    # DRT701: parameters vs the point-estimate contract.
+    exectime = stochastic.exectime
+    wcet = contract.wcet_ns
+    if exectime is not None and wcet is not None and wcet > 0:
+        mass = _mass_above(exectime, float(wcet))
+        if exectime.mean > wcet:
+            diagnostics.append(Diagnostic(
+                "DRT701", name, location,
+                "declared execution-time mean %.0f ns exceeds the "
+                "derived WCET %d ns (cpuusage * period): the CPU "
+                "claim cannot cover the declared average demand"
+                % (exectime.mean, wcet)))
+        elif mass > tolerance:
+            diagnostics.append(Diagnostic(
+                "DRT701", name, location,
+                "declared execution-time distribution puts %.1f%% of "
+                "its mass above the derived WCET %d ns (tolerance "
+                "%.1f%%): overruns are expected by declaration"
+                % (100.0 * mass, wcet, 100.0 * tolerance)))
+    interarrival = stochastic.interarrival
+    if interarrival is not None \
+            and contract.task_type is TaskType.SPORADIC:
+        mia = float(contract.period_ns)
+        mass = _mass_below(interarrival, mia)
+        if interarrival.mean < mia:
+            diagnostics.append(Diagnostic(
+                "DRT701", name, location,
+                "declared inter-arrival mean %.0f ns is below the "
+                "minimum inter-arrival time %d ns: most arrivals "
+                "would be throttled, the declared distribution can "
+                "never be observed" % (interarrival.mean, mia)))
+        elif mass > tolerance:
+            diagnostics.append(Diagnostic(
+                "DRT701", name, location,
+                "declared inter-arrival distribution puts %.1f%% of "
+                "its mass below the minimum inter-arrival time %d ns "
+                "(tolerance %.1f%%): the kernel throttles those "
+                "arrivals, skewing every observed sample"
+                % (100.0 * mass, mia, 100.0 * tolerance)))
+
+    # DRT702: can min_samples ever accrue within one epoch?
+    expected_gap = _expected_interarrival_ns(contract, stochastic)
+    if expected_gap is not None and expected_gap > 0:
+        expected_samples = epoch_ns / expected_gap
+        if expected_samples < stochastic.min_samples:
+            diagnostics.append(Diagnostic(
+                "DRT702", name, location,
+                "at ~%.1f observations per %d ns monitor epoch, "
+                "min_samples=%d can never accrue: the declared "
+                "tolerance %.3g is never actually tested"
+                % (expected_samples, epoch_ns, stochastic.min_samples,
+                   tolerance)))
+    return diagnostics
+
+
+def check_stochastic(entries, epoch_ns=DEFAULT_MONITOR_EPOCH_NS):
+    """DRT7xx over ``(descriptor, location)`` deployment entries."""
+    diagnostics = []
+    for descriptor, location in entries:
+        diagnostics.extend(
+            check_descriptor(descriptor, location, epoch_ns=epoch_ns))
+    return diagnostics

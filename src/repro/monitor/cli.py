@@ -1,0 +1,105 @@
+"""``python -m repro contracts``: the C6 bursty-contract experiment.
+
+Runs the stochastic-contract arm of the bursty scenario
+(:mod:`repro.monitor.scenario`) -- and, with ``--compare``, the
+point-estimate arm on the identical seed -- then prints windowed
+deadline-miss rates, the quarantined components and the
+``contracts.*`` counters behind the EXPERIMENTS.md C6 claim.
+
+Examples::
+
+    python -m repro contracts
+    python -m repro contracts --compare --seconds 2 --seed 11
+    python -m repro contracts --static --json bursty.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.monitor.scenario import run_bursty, run_comparison
+from repro.sim.engine import MSEC
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro contracts",
+        description="Run the C6 bursty-contract scenario: a "
+                    "stochastic-contract monitor quarantines the "
+                    "misbehaving components while the identical "
+                    "point-estimate deployment degrades.")
+    parser.add_argument("--seconds", type=float, default=2.0,
+                        metavar="S",
+                        help="simulated seconds (default 2)")
+    parser.add_argument("--epoch-ms", type=int, default=100,
+                        metavar="MS",
+                        help="monitor epoch (default 100 ms)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default 7)")
+    parser.add_argument("--static", action="store_true",
+                        help="run only the point-estimate (monitor-"
+                             "free) arm")
+    parser.add_argument("--compare", action="store_true",
+                        help="run both arms and print them side by "
+                             "side")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the report(s) as JSON")
+    return parser.parse_args(argv)
+
+
+def _print_arm(report):
+    print("== %s arm (seed %d, %.2f s, burst at %.2f s) =="
+          % (report["arm"], report["seed"], report["seconds"],
+             report["burst_at_ns"] / 1e9))
+    for window in ("pre", "post", "tail"):
+        stats = report[window]
+        print("  %-4s burst: miss rate %6.2f%%  (%d misses / %d "
+              "releases)" % (window, 100.0 * stats["miss_rate"],
+                             stats["deadline_misses"],
+                             stats["releases"]))
+    print("  quarantined: %s"
+          % (", ".join(report["quarantined"]) or "-"))
+    monitor = report.get("monitor")
+    if monitor:
+        print("  monitor: %d checks, %d violations, %d quarantines"
+              % (monitor["checks_total"], monitor["violations_total"],
+                 monitor["quarantines_total"]))
+        for violation in monitor["violations"]:
+            print("    %8.3f s  %s/%s  p=%.3g"
+                  % (violation["time_ns"] / 1e9,
+                     violation["component"], violation["clause"],
+                     violation["p_value"]))
+
+
+def main(argv=None):
+    """Run the scenario; returns a process exit code."""
+    args = _parse_args(sys.argv[2:] if argv is None else argv)
+    kwargs = {"seed": args.seed, "seconds": args.seconds,
+              "epoch_ns": args.epoch_ms * MSEC}
+    if args.compare:
+        reports = run_comparison(**kwargs)
+        _print_arm(reports["static"])
+        _print_arm(reports["stochastic"])
+        monitored_tail = reports["stochastic"]["tail"]["miss_rate"]
+        if monitored_tail > 0:
+            print("static tail miss rate is %.1fx the monitored one"
+                  % (reports["static"]["tail"]["miss_rate"]
+                     / monitored_tail))
+        else:
+            print("static tail miss rate is %.2f%%; the monitored "
+                  "arm's is zero"
+                  % (100.0
+                     * reports["static"]["tail"]["miss_rate"]))
+        document = reports
+    else:
+        document = run_bursty(monitor=not args.static, **kwargs)
+        _print_arm(document)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print("wrote report to %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Bucketed goodness-of-fit testing (pure python, stdlib only).
+
+The contract monitor checks observed inter-arrival / execution-time
+samples against a declared :class:`~repro.core.contracts
+.DistributionSpec` with Pearson's chi-square test over
+*equal-probability* buckets: the bucket edges are the declared
+distribution's quantiles, so every bucket expects ``n / k`` samples
+and the statistic reduces to a single pass over the counts.  The
+p-value comes from the chi-square survival function, computed with the
+regularized incomplete gamma function (series + continued fraction --
+the classic ``gammp``/``gammq`` pair), so no scipy is needed.
+"""
+
+import math
+from bisect import bisect_right
+
+_MAX_ITERATIONS = 500
+_EPS = 1e-12
+_TINY = 1e-300
+
+
+def _gamma_p_series(s, x):
+    """Regularized lower incomplete gamma P(s, x) by series expansion
+    (converges fast for x < s + 1)."""
+    term = 1.0 / s
+    total = term
+    a = s
+    for _ in range(_MAX_ITERATIONS):
+        a += 1.0
+        term *= x / a
+        total += term
+        if abs(term) < abs(total) * _EPS:
+            break
+    return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def _gamma_q_fraction(s, x):
+    """Regularized upper incomplete gamma Q(s, x) by Lentz's continued
+    fraction (converges fast for x >= s + 1)."""
+    b = x + 1.0 - s
+    c = 1.0 / _TINY
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _TINY:
+            d = _TINY
+        c = b + an / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def chi_square_sf(stat, dof):
+    """Survival function of the chi-square distribution:
+    P(X >= stat) with ``dof`` degrees of freedom."""
+    if dof <= 0:
+        raise ValueError("dof must be positive, got %r" % (dof,))
+    if stat <= 0.0:
+        return 1.0
+    s = dof / 2.0
+    x = stat / 2.0
+    if x < s + 1.0:
+        p = 1.0 - _gamma_p_series(s, x)
+    else:
+        p = _gamma_q_fraction(s, x)
+    return min(1.0, max(0.0, p))
+
+
+def equal_probability_edges(dist, buckets):
+    """Bucket edges splitting ``dist`` into ``buckets`` equal-mass
+    cells: the (i/k)-quantiles for i in 1..k-1."""
+    if buckets < 2:
+        raise ValueError("need at least 2 buckets, got %r" % (buckets,))
+    return [dist.quantile(i / buckets) for i in range(1, buckets)]
+
+
+def chi_square_gof(samples, edges):
+    """Chi-square test of ``samples`` against equal-probability
+    ``edges`` (as produced by :func:`equal_probability_edges`).
+
+    Returns ``(statistic, dof, p_value)``.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("cannot test an empty sample")
+    k = len(edges) + 1
+    counts = [0] * k
+    for sample in samples:
+        counts[bisect_right(edges, sample)] += 1
+    expected = n / k
+    stat = sum((count - expected) ** 2 for count in counts) / expected
+    dof = k - 1
+    return stat, dof, chi_square_sf(stat, dof)

@@ -390,6 +390,8 @@ class RTKernel:
 
     def _do_event_release(self, task):
         task._last_release_time = self.sim.now
+        if task._tap is not None:
+            task._tap.on_release(self.sim.now)
         if task.state is TaskState.DORMANT:
             task._started = True
             task._gen = task.body(task)
@@ -484,6 +486,27 @@ class RTKernel:
         self._trace("priority_change", task=task.name, old=old,
                     new=priority)
         self._request_resched(task.cpu)
+
+    def attach_sample_tap(self, task, tap):
+        """Attach a per-task sample tap (contract monitoring surface).
+
+        ``tap`` must expose ``on_release(now_ns)`` and
+        ``on_complete(cpu_time_total_ns)``; the kernel invokes them on
+        every release and job completion of ``task``.  One tap per
+        task; the hooks cost a single attribute test when no tap is
+        attached (docs/PERFORMANCE.md discipline).
+        """
+        task._tap = tap
+
+    def detach_sample_tap(self, task, tap=None):
+        """Remove a previously attached sample tap.
+
+        With ``tap`` given, detach only if that exact tap is still the
+        one attached -- so a monitor that lost the race with a newer
+        attachment cannot tear down someone else's tap.
+        """
+        if tap is None or task._tap is tap:
+            task._tap = None
 
     def inject_fault(self, task, error):
         """Force-fault a task from outside its body (fault injection).
@@ -645,6 +668,8 @@ class RTKernel:
             task._label_release)
         task.stats.activations += 1
         self._inc_releases()
+        if task._tap is not None:
+            task._tap.on_release(nominal)
         if state is TaskState.SUSPENDED:
             # Releases are skipped (not queued) while suspended: on
             # resume the task waits for the next fresh release instead
@@ -918,6 +943,8 @@ class RTKernel:
         # Job-completion bookkeeping for the job that just ended.
         if task._release_nominal is not None:
             task.stats.completions += 1
+            if task._tap is not None:
+                task._tap.on_complete(task.stats.cpu_time_ns)
             if task.deadline_ns is not None:
                 deadline = task._release_nominal + task.deadline_ns
                 if self.sim.now > deadline:
@@ -1032,6 +1059,8 @@ class RTKernel:
         task.state = TaskState.DORMANT
         if task._release_nominal is not None:
             task.stats.completions += 1
+            if task._tap is not None:
+                task._tap.on_complete(task.stats.cpu_time_ns)
             if task.deadline_ns is not None:
                 deadline = task._release_nominal + task.deadline_ns
                 if self.sim.now > deadline:

@@ -113,6 +113,7 @@ class RTTask:
         "_pending_kind", "_pending_value", "_needs_advance",
         "_deferred_wake", "_last_release_time", "_deferred_release_event",
         "_suspend_depth", "_resume_state", "_started", "_blocked_on",
+        "_tap",
         "_label_release", "_label_complete", "_label_quantum",
         "_label_timeout", "_label_sleep",
     )
@@ -173,6 +174,7 @@ class RTTask:
         self._resume_state = None       # state to restore after suspend
         self._started = False
         self._blocked_on = None         # IPC object currently blocked on
+        self._tap = None                # sample tap (contract monitor)
 
         # Precomputed event labels (kernel hot path; see class docstring).
         self._label_release = "release:" + self.name

@@ -45,6 +45,7 @@ resolve).
 import math
 
 from repro.analysis import TaskSpec, rate_monotonic_priorities
+from repro.core.contracts import DistributionSpec, StochasticContract
 from repro.core.descriptor import ComponentDescriptor
 from repro.core.ports import PortDirection, PortSpec
 from repro.rtos.task import TaskType
@@ -183,6 +184,7 @@ DEFECT_CODES = {
     "size_mismatch": "DRT202",
     "duplicate_task": "DRT102",
     "overutilization": "DRT301",
+    "stochastic_mismatch": "DRT701",
 }
 
 
@@ -201,7 +203,12 @@ def generate_defective_fleet(seed, count=8, defects=None,
     * ``"duplicate_task"`` -- two distinct component names that derive
       the same six-character RTAI task name (DRT102);
     * ``"overutilization"`` -- three half-CPU claims pinned to CPU 1
-      (DRT301).
+      (DRT301);
+    * ``"stochastic_mismatch"`` -- a ``<stochastic>`` clause declaring
+      an execution-time mean above the component's derived WCET
+      (DRT701; its slow rate also draws the DRT702 verifiability
+      warning, which is accurate -- the clause really is untestable at
+      5 Hz).
 
     Returns ``(descriptors, expected_codes)`` where ``expected_codes``
     is the sorted list of diagnostic codes the planted defects must
@@ -260,8 +267,147 @@ def generate_defective_fleet(seed, count=8, defects=None,
             descriptors.append(_component(
                 "OVR%03d" % index, cpu_usage=0.5, cpu=1,
                 priority=20 + index))
+    if "stochastic_mismatch" in defects:
+        # WCET derives as ceil(0.01 * 200 ms) = 2 ms; the declared
+        # execution-time distribution averages 4 ms -- the CPU claim
+        # cannot cover the declared demand (DRT701).
+        descriptors.append(ComponentDescriptor(
+            name="STOC00", implementation="defect.STOC00",
+            task_type=TaskType.PERIODIC, cpu_usage=0.01,
+            frequency_hz=5.0, priority=10,
+            description="planted defect component",
+            stochastic=StochasticContract(
+                exectime=DistributionSpec(
+                    "uniform", min_ns=3_000_000, max_ns=5_000_000))))
     expected_codes = sorted(DEFECT_CODES[d] for d in defects)
     return descriptors, expected_codes
+
+
+#: Contract of the planted *bursty* component in
+#: :func:`generate_bursty_fleet`: a 1 kHz periodic task claiming a
+#: quarter CPU (derived WCET 250 us) whose execution time is declared
+#: uniform in [100, 200] us -- comfortably inside the claim, so the
+#: descriptor is lint-clean and point-estimate admission accepts it.
+BURSTY_FREQUENCY_HZ = 1000.0
+BURSTY_CPU_USAGE = 0.25
+BURSTY_EXEC_MIN_NS = 100_000
+BURSTY_EXEC_MAX_NS = 200_000
+
+#: Contract of the planted *sporadic* component: minimum inter-arrival
+#: 2 ms, arrivals declared normal(3 ms, 0.3 ms) -- less than 0.1 % of
+#: that distribution's mass lies below the MIA, so the declaration is
+#: lint-clean too.
+SPORADIC_MIA_NS = 2_000_000
+SPORADIC_ARRIVAL_MEAN_NS = 3_000_000
+SPORADIC_ARRIVAL_STD_NS = 300_000
+SPORADIC_CPU_USAGE = 0.05
+
+
+def generate_bursty_fleet(rng, name, count=4, total_utilization=0.55,
+                          cpu=0, tolerance=0.01, min_samples=32):
+    """A fleet for experiment C6: honest base load plus two planted
+    components carrying ``<stochastic>`` declarations.
+
+    Returns ``(descriptors, planted)`` where ``planted`` maps
+    ``"bursty"`` and ``"sporadic"`` to the planted component names:
+
+    * the **bursty** component (:data:`BURSTY_CPU_USAGE` at
+      :data:`BURSTY_FREQUENCY_HZ`) declares its execution time as
+      uniform in [:data:`BURSTY_EXEC_MIN_NS`,
+      :data:`BURSTY_EXEC_MAX_NS`] -- an implementation that honours
+      the declaration passes the :class:`~repro.monitor.service.\
+ContractMonitor`'s goodness-of-fit test, one that turns heavy-tailed/
+      bimodal is caught within a few epochs even while every job still
+      fits the period;
+    * the **sporadic** component declares normal inter-arrivals
+      (:data:`SPORADIC_ARRIVAL_MEAN_NS` +/-
+      :data:`SPORADIC_ARRIVAL_STD_NS`, MIA :data:`SPORADIC_MIA_NS`);
+      drive it with :func:`generate_bursty_arrivals` to get MIA-legal
+      *clustered* arrivals that point-estimate admission cannot
+      distinguish from the declaration but the monitor rejects.
+
+    Both declarations are consistent with their point-estimate
+    contracts (no DRT7xx errors): the whole point of C6 is that the
+    *descriptors* look fine and only run-time checking can tell the
+    declared distributions from the observed ones.
+
+    The planted components take priorities 1 and 2; the base fleet is
+    shifted below them, so bursty overruns interfere with the whole
+    fleet (that is the "admits-then-thrashes" arm of C6).
+    """
+    descriptors = generate_component_set(
+        rng, name, count, total_utilization, cpu=cpu,
+        priority_offset=10)
+    prefix = name.upper()[:2]
+    descriptors.append(ComponentDescriptor(
+        name="%sBRST" % prefix,
+        implementation="workload.%s.bursty" % name,
+        task_type=TaskType.PERIODIC,
+        description="planted bursty component (C6)",
+        cpu_usage=BURSTY_CPU_USAGE,
+        frequency_hz=BURSTY_FREQUENCY_HZ,
+        priority=1, cpu=cpu,
+        stochastic=StochasticContract(
+            exectime=DistributionSpec(
+                "uniform", min_ns=BURSTY_EXEC_MIN_NS,
+                max_ns=BURSTY_EXEC_MAX_NS),
+            tolerance=tolerance, min_samples=min_samples)))
+    descriptors.append(ComponentDescriptor(
+        name="%sSPOR" % prefix,
+        implementation="workload.%s.sporadic" % name,
+        task_type=TaskType.SPORADIC,
+        description="planted sporadic component (C6)",
+        cpu_usage=SPORADIC_CPU_USAGE,
+        min_interarrival_ns=SPORADIC_MIA_NS,
+        priority=2, cpu=cpu,
+        stochastic=StochasticContract(
+            interarrival=DistributionSpec(
+                "normal", mean_ns=SPORADIC_ARRIVAL_MEAN_NS,
+                std_ns=SPORADIC_ARRIVAL_STD_NS),
+            tolerance=tolerance, min_samples=min_samples)))
+    planted = {"bursty": "%sBRST" % prefix,
+               "sporadic": "%sSPOR" % prefix}
+    return descriptors, planted
+
+
+def generate_bursty_arrivals(rng, name, horizon_ns,
+                             burst_at_ns=None,
+                             mia_ns=SPORADIC_MIA_NS,
+                             mean_ns=SPORADIC_ARRIVAL_MEAN_NS,
+                             std_ns=SPORADIC_ARRIVAL_STD_NS,
+                             burst_size=4):
+    """Arrival instants (ns, sorted) for the planted sporadic component.
+
+    Before ``burst_at_ns`` (default: never) gaps are drawn from the
+    *declared* normal distribution, clamped to the MIA -- the honest
+    regime.  From ``burst_at_ns`` on, arrivals come in clusters of
+    ``burst_size`` spaced exactly ``mia_ns`` apart -- every arrival is
+    legal (the kernel throttles nothing), and the long-run rate stays
+    at the declared mean, but the inter-arrival *distribution* is
+    bimodal: MIA-spaced inside a cluster, one long idle gap between
+    clusters.  Point-estimate admission sees nothing wrong; the
+    goodness-of-fit test rejects it within an epoch or two.
+    """
+    stream = "bursty/%s" % name
+    if burst_at_ns is None:
+        burst_at_ns = horizon_ns
+    # The idle gap that keeps the clustered regime's average rate at
+    # the declared mean: burst_size arrivals per (idle + bursts) span.
+    idle_ns = burst_size * mean_ns - (burst_size - 1) * mia_ns
+    arrivals = []
+    now = max(mia_ns, int(rng.gauss(stream, mean_ns, std_ns)))
+    while now < horizon_ns:
+        if now < burst_at_ns:
+            arrivals.append(now)
+            now += max(mia_ns, int(rng.gauss(stream, mean_ns, std_ns)))
+        else:
+            for index in range(burst_size):
+                if now >= horizon_ns:
+                    break
+                arrivals.append(now)
+                now += mia_ns
+            now += idle_ns - mia_ns
+    return arrivals
 
 
 #: Plan defects :func:`generate_defective_plan` can emit, with the

@@ -152,10 +152,13 @@ class TestSchedulabilityPolicies:
         assert not ResponseTimeAnalysisPolicy().admit(candidate, view)
 
     def test_edf_accepts_up_to_full_utilization(self, kernel, token):
+        # 250 Hz divides the nanosecond grid exactly: U really is 1.0.
+        # (At a non-divisible rate the conservative ceil'd WCET lands
+        # a hair above 1.0 and EDF rightly rejects.)
         admitted = make_component(token, "A00000", cpuusage=0.6,
                                   frequency=1000)
         candidate = make_component(token, "X00000", cpuusage=0.4,
-                                   frequency=333)
+                                   frequency=250)
         view = view_with(kernel, token, candidate, admitted)
         assert EDFPolicy().admit(candidate, view)
 

@@ -168,3 +168,56 @@ class TestRealTimeContract:
         contract = RealTimeContract("X", TaskType.PERIODIC,
                                     cpu_usage=0.1, frequency_hz=0.5)
         assert contract.period_ns == 2_000_000_000
+
+
+class TestConservativeWcet:
+    """Regression: ``wcet_ns`` must round *up*.
+
+    ``int(cpu_usage * period_ns)`` truncated toward zero, so
+    admission and response-time analysis under-counted demand by up
+    to 1 ns per task -- enough to admit a fleet whose true demand
+    exceeds the CPU.
+    """
+
+    def _sporadic(self, name, mia_ns=999, cpu_usage=0.5):
+        return RealTimeContract(name, TaskType.SPORADIC,
+                                cpu_usage=cpu_usage,
+                                min_interarrival_ns=mia_ns)
+
+    def test_wcet_rounds_up(self):
+        # 0.5 * 999 = 499.5: truncation said 499, ceil says 500.
+        assert self._sporadic("A").wcet_ns == 500
+
+    def test_exact_products_unchanged(self):
+        contract = RealTimeContract("B", TaskType.PERIODIC,
+                                    cpu_usage=0.1, frequency_hz=100)
+        assert contract.wcet_ns == 1_000_000
+
+    def test_taskspec_agrees_with_contract(self):
+        from repro.analysis import TaskSpec
+        contract = self._sporadic("C")
+        assert TaskSpec.from_contract(contract).wcet_ns \
+            == contract.wcet_ns
+
+    def test_boundary_fleet_rejected_not_admitted(self):
+        # Two half-CPU claims at MIA 999 ns: truncated WCETs sum to
+        # 998/999 (< 1.0, admitted); ceil'd WCETs sum to 1000/999
+        # (> 1.0) -- the lint admission analyzer must reject the pair.
+        from repro.analysis import TaskSpec, total_utilization
+        from repro.core.descriptor import ComponentDescriptor
+        from repro.lint import Severity, lint_descriptors
+
+        specs = [TaskSpec.from_contract(self._sporadic(name))
+                 for name in ("BNDA00", "BNDB00")]
+        truncated = sum(int(0.5 * 999) / 999 for _ in specs)
+        assert truncated <= 1.0          # what the bug admitted
+        assert total_utilization(specs) > 1.0   # the true demand
+
+        fleet = [ComponentDescriptor(
+            name=name, implementation="impl.Class",
+            task_type=TaskType.SPORADIC, cpu_usage=0.5,
+            min_interarrival_ns=999, priority=index)
+            for index, name in enumerate(("BNDA00", "BNDB00"))]
+        codes = {d.code for d in lint_descriptors(fleet)
+                 if d.severity is Severity.ERROR}
+        assert "DRT301" in codes

@@ -114,6 +114,65 @@ def test_exclusive_bands_are_not_contradictory():
     assert check_rule_source(json.dumps(document), "<x>") == []
 
 
+class TestClampedThresholds:
+    """DRT506: thresholds above the histogram grid's last finite bound
+    are dead -- ``percentile_from_buckets`` clamps what it reports."""
+
+    GRID_MAX = 1_000_000.0  # DEFAULT_LATENCY_BOUNDS_NS[-1]
+
+    def _rule(self, op, value, param="dispatch_latency_p99"):
+        return {"rules": [{
+            "name": "clamped",
+            "when": {"param": param, "op": op, "value": value},
+            "then": [{"action": "reconfigure"}], "cooldown_ns": 1000,
+        }]}
+
+    def test_strictly_above_grid_max_is_dead(self):
+        diagnostics = check_rule_source(
+            json.dumps(self._rule(">", self.GRID_MAX)), "<x>")
+        assert _codes(diagnostics) == ["DRT506"]
+        assert CODE_TABLE["DRT506"][0] is Severity.WARNING
+
+    def test_at_or_above_past_grid_max_is_dead(self):
+        diagnostics = check_rule_source(
+            json.dumps(self._rule(">=", self.GRID_MAX + 1)), "<x>")
+        assert _codes(diagnostics) == ["DRT506"]
+
+    def test_equality_past_grid_max_is_dead(self):
+        diagnostics = check_rule_source(
+            json.dumps(self._rule("==", self.GRID_MAX * 2)), "<x>")
+        assert _codes(diagnostics) == ["DRT506"]
+
+    def test_reachable_thresholds_stay_clean(self):
+        for op, value in ((">", self.GRID_MAX - 1),
+                          (">=", self.GRID_MAX),   # can hold: clamp hits it
+                          ("<", self.GRID_MAX * 2),
+                          ("<=", self.GRID_MAX * 2)):
+            diagnostics = check_rule_source(
+                json.dumps(self._rule(op, value)), "<x>")
+            assert diagnostics == [], (op, value)
+
+    def test_unclamped_params_are_exempt(self):
+        # deadline_miss_rate has a range, not a clamp; values past its
+        # range are DRT504's business, not DRT506's.
+        diagnostics = check_rule_source(
+            json.dumps(self._rule(">", 2.0,
+                                  param="deadline_miss_rate")), "<x>")
+        assert _codes(diagnostics) == ["DRT504"]
+
+    def test_clear_predicate_is_checked_too(self):
+        document = {"rules": [{
+            "name": "clamped-clear",
+            "when": {"param": "dispatch_latency_p99", "op": ">",
+                     "value": 50_000},
+            "clear": {"param": "dispatch_latency_p99", "op": ">",
+                      "value": self.GRID_MAX * 10},
+            "then": [{"action": "reconfigure"}],
+        }]}
+        diagnostics = check_rule_source(json.dumps(document), "<x>")
+        assert _codes(diagnostics) == ["DRT506"]
+
+
 def test_lint_paths_picks_up_rule_files(tmp_path):
     rule_path = tmp_path / "guard.rules.json"
     rule_path.write_text(json.dumps(generate_rule_set("latency-guard")),

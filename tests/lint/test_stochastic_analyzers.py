@@ -1,0 +1,216 @@
+"""DRT7xx: the stochastic-contract analyzer family."""
+
+import pytest
+
+from repro.core.contracts import (
+    DEFAULT_MONITOR_EPOCH_NS,
+    DistributionSpec,
+    StochasticContract,
+)
+from repro.core.descriptor import ComponentDescriptor
+from repro.lint.diagnostics import CODE_TABLE, Severity
+from repro.lint.engine import (
+    FAMILIES,
+    FAMILY_ALIASES,
+    lint_descriptor_texts,
+    lint_descriptors,
+    resolve_family,
+)
+from repro.lint.stochastic import check_descriptor
+from repro.rtos.task import TaskType
+from repro.workloads import generate_defective_fleet
+
+
+def _codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def _periodic(stochastic, cpu_usage=0.01, frequency_hz=1000.0):
+    # period 1 ms; derived WCET = ceil(cpu_usage * period) = 10 us.
+    # 1 kHz keeps ~1000 samples per default epoch, far above any
+    # min_samples here, so only the targeted code fires per test.
+    return ComponentDescriptor(
+        name="STOC00", implementation="impl.Class",
+        task_type=TaskType.PERIODIC, cpu_usage=cpu_usage,
+        frequency_hz=frequency_hz, priority=5, stochastic=stochastic)
+
+
+def _sporadic(stochastic, mia_ns=2_000_000, cpu_usage=0.05):
+    return ComponentDescriptor(
+        name="SPOR00", implementation="impl.Class",
+        task_type=TaskType.SPORADIC, cpu_usage=cpu_usage,
+        min_interarrival_ns=mia_ns, priority=5, stochastic=stochastic)
+
+
+def test_code_table_has_the_family():
+    for code in ("DRT700", "DRT701", "DRT702"):
+        severity, trigger, hint = CODE_TABLE[code]
+        assert trigger and hint
+    assert CODE_TABLE["DRT700"][0] is Severity.ERROR
+    assert CODE_TABLE["DRT701"][0] is Severity.ERROR
+    assert CODE_TABLE["DRT702"][0] is Severity.WARNING
+
+
+def test_family_aliases_resolve():
+    assert "stochastic" in FAMILIES
+    assert resolve_family("stochastic") == "stochastic"
+    assert resolve_family("DRT7") == "stochastic"
+    assert resolve_family("drt7") == "stochastic"
+    assert FAMILY_ALIASES["DRT7"] == "stochastic"
+
+
+def test_resolver_checks_the_family_by_default():
+    from repro.lint.resolver import _DEFAULT_FAMILIES
+    assert "stochastic" in _DEFAULT_FAMILIES
+
+
+class TestDrt700:
+    def test_interarrival_on_periodic_is_unmonitorable(self):
+        stochastic = StochasticContract(
+            interarrival=DistributionSpec("exponential",
+                                          mean_ns=5_000_000))
+        diagnostics = check_descriptor(_periodic(stochastic), "<x>")
+        assert _codes(diagnostics) == ["DRT700"]
+
+    def test_interarrival_on_sporadic_is_fine(self):
+        # Well above the 2 ms MIA: Phi(-3.33) mass below it.
+        stochastic = StochasticContract(
+            interarrival=DistributionSpec("normal", mean_ns=3_000_000,
+                                          std_ns=300_000),
+            min_samples=16)
+        assert check_descriptor(_sporadic(stochastic), "<x>") == []
+
+
+class TestDrt701:
+    def test_exectime_mean_above_wcet(self):
+        # Derived WCET 10 us; declared average demand 20 us.
+        stochastic = StochasticContract(
+            exectime=DistributionSpec("uniform", min_ns=15_000,
+                                      max_ns=25_000))
+        diagnostics = check_descriptor(_periodic(stochastic), "<x>")
+        assert _codes(diagnostics) == ["DRT701"]
+        assert "mean" in diagnostics[0].message
+
+    def test_exectime_tail_mass_above_wcet(self):
+        # Mean is fine (8.5 us < 10 us WCET) but over a quarter of
+        # the mass sits past the WCET -- overruns by declaration.
+        stochastic = StochasticContract(
+            exectime=DistributionSpec("uniform", min_ns=5_000,
+                                      max_ns=12_000),
+            tolerance=0.01)
+        diagnostics = check_descriptor(_periodic(stochastic), "<x>")
+        assert _codes(diagnostics) == ["DRT701"]
+        assert "mass" in diagnostics[0].message
+
+    def test_exectime_tail_within_tolerance_is_fine(self):
+        stochastic = StochasticContract(
+            exectime=DistributionSpec("uniform", min_ns=1_000,
+                                      max_ns=9_000))
+        assert check_descriptor(_periodic(stochastic), "<x>") == []
+
+    def test_interarrival_mean_below_mia(self):
+        stochastic = StochasticContract(
+            interarrival=DistributionSpec("normal", mean_ns=1_000_000,
+                                          std_ns=50_000),
+            min_samples=16)
+        diagnostics = check_descriptor(_sporadic(stochastic), "<x>")
+        assert _codes(diagnostics) == ["DRT701"]
+
+    def test_exponential_interarrival_always_has_throttled_mass(self):
+        # The memoryless family puts mass near zero no matter the
+        # mean, so some arrivals are always below the MIA; a sporadic
+        # declaration must use a bounded/normal family above the MIA.
+        stochastic = StochasticContract(
+            interarrival=DistributionSpec("exponential",
+                                          mean_ns=20_000_000),
+            min_samples=8)
+        diagnostics = check_descriptor(_sporadic(stochastic), "<x>")
+        assert _codes(diagnostics) == ["DRT701"]
+
+
+class TestDrt702:
+    def test_unverifiable_min_samples(self):
+        # 5 Hz -> 5 observations per default 1 s epoch against
+        # min_samples=32.  WCET is 2 ms; the declared execution times
+        # fit well inside it, so DRT702 is the only finding.
+        stochastic = StochasticContract(
+            exectime=DistributionSpec("uniform", min_ns=100_000,
+                                      max_ns=1_000_000),
+            min_samples=32)
+        descriptor = _periodic(stochastic, frequency_hz=5.0)
+        diagnostics = check_descriptor(descriptor, "<x>")
+        assert _codes(diagnostics) == ["DRT702"]
+
+    def test_fast_component_accrues_samples(self):
+        stochastic = StochasticContract(
+            exectime=DistributionSpec("uniform", min_ns=1_000,
+                                      max_ns=9_000),
+            min_samples=32)
+        descriptor = _periodic(stochastic)
+        assert check_descriptor(descriptor, "<x>") == []
+
+    def test_epoch_override_changes_the_verdict(self):
+        stochastic = StochasticContract(
+            exectime=DistributionSpec("uniform", min_ns=100_000,
+                                      max_ns=1_000_000),
+            min_samples=32)
+        descriptor = _periodic(stochastic, frequency_hz=5.0)
+        assert _codes(check_descriptor(
+            descriptor, "<x>",
+            epoch_ns=100 * DEFAULT_MONITOR_EPOCH_NS)) == []
+
+
+def test_family_filtering_in_lint_descriptors():
+    stochastic = StochasticContract(
+        interarrival=DistributionSpec("exponential",
+                                      mean_ns=5_000_000))
+    descriptor = _periodic(stochastic)  # DRT700, nothing else
+    diagnostics = lint_descriptors([descriptor],
+                                   families=("stochastic",))
+    assert _codes(diagnostics) == ["DRT700"]
+    assert lint_descriptors([descriptor],
+                            families=("contract",)) == []
+
+
+def test_xml_clause_flows_through_the_engine():
+    stochastic = StochasticContract(
+        exectime=DistributionSpec("uniform", min_ns=15_000,
+                                  max_ns=25_000))
+    xml = _periodic(stochastic).to_xml()
+    diagnostics = lint_descriptor_texts([("<mem>", xml)],
+                                        families=("stochastic",))
+    assert _codes(diagnostics) == ["DRT701"]
+
+
+def test_descriptor_without_clause_is_exempt(tmp_path):
+    descriptor = ComponentDescriptor(
+        name="PLAIN0", implementation="impl.Class",
+        task_type=TaskType.PERIODIC, cpu_usage=0.05,
+        frequency_hz=100.0, priority=4)
+    assert check_descriptor(descriptor, "<x>") == []
+
+
+def test_defective_fleet_plants_the_mismatch():
+    descriptors, expected = generate_defective_fleet(
+        seed=17, defects=("stochastic_mismatch",))
+    assert "DRT701" in expected
+    diagnostics = lint_descriptors(descriptors,
+                                   families=("stochastic",))
+    errors = [d for d in diagnostics
+              if CODE_TABLE[d.code][0] is Severity.ERROR]
+    assert _codes(errors) == ["DRT701"]
+    assert {d.component for d in errors} == {"STOC00"}
+
+
+def test_cli_accepts_drt7_alias(tmp_path, capsys):
+    from repro.lint.cli import main
+    stochastic = StochasticContract(
+        exectime=DistributionSpec("uniform", min_ns=1_000,
+                                  max_ns=9_000),
+        min_samples=8)
+    path = tmp_path / "clean.xml"
+    path.write_text(_periodic(stochastic).to_xml(), encoding="utf-8")
+    status = main(["--family", "DRT7", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "0 error" in out

@@ -1,0 +1,218 @@
+"""The runtime ContractMonitor: taps, epoch checks, quarantine routing
+and the adaptation-context export."""
+
+import os
+import re
+
+import pytest
+
+from repro.core.contracts import DistributionSpec, StochasticContract
+from repro.core.descriptor import ComponentDescriptor
+from repro.faults.recovery import QuarantinePolicy
+from repro.hybrid.implementation import (
+    RTImplementation,
+    default_registry,
+)
+from repro.monitor import ContractMonitor, StochasticContextProvider
+from repro.platform import build_platform
+from repro.rtos.task import TaskType
+from repro.sim.engine import MSEC, SEC
+
+DECLARED = StochasticContract(
+    exectime=DistributionSpec("uniform", min_ns=40_000, max_ns=60_000),
+    tolerance=0.01, min_samples=32)
+
+
+class HonestImplementation(RTImplementation):
+    """Draws execution times from the declared distribution."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def compute_ns(self, ctx):
+        return int(self._stream.uniform(40_000, 60_000))
+
+
+class LyingImplementation(RTImplementation):
+    """Bimodal reality against a uniform declaration."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def compute_ns(self, ctx):
+        if self._stream.random() < 0.4:
+            return 95_000
+        return 45_000
+
+
+def _descriptor(name, bincode, stochastic=DECLARED):
+    return ComponentDescriptor(
+        name=name, implementation=bincode,
+        task_type=TaskType.PERIODIC, cpu_usage=0.1,
+        frequency_hz=1000.0, priority=5, stochastic=stochastic)
+
+
+@pytest.fixture
+def platform():
+    p = build_platform(seed=3)
+    p.drcr.set_recovery_policy(
+        QuarantinePolicy(cooldown_ns=100 * SEC))
+    p.start_timer(1 * MSEC)
+    yield p
+    p.shutdown()
+
+
+@pytest.fixture
+def bincode(platform):
+    from repro.sim.rng import RandomStreams
+    streams = RandomStreams(99)
+    default_registry.register(
+        "test.honest",
+        lambda: HonestImplementation(streams.stream("honest")))
+    default_registry.register(
+        "test.lying",
+        lambda: LyingImplementation(streams.stream("lying")))
+    yield
+    default_registry.unregister("test.honest")
+    default_registry.unregister("test.lying")
+
+
+class TestMonitorChecks:
+    def test_honest_component_passes_every_epoch(self, platform,
+                                                 bincode):
+        platform.drcr.register_component(
+            _descriptor("HONST0", "test.honest"))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC)
+        monitor.start()
+        platform.run_for(1 * SEC)
+        assert monitor.monitored == ["HONST0"]
+        assert monitor.total_violations == 0
+        registry = platform.telemetry.registry("contracts")
+        assert registry.counter("checks_total").value == 10
+        assert registry.counter("violations_total").value == 0
+        # The per-clause p-value gauge is exported and plausible.
+        gauge = registry.gauge("p_value.HONST0.exectime")
+        assert 0.0 <= gauge.value <= 1.0
+        assert platform.drcr.component_state("HONST0").value \
+            == "active"
+
+    def test_lying_component_is_quarantined(self, platform, bincode):
+        platform.drcr.register_component(
+            _descriptor("LIAR00", "test.lying"))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC,
+                                  patience=2)
+        monitor.start()
+        platform.run_for(1 * SEC)
+        assert monitor.total_violations == 1
+        (time_ns, component, clause, p_value) = monitor.violations[0]
+        assert component == "LIAR00"
+        assert clause == "exectime"
+        assert p_value < DECLARED.tolerance
+        # patience=2 at 100 ms epochs: quarantined at the second check
+        assert time_ns == 200 * MSEC
+        # Routed through DRCR quarantine, not torn down by hand.
+        assert platform.drcr.component_state("LIAR00").value \
+            == "disabled"
+        assert monitor.monitored == []
+        registry = platform.telemetry.registry("contracts")
+        assert registry.counter("quarantines_total").value == 1
+
+    def test_observe_only_mode_never_quarantines(self, platform,
+                                                 bincode):
+        platform.drcr.register_component(
+            _descriptor("LIAR00", "test.lying"))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC,
+                                  quarantine=False)
+        monitor.start()
+        platform.run_for(1 * SEC)
+        assert monitor.total_violations > 0
+        assert platform.drcr.component_state("LIAR00").value \
+            == "active"
+        registry = platform.telemetry.registry("contracts")
+        assert registry.counter("quarantines_total").value == 0
+
+    def test_interarrival_clause_skipped_for_periodic(self, platform,
+                                                      bincode):
+        # The runtime twin of drtlint's DRT700: a periodic component
+        # declaring only an interarrival distribution has nothing the
+        # monitor can check, so it is not monitored at all.
+        stochastic = StochasticContract(
+            interarrival=DistributionSpec("exponential",
+                                          mean_ns=1_000_000))
+        platform.drcr.register_component(
+            _descriptor("PERIA0", "test.honest",
+                        stochastic=stochastic))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC)
+        monitor.start()
+        platform.run_for(300 * MSEC)
+        assert monitor.monitored == []
+
+    def test_stop_detaches_and_stops_checking(self, platform,
+                                              bincode):
+        platform.drcr.register_component(
+            _descriptor("HONST0", "test.honest"))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC)
+        monitor.start()
+        platform.run_for(250 * MSEC)
+        monitor.stop()
+        registry = platform.telemetry.registry("contracts")
+        checks = registry.counter("checks_total").value
+        platform.run_for(500 * MSEC)
+        assert registry.counter("checks_total").value == checks
+        assert monitor.monitored == []
+
+    def test_unmonitored_fleet_needs_no_monitor_state(self, platform):
+        # Components without a <stochastic> clause are ignored.
+        platform.drcr.register_component(ComponentDescriptor(
+            name="PLAIN0", implementation="impl.Class",
+            task_type=TaskType.PERIODIC, cpu_usage=0.05,
+            frequency_hz=100.0, priority=4))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC)
+        monitor.start()
+        platform.run_for(300 * MSEC)
+        assert monitor.monitored == []
+        registry = platform.telemetry.registry("contracts")
+        assert registry.counter("checks_total").value == 0
+
+
+class TestContextProvider:
+    def test_exports_last_epoch_findings(self, platform, bincode):
+        platform.drcr.register_component(
+            _descriptor("LIAR00", "test.lying"))
+        monitor = ContractMonitor(platform, epoch_ns=100 * MSEC,
+                                  patience=2)
+        provider = StochasticContextProvider(monitor, node="edge0")
+        monitor.start()
+        platform.run_for(150 * MSEC)
+        early = provider.collect(platform.now)
+        assert early["stochastic_violations"] == 0.0
+        assert early["stochastic_checks"] == 1.0
+        platform.run_for(100 * MSEC)  # second strike -> violation
+        late = provider.collect(platform.now)
+        assert late["stochastic_violations"] == 1.0
+        assert late["stochastic_violations@edge0"] == 1.0
+
+    def test_params_are_in_the_context_catalog(self):
+        from repro.adapt.context import CONTEXT_PARAMS
+        assert "stochastic_violations" in CONTEXT_PARAMS
+        assert "stochastic_checks" in CONTEXT_PARAMS
+
+
+def test_no_private_attribute_access_in_monitor_package():
+    """The layering rule (docs/ARCHITECTURE.md): the monitor reads
+    telemetry and acts only through public kernel/DRCR surfaces -- no
+    ``obj._name`` access in repro.monitor except on ``self``/``cls``."""
+    package = os.path.join(os.path.dirname(__file__), os.pardir,
+                           os.pardir, "src", "repro", "monitor")
+    pattern = re.compile(r"(\w+)\._")
+    offenders = []
+    for name in sorted(os.listdir(package)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(package, name), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for owner in pattern.findall(line):
+                    if owner not in ("self", "cls"):
+                        offenders.append("%s:%d: %s._"
+                                         % (name, lineno, owner))
+    assert not offenders, offenders

@@ -1,0 +1,90 @@
+"""Unit tests for the stdlib chi-square goodness-of-fit machinery."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.contracts import DistributionSpec
+from repro.monitor.gof import (
+    chi_square_gof,
+    chi_square_sf,
+    equal_probability_edges,
+)
+
+
+class TestChiSquareSf:
+    def test_zero_statistic_is_certain(self):
+        for dof in (1, 2, 7, 40):
+            assert chi_square_sf(0.0, dof) == pytest.approx(1.0)
+
+    def test_textbook_critical_values(self):
+        # The classic 5 % critical values: P(X2_1 > 3.841) = 0.05,
+        # P(X2_2 > 5.991) = 0.05, P(X2_7 > 14.067) = 0.05.
+        assert chi_square_sf(3.841, 1) == pytest.approx(0.05, abs=1e-3)
+        assert chi_square_sf(5.991, 2) == pytest.approx(0.05, abs=1e-3)
+        assert chi_square_sf(14.067, 7) == pytest.approx(0.05,
+                                                         abs=1e-3)
+
+    def test_dof_two_is_exponential(self):
+        # With two degrees of freedom the survival function has the
+        # closed form exp(-x/2) -- a strong cross-check of both the
+        # series and the continued-fraction branch.
+        for stat in (0.5, 1.0, 3.0, 10.0, 40.0):
+            assert chi_square_sf(stat, 2) \
+                == pytest.approx(math.exp(-stat / 2.0), rel=1e-9)
+
+    def test_monotone_in_statistic(self):
+        values = [chi_square_sf(stat, 5)
+                  for stat in (0.0, 1.0, 5.0, 20.0, 100.0)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 1e-15
+
+
+class TestEqualProbabilityEdges:
+    def test_uniform_edges_are_evenly_spaced(self):
+        spec = DistributionSpec("uniform", min_ns=0.0, max_ns=100.0)
+        assert equal_probability_edges(spec, 4) \
+            == pytest.approx([25.0, 50.0, 75.0])
+
+    def test_exponential_edges_are_quantiles(self):
+        spec = DistributionSpec("exponential", mean_ns=1000.0)
+        edges = equal_probability_edges(spec, 2)
+        # The single edge is the median: mean * ln 2.
+        assert edges == pytest.approx([1000.0 * math.log(2.0)])
+
+    def test_normal_edges_bracket_the_mean(self):
+        spec = DistributionSpec("normal", mean_ns=500.0, std_ns=50.0)
+        edges = equal_probability_edges(spec, 4)
+        assert edges[1] == pytest.approx(500.0, abs=1e-3)
+        assert edges[0] < 500.0 < edges[2]
+        # quartiles of a normal sit at +/- 0.6745 sigma
+        assert edges[2] - edges[0] == pytest.approx(2 * 0.6745 * 50.0,
+                                                    rel=1e-3)
+
+
+class TestChiSquareGof:
+    def test_matching_samples_accepted(self):
+        spec = DistributionSpec("uniform", min_ns=0.0, max_ns=1000.0)
+        edges = equal_probability_edges(spec, 8)
+        rng = random.Random(11)
+        samples = [rng.uniform(0.0, 1000.0) for _ in range(400)]
+        stat, dof, p_value = chi_square_gof(samples, edges)
+        assert dof == 7
+        assert p_value > 0.01
+
+    def test_mismatched_samples_rejected(self):
+        spec = DistributionSpec("uniform", min_ns=0.0, max_ns=1000.0)
+        edges = equal_probability_edges(spec, 8)
+        rng = random.Random(11)
+        # Everything piles into the first bucket.
+        samples = [rng.uniform(0.0, 100.0) for _ in range(400)]
+        stat, dof, p_value = chi_square_gof(samples, edges)
+        assert p_value < 1e-10
+
+    def test_perfectly_balanced_samples_score_one(self):
+        edges = [1.0, 2.0, 3.0]
+        samples = [0.5, 1.5, 2.5, 3.5] * 25
+        stat, dof, p_value = chi_square_gof(samples, edges)
+        assert stat == pytest.approx(0.0)
+        assert p_value == pytest.approx(1.0)

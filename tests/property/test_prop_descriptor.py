@@ -3,6 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.core.contracts import DistributionSpec, StochasticContract
 from repro.core.descriptor import ComponentDescriptor, ComponentProperty
 from repro.core.ports import PortDirection, PortSpec
 from repro.rtos.task import TaskType
@@ -35,6 +36,35 @@ def properties(draw):
 
 
 @st.composite
+def distribution_specs(draw):
+    family = draw(st.sampled_from(DistributionSpec.FAMILIES))
+    positive = st.floats(min_value=1.0, max_value=1e9,
+                         allow_nan=False, allow_infinity=False)
+    if family == "exponential":
+        return DistributionSpec(family, mean_ns=draw(positive))
+    if family == "uniform":
+        lo = draw(positive)
+        return DistributionSpec(family, min_ns=lo,
+                                max_ns=lo + draw(positive))
+    return DistributionSpec(family, mean_ns=draw(positive),
+                            std_ns=draw(positive))
+
+
+@st.composite
+def stochastic_contracts(draw):
+    interarrival, exectime = draw(st.sampled_from(
+        [(True, False), (False, True), (True, True)]))
+    return StochasticContract(
+        interarrival=draw(distribution_specs()) if interarrival
+        else None,
+        exectime=draw(distribution_specs()) if exectime else None,
+        tolerance=draw(st.floats(min_value=0.001, max_value=0.5,
+                                 allow_nan=False)),
+        min_samples=draw(st.integers(min_value=8, max_value=4096)),
+    )
+
+
+@st.composite
 def descriptors(draw):
     task_type = draw(st.sampled_from(list(TaskType)))
     outs = draw(st.lists(port_specs(PortDirection.OUT), max_size=3))
@@ -62,6 +92,8 @@ def descriptors(draw):
     if draw(st.booleans()):
         kwargs["deadline_ns"] = draw(st.integers(
             min_value=1_000, max_value=10_000_000_000))
+    if draw(st.booleans()):
+        kwargs["stochastic"] = draw(stochastic_contracts())
     return ComponentDescriptor(
         name=draw(component_names),
         implementation="impl.Class",
@@ -119,3 +151,44 @@ class TestDescriptorRoundTrip:
         assert set(descriptor.inports) | set(descriptor.outports) \
             == set(descriptor.ports)
         assert not (set(descriptor.inports) & set(descriptor.outports))
+
+    @given(descriptors())
+    def test_stochastic_clause_roundtrips(self, descriptor):
+        reparsed = ComponentDescriptor.from_xml(descriptor.to_xml())
+        assert reparsed.contract.stochastic \
+            == descriptor.contract.stochastic
+
+
+class TestSporadicPinning:
+    """Pins of the sporadic wire format (regression guards: the exact
+    attribute spelling and the deadline/MIA distinction are what other
+    tools parse)."""
+
+    def _sporadic(self, **kwargs):
+        return ComponentDescriptor(
+            name="SPOR00", implementation="impl.Class",
+            task_type=TaskType.SPORADIC, cpu_usage=0.1, priority=3,
+            min_interarrival_ns=10_000_000, **kwargs)
+
+    def test_to_xml_spells_mininterarrival_ns(self):
+        # The schema's canonical spelling has no underscore between
+        # "min" and "interarrival"; the tolerant parser also accepts
+        # min_interarrival_ns, but serialisation must emit the
+        # canonical form or drtlint's DRT107 would flag our own output.
+        xml = self._sporadic().to_xml()
+        assert 'mininterarrival_ns="10000000"' in xml
+        assert "min_interarrival_ns" not in xml
+
+    def test_deadline_distinct_from_mia_roundtrips(self):
+        descriptor = self._sporadic(deadline_ns=4_000_000)
+        reparsed = ComponentDescriptor.from_xml(descriptor.to_xml())
+        assert reparsed.contract.period_ns == 10_000_000
+        assert reparsed.contract.deadline_ns == 4_000_000
+        assert reparsed.contract.deadline_ns \
+            != reparsed.contract.period_ns
+        assert reparsed.contract == descriptor.contract
+
+    def test_default_deadline_is_the_mia(self):
+        reparsed = ComponentDescriptor.from_xml(
+            self._sporadic().to_xml())
+        assert reparsed.contract.deadline_ns == 10_000_000
